@@ -1,0 +1,20 @@
+"""Benchmark scale control.
+
+``REPRO_SCALE`` (default 1.0) multiplies every experiment size: pair
+counts, sample counts, rounds. The defaults finish in tens of minutes;
+``REPRO_SCALE=2`` or more approaches the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale() -> float:
+    """The global experiment-scale multiplier."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale an experiment size by REPRO_SCALE, with a floor."""
+    return max(minimum, int(round(base * scale())))

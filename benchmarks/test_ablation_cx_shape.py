@@ -1,0 +1,106 @@
+"""Ablation — the leg circuit must be (w, x, z), not the 2-hop (w, x).
+
+The paper's Figure 2(b) sketches the leg circuit as "(w, x)", but its
+Equation 2 — and its statement that z is the exit of *every* Ting
+circuit — imply the implemented shape (w, x, z). This bench demonstrates
+the two reasons the 2-hop reading fails:
+
+1. **Reach**: a 2-hop (w, x) leg makes x the exit, so relays whose exit
+   policies reject the echo server simply cannot be measured. On a
+   live-network mix only a minority of relays are exits.
+2. **Bias**: even where it runs, the 2-hop leg omits one local loopback
+   hop and z's forwarding delay, so the Eq. 4 subtraction no longer
+   cancels — estimates skew systematically.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable
+from repro.core.sampling import SamplePolicy, min_estimate
+from repro.core.ting import TingMeasurer
+from repro.testbeds.planetlab import PlanetLabTestbed
+from repro.util.errors import MeasurementError, StreamError
+from repro.util.errors import CircuitError
+
+
+def _measure_two_hop_leg(measurement, x_fp, policy):
+    """The naive 2-hop leg circuit (w, x) with x as exit."""
+    controller = measurement.controller
+    circuit = controller.build_circuit([measurement.relay_w.fingerprint, x_fp])
+    try:
+        stream = controller.open_stream(
+            circuit, measurement.echo_address, measurement.echo_port
+        )
+        result = measurement.echo_client.probe(
+            stream, samples=policy.samples, interval_ms=policy.interval_ms
+        )
+        stream.close()
+    finally:
+        controller.close_circuit(circuit)
+    return min_estimate(result.rtts_ms)
+
+
+def test_ablation_cx_circuit_shape(benchmark, report):
+    testbed = PlanetLabTestbed.build(seed=72, n_relays=scaled(10, minimum=8))
+    policy = SamplePolicy(samples=scaled(80, minimum=40), interval_ms=3.0)
+    measurer = TingMeasurer(testbed.measurement, policy=policy)
+    pairs = testbed.relay_pairs()[: scaled(12, minimum=8)]
+
+    def run_experiment():
+        three_hop_errors, two_hop_errors = [], []
+        for a, b in pairs:
+            oracle = testbed.oracle_rtt(a, b)
+            result = measurer.measure_pair(a, b)
+            three_hop_errors.append(abs(result.rtt_ms - oracle) / oracle)
+            # Recompute Eq. 4 with naive 2-hop legs.
+            leg_a = _measure_two_hop_leg(
+                testbed.measurement, a.fingerprint, policy
+            )
+            leg_b = _measure_two_hop_leg(
+                testbed.measurement, b.fingerprint, policy
+            )
+            naive = result.circuit_xy.min_ms - leg_a / 2.0 - leg_b / 2.0
+            two_hop_errors.append(abs(naive - oracle) / oracle)
+        return np.array(three_hop_errors), np.array(two_hop_errors)
+
+    three_hop, two_hop = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Reach failure: against a non-exit relay the 2-hop leg cannot even
+    # attach its echo stream.
+    from repro.tor.directory import ExitPolicy
+
+    victim = testbed.relays[0]
+    victim.exit_policy = ExitPolicy.reject_all()
+    reach_failed = False
+    try:
+        _measure_two_hop_leg(
+            testbed.measurement,
+            victim.fingerprint,
+            SamplePolicy(samples=5, timeout_ms=10_000.0),
+        )
+    except (StreamError, CircuitError, MeasurementError):
+        reach_failed = True
+
+    table = TextTable(
+        f"Ablation: leg-circuit shape ({len(pairs)} pairs)",
+        ["leg shape", "median rel. error", "p90 rel. error"],
+    )
+    table.add_row(
+        "(w, x, z) - implemented",
+        float(np.median(three_hop)),
+        float(np.percentile(three_hop, 90)),
+    )
+    table.add_row(
+        "(w, x) - naive 2-hop",
+        float(np.median(two_hop)),
+        float(np.percentile(two_hop, 90)),
+    )
+    report(
+        table.render()
+        + f"\n2-hop leg vs non-exit relay: {'FAILS (cannot attach)' if reach_failed else 'unexpectedly worked'}"
+    )
+
+    assert reach_failed, "2-hop leg should be unusable against non-exit relays"
+    # The implemented shape is at least as accurate.
+    assert np.median(three_hop) <= np.median(two_hop) + 0.02

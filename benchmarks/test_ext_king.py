@@ -1,0 +1,102 @@
+"""Extension — King vs Ting (Section 2's motivating comparison).
+
+The paper positions Ting as King's successor: King bounced recursive
+DNS queries off name servers near the targets, so (a) it measured the
+*name servers*, not the hosts — skewing its ratio CDF left of 1 (the
+paper contrasts this with Figure 3's symmetric CDF) — and (b) by 2015
+only ~3% of authoritative servers still answered open recursion, so
+most pairs were simply unmeasurable (Section 5.3: "we find that only 3%
+continue to today").
+
+This bench runs both techniques over the same residential host pairs:
+accuracy with a 2002-era recursion rate, coverage with the 2015 rate.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable
+from repro.apps.king import KingMeasurer
+from repro.netsim.dns import DnsInfrastructure
+from repro.netsim.policies import TrafficClass
+from repro.testbeds.livetor import LiveTorTestbed
+
+
+def _deploy_dns(testbed, recursion_fraction, hosts):
+    dns = DnsInfrastructure(
+        testbed.sim,
+        testbed.fabric,
+        testbed.topology,
+        testbed.builder,
+        testbed.streams.get(f"king.dns.{recursion_fraction}"),
+        open_recursion_fraction=recursion_fraction,
+    )
+    for host in hosts:
+        dns.deploy_for(host)
+    return dns
+
+
+def test_ext_king_vs_ting(benchmark, report):
+    testbed = LiveTorTestbed.build(seed=94, n_relays=40)
+    rng = testbed.streams.get("king.pairs")
+    relays = testbed.random_relays(scaled(12, minimum=8), rng)
+    hosts = [testbed.topology.host_by_address(r.address) for r in relays]
+    pairs = [
+        (hosts[i], hosts[j])
+        for i in range(len(hosts))
+        for j in range(i + 1, len(hosts))
+    ]
+
+    # 2002-era DNS (most servers recurse) for the accuracy comparison;
+    # 2015-era DNS for the coverage story.
+    dns_2002 = _deploy_dns(testbed, 0.75, hosts)
+    dns_2015 = _deploy_dns(testbed, 0.03, hosts)
+    client = testbed.measurement.echo_client_host
+
+    def run_experiment():
+        king = KingMeasurer(dns_2002, client, samples=scaled(10, minimum=5))
+        ratios = []
+        for a, b in pairs:
+            if not king.can_measure(a, b):
+                continue
+            estimate = king.measure_pair(a, b).rtt_ms
+            truth = testbed.latency.true_rtt_ms(a, b, TrafficClass.TCP)
+            ratios.append(estimate / truth)
+        modern = KingMeasurer(dns_2015, client)
+        coverage_2015 = sum(
+            1 for a, b in pairs if modern.can_measure(a, b)
+        ) / len(pairs)
+        coverage_2002 = len(ratios) / len(pairs)
+        return np.array(ratios), coverage_2002, coverage_2015
+
+    ratios, coverage_2002, coverage_2015 = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert ratios.size >= 5
+
+    table = TextTable(
+        f"Extension: King vs Ting over {len(pairs)} host pairs",
+        ["metric", "King (paper / ours)", "Ting (Fig. 3)"],
+    )
+    table.add_row(
+        "median estimate/true ratio",
+        f"skewed < 1 / {np.median(ratios):.3f}",
+        "~1.01 (symmetric)",
+    )
+    table.add_row(
+        "pairs measurable, 2002 recursion",
+        f"72-79% / {coverage_2002:.0%}",
+        "100% (any Tor relay pair)",
+    )
+    table.add_row(
+        "pairs measurable, 2015 recursion",
+        f"~3%-ish / {coverage_2015:.0%}",
+        "100%",
+    )
+    report(table.render())
+
+    # Shape: King skews low (it measures the better-connected name
+    # servers), and its 2015 coverage collapses while Ting's does not.
+    assert np.median(ratios) < 1.0
+    assert coverage_2002 > 0.5
+    assert coverage_2015 < 0.15

@@ -1,0 +1,49 @@
+"""Figure 4 — Ting accuracy split by ground-truth latency regime.
+
+Paper: CDFs per regime (<50, 50-150, 150-250, >250 ms) grow increasingly
+vertical around 1.0; most outliers come from the <50 ms group (large
+relative error, small absolute error).
+"""
+
+import numpy as np
+
+from repro.analysis.report import TextTable
+
+REGIMES = ((0.0, 50.0), (50.0, 150.0), (150.0, 250.0), (250.0, float("inf")))
+
+
+def test_fig04_accuracy_by_regime(validation_sweep, benchmark, report):
+    sweep = validation_sweep
+
+    def analyze():
+        ratios = sweep.estimates / sweep.pings
+        rows = []
+        for low, high in REGIMES:
+            mask = (sweep.pings >= low) & (sweep.pings < high)
+            if mask.sum() == 0:
+                rows.append((low, high, 0, np.nan, np.nan))
+                continue
+            within = float(np.mean(np.abs(ratios[mask] - 1.0) <= 0.10))
+            spread = float(np.percentile(ratios[mask], 90) - np.percentile(ratios[mask], 10))
+            rows.append((low, high, int(mask.sum()), within, spread))
+        return rows
+
+    rows = benchmark(analyze)
+
+    table = TextTable(
+        "Figure 4: accuracy by ground-truth RTT regime",
+        ["regime (ms)", "pairs", "within 10%", "p10-p90 ratio spread"],
+    )
+    for low, high, count, within, spread in rows:
+        label = f"{low:.0f}-{high:.0f}" if high != float("inf") else f">{low:.0f}"
+        table.add_row(label, count, within, spread)
+    report(table.render())
+
+    populated = [r for r in rows if r[2] > 0]
+    assert len(populated) >= 3, "need at least three populated regimes"
+    # The paper's shape: higher-latency regimes are tighter around 1.
+    first_spread = populated[0][4]
+    last_spread = populated[-1][4]
+    assert last_spread < first_spread
+    # High-latency regimes are essentially always within 10%.
+    assert populated[-1][3] >= 0.9

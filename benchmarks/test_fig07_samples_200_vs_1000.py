@@ -1,0 +1,55 @@
+"""Figure 7 — 200-sample measurements match 1000-sample measurements.
+
+Paper: the all-pairs PlanetLab sweep re-measured at 200 samples produces
+a measured/real CDF nearly identical to the 1000-sample sweep, so the
+cheaper tier is the recommended operating point.
+"""
+
+import numpy as np
+
+from repro.analysis.report import TextTable
+from repro.analysis.stats import fraction_within
+
+
+def test_fig07_sample_tiers_agree(validation_sweep, benchmark, report):
+    sweep = validation_sweep
+
+    def analyze():
+        big = sweep.estimates / sweep.pings
+        small = sweep.estimates_small / sweep.pings
+        return {
+            "within10_big": fraction_within(sweep.estimates, sweep.pings, 0.10),
+            "within10_small": fraction_within(
+                sweep.estimates_small, sweep.pings, 0.10
+            ),
+            "median_big": float(np.median(big)),
+            "median_small": float(np.median(small)),
+            # Kolmogorov-Smirnov-style max CDF gap between the two tiers.
+            "max_cdf_gap": _max_cdf_gap(big, small),
+        }
+
+    out = benchmark(analyze)
+
+    table = TextTable(
+        "Figure 7: full-tier vs reduced-tier sampling (measured/real)",
+        ["metric", "full tier", "reduced tier"],
+    )
+    table.add_row("within 10% of real", out["within10_big"], out["within10_small"])
+    table.add_row("median ratio", out["median_big"], out["median_small"])
+    report(
+        table.render()
+        + f"\nmax CDF gap between tiers: {out['max_cdf_gap']:.3f} "
+        "(paper: curves 'almost identical')"
+    )
+
+    # Shape: the tiers agree closely.
+    assert abs(out["within10_big"] - out["within10_small"]) <= 0.10
+    assert out["max_cdf_gap"] <= 0.15
+    assert abs(out["median_big"] - out["median_small"]) <= 0.03
+
+
+def _max_cdf_gap(a: np.ndarray, b: np.ndarray) -> float:
+    grid = np.sort(np.concatenate([a, b]))
+    cdf_a = np.searchsorted(np.sort(a), grid, side="right") / a.size
+    cdf_b = np.searchsorted(np.sort(b), grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())

@@ -1,0 +1,79 @@
+"""Figure 8 — Ting RTT vs geolocated great-circle distance.
+
+Paper: 10,000 random live pairs. Nearly all points sit above the (2/3)c
+physical floor (the handful below are geolocation-database errors); a
+linear fit to Ting's minimum RTTs sits below the Htrae fit to median
+gamer latencies.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.fits import (
+    fit_latency_vs_distance,
+    htrae_line,
+    points_below_floor,
+    two_thirds_c_line,
+)
+from repro.analysis.report import TextTable
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.testbeds.livetor import LiveTorTestbed
+
+
+def test_fig08_geo_vs_rtt(benchmark, report):
+    testbed = LiveTorTestbed.build(
+        seed=81, n_relays=scaled(120, minimum=60), geolocation_error_fraction=0.02
+    )
+    rng = testbed.streams.get("fig08.pairs")
+    pairs = testbed.random_pairs(scaled(250, minimum=80), rng)
+    measurer = TingMeasurer(
+        testbed.measurement,
+        policy=SamplePolicy(samples=scaled(40, minimum=20), interval_ms=3.0),
+        cache_legs=True,
+    )
+
+    def run_experiment():
+        distances, rtts = [], []
+        for a, b in pairs:
+            result = measurer.measure_pair(a, b)
+            distances.append(testbed.geolocation.distance_km(a.address, b.address))
+            rtts.append(result.rtt_clamped_ms)
+        return np.array(distances), np.array(rtts)
+
+    distances, rtts = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    fit = fit_latency_vs_distance(distances, rtts)
+    below = points_below_floor(distances, rtts)
+    # How many of the below-floor points involve a corrupted geo entry?
+    explained = sum(
+        1
+        for index in below
+        if testbed.geolocation.is_erroneous(pairs[index][0].address)
+        or testbed.geolocation.is_erroneous(pairs[index][1].address)
+    )
+    probe_km = 5000.0
+
+    table = TextTable(
+        f"Figure 8: RTT vs great-circle distance ({len(pairs)} pairs)",
+        ["metric", "paper", "measured"],
+    )
+    table.add_row("points below (2/3)c", "a handful", len(below))
+    table.add_row("...explained by geoloc errors", "almost all", explained)
+    table.add_row("Ting fit slope (ms/km)", "< Htrae 0.0269", fit.slope)
+    table.add_row(
+        "fit@5000km vs Htrae@5000km",
+        "Ting below Htrae",
+        f"{fit.predict(probe_km):.1f} vs {htrae_line(probe_km):.1f}",
+    )
+    report(table.render())
+
+    # Shape assertions.
+    assert len(below) <= max(3, len(pairs) // 20), "too many sub-floor points"
+    assert explained >= max(1, int(len(below) * 0.7)) or len(below) == 0
+    # Ting (minimum RTT) sits below Htrae (median RTT) at long range.
+    assert fit.predict(probe_km) < htrae_line(probe_km)
+    # And above the physical floor.
+    assert fit.predict(probe_km) > two_thirds_c_line(probe_km)
+    # Distance correlates positively with RTT.
+    assert fit.slope > 0

@@ -1,0 +1,58 @@
+"""Figure 13 — implicit exclusion vs end-to-end circuit RTT.
+
+Paper: the lower the victim circuit's end-to-end RTT, the larger the
+fraction of relays the too-large-RTT rules exclude without probing;
+for the highest RTTs the knowledge is useless, but moderate-RTT circuits
+still benefit.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable
+from repro.apps.deanon import DeanonymizationSimulator
+
+
+def test_fig13_ruled_out_vs_rtt(allpairs_dataset, benchmark, report):
+    dataset = allpairs_dataset
+    rng = np.random.default_rng(13)
+    simulator = DeanonymizationSimulator(dataset.matrix, rng)
+    runs = scaled(400, minimum=150)
+
+    def run_experiment():
+        rows = []
+        for _ in range(runs):
+            scenario = simulator.sample_scenario()
+            result = simulator.run("ignore", scenario)
+            rows.append((scenario.end_to_end_rtt_ms, result.fraction_ruled_out))
+        return sorted(rows)
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rtts = np.array([r for r, _ in rows])
+    ruled = np.array([f for _, f in rows])
+    thirds = len(rows) // 3
+    low = float(ruled[:thirds].mean())
+    mid = float(ruled[thirds : 2 * thirds].mean())
+    high = float(ruled[2 * thirds :].mean())
+    correlation = float(np.corrcoef(rtts, ruled)[0, 1])
+
+    table = TextTable(
+        f"Figure 13: fraction ruled out implicitly vs end-to-end RTT ({runs} runs)",
+        ["RTT tercile", "mean RTT (ms)", "mean fraction ruled out"],
+    )
+    table.add_row("lowest", float(rtts[:thirds].mean()), low)
+    table.add_row("middle", float(rtts[thirds : 2 * thirds].mean()), mid)
+    table.add_row("highest", float(rtts[2 * thirds :].mean()), high)
+    report(
+        table.render()
+        + f"\nPearson correlation (RTT, ruled-out): {correlation:.3f} "
+        "(paper: strongly negative)"
+    )
+
+    # Shape: monotone decline across terciles, negative correlation,
+    # low-RTT circuits benefit disproportionately, highest barely.
+    assert low > mid > high
+    assert correlation < -0.3
+    assert low > 0.03
+    assert low > 3.0 * max(high, 1e-6)

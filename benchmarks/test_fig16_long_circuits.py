@@ -1,0 +1,75 @@
+"""Figure 16 — longer circuits offer vastly more low-latency options.
+
+Paper: sampling 10,000 circuits per length 3-10 and scaling counts to
+C(50, l): in the 200-300 ms band there are ~10x more 4-hop circuits than
+3-hop, and four orders of magnitude more 10-hop circuits; only longer
+circuits reach multi-second RTTs.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable
+from repro.apps.longcircuits import circuit_count_histogram, circuits_within_band
+
+
+def test_fig16_long_circuits(allpairs_dataset, benchmark, report):
+    dataset = allpairs_dataset
+    n_samples = scaled(10_000, minimum=3000)
+    rng = np.random.default_rng(16)
+    # The scaled dataset's RTT scale shifts with node count; pick the
+    # paper's flavor of "moderate band": around the median 3-hop RTT.
+    lengths = tuple(range(3, 11))
+
+    def run_experiment():
+        histogram = circuit_count_histogram(
+            dataset.matrix, lengths=lengths, n_samples=n_samples, rng=rng
+        )
+        three_hop = np.asarray(
+            [r for r in _sample(dataset, 3, n_samples)], dtype=float
+        )
+        band_low = float(np.percentile(three_hop, 45))
+        band_high = band_low + 100.0
+        band = circuits_within_band(
+            dataset.matrix,
+            band_low,
+            band_high,
+            lengths=lengths,
+            n_samples=n_samples,
+            rng=np.random.default_rng(161),
+        )
+        return histogram, band, (band_low, band_high)
+
+    histogram, band, (band_low, band_high) = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        f"Figure 16: circuits per length in the {band_low:.0f}-{band_high:.0f} ms band "
+        f"({n_samples} samples/length, scaled to C(n, l))",
+        ["length", "est. circuits", "vs 3-hop"],
+    )
+    for length in lengths:
+        ratio = band[length] / band[3] if band[3] > 0 else float("inf")
+        table.add_row(length, f"{band[length]:.3e}", f"{ratio:.1f}x")
+    report(table.render())
+
+    # Shape: an order of magnitude more 4-hop than 3-hop circuits in the
+    # band, and growth with length beyond that.
+    assert band[3] > 0
+    assert band[4] >= band[3] * 4
+    assert band[5] > band[4]
+    # Max reachable RTT grows with circuit length.
+    max_rtt = {
+        length: centers[counts > 0].max() if (counts > 0).any() else 0.0
+        for length, (centers, counts) in histogram.items()
+    }
+    assert max_rtt[10] > max_rtt[3]
+
+
+def _sample(dataset, length, n_samples):
+    from repro.apps.longcircuits import sample_circuit_rtts
+
+    return sample_circuit_rtts(
+        dataset.matrix, length, n_samples, np.random.default_rng(160)
+    )

@@ -1,0 +1,69 @@
+"""Figure 17 — node-on-circuit probability by RTT and circuit length.
+
+Paper: for each length, the median probability of a given node being on
+a circuit achieving a given RTT is lowest in the middle of the RTT range
+(many circuit choices) and spikes at the extremes (few choices, so they
+rely on specific nodes); very long circuits sacrifice entropy at low
+RTTs.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable, format_series
+from repro.apps.longcircuits import node_presence_by_rtt
+
+
+def test_fig17_circuit_diversity(allpairs_dataset, benchmark, report):
+    dataset = allpairs_dataset
+    n_samples = scaled(8000, minimum=3000)
+    lengths = (3, 5, 8, 10)
+
+    def run_experiment():
+        out = {}
+        for length in lengths:
+            out[length] = node_presence_by_rtt(
+                dataset.matrix,
+                length,
+                n_samples=n_samples,
+                rng=np.random.default_rng(170 + length),
+            )
+        return out
+
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    n = len(dataset.matrix)
+    table = TextTable(
+        "Figure 17: median node-presence probability by length",
+        ["length", "baseline l/n", "min presence (populated)", "max presence"],
+    )
+    for length in lengths:
+        centers, presence = curves[length]
+        populated = presence[presence > 0]
+        table.add_row(
+            length,
+            length / n,
+            float(populated.min()),
+            float(populated.max()),
+        )
+    centers3, presence3 = curves[3]
+    report(
+        table.render()
+        + "\n"
+        + format_series("3-hop presence vs RTT (ms)", centers3, presence3)
+    )
+
+    # Shape: average presence tracks l/n; the most entropic (lowest-
+    # presence) region exists in the interior for each length.
+    for length in lengths:
+        _, presence = curves[length]
+        populated = presence[presence > 0]
+        assert populated.size > 3
+        baseline = length / n
+        assert np.median(populated) == np.clip(
+            np.median(populated), 0.5 * baseline, 2.0 * baseline
+        )
+    # Longer circuits involve any given node more often.
+    assert np.median(curves[10][1][curves[10][1] > 0]) > np.median(
+        curves[3][1][curves[3][1] > 0]
+    )

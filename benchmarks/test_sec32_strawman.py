@@ -1,0 +1,80 @@
+"""Section 3.2 — the strawman (Tor circuit + pings) vs Ting.
+
+Paper: mixing ping with Tor measurements is untenable because networks
+treat ICMP/TCP/Tor differently and forwarding delays go uncorrected;
+Ting supersedes it. This bench quantifies that on the ground-truth
+testbed: on differential-treatment networks the strawman's error
+explodes while Ting's stays small.
+"""
+
+import numpy as np
+
+from _config import scaled
+from repro.analysis.report import TextTable
+from repro.core.sampling import SamplePolicy
+from repro.core.strawman import StrawmanMeasurer
+from repro.core.ting import TingMeasurer
+from repro.netsim.policies import PolicyModel
+from repro.testbeds.planetlab import PlanetLabTestbed
+from repro.util.errors import MeasurementError
+
+
+def test_sec32_strawman_vs_ting(benchmark, report):
+    testbed = PlanetLabTestbed.build(
+        seed=32,
+        n_relays=scaled(10, minimum=8),
+        # A world where differential treatment is common and harsh, as in
+        # the networks that motivated Section 3.2.
+        policy_model=PolicyModel(differential_fraction=0.5, severe_fraction=0.5),
+    )
+    policy = SamplePolicy(samples=scaled(80, minimum=40), interval_ms=3.0)
+    ting = TingMeasurer(testbed.measurement, policy=policy)
+    strawman = StrawmanMeasurer(testbed.measurement, policy=policy)
+    pairs = testbed.relay_pairs()[: scaled(15, minimum=10)]
+
+    def run_experiment():
+        rows = []
+        for a, b in pairs:
+            oracle = testbed.oracle_rtt(a, b)
+            ting_error = abs(ting.measure_pair(a, b).rtt_ms - oracle) / oracle
+            try:
+                strawman_error = (
+                    abs(strawman.measure_pair(a, b).rtt_ms - oracle) / oracle
+                )
+            except MeasurementError:
+                continue  # pair not measurable by the strawman at all
+            rows.append((ting_error, strawman_error))
+        return rows
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert len(rows) >= 5
+
+    ting_errors = np.array([t for t, _ in rows])
+    strawman_errors = np.array([s for _, s in rows])
+
+    table = TextTable(
+        f"Section 3.2: relative error vs true Tor-path RTT ({len(rows)} pairs)",
+        ["technique", "median error", "p90 error", "max error"],
+    )
+    table.add_row(
+        "strawman (circuit + ping)",
+        float(np.median(strawman_errors)),
+        float(np.percentile(strawman_errors, 90)),
+        float(strawman_errors.max()),
+    )
+    table.add_row(
+        "Ting",
+        float(np.median(ting_errors)),
+        float(np.percentile(ting_errors, 90)),
+        float(ting_errors.max()),
+    )
+    report(table.render())
+
+    # Shape: Ting dominates, and the strawman's tail is catastrophic.
+    # (Ting's own worst case is a low-RTT pair where forwarding floors
+    # loom large relatively — still a small absolute error.)
+    assert np.median(ting_errors) < np.median(strawman_errors) + 0.02
+    assert np.percentile(ting_errors, 90) < np.percentile(strawman_errors, 90)
+    assert strawman_errors.max() > 0.15
+    assert ting_errors.max() < 0.5
+    assert np.median(ting_errors) < 0.10

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Section 4.3 walkthrough: estimating per-relay forwarding delays.
+
+Runs the paper's seven-step method against a testbed containing both
+well-behaved networks and networks that discriminate among ICMP/TCP/Tor
+traffic, using both ping-style and tcptraceroute-style probes. Negative
+estimates flag the differential networks — the reason Ting refuses to
+mix ping with Tor measurements.
+
+Run:  python examples/forwarding_delays.py
+"""
+
+from repro import ForwardingDelayEstimator, PlanetLabTestbed, SamplePolicy
+from repro.netsim.policies import PolicyModel
+
+
+def main() -> None:
+    testbed = PlanetLabTestbed.build(
+        seed=55,
+        n_relays=10,
+        policy_model=PolicyModel(differential_fraction=0.4, severe_fraction=0.5),
+    )
+    estimator = ForwardingDelayEstimator(
+        testbed.measurement,
+        policy=SamplePolicy(samples=60, interval_ms=3.0),
+        probe_count=60,
+    )
+
+    local = estimator.calibrate_local()
+    print(f"Local relays' calibrated delay (F_w = F_z): {local:.2f} ms\n")
+
+    print(f"{'relay':<12}{'F via ICMP':>12}{'F via TCP':>12}  verdict")
+    anomalous = 0
+    for relay in testbed.relays:
+        icmp = estimator.estimate(relay.descriptor(), probe_kind="icmp")
+        tcp = estimator.estimate(relay.descriptor(), probe_kind="tcp")
+        differential = abs(icmp.forwarding_delay_ms - tcp.forwarding_delay_ms) > 3.0
+        if icmp.is_anomalous or differential:
+            verdict = "ANOMALOUS - network treats protocols differently"
+            anomalous += 1
+        else:
+            verdict = "well-behaved"
+        print(f"{relay.nickname:<12}{icmp.forwarding_delay_ms:>11.2f} "
+              f"{tcp.forwarding_delay_ms:>11.2f}  {verdict}")
+
+    print(f"\n{anomalous}/{len(testbed.relays)} relays sit in differential "
+          "networks (paper: ~35%).")
+    print("Well-behaved relays show ~0-3 ms forwarding delay - the residual "
+          "error Ting's Eq. 4 tolerates.")
+
+
+if __name__ == "__main__":
+    main()

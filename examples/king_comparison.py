@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""King vs Ting: why the 2002 technique no longer works, and why Ting does.
+
+King (Gummadi et al., 2002) estimated the latency between two arbitrary
+hosts by bouncing recursive DNS queries off name servers near them.
+This example runs King and Ting side by side over the same host pairs:
+King's estimates skew low (it measures the better-connected name
+servers) and with 2015-era recursion rates it can barely measure
+anything, while Ting measures every relay pair directly.
+
+Run:  python examples/king_comparison.py
+"""
+
+import numpy as np
+
+from repro import SamplePolicy, TingMeasurer
+from repro.apps.king import KingMeasurer
+from repro.netsim.dns import DnsInfrastructure
+from repro.netsim.policies import TrafficClass
+from repro.testbeds.livetor import LiveTorTestbed
+
+
+def main() -> None:
+    testbed = LiveTorTestbed.build(seed=94, n_relays=40)
+    rng = testbed.streams.get("example.king")
+    relays = testbed.random_relays(8, rng)
+    hosts = [testbed.topology.host_by_address(r.address) for r in relays]
+    pairs = [(i, j) for i in range(len(hosts)) for j in range(i + 1, len(hosts))]
+
+    print("Deploying DNS: one authoritative server per /24, 2002-era "
+          "recursion (75%) and 2015-era (3%) ...")
+    dns_2002 = DnsInfrastructure(
+        testbed.sim, testbed.fabric, testbed.topology, testbed.builder,
+        testbed.streams.get("dns.2002"), open_recursion_fraction=0.75,
+    )
+    dns_2015 = DnsInfrastructure(
+        testbed.sim, testbed.fabric, testbed.topology, testbed.builder,
+        testbed.streams.get("dns.2015"), open_recursion_fraction=0.03,
+    )
+    for host in hosts:
+        dns_2002.deploy_for(host)
+        dns_2015.deploy_for(host)
+
+    client = testbed.measurement.echo_client_host
+    king = KingMeasurer(dns_2002, client, samples=10)
+    ting = TingMeasurer(
+        testbed.measurement,
+        policy=SamplePolicy(samples=40, interval_ms=3.0),
+        cache_legs=True,
+    )
+
+    king_ratios, ting_ratios = [], []
+    king_covered = 0
+    for i, j in pairs:
+        truth = testbed.latency.true_rtt_ms(hosts[i], hosts[j], TrafficClass.TCP)
+        ting_ratios.append(ting.measure_pair(relays[i], relays[j]).rtt_ms / truth)
+        if king.can_measure(hosts[i], hosts[j]):
+            king_covered += 1
+            king_ratios.append(king.measure_pair(hosts[i], hosts[j]).rtt_ms / truth)
+
+    modern = KingMeasurer(dns_2015, client)
+    modern_covered = sum(
+        1 for i, j in pairs if modern.can_measure(hosts[i], hosts[j])
+    )
+
+    print(f"\n{'':<26}{'King':>12}{'Ting':>12}")
+    print(f"{'median estimate/true':<26}"
+          f"{np.median(king_ratios) if king_ratios else float('nan'):>12.3f}"
+          f"{np.median(ting_ratios):>12.3f}")
+    print(f"{'pairs measurable (2002)':<26}{king_covered:>9}/{len(pairs):<3}"
+          f"{len(pairs):>9}/{len(pairs)}")
+    print(f"{'pairs measurable (2015)':<26}{modern_covered:>9}/{len(pairs):<3}"
+          f"{len(pairs):>9}/{len(pairs)}")
+    print("\nKing skews below 1.0 (it measures name servers, not hosts) and "
+          "its modern coverage collapses;\nTing measures the hosts "
+          "themselves, through Tor, for any relay pair.")
+
+
+if __name__ == "__main__":
+    main()

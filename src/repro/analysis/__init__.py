@@ -1,0 +1,30 @@
+"""Statistics and reporting helpers shared by the experiments."""
+
+from repro.analysis.stats import (
+    cdf,
+    cdf_at,
+    percentile,
+    spearman_rank_correlation,
+    coefficient_of_variation,
+    box_stats,
+    fraction_within,
+)
+from repro.analysis.fits import LinearFit, fit_latency_vs_distance, htrae_line, two_thirds_c_line
+from repro.analysis.report import TextTable, format_cdf_rows, format_series
+
+__all__ = [
+    "cdf",
+    "cdf_at",
+    "percentile",
+    "spearman_rank_correlation",
+    "coefficient_of_variation",
+    "box_stats",
+    "fraction_within",
+    "LinearFit",
+    "fit_latency_vs_distance",
+    "htrae_line",
+    "two_thirds_c_line",
+    "TextTable",
+    "format_cdf_rows",
+    "format_series",
+]

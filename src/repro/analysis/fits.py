@@ -1,0 +1,79 @@
+"""Latency-vs-distance models for Figure 8.
+
+Three reference lines annotate the paper's scatter of Ting RTT against
+great-circle distance:
+
+* the (2/3)c physical floor — no honest point falls below it;
+* the Htrae fit — Agarwal & Lorch's model of *median* latencies among
+  Halo players (``rtt_ms ≈ 0.0269 ms/km · d + 4.9 ms``, the published
+  fit); and
+* a least-squares fit to the Ting data itself, which sits below Htrae
+  because Ting estimates *minimum* latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import MeasurementError
+from repro.util.units import KM_PER_MS_FIBER
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``y = slope * x + intercept`` with its fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """The fitted line's value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def fit_latency_vs_distance(distances_km, rtts_ms) -> LinearFit:
+    """Least-squares line through (distance, RTT) points."""
+    x = np.asarray(distances_km, dtype=float)
+    y = np.asarray(rtts_ms, dtype=float)
+    if x.size != y.size:
+        raise MeasurementError("distances and RTTs differ in length")
+    if x.size < 2:
+        raise MeasurementError("need at least two points to fit")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+#: Htrae's published median-latency model (Agarwal & Lorch, SIGCOMM'09).
+HTRAE_SLOPE_MS_PER_KM = 0.0269
+HTRAE_INTERCEPT_MS = 4.9
+
+
+def htrae_line(distance_km: float) -> float:
+    """Htrae's predicted median RTT for a geographic distance."""
+    if distance_km < 0:
+        raise MeasurementError("distance must be non-negative")
+    return HTRAE_SLOPE_MS_PER_KM * distance_km + HTRAE_INTERCEPT_MS
+
+
+def two_thirds_c_line(distance_km: float) -> float:
+    """The physical floor: RTT of light in fiber over the great circle."""
+    if distance_km < 0:
+        raise MeasurementError("distance must be non-negative")
+    return 2.0 * distance_km / KM_PER_MS_FIBER
+
+
+def points_below_floor(distances_km, rtts_ms) -> np.ndarray:
+    """Indices of points below the (2/3)c line — geolocation errors."""
+    x = np.asarray(distances_km, dtype=float)
+    y = np.asarray(rtts_ms, dtype=float)
+    if x.size != y.size:
+        raise MeasurementError("distances and RTTs differ in length")
+    floor = 2.0 * x / KM_PER_MS_FIBER
+    return np.nonzero(y < floor)[0]

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output consistent and
+readable in pytest logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import MeasurementError
+
+
+class TextTable:
+    """A fixed-width text table with a title row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise MeasurementError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cell count must match the columns."""
+        if len(cells) != len(self.columns):
+            raise MeasurementError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(cell) for cell in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table as aligned fixed-width text."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def format_cdf_rows(
+    values,
+    probe_points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+    label: str = "value",
+) -> str:
+    """Quantile summary of a distribution, one row per probe point."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("empty sample")
+    lines = [f"CDF of {label} (n={arr.size}):"]
+    for p in probe_points:
+        lines.append(f"  p{int(p * 100):02d} = {np.percentile(arr, p * 100):10.3f}")
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs, ys, max_points: int = 20) -> str:
+    """An (x, y) series, thinned to at most ``max_points`` rows."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size:
+        raise MeasurementError("series lengths differ")
+    if xs.size == 0:
+        raise MeasurementError("empty series")
+    step = max(1, xs.size // max_points)
+    lines = [f"{name}:"]
+    for i in range(0, xs.size, step):
+        lines.append(f"  {xs[i]:12.3f}  {ys[i]:12.5f}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Statistics the paper's figures are built from.
+
+Implemented from scratch (no scipy dependency in the library proper) so
+the exact semantics are visible: empirical CDFs, Spearman rank
+correlation with average-rank ties (Figure 3's 0.997), coefficient of
+variation (Figure 9), and box-plot statistics with Tukey whiskers
+(Figures 5 and 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import MeasurementError
+
+
+def _as_array(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("empty sample")
+    if np.isnan(arr).any():
+        raise MeasurementError("sample contains NaN")
+    return arr
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """The empirical CDF: sorted values and cumulative fractions.
+
+    Returns ``(xs, fractions)`` where ``fractions[i]`` is the fraction of
+    the sample at or below ``xs[i]``.
+    """
+    arr = np.sort(_as_array(values))
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return arr, fractions
+
+
+def cdf_at(values, threshold: float) -> float:
+    """Fraction of the sample at or below ``threshold``."""
+    arr = _as_array(values)
+    return float(np.mean(arr <= threshold))
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0-100, linear interpolation)."""
+    if not 0.0 <= q <= 100.0:
+        raise MeasurementError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(_as_array(values), q))
+
+
+def fraction_within(estimates, truths, tolerance: float) -> float:
+    """Fraction of estimate/truth pairs whose ratio is within
+    ``tolerance`` of 1 — the paper's "within 10% of ground truth"."""
+    est = _as_array(estimates)
+    true = _as_array(truths)
+    if est.shape != true.shape:
+        raise MeasurementError("estimates and truths differ in length")
+    if np.any(true <= 0):
+        raise MeasurementError("ground-truth values must be positive")
+    return float(np.mean(np.abs(est / true - 1.0) <= tolerance))
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks with ties assigned their average rank (1-based)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(a, b) -> float:
+    """Spearman's rho between two paired samples (average-rank ties)."""
+    x = _as_array(a)
+    y = _as_array(b)
+    if x.shape != y.shape:
+        raise MeasurementError("samples differ in length")
+    if x.size < 2:
+        raise MeasurementError("need at least two pairs")
+    rx = _average_ranks(x)
+    ry = _average_ranks(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx**2).sum() * (ry**2).sum())
+    if denom == 0:
+        raise MeasurementError("constant sample has undefined rank correlation")
+    return float((rx * ry).sum() / denom)
+
+
+def coefficient_of_variation(values) -> float:
+    """c_v = population standard deviation / mean."""
+    arr = _as_array(values)
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std(ddof=0) / mean)
+
+
+def box_stats(values) -> dict[str, float]:
+    """Median, quartiles, Tukey whiskers, and outlier count."""
+    arr = _as_array(values)
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    inside = arr[(arr >= q1 - 1.5 * iqr) & (arr <= q3 + 1.5 * iqr)]
+    return {
+        "median": float(median),
+        "q1": float(q1),
+        "q3": float(q3),
+        "iqr": float(iqr),
+        "whisker_low": float(inside.min()),
+        "whisker_high": float(inside.max()),
+        "outliers": int(arr.size - inside.size),
+    }

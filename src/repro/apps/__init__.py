@@ -1,0 +1,64 @@
+"""The paper's Section 5 applications of all-pairs RTT data.
+
+* :mod:`repro.apps.deanon` — faster circuit deanonymization (§5.1).
+* :mod:`repro.apps.tiv` — triangle-inequality-violation hunting (§5.2.1).
+* :mod:`repro.apps.longcircuits` — long-but-quick circuits (§5.2.2).
+* :mod:`repro.apps.coverage` — Ting as a measurement platform (§5.3).
+"""
+
+from repro.apps.deanon import (
+    DeanonymizationSimulator,
+    Scenario,
+    RunResult,
+    STRATEGIES,
+)
+from repro.apps.tiv import TivFinding, find_tivs, tiv_summary
+from repro.apps.longcircuits import (
+    sample_circuit_rtts,
+    circuit_count_histogram,
+    node_presence_by_rtt,
+)
+from repro.apps.coverage import (
+    ConsensusArchive,
+    RelayRecord,
+    ResidentialClassifier,
+    synthesize_archive,
+)
+from repro.apps.coordinates import (
+    VivaldiSystem,
+    VivaldiCoordinate,
+    relative_errors,
+    embedding_tiv_floor,
+)
+from repro.apps.pathopt import CircuitSelector, RelayInfo, SelectionOutcome
+from repro.apps.congestion import CongestionProbe, ProbeVerdict, VictimTraffic
+from repro.apps.king import KingMeasurer, KingResult
+
+__all__ = [
+    "DeanonymizationSimulator",
+    "Scenario",
+    "RunResult",
+    "STRATEGIES",
+    "TivFinding",
+    "find_tivs",
+    "tiv_summary",
+    "sample_circuit_rtts",
+    "circuit_count_histogram",
+    "node_presence_by_rtt",
+    "ConsensusArchive",
+    "RelayRecord",
+    "ResidentialClassifier",
+    "synthesize_archive",
+    "VivaldiSystem",
+    "VivaldiCoordinate",
+    "relative_errors",
+    "embedding_tiv_floor",
+    "CircuitSelector",
+    "RelayInfo",
+    "SelectionOutcome",
+    "CongestionProbe",
+    "ProbeVerdict",
+    "VictimTraffic",
+    "KingMeasurer",
+    "KingResult",
+]

@@ -1,0 +1,237 @@
+"""The Murdoch–Danezis congestion probe — the primitive Section 5.1 assumes.
+
+The paper's deanonymization study takes as given "a technique such as
+that described by Murdoch and Danezis to brute-force probe whether a
+given Tor node is on a circuit". This module *implements* that probe on
+the simulated overlay, closing the loop:
+
+1. A victim runs steady application traffic through its circuit,
+   yielding an RTT time series (observable to an attacker who owns the
+   destination).
+2. The attacker builds several clog circuits through a candidate relay
+   ``t`` (as (a1, t, a2) using its own helper relays) and blasts cells
+   for a window.
+3. If ``t`` is on the victim's circuit, the victim's cells queue behind
+   the clog traffic at ``t`` (the relay's :class:`ServiceQueue`), so the
+   victim RTT series rises during the window; off-path relays leave it
+   untouched.
+
+:class:`CongestionProbe` packages steps 2–3 plus the detection
+statistic, and :meth:`CongestionProbe.identify_on_path` is exactly the
+brute-force primitive whose *cost in probes* the paper's Figure 12
+strategies minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.measurement_host import MeasurementHost
+from repro.echo.client import EchoClient
+from repro.tor.client import Circuit, TorStream
+from repro.tor.directory import RelayDescriptor
+from repro.util.errors import CircuitError, MeasurementError, StreamError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class VictimTraffic:
+    """A victim's steady traffic and its observable RTT series."""
+
+    stream: TorStream
+    client: EchoClient
+    interval_ms: Milliseconds = 50.0
+    times_ms: list[Milliseconds] = field(default_factory=list)
+    rtts_ms: list[Milliseconds] = field(default_factory=list)
+
+    def run_for(self, duration_ms: Milliseconds) -> None:
+        """Generate traffic for ``duration_ms``, appending to the series."""
+        samples = max(1, int(duration_ms / self.interval_ms))
+        sim = self.client.sim
+        for _ in range(samples):
+            started = sim.now
+            result = self.client.probe(
+                self.stream, samples=1, interval_ms=self.interval_ms
+            )
+            self.times_ms.append(started)
+            self.rtts_ms.append(result.rtts_ms[0])
+            # Pace to the configured interval even if the reply was fast.
+            next_slot = started + self.interval_ms
+            if sim.now < next_slot:
+                sim.run(until=next_slot)
+
+    def series_between(
+        self, start_ms: Milliseconds, end_ms: Milliseconds
+    ) -> np.ndarray:
+        """RTT samples whose send time falls in [start, end)."""
+        return np.array(
+            [
+                rtt
+                for t, rtt in zip(self.times_ms, self.rtts_ms)
+                if start_ms <= t < end_ms
+            ]
+        )
+
+
+@dataclass
+class ProbeVerdict:
+    """One candidate relay's congestion-probe outcome."""
+
+    fingerprint: str
+    baseline_mean_ms: float
+    attack_mean_ms: float
+    statistic: float  # mean shift in baseline standard deviations
+    on_path: bool
+
+
+class CongestionProbe:
+    """Drives clog circuits through candidate relays and reads the shift."""
+
+    def __init__(
+        self,
+        attacker: MeasurementHost,
+        clog_circuits: int = 6,
+        burst_interval_ms: Milliseconds = 5.0,
+        intensity: float = 2.0,
+        max_cells_per_burst: int = 16,
+        detection_threshold: float = 3.0,
+    ) -> None:
+        if clog_circuits < 1:
+            raise MeasurementError("need at least one clog circuit")
+        if detection_threshold <= 0:
+            raise MeasurementError("detection threshold must be positive")
+        if intensity <= 0:
+            raise MeasurementError("intensity must be positive")
+        self.attacker = attacker
+        self.clog_circuits = clog_circuits
+        self.burst_interval_ms = burst_interval_ms
+        #: Target clog rate as a multiple of the candidate's consensus
+        #: bandwidth — the attacker sizes its bursts to saturate the
+        #: relay (Murdoch–Danezis maximized their clog stream likewise).
+        self.intensity = intensity
+        #: Upper bound on the attacker's own send rate per circuit; a
+        #: relay faster than the attacker can clog is genuinely
+        #: unprobeable, which is faithful to the attack's limits.
+        self.max_cells_per_burst = max_cells_per_burst
+        self.detection_threshold = detection_threshold
+        self.probes_executed = 0
+
+    def _cells_per_burst(self, target: RelayDescriptor) -> int:
+        """Burst size per clog circuit sized to the target's capacity."""
+        capacity_cells_per_ms = target.bandwidth_kbps / 512.0  # KB/s units
+        needed_per_burst = (
+            self.intensity * capacity_cells_per_ms * self.burst_interval_ms
+        )
+        per_circuit = int(np.ceil(needed_per_burst / self.clog_circuits))
+        return max(1, min(self.max_cells_per_burst, per_circuit))
+
+    # ------------------------------------------------------------------
+
+    def _open_clog_streams(
+        self, target: RelayDescriptor
+    ) -> list[tuple[Circuit, TorStream]]:
+        controller = self.attacker.controller
+        a1 = self.attacker.relay_w.fingerprint
+        a2 = self.attacker.relay_z.fingerprint
+        out: list[tuple[Circuit, TorStream]] = []
+        for _ in range(self.clog_circuits):
+            try:
+                circuit = controller.build_circuit(
+                    [a1, target.fingerprint, a2]
+                )
+                stream = controller.open_stream(
+                    circuit, self.attacker.echo_address, self.attacker.echo_port
+                )
+            except (CircuitError, StreamError) as exc:
+                raise MeasurementError(
+                    f"could not set up clog circuit through "
+                    f"{target.nickname}: {exc}"
+                ) from exc
+            stream.on_data = lambda _data: None  # discard echoes
+            out.append((circuit, stream))
+        return out
+
+    def _blast(
+        self,
+        streams: list[TorStream],
+        duration_ms: Milliseconds,
+        cells_per_burst: int,
+    ) -> None:
+        """Send bursts on every clog stream for ``duration_ms``."""
+        sim = self.attacker.sim
+        payload = b"\xAA" * 128
+        bursts = max(1, int(duration_ms / self.burst_interval_ms))
+
+        def send_burst(round_index: int) -> None:
+            for stream in streams:
+                if stream.state != "open":
+                    continue
+                for _ in range(cells_per_burst):
+                    stream.send(payload)
+            if round_index + 1 < bursts:
+                sim.schedule(self.burst_interval_ms, send_burst, round_index + 1)
+
+        sim.schedule(0.0, send_burst, 0)
+
+    # ------------------------------------------------------------------
+
+    def probe_relay(
+        self,
+        target: RelayDescriptor,
+        victim: VictimTraffic,
+        baseline_ms: Milliseconds = 1_500.0,
+        attack_ms: Milliseconds = 1_500.0,
+    ) -> ProbeVerdict:
+        """Run one on-path test of ``target`` against ``victim``.
+
+        Observes the victim series for ``baseline_ms``, then clogs the
+        target while observing for ``attack_ms``, and compares windows.
+        """
+        sim = self.attacker.sim
+        baseline_start = sim.now
+        victim.run_for(baseline_ms)
+        baseline = victim.series_between(baseline_start, sim.now)
+        if baseline.size < 3:
+            raise MeasurementError("victim produced too few baseline samples")
+
+        clog = self._open_clog_streams(target)
+        self._blast(
+            [stream for _, stream in clog], attack_ms, self._cells_per_burst(target)
+        )
+        attack_start = sim.now
+        victim.run_for(attack_ms)
+        attacked = victim.series_between(attack_start, sim.now)
+
+        for circuit, stream in clog:
+            stream.close()
+            self.attacker.controller.close_circuit(circuit)
+        sim.run_until_idle()
+        self.probes_executed += 1
+
+        spread = float(baseline.std(ddof=0))
+        spread = max(spread, 0.25)  # floor against degenerate quiet baselines
+        statistic = float((attacked.mean() - baseline.mean()) / spread)
+        return ProbeVerdict(
+            fingerprint=target.fingerprint,
+            baseline_mean_ms=float(baseline.mean()),
+            attack_mean_ms=float(attacked.mean()),
+            statistic=statistic,
+            on_path=statistic >= self.detection_threshold,
+        )
+
+    def identify_on_path(
+        self,
+        candidates: list[RelayDescriptor],
+        victim: VictimTraffic,
+        baseline_ms: Milliseconds = 1_500.0,
+        attack_ms: Milliseconds = 1_500.0,
+    ) -> list[ProbeVerdict]:
+        """Probe every candidate in turn — the brute-force primitive."""
+        if not candidates:
+            raise MeasurementError("no candidate relays to probe")
+        return [
+            self.probe_relay(target, victim, baseline_ms, attack_ms)
+            for target in candidates
+        ]

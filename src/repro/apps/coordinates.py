@@ -1,0 +1,205 @@
+"""Vivaldi network coordinates: the estimation baseline Ting beats.
+
+The paper's related work (Section 2) contrasts Ting with coordinate/
+landmark systems (Vivaldi [6], GNP [18], Octant [33]): they cover
+*every* pair from few measurements, but metric-space embeddings cannot
+represent triangle-inequality violations, so their per-pair error is
+fundamentally bounded away from zero on real networks — exactly the
+paths Section 5.2.1 shows matter for Tor.
+
+This module implements the full Vivaldi algorithm (Dabek et al.,
+SIGCOMM'04) with height vectors and the adaptive timestep, so the
+comparison bench can quantify that trade-off: feed Vivaldi a sample of
+Ting-measured RTTs, let it converge, and compare its all-pairs
+predictions against direct measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import RttMatrix
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+@dataclass
+class VivaldiCoordinate:
+    """A Euclidean position plus Vivaldi's non-negative height.
+
+    The height term models the access-link delay every path in and out
+    of a host must pay (DSL tails, etc.); distance between two
+    coordinates is the Euclidean part plus both heights.
+    """
+
+    position: np.ndarray
+    height: float = 0.0
+
+    def distance_to(self, other: "VivaldiCoordinate") -> float:
+        """Predicted RTT to another coordinate (Euclidean + heights)."""
+        euclidean = float(np.linalg.norm(self.position - other.position))
+        return euclidean + self.height + other.height
+
+
+class VivaldiSystem:
+    """A centralized Vivaldi simulation over a node set.
+
+    Nodes start at the origin with random unit-vector kicks for symmetry
+    breaking, and update pairwise with the adaptive timestep
+    ``delta = c_c * (e_i / (e_i + e_j))`` weighted by relative error, as
+    in the original paper.
+    """
+
+    def __init__(
+        self,
+        nodes: list[str],
+        rng: np.random.Generator,
+        dimensions: int = 3,
+        c_error: float = 0.25,
+        c_correction: float = 0.25,
+        initial_error: float = 1.0,
+    ) -> None:
+        if len(nodes) != len(set(nodes)):
+            raise ConfigurationError("node names must be unique")
+        if len(nodes) < 2:
+            raise ConfigurationError("need at least two nodes")
+        if dimensions < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+        if not 0 < c_error <= 1 or not 0 < c_correction <= 1:
+            raise ConfigurationError("Vivaldi constants must be in (0, 1]")
+        self.nodes = list(nodes)
+        self._rng = rng
+        self.dimensions = dimensions
+        self.c_error = c_error
+        self.c_correction = c_correction
+        self.coordinates: dict[str, VivaldiCoordinate] = {
+            node: VivaldiCoordinate(position=np.zeros(dimensions), height=0.0)
+            for node in nodes
+        }
+        self.errors: dict[str, float] = {node: initial_error for node in nodes}
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, a: str, b: str, rtt_ms: float) -> None:
+        """Apply one RTT observation, moving ``a`` relative to ``b``.
+
+        (Vivaldi is symmetric in practice because observations flow both
+        ways; callers wanting both-sided updates call observe twice.)
+        """
+        if rtt_ms < 0:
+            raise MeasurementError("RTT observations must be non-negative")
+        if a not in self.coordinates or b not in self.coordinates:
+            raise MeasurementError(f"unknown node in observation ({a}, {b})")
+        if a == b:
+            raise MeasurementError("self-observations are meaningless")
+        coord_a = self.coordinates[a]
+        coord_b = self.coordinates[b]
+        predicted = coord_a.distance_to(coord_b)
+
+        # Relative error of this sample and confidence weighting.
+        sample_error = abs(predicted - rtt_ms) / max(rtt_ms, 1e-6)
+        weight = self.errors[a] / max(self.errors[a] + self.errors[b], 1e-9)
+
+        # Exponentially-weighted node error update.
+        self.errors[a] = (
+            sample_error * self.c_error * weight
+            + self.errors[a] * (1.0 - self.c_error * weight)
+        )
+
+        # Move along the error gradient.
+        delta = self.c_correction * weight
+        direction = coord_a.position - coord_b.position
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-9:
+            direction = self._rng.normal(size=self.dimensions)
+            norm = float(np.linalg.norm(direction))
+        unit = direction / norm
+        magnitude = predicted - rtt_ms  # positive: too far apart in space
+
+        coord_a.position = coord_a.position - delta * magnitude * unit
+        # Heights absorb the share of error a Euclidean move cannot:
+        # shrink height when overpredicting, grow when underpredicting.
+        coord_a.height = max(
+            0.0, coord_a.height - delta * magnitude * 0.5
+        )
+        self.updates_applied += 1
+
+    def train(
+        self,
+        samples: list[tuple[str, str, float]],
+        rounds: int = 50,
+    ) -> None:
+        """Run ``rounds`` passes over the observation set (both-sided)."""
+        if not samples:
+            raise MeasurementError("cannot train on zero observations")
+        order = np.arange(len(samples))
+        for _ in range(rounds):
+            self._rng.shuffle(order)
+            for index in order:
+                a, b, rtt = samples[index]
+                self.observe(a, b, rtt)
+                self.observe(b, a, rtt)
+
+    # ------------------------------------------------------------------
+
+    def predict(self, a: str, b: str) -> float:
+        """Predicted RTT between two nodes from their coordinates."""
+        if a == b:
+            return 0.0
+        return self.coordinates[a].distance_to(self.coordinates[b])
+
+    def predict_matrix(self) -> RttMatrix:
+        """All-pairs predictions as an :class:`RttMatrix`."""
+        matrix = RttMatrix(self.nodes)
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1 :]:
+                matrix.set(a, b, self.predict(a, b))
+        return matrix
+
+    def mean_error(self) -> float:
+        """Average per-node confidence error (diagnostic)."""
+        return float(np.mean(list(self.errors.values())))
+
+
+def relative_errors(
+    predictions: RttMatrix | np.ndarray,
+    truth: RttMatrix | np.ndarray,
+) -> np.ndarray:
+    """Per-pair |predicted - true| / true for two aligned matrices."""
+    pred = predictions.as_array() if isinstance(predictions, RttMatrix) else np.asarray(predictions)
+    true = truth.as_array() if isinstance(truth, RttMatrix) else np.asarray(truth)
+    if pred.shape != true.shape:
+        raise MeasurementError("matrices differ in shape")
+    n = pred.shape[0]
+    i, j = np.triu_indices(n, k=1)
+    true_vals = true[i, j]
+    if np.any(true_vals <= 0):
+        raise MeasurementError("true RTTs must be positive")
+    return np.abs(pred[i, j] - true_vals) / true_vals
+
+
+def embedding_tiv_floor(truth: RttMatrix | np.ndarray) -> float:
+    """A lower bound on any metric embedding's worst relative error.
+
+    For each violated triangle R(a,b) > R(a,c) + R(c,b), any metric
+    space must compress R(a,b) to at most the detour sum; the needed
+    shrink is error no embedding can avoid. Returns the largest such
+    mandatory relative error over all triangles.
+    """
+    true = truth.as_array() if isinstance(truth, RttMatrix) else np.asarray(truth)
+    n = true.shape[0]
+    worst = 0.0
+    for a in range(n):
+        for b in range(a + 1, n):
+            direct = true[a, b]
+            if direct <= 0:
+                continue
+            detours = true[a, :] + true[:, b]
+            detours[a] = np.inf
+            detours[b] = np.inf
+            best = float(detours.min())
+            if best < direct:
+                worst = max(worst, (direct - best) / direct / 2.0)
+    return worst

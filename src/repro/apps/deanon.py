@@ -1,0 +1,367 @@
+"""Deanonymization speedup from all-pairs RTT knowledge (Section 5.1).
+
+Threat model: the attacker *is the destination*. It knows the exit relay
+``x``, its own RTT ``r`` to the exit, and the end-to-end RTT ``Re2e`` of
+the victim circuit. It can brute-force probe one relay at a time
+(Murdoch–Danezis style) to test whether that relay is on the circuit,
+and wants to identify the entry and middle with as few probes as
+possible.
+
+Three strategies, as evaluated in Figure 12:
+
+* ``unaware`` — probe relays in random order until both circuit members
+  are found (median: ~72% of the network probed).
+* ``ignore`` — maintain entry/middle candidate sets and discard any
+  relay whose *best-case* circuit RTT already exceeds ``Re2e``; sharpen
+  the sets after each positive probe (median: ~62%).
+* ``informed`` — Algorithm 1: additionally rank remaining candidates by
+  how closely their best completing circuit, plus the population-mean
+  RTT μ standing in for the unknown source-entry leg, matches ``Re2e``;
+  probe the best-scoring relay next (median: ~48%, a 1.5x speedup).
+
+The weighted variants (footnote 5) model bandwidth-weighted relay
+selection: circuits are sampled by weight, the baseline probes relays in
+decreasing-weight order, and Algorithm 1 divides scores by weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import RttMatrix
+from repro.util.errors import ConfigurationError, MeasurementError
+
+#: The strategies Figure 12 compares.
+STRATEGIES = ("unaware", "ignore", "informed")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One victim circuit as the attacker sees it."""
+
+    source: int
+    entry: int
+    middle: int
+    exit: int
+    attacker_rtt_ms: float  # r: destination <-> exit
+    end_to_end_rtt_ms: float  # Re2e: source -> ... -> destination
+
+
+@dataclass
+class RunResult:
+    """Outcome of one deanonymization run."""
+
+    strategy: str
+    probes_used: int
+    testable_nodes: int
+    found_entry: bool
+    found_middle: bool
+    ruled_out_implicitly: int
+
+    @property
+    def fraction_tested(self) -> float:
+        """Probes used as a fraction of the testable network."""
+        return self.probes_used / self.testable_nodes
+
+    @property
+    def fraction_ruled_out(self) -> float:
+        """Relays excluded without probing, as a network fraction."""
+        return self.ruled_out_implicitly / self.testable_nodes
+
+
+class DeanonymizationSimulator:
+    """Replays the three probing strategies over an RTT matrix."""
+
+    def __init__(
+        self,
+        matrix: RttMatrix | np.ndarray,
+        rng: np.random.Generator,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        if isinstance(matrix, RttMatrix):
+            if not matrix.is_complete:
+                raise MeasurementError("deanonymization needs a complete matrix")
+            self._rtt = matrix.as_array()
+        else:
+            self._rtt = np.asarray(matrix, dtype=float)
+        n = self._rtt.shape[0]
+        if self._rtt.shape != (n, n) or n < 4:
+            raise ConfigurationError("need a square matrix over at least 4 nodes")
+        if not np.allclose(self._rtt, self._rtt.T):
+            raise ConfigurationError("RTT matrix must be symmetric")
+        self.n = n
+        self._rng = rng
+        self.mu = float(self._rtt[np.triu_indices(n, k=1)].mean())
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n,) or np.any(weights <= 0):
+                raise ConfigurationError("weights must be positive, one per node")
+            self.weights = weights / weights.sum()
+        else:
+            self.weights = None
+
+    # ------------------------------------------------------------------
+    # Scenario generation
+
+    def sample_scenario(self) -> Scenario:
+        """Draw a victim circuit: source uniform; relays uniform or
+        bandwidth-weighted; destination (attacker) a random other node."""
+        source = int(self._rng.integers(0, self.n))
+        entry, middle, exit_node = self._sample_circuit_nodes(exclude={source})
+        destination = self._sample_uniform(exclude={source, entry, middle, exit_node})
+        r = float(self._rtt[exit_node, destination])
+        re2e = float(
+            self._rtt[source, entry]
+            + self._rtt[entry, middle]
+            + self._rtt[middle, exit_node]
+            + r
+        )
+        return Scenario(
+            source=source,
+            entry=entry,
+            middle=middle,
+            exit=exit_node,
+            attacker_rtt_ms=r,
+            end_to_end_rtt_ms=re2e,
+        )
+
+    def _sample_circuit_nodes(self, exclude: set[int]) -> tuple[int, int, int]:
+        chosen: list[int] = []
+        taken = set(exclude)
+        for _ in range(3):
+            node = self._sample_node(taken)
+            chosen.append(node)
+            taken.add(node)
+        return chosen[0], chosen[1], chosen[2]
+
+    def _sample_node(self, taken: set[int]) -> int:
+        if self.weights is None:
+            return self._sample_uniform(taken)
+        available = np.array([i for i in range(self.n) if i not in taken])
+        p = self.weights[available]
+        p = p / p.sum()
+        return int(available[self._rng.choice(available.size, p=p)])
+
+    def _sample_uniform(self, exclude: set[int]) -> int:
+        while True:
+            node = int(self._rng.integers(0, self.n))
+            if node not in exclude:
+                return node
+
+    # ------------------------------------------------------------------
+    # Strategy execution
+
+    def run(self, strategy: str, scenario: Scenario) -> RunResult:
+        """Execute one strategy against one scenario."""
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        testable = np.array(
+            [i for i in range(self.n) if i != scenario.exit], dtype=int
+        )
+        if strategy == "unaware":
+            return self._run_unaware(scenario, testable)
+        return self._run_rtt_aware(
+            scenario, testable, informed=(strategy == "informed")
+        )
+
+    def _run_unaware(self, scenario: Scenario, testable: np.ndarray) -> RunResult:
+        """Probe in random order (or by descending weight) until both
+        circuit members are found."""
+        if self.weights is None:
+            order = self._rng.permutation(testable)
+        else:
+            order = testable[np.argsort(-self.weights[testable], kind="stable")]
+        probes = 0
+        found = 0
+        for node in order:
+            probes += 1
+            if node in (scenario.entry, scenario.middle):
+                found += 1
+                if found == 2:
+                    break
+        return RunResult(
+            strategy="unaware",
+            probes_used=probes,
+            testable_nodes=testable.size,
+            found_entry=True,
+            found_middle=True,
+            ruled_out_implicitly=0,
+        )
+
+    def _run_rtt_aware(
+        self, scenario: Scenario, testable: np.ndarray, informed: bool
+    ) -> RunResult:
+        """Shared engine for ``ignore`` and ``informed``.
+
+        A probe reveals only *membership*; the attacker infers positions
+        from the paper's four too-large-RTT rules. State is the pair of
+        candidate sets plus at most one confirmed member of
+        (possibly still) ambiguous role.
+        """
+        rtt = self._rtt
+        x = scenario.exit
+        r = scenario.attacker_rtt_ms
+        budget = scenario.end_to_end_rtt_ms
+
+        mask = np.ones(self.n, dtype=bool)
+        mask[x] = False
+        # pair_cost[e, m] = R(e, m) + R(m, x); exclude self-pairs and x.
+        pair_cost = rtt + rtt[:, x][None, :]
+        np.fill_diagonal(pair_cost, np.inf)
+        pair_cost[x, :] = np.inf
+        pair_cost[:, x] = np.inf
+        feasible = pair_cost + r <= budget
+        # m is a possible middle iff some entry completes a circuit
+        # within budget; e is a possible entry iff some middle does.
+        can_be_middle = feasible.any(axis=0) & mask
+        can_be_entry = feasible.any(axis=1) & mask
+        ruled_out = int(mask.sum() - (can_be_middle | can_be_entry).sum())
+
+        # known = (node, role) with role in "entry"/"middle"/"ambiguous".
+        known: tuple[int, str] | None = None
+        members_found = 0
+        probed: set[int] = set()
+        probes = 0
+
+        while members_found < 2:
+            pool = np.array(
+                [
+                    i
+                    for i in np.nonzero(can_be_entry | can_be_middle)[0]
+                    if i not in probed
+                ],
+                dtype=int,
+            )
+            if pool.size == 0:
+                break  # conservative pruning ran dry; fail safely
+            target = self._choose_target(
+                pool, scenario, can_be_entry, can_be_middle, known, informed
+            )
+            probed.add(int(target))
+            probes += 1
+            if target not in (scenario.entry, scenario.middle):
+                continue
+            members_found += 1
+            if members_found == 2:
+                break
+            c = int(target)
+            # Apply the positional rules to the first confirmed member.
+            c_entry_possible = bool(can_be_entry[c])
+            c_middle_possible = bool(can_be_middle[c])
+            if c_entry_possible and not c_middle_possible:
+                role = "entry"
+            elif c_middle_possible and not c_entry_possible:
+                role = "middle"
+            else:
+                role = "ambiguous"
+            known = (c, role)
+            # Shrink the candidate sets to circuits that include c.
+            middles_with_c_entry = (rtt[c, :] + rtt[:, x] + r <= budget) & mask
+            middles_with_c_entry[c] = False
+            entries_with_c_middle = (rtt[:, c] + rtt[c, x] + r <= budget) & mask
+            entries_with_c_middle[c] = False
+            if role == "entry":
+                can_be_middle = middles_with_c_entry
+                can_be_entry = np.zeros(self.n, dtype=bool)
+            elif role == "middle":
+                can_be_entry = entries_with_c_middle
+                can_be_middle = np.zeros(self.n, dtype=bool)
+            else:
+                can_be_middle = middles_with_c_entry
+                can_be_entry = entries_with_c_middle
+
+        return RunResult(
+            strategy="informed" if informed else "ignore",
+            probes_used=probes,
+            testable_nodes=testable.size,
+            found_entry=members_found == 2,
+            found_middle=members_found == 2,
+            ruled_out_implicitly=ruled_out,
+        )
+
+    def _choose_target(
+        self,
+        pool: np.ndarray,
+        scenario: Scenario,
+        can_be_entry: np.ndarray,
+        can_be_middle: np.ndarray,
+        known: tuple[int, str] | None,
+        informed: bool,
+    ) -> int:
+        if not informed:
+            return int(pool[self._rng.integers(0, pool.size)])
+        scores = self._scores(pool, scenario, can_be_entry, can_be_middle, known)
+        if self.weights is not None:
+            scores = scores / self.weights[pool]
+        return int(pool[int(np.argmin(scores))])
+
+    def _scores(
+        self,
+        pool: np.ndarray,
+        scenario: Scenario,
+        can_be_entry: np.ndarray,
+        can_be_middle: np.ndarray,
+        known: tuple[int, str] | None,
+    ) -> np.ndarray:
+        """Algorithm 1's score: for candidate i, the closest match
+        |Re2e − (R(circuit) + r + μ)| over circuits involving i that are
+        consistent with what has been learned so far."""
+        rtt = self._rtt
+        x = scenario.exit
+        target = scenario.end_to_end_rtt_ms - scenario.attacker_rtt_ms - self.mu
+        scores = np.full(pool.size, np.inf)
+
+        if known is not None:
+            c, role = known
+            for k, i in enumerate(pool):
+                best = np.inf
+                if role in ("entry", "ambiguous") and can_be_middle[i]:
+                    best = min(best, abs(rtt[c, i] + rtt[i, x] - target))
+                if role in ("middle", "ambiguous") and can_be_entry[i]:
+                    best = min(best, abs(rtt[i, c] + rtt[c, x] - target))
+                scores[k] = best
+            return scores
+
+        entries = np.nonzero(can_be_entry)[0]
+        middles = np.nonzero(can_be_middle)[0]
+        for k, i in enumerate(pool):
+            best = np.inf
+            if can_be_middle[i] and entries.size:
+                costs = rtt[entries, i] + rtt[i, x]
+                valid = entries != i
+                if valid.any():
+                    best = min(best, np.abs(costs[valid] - target).min())
+            if can_be_entry[i] and middles.size:
+                costs = rtt[i, middles] + rtt[middles, x]
+                valid = middles != i
+                if valid.any():
+                    best = min(best, np.abs(costs[valid] - target).min())
+            scores[k] = best
+        return scores
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, strategy: str, runs: int = 1000
+    ) -> list[RunResult]:
+        """Run ``runs`` independent scenarios under one strategy."""
+        results = []
+        for _ in range(runs):
+            scenario = self.sample_scenario()
+            results.append(self.run(strategy, scenario))
+        return results
+
+    def evaluate_all(
+        self, runs: int = 1000
+    ) -> dict[str, list[RunResult]]:
+        """Run all three strategies over a *shared* scenario sequence so
+        the comparison is paired, as in the paper's simulator."""
+        scenarios = [self.sample_scenario() for _ in range(runs)]
+        return {
+            strategy: [self.run(strategy, s) for s in scenarios]
+            for strategy in STRATEGIES
+        }

@@ -1,0 +1,145 @@
+"""King (Gummadi et al., IMW'02): the technique Ting modernizes.
+
+King estimates R(A, B) without touching A or B:
+
+1. Find the authoritative name server ``NS_A`` near A that answers
+   recursive queries, and the authoritative server ``NS_B`` for B's
+   zone.
+2. Measure ``R(client, NS_A)`` with iterative queries.
+3. Send NS_A a recursive query for a (random, uncacheable) name in B's
+   zone; it must ask NS_B, so the reply takes
+   ``R(client, NS_A) + R(NS_A, NS_B)``.
+4. Estimate ``R(A, B) ≈ step3 − step2``.
+
+Two structural weaknesses, both reproduced here and quantified by the
+comparison bench:
+
+* **Proxy error** — King measures *name servers*, which are better
+  connected than the (often residential) hosts they stand for, so its
+  ratio distribution skews left of 1 (paper Section 4.2).
+* **Coverage collapse** — by 2015 only ~3% of authoritative servers
+  still answered open recursive queries (paper Section 5.3), so most
+  host pairs simply cannot be measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.netsim.dns import DnsInfrastructure, NameServer
+from repro.netsim.topology import Host
+from repro.tor.control import SimFuture
+from repro.util.errors import MeasurementError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class KingResult:
+    """One King pair estimate and its raw legs."""
+
+    target_a: str
+    target_b: str
+    rtt_ms: Milliseconds
+    leg_to_ns_a_ms: Milliseconds
+    recursive_total_ms: Milliseconds
+    samples: int
+
+
+class KingMeasurer:
+    """Runs the King procedure from a single client host."""
+
+    def __init__(
+        self,
+        dns: DnsInfrastructure,
+        client: Host,
+        samples: int = 10,
+    ) -> None:
+        if samples < 1:
+            raise MeasurementError("samples must be >= 1")
+        self.dns = dns
+        self.client = client
+        self.samples = samples
+        self._labels = itertools.count()
+
+    # ------------------------------------------------------------------
+
+    def can_measure(self, a: Host, b: Host) -> bool:
+        """Whether King applies to this pair: NS_A must offer recursion.
+
+        (King also works with the roles swapped; callers wanting maximal
+        coverage check both orientations.)
+        """
+        try:
+            ns_a = self.dns.server_for(a)
+            self.dns.server_for(b)
+        except MeasurementError:
+            return False
+        return ns_a.supports_recursion
+
+    def measure_pair(self, a: Host, b: Host) -> KingResult:
+        """Estimate R(a, b); raises if the pair is not measurable."""
+        ns_a = self.dns.server_for(a)
+        ns_b = self.dns.server_for(b)
+        if not ns_a.supports_recursion:
+            raise MeasurementError(
+                f"{ns_a.host.name} refuses recursion; King cannot measure "
+                f"({a.name}, {b.name})"
+            )
+        direct = self._min_rtt(ns_a, qname=ns_a.zone, recursive=False)
+        recursive = self._min_rtt(
+            ns_a, qname=self._random_name(ns_b), recursive=True
+        )
+        return KingResult(
+            target_a=a.name,
+            target_b=b.name,
+            rtt_ms=recursive - direct,
+            leg_to_ns_a_ms=direct,
+            recursive_total_ms=recursive,
+            samples=self.samples,
+        )
+
+    def _random_name(self, ns_b: NameServer) -> str:
+        """A fresh label in B's zone, so caches never short-circuit."""
+        return f"king-{next(self._labels)}.{ns_b.zone}"
+
+    def _min_rtt(
+        self, server: NameServer, qname: str, recursive: bool
+    ) -> Milliseconds:
+        sim = self.dns.sim
+        best: list[Milliseconds] = []
+
+        def one_round(remaining: int) -> None:
+            started = sim.now
+
+            def replied(ok: bool) -> None:
+                if not ok:
+                    future.reject(
+                        f"{server.host.name} refused query for {qname!r}"
+                    )
+                    return
+                best.append(sim.now - started)
+                if remaining > 1:
+                    one_round(remaining - 1)
+                else:
+                    future.resolve(min(best))
+
+            self.dns.query(
+                self.client,
+                server,
+                self._random_name_suffix(qname, len(best)),
+                recursive,
+                replied,
+            )
+
+        future = SimFuture(sim)
+        one_round(self.samples)
+        return future.wait()
+
+    @staticmethod
+    def _random_name_suffix(qname: str, round_index: int) -> str:
+        # Vary the left-most label per sample to stay cache-proof while
+        # keeping the zone (routing target) fixed.
+        if qname.startswith("king-"):
+            return f"r{round_index}.{qname}"
+        return qname

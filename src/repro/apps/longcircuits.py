@@ -1,0 +1,152 @@
+"""Longer circuits without higher latency (Section 5.2.2).
+
+Given an all-pairs RTT matrix over n relays, sample random simple
+circuits of each length ℓ in 3..10, compute each circuit's RTT (the sum
+of its ℓ−1 inter-relay hop RTTs), and scale sampled bin counts up to the
+C(n, ℓ) ways of choosing the relay set — reproducing Figure 16's
+"there are orders of magnitude more 4..10-hop circuits at a given RTT
+than 3-hop ones".
+
+Figure 17's diversity metric is also here: for each RTT bin, the median
+over nodes of the probability that a node appears on a circuit in that
+bin — low values mean low-latency long circuits rely on few
+well-connected relays.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.core.dataset import RttMatrix
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+def _as_matrix(matrix: RttMatrix | np.ndarray) -> np.ndarray:
+    if isinstance(matrix, RttMatrix):
+        if not matrix.is_complete:
+            raise MeasurementError("circuit analysis needs a complete matrix")
+        return matrix.as_array()
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError("need a square RTT matrix")
+    return arr
+
+
+def sample_circuit_rtts(
+    matrix: RttMatrix | np.ndarray,
+    length: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    return_paths: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """RTTs of ``n_samples`` random simple circuits of ``length`` relays.
+
+    A circuit's RTT is the sum of RTTs along its consecutive relay hops.
+    With ``return_paths`` the sampled relay-index paths come back too
+    (needed for the diversity analysis).
+    """
+    rtt = _as_matrix(matrix)
+    n = rtt.shape[0]
+    if length < 2:
+        raise ConfigurationError("circuits need at least 2 relays")
+    if length > n:
+        raise ConfigurationError(f"cannot build {length}-relay circuits from {n} nodes")
+    if n_samples < 1:
+        raise ConfigurationError("n_samples must be >= 1")
+
+    # Vectorized sampling of simple paths: one permutation slice per row.
+    paths = np.empty((n_samples, length), dtype=int)
+    for row in range(n_samples):
+        paths[row] = rng.choice(n, size=length, replace=False)
+    hops = rtt[paths[:, :-1], paths[:, 1:]]
+    rtts = hops.sum(axis=1)
+    if return_paths:
+        return rtts, paths
+    return rtts
+
+
+def circuit_count_histogram(
+    matrix: RttMatrix | np.ndarray,
+    lengths: tuple[int, ...] = tuple(range(3, 11)),
+    n_samples: int = 10_000,
+    bin_ms: float = 50.0,
+    max_rtt_ms: float = 2500.0,
+    rng: np.random.Generator | None = None,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Figure 16: estimated number of circuits per RTT bin, per length.
+
+    Sampled bin frequencies are scaled by C(n, ℓ) — the number of ways
+    to choose the relay set — matching the paper's scaling.
+    """
+    rtt = _as_matrix(matrix)
+    n = rtt.shape[0]
+    rng = rng if rng is not None else np.random.default_rng(0)
+    edges = np.arange(0.0, max_rtt_ms + bin_ms, bin_ms)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    result: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for length in lengths:
+        rtts = sample_circuit_rtts(rtt, length, n_samples, rng)
+        counts, _ = np.histogram(rtts, bins=edges)
+        scale = comb(n, length) / n_samples
+        result[length] = (centers, counts * scale)
+    return result
+
+
+def node_presence_by_rtt(
+    matrix: RttMatrix | np.ndarray,
+    length: int,
+    n_samples: int = 10_000,
+    bin_ms: float = 50.0,
+    max_rtt_ms: float = 2500.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 17: per RTT bin, the median over nodes of P(node on circuit).
+
+    For bins with no sampled circuits the probability is reported as 0.
+    """
+    rtt = _as_matrix(matrix)
+    n = rtt.shape[0]
+    rng = rng if rng is not None else np.random.default_rng(0)
+    rtts, paths = sample_circuit_rtts(rtt, length, n_samples, rng, return_paths=True)
+    edges = np.arange(0.0, max_rtt_ms + bin_ms, bin_ms)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    bins = np.clip(np.digitize(rtts, edges) - 1, 0, centers.size - 1)
+
+    median_presence = np.zeros(centers.size)
+    for b in range(centers.size):
+        rows = np.nonzero(bins == b)[0]
+        if rows.size == 0:
+            continue
+        appearance = np.zeros(n)
+        counts = np.bincount(paths[rows].ravel(), minlength=n)
+        appearance = counts / rows.size  # P(node on a circuit | bin)
+        median_presence[b] = float(np.median(appearance))
+    return centers, median_presence
+
+
+def circuits_within_band(
+    matrix: RttMatrix | np.ndarray,
+    rtt_low_ms: float,
+    rtt_high_ms: float,
+    lengths: tuple[int, ...] = tuple(range(3, 11)),
+    n_samples: int = 10_000,
+    rng: np.random.Generator | None = None,
+) -> dict[int, float]:
+    """Estimated circuit count per length inside an RTT band.
+
+    Reproduces the paper's 200–300 ms observation: an order of magnitude
+    more 4-hop than 3-hop circuits at the same RTT budget.
+    """
+    if rtt_high_ms <= rtt_low_ms:
+        raise ConfigurationError("band must satisfy low < high")
+    rtt = _as_matrix(matrix)
+    n = rtt.shape[0]
+    rng = rng if rng is not None else np.random.default_rng(0)
+    out: dict[int, float] = {}
+    for length in lengths:
+        rtts = sample_circuit_rtts(rtt, length, n_samples, rng)
+        fraction = float(np.mean((rtts >= rtt_low_ms) & (rtts < rtt_high_ms)))
+        out[length] = fraction * comb(n, length)
+    return out

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's tool was used operationally:
+
+* ``validate`` — ground-truth accuracy check (the Figure 3 experiment,
+  small scale): build the PlanetLab-style testbed, measure all pairs,
+  compare against ping.
+* ``measure`` — run an all-pairs Ting campaign over a random live-relay
+  sample and optionally write the RTT matrix to JSON.
+* ``tiv`` — analyze a measured matrix (from ``measure --output``) for
+  triangle-inequality violations.
+* ``deanon`` — replay the Section 5.1 deanonymization strategies over a
+  measured matrix.
+* ``coverage`` — synthesize a consensus archive and print the
+  Section 5.3 coverage statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.stats import fraction_within, spearman_rank_correlation
+from repro.apps.coverage import ResidentialClassifier, synthesize_archive
+from repro.apps.deanon import STRATEGIES, DeanonymizationSimulator
+from repro.apps.tiv import tiv_summary
+from repro.core.campaign import AllPairsCampaign
+from repro.core.dataset import RttMatrix
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.testbeds.planetlab import PlanetLabTestbed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ting (IMC'15) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="ground-truth accuracy check")
+    validate.add_argument("--relays", type=int, default=8)
+    validate.add_argument("--samples", type=int, default=100)
+
+    measure = sub.add_parser("measure", help="all-pairs Ting campaign")
+    measure.add_argument("--relays", type=int, default=10)
+    measure.add_argument("--network-size", type=int, default=60)
+    measure.add_argument("--samples", type=int, default=50)
+    measure.add_argument("--output", type=Path, default=None)
+
+    tiv = sub.add_parser("tiv", help="TIV analysis of a measured matrix")
+    tiv.add_argument("matrix", type=Path)
+
+    deanon = sub.add_parser("deanon", help="deanonymization replay")
+    deanon.add_argument("matrix", type=Path)
+    deanon.add_argument("--runs", type=int, default=300)
+
+    coverage = sub.add_parser("coverage", help="network coverage statistics")
+    coverage.add_argument("--days", type=int, default=30)
+    coverage.add_argument("--relays", type=int, default=3000)
+
+    return parser
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """``validate``: Figure 3-style accuracy check vs ping."""
+    print(f"Building {args.relays}-relay ground-truth testbed (seed {args.seed}) ...")
+    testbed = PlanetLabTestbed.build(seed=args.seed, n_relays=args.relays)
+    measurer = TingMeasurer(
+        testbed.measurement, policy=SamplePolicy(samples=args.samples)
+    )
+    estimates, pings = [], []
+    pairs = testbed.relay_pairs()
+    for index, (a, b) in enumerate(pairs):
+        estimates.append(measurer.measure_pair(a, b).rtt_ms)
+        pings.append(testbed.ping_ground_truth(a, b))
+        print(f"  [{index + 1}/{len(pairs)}] {a.nickname}-{b.nickname}: "
+              f"ting={estimates[-1]:.1f} ms ping={pings[-1]:.1f} ms")
+    within = fraction_within(estimates, pings, 0.10)
+    rho = spearman_rank_correlation(estimates, pings)
+    print(f"\nwithin 10% of ping: {within:.1%} (paper: 91%)")
+    print(f"Spearman rank correlation: {rho:.4f} (paper: 0.997)")
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    """``measure``: run an all-pairs Ting campaign."""
+    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
+    rng = testbed.streams.get("cli.selection")
+    relays = testbed.random_relays(args.relays, rng)
+    measurer = TingMeasurer(
+        testbed.measurement,
+        policy=SamplePolicy(samples=args.samples),
+        cache_legs=True,
+    )
+    print(f"Measuring all {args.relays * (args.relays - 1) // 2} pairs ...")
+    report = AllPairsCampaign(measurer, relays, rng=rng).run()
+    matrix = report.matrix
+    print(f"  measured {report.pairs_measured} pairs, "
+          f"{len(report.failures)} failures, "
+          f"mean RTT {matrix.mean_rtt_ms():.1f} ms, "
+          f"{report.duration_ms / 60000:.1f} simulated minutes")
+    if args.output is not None:
+        matrix.save(args.output)
+        print(f"  matrix written to {args.output}")
+    return 0
+
+
+def cmd_tiv(args: argparse.Namespace) -> int:
+    """``tiv``: TIV analysis of a saved RTT matrix."""
+    matrix = RttMatrix.load(args.matrix)
+    summary = tiv_summary(matrix)
+    print(f"nodes: {len(matrix)}  pairs: {int(summary['pairs'])}")
+    print(f"pairs with a TIV: {summary['tiv_fraction']:.1%} (paper: 69%)")
+    print(f"median detour saving: {summary['median_savings_fraction']:.1%} "
+          "(paper: 7.5%)")
+    print(f"top-decile saving: {summary['p90_savings_fraction']:.1%} "
+          "(paper: >= 28%)")
+    return 0
+
+
+def cmd_deanon(args: argparse.Namespace) -> int:
+    """``deanon``: replay the Section 5.1 strategies."""
+    matrix = RttMatrix.load(args.matrix)
+    simulator = DeanonymizationSimulator(matrix, np.random.default_rng(args.seed))
+    results = simulator.evaluate_all(runs=args.runs)
+    print(f"{args.runs} victim circuits over {len(matrix)} nodes:")
+    for strategy in STRATEGIES:
+        fractions = [r.fraction_tested for r in results[strategy]]
+        print(f"  {strategy:<10} median fraction probed: "
+              f"{float(np.median(fractions)):.1%}")
+    unaware = np.median([r.fraction_tested for r in results["unaware"]])
+    informed = np.median([r.fraction_tested for r in results["informed"]])
+    print(f"speedup: {unaware / informed:.2f}x (paper: 1.5x)")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """``coverage``: Section 5.3 network-coverage statistics."""
+    archive = synthesize_archive(
+        np.random.default_rng(args.seed),
+        n_days=args.days,
+        initial_relays=args.relays,
+    )
+    days, totals, uniques = archive.series()
+    classifier = ResidentialClassifier()
+    residential = classifier.residential_fraction_of_named(archive.latest)
+    print(f"{args.days}-day archive, ~{args.relays} relays:")
+    print(f"  total relays: {min(totals)}-{max(totals)}")
+    print(f"  unique /24s: {min(uniques)}-{max(uniques)} "
+          "(paper window: 5426-6044)")
+    print(f"  residential share of named relays: {residential:.1%} (paper: 61%)")
+    return 0
+
+
+_COMMANDS = {
+    "validate": cmd_validate,
+    "measure": cmd_measure,
+    "tiv": cmd_tiv,
+    "deanon": cmd_deanon,
+    "coverage": cmd_coverage,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Ting itself: the paper's primary contribution.
+
+* :class:`MeasurementHost` — the paper's deployment: echo client ``s``,
+  echo server ``d``, and two local Tor relays ``w`` and ``z``, all on one
+  host ``h``.
+* :class:`TingMeasurer` — builds circuits ``(w,x,y,z)``, ``(w,x,z)`` and
+  ``(w,y,z)``, probes each through the echo service, applies the minimum
+  filter and Equation (4) to estimate R(x, y).
+* :class:`StrawmanMeasurer` — the Section 3.2 strawman (Tor circuit plus
+  ICMP pings) that Ting supersedes; kept as an evaluated baseline.
+* :class:`ForwardingDelayEstimator` — the Section 4.3 per-relay
+  forwarding-delay estimation procedure.
+* :class:`RttMatrix` / :class:`AllPairsCampaign` — all-pairs datasets and
+  the campaign machinery that produces them (plus stability re-measurement
+  over simulated days).
+"""
+
+from repro.core.measurement_host import MeasurementHost
+from repro.core.sampling import (
+    SamplePolicy,
+    min_estimate,
+    convergence_profile,
+    samples_to_within,
+)
+from repro.core.ting import TingMeasurer, TingResult
+from repro.core.strawman import StrawmanMeasurer, StrawmanResult
+from repro.core.fwd_delay import ForwardingDelayEstimator, ForwardingDelayReport
+from repro.core.dataset import RttMatrix
+from repro.core.campaign import AllPairsCampaign, StabilityCampaign
+from repro.core.parallel import ParallelCampaign, ParallelReport
+
+__all__ = [
+    "MeasurementHost",
+    "SamplePolicy",
+    "min_estimate",
+    "convergence_profile",
+    "samples_to_within",
+    "TingMeasurer",
+    "TingResult",
+    "StrawmanMeasurer",
+    "StrawmanResult",
+    "ForwardingDelayEstimator",
+    "ForwardingDelayReport",
+    "RttMatrix",
+    "AllPairsCampaign",
+    "StabilityCampaign",
+    "ParallelCampaign",
+    "ParallelReport",
+]

@@ -1,0 +1,208 @@
+"""Measurement campaigns: all-pairs matrices and stability tracking.
+
+:class:`AllPairsCampaign` measures every pair in a relay set (in
+randomized order, as the paper's validation did) and assembles an
+:class:`~repro.core.dataset.RttMatrix`. With leg caching the campaign
+needs one leg circuit per relay plus one pair circuit per pair.
+
+:class:`StabilityCampaign` re-measures a fixed pair set on a schedule
+("once an hour over the course of a week", Section 4.6) and reports the
+per-pair time series that Figures 9 and 10 summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import RttMatrix
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.tor.directory import RelayDescriptor
+from repro.util.errors import MeasurementError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class CampaignReport:
+    """Bookkeeping for one all-pairs run."""
+
+    matrix: RttMatrix
+    pairs_attempted: int = 0
+    pairs_measured: int = 0
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+    duration_ms: Milliseconds = 0.0
+
+
+class AllPairsCampaign:
+    """Measures all pairs among ``relays`` with one Ting measurer."""
+
+    def __init__(
+        self,
+        measurer: TingMeasurer,
+        relays: list[RelayDescriptor],
+        policy: SamplePolicy | None = None,
+        rng: np.random.Generator | None = None,
+        max_failures: int | None = None,
+        retries: int = 0,
+        retry_delay_ms: Milliseconds = 60_000.0,
+    ) -> None:
+        if len(relays) < 2:
+            raise MeasurementError("need at least two relays for a campaign")
+        fingerprints = [r.fingerprint for r in relays]
+        if len(set(fingerprints)) != len(fingerprints):
+            raise MeasurementError("duplicate relays in campaign set")
+        if retries < 0:
+            raise MeasurementError("retries must be non-negative")
+        self.measurer = measurer
+        self.relays = list(relays)
+        self.policy = policy or measurer.policy
+        self._rng = rng
+        self.max_failures = max_failures
+        #: Failed pairs are re-attempted up to ``retries`` extra rounds,
+        #: ``retry_delay_ms`` apart — relays on a churning network are
+        #: often back within minutes.
+        self.retries = retries
+        self.retry_delay_ms = retry_delay_ms
+
+    def run(self) -> CampaignReport:
+        """Measure every pair; failed pairs are recorded, not fatal."""
+        matrix = RttMatrix([r.fingerprint for r in self.relays])
+        report = CampaignReport(matrix=matrix)
+        started = self.measurer.host.sim.now
+
+        pairs = [
+            (a, b)
+            for i, a in enumerate(self.relays)
+            for b in self.relays[i + 1 :]
+        ]
+        if self._rng is not None:
+            order = self._rng.permutation(len(pairs))
+            pairs = [pairs[i] for i in order]
+
+        failed = self._measure_round(pairs, matrix, report)
+        for _ in range(self.retries):
+            if not failed:
+                break
+            sim = self.measurer.host.sim
+            sim.run(until=sim.now + self.retry_delay_ms)
+            # Leg conditions may have changed while relays were down.
+            self.measurer.invalidate_leg_cache()
+            report.failures = [
+                f
+                for f in report.failures
+                if (f[0], f[1])
+                not in {(a.fingerprint, b.fingerprint) for a, b in failed}
+            ]
+            failed = self._measure_round(failed, matrix, report)
+
+        report.duration_ms = self.measurer.host.sim.now - started
+        return report
+
+    def _measure_round(
+        self,
+        pairs: list[tuple[RelayDescriptor, RelayDescriptor]],
+        matrix: RttMatrix,
+        report: CampaignReport,
+    ) -> list[tuple[RelayDescriptor, RelayDescriptor]]:
+        failed: list[tuple[RelayDescriptor, RelayDescriptor]] = []
+        for a, b in pairs:
+            report.pairs_attempted += 1
+            try:
+                result = self.measurer.measure_pair(a, b, policy=self.policy)
+            except MeasurementError as exc:
+                report.failures.append((a.fingerprint, b.fingerprint, str(exc)))
+                failed.append((a, b))
+                if (
+                    self.max_failures is not None
+                    and len(report.failures) > self.max_failures
+                ):
+                    raise MeasurementError(
+                        f"campaign aborted after {len(report.failures)} failures"
+                    ) from exc
+                continue
+            matrix.set(a.fingerprint, b.fingerprint, result.rtt_clamped_ms)
+            report.pairs_measured += 1
+        return failed
+
+
+@dataclass
+class PairTimeSeries:
+    """Repeated measurements of one pair over simulated time."""
+
+    x_fingerprint: str
+    y_fingerprint: str
+    times_ms: list[Milliseconds] = field(default_factory=list)
+    rtts_ms: list[Milliseconds] = field(default_factory=list)
+
+    def coefficient_of_variation(self) -> float:
+        """c_v = σ/μ over the series (Figure 9's metric)."""
+        if len(self.rtts_ms) < 2:
+            raise MeasurementError("need at least two measurements for c_v")
+        values = np.asarray(self.rtts_ms)
+        mean = values.mean()
+        if mean == 0:
+            return 0.0
+        return float(values.std(ddof=0) / mean)
+
+    def box_stats(self) -> dict[str, float]:
+        """Median/quartiles/whiskers for Figure 10's box plots."""
+        values = np.asarray(self.rtts_ms)
+        if values.size == 0:
+            raise MeasurementError("empty series")
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        iqr = q3 - q1
+        in_whisker = values[(values >= q1 - 1.5 * iqr) & (values <= q3 + 1.5 * iqr)]
+        return {
+            "median": float(median),
+            "q1": float(q1),
+            "q3": float(q3),
+            "whisker_low": float(in_whisker.min()),
+            "whisker_high": float(in_whisker.max()),
+            "outliers": int(values.size - in_whisker.size),
+        }
+
+
+class StabilityCampaign:
+    """Re-measures a pair set once per interval over a duration."""
+
+    def __init__(
+        self,
+        measurer: TingMeasurer,
+        pairs: list[tuple[RelayDescriptor, RelayDescriptor]],
+        interval_ms: Milliseconds = 3_600_000.0,  # hourly
+        rounds: int = 168,  # one week of hours
+        policy: SamplePolicy | None = None,
+    ) -> None:
+        if not pairs:
+            raise MeasurementError("need at least one pair")
+        if rounds < 2:
+            raise MeasurementError("need at least two rounds for stability")
+        self.measurer = measurer
+        self.pairs = list(pairs)
+        self.interval_ms = interval_ms
+        self.rounds = rounds
+        self.policy = policy or measurer.policy
+
+    def run(self) -> list[PairTimeSeries]:
+        """Execute all rounds, advancing simulated time between them."""
+        series = [
+            PairTimeSeries(x.fingerprint, y.fingerprint) for x, y in self.pairs
+        ]
+        sim = self.measurer.host.sim
+        epoch = sim.now
+        for round_index in range(self.rounds):
+            round_start = epoch + round_index * self.interval_ms
+            if sim.now < round_start:
+                sim.run(until=round_start)
+            # Leg RTTs may drift between rounds; never reuse stale legs.
+            self.measurer.invalidate_leg_cache()
+            for (x, y), record in zip(self.pairs, series):
+                try:
+                    result = self.measurer.measure_pair(x, y, policy=self.policy)
+                except MeasurementError:
+                    continue  # pair temporarily unmeasurable this round
+                record.times_ms.append(sim.now)
+                record.rtts_ms.append(result.rtt_clamped_ms)
+        return series

@@ -1,0 +1,168 @@
+"""All-pairs RTT datasets.
+
+:class:`RttMatrix` is the product Ting exists to create: a symmetric
+matrix of minimum RTTs between every pair in a relay set. Every
+application in Section 5 (deanonymization speedup, TIV hunting, long
+low-latency circuits) consumes one of these. Matrices serialize to JSON
+so that expensive campaigns can be cached, which Section 4.6 justifies:
+Ting's measurements are stable over at least a week.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.errors import MeasurementError
+from repro.util.units import Milliseconds
+
+
+class RttMatrix:
+    """A symmetric all-pairs RTT matrix keyed by node identifier."""
+
+    def __init__(self, nodes: list[str]) -> None:
+        if len(nodes) != len(set(nodes)):
+            raise MeasurementError("node identifiers must be unique")
+        self.nodes = list(nodes)
+        self._index = {node: i for i, node in enumerate(self.nodes)}
+        n = len(nodes)
+        self._matrix = np.full((n, n), np.nan)
+        np.fill_diagonal(self._matrix, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._index
+
+    def index_of(self, node: str) -> int:
+        """Row/column index of a node identifier."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise MeasurementError(f"unknown node {node!r}") from None
+
+    def set(self, a: str, b: str, rtt_ms: Milliseconds) -> None:
+        """Record R(a, b); the matrix stays symmetric."""
+        if rtt_ms < 0:
+            raise MeasurementError(f"negative RTT {rtt_ms} for ({a}, {b})")
+        i, j = self.index_of(a), self.index_of(b)
+        if i == j:
+            raise MeasurementError("diagonal entries are fixed at zero")
+        self._matrix[i, j] = rtt_ms
+        self._matrix[j, i] = rtt_ms
+
+    def get(self, a: str, b: str) -> Milliseconds:
+        """R(a, b); raises if the pair was never measured."""
+        value = self._matrix[self.index_of(a), self.index_of(b)]
+        if math.isnan(value):
+            raise MeasurementError(f"pair ({a}, {b}) has not been measured")
+        return float(value)
+
+    def has(self, a: str, b: str) -> bool:
+        """Whether the pair has been measured."""
+        return not math.isnan(self._matrix[self.index_of(a), self.index_of(b)])
+
+    # ------------------------------------------------------------------
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """All unordered node pairs (measured or not)."""
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1 :]:
+                yield (a, b)
+
+    def measured_pairs(self) -> Iterator[tuple[str, str, Milliseconds]]:
+        """All measured unordered pairs with their RTTs."""
+        for a, b in self.pairs():
+            i, j = self._index[a], self._index[b]
+            value = self._matrix[i, j]
+            if not math.isnan(value):
+                yield (a, b, float(value))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every off-diagonal pair has been measured."""
+        return not np.isnan(self._matrix).any()
+
+    @property
+    def num_measured(self) -> int:
+        """Count of measured (off-diagonal) pairs."""
+        n = len(self.nodes)
+        missing = int(np.isnan(self._matrix).sum()) // 2
+        return n * (n - 1) // 2 - missing
+
+    def mean_rtt_ms(self) -> Milliseconds:
+        """μ — the population mean RTT Algorithm 1 uses to approximate
+        the unknown source-to-entry leg."""
+        values = [rtt for _, _, rtt in self.measured_pairs()]
+        if not values:
+            raise MeasurementError("matrix has no measurements")
+        return float(np.mean(values))
+
+    def values(self) -> np.ndarray:
+        """All measured RTTs as a flat array (one entry per pair)."""
+        return np.array([rtt for _, _, rtt in self.measured_pairs()])
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the underlying matrix (NaN where unmeasured)."""
+        return self._matrix.copy()
+
+    def submatrix(self, nodes: list[str]) -> "RttMatrix":
+        """Restrict to a node subset, keeping measured values."""
+        sub = RttMatrix(nodes)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if self.has(a, b):
+                    sub.set(a, b, self.get(a, b))
+        return sub
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def to_json(self) -> str:
+        """Serialize the matrix (nodes + values) to a JSON string."""
+        payload = {
+            "nodes": self.nodes,
+            "rtts_ms": [
+                [None if math.isnan(v) else round(float(v), 6) for v in row]
+                for row in self._matrix
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RttMatrix":
+        """Rebuild a matrix from :meth:`to_json` output."""
+        payload = json.loads(text)
+        matrix = cls(payload["nodes"])
+        rows = payload["rtts_ms"]
+        n = len(matrix.nodes)
+        if len(rows) != n or any(len(row) != n for row in rows):
+            raise MeasurementError("malformed RTT matrix JSON")
+        for i in range(n):
+            for j in range(n):
+                value = rows[i][j]
+                matrix._matrix[i, j] = np.nan if value is None else float(value)
+        np.fill_diagonal(matrix._matrix, 0.0)
+        return matrix
+
+    def save(self, path: str | Path) -> None:
+        """Write the matrix as JSON to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RttMatrix":
+        """Read a matrix previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    def __repr__(self) -> str:
+        return (
+            f"RttMatrix(nodes={len(self.nodes)}, "
+            f"measured={self.num_measured}/{len(self.nodes) * (len(self.nodes) - 1) // 2})"
+        )

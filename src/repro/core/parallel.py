@@ -1,0 +1,246 @@
+"""Concurrent all-pairs campaigns: many Ting measurements in flight.
+
+Section 4.6 notes that "an all-pairs matrix can be time-consuming to
+calculate". Sequential measurement of n relays costs
+``C(n,2) + n`` circuit-measurements end to end; but the measurements are
+independent, so a client can keep several circuits open and probe them
+concurrently, dividing the campaign's *makespan* by (almost) the
+concurrency level. Relay load from the extra simultaneous circuits is
+negligible next to ambient traffic (each probe stream is a few cells per
+second).
+
+:class:`ParallelCampaign` is the fully event-driven counterpart of
+:class:`~repro.core.campaign.AllPairsCampaign`: it schedules pair tasks
+through a bounded worker pool, deduplicates leg measurements across
+pairs (each relay's ``C_x`` is measured exactly once and shared), and
+assembles the same :class:`~repro.core.dataset.RttMatrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.dataset import RttMatrix
+from repro.core.measurement_host import MeasurementHost
+from repro.core.sampling import SamplePolicy, min_estimate
+from repro.tor.client import Circuit
+from repro.tor.directory import RelayDescriptor
+from repro.util.errors import CircuitError, MeasurementError, StreamError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class ParallelReport:
+    """Outcome of one concurrent campaign."""
+
+    matrix: RttMatrix
+    pairs_attempted: int = 0
+    pairs_measured: int = 0
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+    makespan_ms: Milliseconds = 0.0
+    peak_concurrency: int = 0
+
+
+class _CircuitProbe:
+    """One async circuit measurement: build, attach, probe, close."""
+
+    def __init__(
+        self,
+        host: MeasurementHost,
+        path: list[str],
+        policy: SamplePolicy,
+        on_done: Callable[[list[float]], None],
+        on_error: Callable[[str], None],
+    ) -> None:
+        self.host = host
+        self.policy = policy
+        self.on_done = on_done
+        self.on_error = on_error
+        self.circuit: Circuit | None = None
+        try:
+            host.proxy.create_circuit(path, self._built, self._build_failed)
+        except CircuitError as exc:
+            # Synchronous validation failure (bad path).
+            host.sim.schedule(0.0, on_error, str(exc))
+
+    def _built(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        try:
+            self.host.proxy.open_stream(
+                circuit,
+                self.host.echo_address,
+                self.host.echo_port,
+                self._attached,
+                self._stream_failed,
+            )
+        except StreamError as exc:
+            self._finish_error(str(exc))
+
+    def _build_failed(self, circuit: Circuit, reason: str) -> None:
+        self.on_error(f"circuit build failed: {reason}")
+
+    def _stream_failed(self, reason: str) -> None:
+        self._finish_error(f"stream attach failed: {reason}")
+
+    def _attached(self, stream) -> None:
+        self.host.echo_client.probe_async(
+            stream,
+            samples=self.policy.samples,
+            on_done=lambda result: self._probed(stream, result),
+            on_error=self._finish_error,
+            interval_ms=self.policy.interval_ms,
+            timeout_ms=self.policy.timeout_ms,
+        )
+
+    def _probed(self, stream, result) -> None:
+        stream.close()
+        self._close_circuit()
+        self.on_done(result.rtts_ms)
+
+    def _finish_error(self, reason: str) -> None:
+        self._close_circuit()
+        self.on_error(reason)
+
+    def _close_circuit(self) -> None:
+        if self.circuit is not None:
+            self.host.proxy.close_circuit(self.circuit)
+            self.circuit = None
+
+
+class ParallelCampaign:
+    """Measures all pairs with up to ``concurrency`` circuits in flight."""
+
+    def __init__(
+        self,
+        host: MeasurementHost,
+        relays: list[RelayDescriptor],
+        policy: SamplePolicy | None = None,
+        concurrency: int = 8,
+    ) -> None:
+        if len(relays) < 2:
+            raise MeasurementError("need at least two relays for a campaign")
+        fingerprints = [r.fingerprint for r in relays]
+        if len(set(fingerprints)) != len(fingerprints):
+            raise MeasurementError("duplicate relays in campaign set")
+        if concurrency < 1:
+            raise MeasurementError("concurrency must be >= 1")
+        self.host = host
+        self.relays = list(relays)
+        self.policy = policy or SamplePolicy.high_accuracy()
+        self.concurrency = concurrency
+
+        self._w = host.relay_w.fingerprint
+        self._z = host.relay_z.fingerprint
+        # Leg results shared across pairs: fingerprint -> min RTT.
+        self._legs: dict[str, float] = {}
+        self._leg_waiters: dict[str, list[Callable[[], None]]] = {}
+        self._leg_failures: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ParallelReport:
+        """Execute the campaign; drives the simulator until completion."""
+        matrix = RttMatrix([r.fingerprint for r in self.relays])
+        report = ParallelReport(matrix=matrix)
+        started = self.host.sim.now
+
+        tasks: list[tuple[str, str]] = [
+            (a.fingerprint, b.fingerprint)
+            for i, a in enumerate(self.relays)
+            for b in self.relays[i + 1 :]
+        ]
+        # Leg tasks first (each exactly once), then pair tasks.
+        queue: list[tuple[str, ...]] = [
+            ("leg", r.fingerprint) for r in self.relays
+        ] + [("pair", a, b) for a, b in tasks]
+        state = {"running": 0, "done": 0, "total": len(queue)}
+
+        def launch_next() -> None:
+            while state["running"] < self.concurrency and queue:
+                task = queue.pop(0)
+                state["running"] += 1
+                report.peak_concurrency = max(
+                    report.peak_concurrency, state["running"]
+                )
+                if task[0] == "leg":
+                    self._run_leg_task(task[1], task_finished)
+                else:
+                    self._run_pair_task(task[1], task[2], matrix, report, task_finished)
+
+        def task_finished() -> None:
+            state["running"] -= 1
+            state["done"] += 1
+            launch_next()
+
+        launch_next()
+        # Drive the simulation until every task resolves.
+        self.host.sim.run(
+            max_events=200_000_000,
+            stop_when=lambda: state["done"] >= state["total"],
+        )
+        if state["done"] < state["total"]:
+            raise MeasurementError("parallel campaign did not complete")
+        report.pairs_attempted = len(tasks)
+        report.pairs_measured = matrix.num_measured
+        report.makespan_ms = self.host.sim.now - started
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_leg_task(self, fingerprint: str, finished: Callable[[], None]) -> None:
+        def done(samples: list[float]) -> None:
+            self._legs[fingerprint] = min_estimate(samples)
+            self._notify_leg(fingerprint)
+            finished()
+
+        def error(reason: str) -> None:
+            self._leg_failures[fingerprint] = reason
+            self._notify_leg(fingerprint)
+            finished()
+
+        _CircuitProbe(
+            self.host, [self._w, fingerprint, self._z], self.policy, done, error
+        )
+
+    def _notify_leg(self, fingerprint: str) -> None:
+        for waiter in self._leg_waiters.pop(fingerprint, []):
+            waiter()
+
+    def _when_leg_ready(self, fingerprint: str, callback: Callable[[], None]) -> None:
+        if fingerprint in self._legs or fingerprint in self._leg_failures:
+            callback()
+        else:
+            self._leg_waiters.setdefault(fingerprint, []).append(callback)
+
+    def _run_pair_task(
+        self,
+        x_fp: str,
+        y_fp: str,
+        matrix: RttMatrix,
+        report: ParallelReport,
+        finished: Callable[[], None],
+    ) -> None:
+        def done(samples: list[float]) -> None:
+            cxy = min_estimate(samples)
+            self._when_leg_ready(
+                x_fp, lambda: self._when_leg_ready(y_fp, lambda: combine(cxy))
+            )
+
+        def combine(cxy: float) -> None:
+            if x_fp in self._leg_failures or y_fp in self._leg_failures:
+                reason = self._leg_failures.get(x_fp) or self._leg_failures.get(y_fp)
+                report.failures.append((x_fp, y_fp, f"leg failed: {reason}"))
+                finished()
+                return
+            estimate = cxy - self._legs[x_fp] / 2.0 - self._legs[y_fp] / 2.0
+            matrix.set(x_fp, y_fp, max(0.0, estimate))
+            finished()
+
+        def error(reason: str) -> None:
+            report.failures.append((x_fp, y_fp, reason))
+            finished()
+
+        _CircuitProbe(
+            self.host, [self._w, x_fp, y_fp, self._z], self.policy, done, error
+        )

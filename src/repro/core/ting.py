@@ -1,0 +1,281 @@
+"""The Ting measurement technique (Section 3.3).
+
+To measure R(x, y), Ting builds three circuits from its measurement host
+``h`` (running s, d, w, z):
+
+* ``C_xy = (w, x, y, z)`` whose echo RTT is
+  ``2R(h,h) + 4F_h + R(h,x) + 2F_x + R(x,y) + 2F_y + R(h,y)``  (Eq. 1)
+* ``C_x = (w, x, z)`` giving ``2R(h,h) + 4F_h + 2R(h,x) + 2F_x``  (Eq. 2)
+* ``C_y = (w, y, z)`` giving ``2R(h,h) + 4F_h + 2R(h,y) + 2F_y``  (Eq. 3)
+
+Each circuit is probed many times and summarized by its minimum; then
+
+    ``R(x, y)  ≈  R_Cxy − ½ R_Cx − ½ R_Cy``                      (Eq. 4)
+
+with residual error ``F_x + F_y`` — the two relays' minimum forwarding
+delays, empirically 0–3 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.measurement_host import MeasurementHost
+from repro.core.sampling import SamplePolicy, min_estimate
+from repro.tor.directory import RelayDescriptor
+from repro.util.errors import CircuitError, MeasurementError, StreamError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class CircuitMeasurement:
+    """Echo samples collected over one circuit."""
+
+    path: tuple[str, ...]
+    samples_ms: list[Milliseconds]
+
+    @property
+    def min_ms(self) -> Milliseconds:
+        """The circuit's min-filtered RTT estimate."""
+        return min_estimate(self.samples_ms)
+
+
+@dataclass
+class TingResult:
+    """The outcome of one Ting pair measurement."""
+
+    x_fingerprint: str
+    y_fingerprint: str
+    rtt_ms: Milliseconds
+    circuit_xy: CircuitMeasurement
+    circuit_x: CircuitMeasurement
+    circuit_y: CircuitMeasurement
+    #: Simulated time the measurement occupied, end to end.
+    duration_ms: Milliseconds = 0.0
+    policy: SamplePolicy = field(default_factory=SamplePolicy.high_accuracy)
+
+    @property
+    def rtt_clamped_ms(self) -> Milliseconds:
+        """The estimate clamped at zero (tiny negatives can occur for
+        nearly co-located pairs when leg noise exceeds R(x, y))."""
+        return max(0.0, self.rtt_ms)
+
+    @property
+    def total_probes(self) -> int:
+        """Echo probes sent across all three circuits."""
+        return (
+            len(self.circuit_xy.samples_ms)
+            + len(self.circuit_x.samples_ms)
+            + len(self.circuit_y.samples_ms)
+        )
+
+
+class TingMeasurer:
+    """Measures R(x, y) for arbitrary relay pairs from one host.
+
+    ``cache_legs`` reuses each relay's leg measurement (``R_Cx``) across
+    pairs — an all-pairs campaign over n relays then needs n leg circuits
+    plus C(n,2) pair circuits instead of 3·C(n,2) circuits. The paper's
+    validation measures all three circuits per pair; campaigns enable the
+    cache.
+    """
+
+    def __init__(
+        self,
+        host: MeasurementHost,
+        policy: SamplePolicy | None = None,
+        cache_legs: bool = False,
+        reuse_circuits: bool = False,
+    ) -> None:
+        self.host = host
+        self.policy = policy or SamplePolicy.high_accuracy()
+        self.cache_legs = cache_legs
+        #: With ``reuse_circuits``, the x-leg circuit (w, x, z) is carved
+        #: out of the just-used pair circuit by TRUNCATE + EXTEND instead
+        #: of being built from scratch — one fewer full circuit build per
+        #: pair, with identical estimates (protocol surgery moves no
+        #: packets through different paths).
+        self.reuse_circuits = reuse_circuits
+        self._leg_cache: dict[str, CircuitMeasurement] = {}
+        self.circuits_built = 0
+        self.circuits_reused = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def measure_pair(
+        self,
+        x: RelayDescriptor | str,
+        y: RelayDescriptor | str,
+        policy: SamplePolicy | None = None,
+    ) -> TingResult:
+        """Run the full Ting procedure for the pair (x, y)."""
+        policy = policy or self.policy
+        x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
+        y_fp = y.fingerprint if isinstance(y, RelayDescriptor) else y
+        if x_fp == y_fp:
+            raise MeasurementError("cannot measure a relay against itself")
+        w_fp = self.host.relay_w.fingerprint
+        z_fp = self.host.relay_z.fingerprint
+        if w_fp in (x_fp, y_fp) or z_fp in (x_fp, y_fp):
+            raise MeasurementError("cannot measure the local helper relays")
+
+        started = self.host.sim.now
+        if self.reuse_circuits and not (self.cache_legs and x_fp in self._leg_cache):
+            circuit_xy, circuit_x = self._measure_pair_and_leg_with_reuse(
+                x_fp, y_fp, policy
+            )
+            if self.cache_legs:
+                self._leg_cache[x_fp] = circuit_x
+        else:
+            circuit_xy = self._measure_circuit((w_fp, x_fp, y_fp, z_fp), policy)
+            circuit_x = self._measure_leg(x_fp, policy)
+        circuit_y = self._measure_leg(y_fp, policy)
+
+        estimate = (
+            circuit_xy.min_ms - circuit_x.min_ms / 2.0 - circuit_y.min_ms / 2.0
+        )
+        return TingResult(
+            x_fingerprint=x_fp,
+            y_fingerprint=y_fp,
+            rtt_ms=estimate,
+            circuit_xy=circuit_xy,
+            circuit_x=circuit_x,
+            circuit_y=circuit_y,
+            duration_ms=self.host.sim.now - started,
+            policy=policy,
+        )
+
+    def measure_leg(
+        self, x: RelayDescriptor | str, policy: SamplePolicy | None = None
+    ) -> CircuitMeasurement:
+        """Measure just ``R_Cx`` — the (w, x, z) circuit — for one relay."""
+        x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
+        return self._measure_leg(x_fp, policy or self.policy)
+
+    def _measure_leg(self, x_fp: str, policy: SamplePolicy) -> CircuitMeasurement:
+        if self.cache_legs and x_fp in self._leg_cache:
+            return self._leg_cache[x_fp]
+        measurement = self._measure_circuit(
+            (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
+            policy,
+        )
+        if self.cache_legs:
+            self._leg_cache[x_fp] = measurement
+        return measurement
+
+    def measure_pair_circuit(
+        self,
+        x: RelayDescriptor | str,
+        y: RelayDescriptor | str,
+        policy: SamplePolicy | None = None,
+    ) -> CircuitMeasurement:
+        """Measure only the full circuit ``C_xy = (w, x, y, z)``.
+
+        Used by the sample-convergence analysis (Section 4.4), which
+        studies raw sample traces rather than the Eq. 4 estimate.
+        """
+        x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
+        y_fp = y.fingerprint if isinstance(y, RelayDescriptor) else y
+        return self._measure_circuit(
+            (
+                self.host.relay_w.fingerprint,
+                x_fp,
+                y_fp,
+                self.host.relay_z.fingerprint,
+            ),
+            policy or self.policy,
+        )
+
+    def invalidate_leg_cache(self) -> None:
+        """Drop cached leg measurements (e.g. after simulated hours pass)."""
+        self._leg_cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def _measure_pair_and_leg_with_reuse(
+        self, x_fp: str, y_fp: str, policy: SamplePolicy
+    ) -> tuple[CircuitMeasurement, CircuitMeasurement]:
+        """Measure C_xy, then carve C_x out of it by TRUNCATE + EXTEND."""
+        controller = self.host.controller
+        w_fp = self.host.relay_w.fingerprint
+        z_fp = self.host.relay_z.fingerprint
+        try:
+            circuit = controller.build_circuit([w_fp, x_fp, y_fp, z_fp])
+        except CircuitError as exc:
+            raise MeasurementError(
+                f"could not build circuit {w_fp}->{x_fp}->{y_fp}->{z_fp}: {exc}"
+            ) from exc
+        self.circuits_built += 1
+        try:
+            circuit_xy = self._probe_circuit(circuit, policy)
+            # Keep (w, x); drop (y, z); splice z back on.
+            try:
+                controller.truncate_circuit(circuit, to_hop=1)
+                controller.extend_circuit(circuit, [z_fp])
+            except CircuitError as exc:
+                raise MeasurementError(
+                    f"circuit reuse surgery failed for {x_fp}: {exc}"
+                ) from exc
+            self.circuits_reused += 1
+            circuit_x = self._probe_circuit(circuit, policy)
+        finally:
+            controller.close_circuit(circuit)
+        return (
+            CircuitMeasurement(
+                path=(w_fp, x_fp, y_fp, z_fp), samples_ms=circuit_xy
+            ),
+            CircuitMeasurement(path=(w_fp, x_fp, z_fp), samples_ms=circuit_x),
+        )
+
+    def _probe_circuit(self, circuit, policy: SamplePolicy) -> list[float]:
+        controller = self.host.controller
+        try:
+            stream = controller.open_stream(
+                circuit, self.host.echo_address, self.host.echo_port
+            )
+        except StreamError as exc:
+            raise MeasurementError(
+                f"could not attach echo stream on reused circuit: {exc}"
+            ) from exc
+        result = self.host.echo_client.probe(
+            stream,
+            samples=policy.samples,
+            interval_ms=policy.interval_ms,
+            timeout_ms=policy.timeout_ms,
+        )
+        self.probes_sent += result.sent
+        stream.close()
+        return result.rtts_ms
+
+    def _measure_circuit(
+        self, path: tuple[str, ...], policy: SamplePolicy
+    ) -> CircuitMeasurement:
+        controller = self.host.controller
+        try:
+            circuit = controller.build_circuit(list(path))
+        except CircuitError as exc:
+            raise MeasurementError(
+                f"could not build circuit {'->'.join(path)}: {exc}"
+            ) from exc
+        self.circuits_built += 1
+        try:
+            try:
+                stream = controller.open_stream(
+                    circuit, self.host.echo_address, self.host.echo_port
+                )
+            except StreamError as exc:
+                raise MeasurementError(
+                    f"could not attach echo stream on {'->'.join(path)}: {exc}"
+                ) from exc
+            result = self.host.echo_client.probe(
+                stream,
+                samples=policy.samples,
+                interval_ms=policy.interval_ms,
+                timeout_ms=policy.timeout_ms,
+            )
+            self.probes_sent += result.sent
+            stream.close()
+        finally:
+            controller.close_circuit(circuit)
+        return CircuitMeasurement(path=path, samples_ms=result.rtts_ms)

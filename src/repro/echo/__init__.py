@@ -1,0 +1,12 @@
+"""TCP echo client and server — Ting's measurement instrument.
+
+The paper's Section 3.1: "an end-to-end echo client and server to allow
+us to collect RTT measurements through Tor circuits ... similar in
+spirit to ping ... but operates over TCP, and can thus be used over
+Tor."
+"""
+
+from repro.echo.server import EchoServer
+from repro.echo.client import EchoClient, EchoProbeResult
+
+__all__ = ["EchoServer", "EchoClient", "EchoProbeResult"]

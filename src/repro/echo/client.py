@@ -1,0 +1,150 @@
+"""The measuring echo client (the paper's ``s``).
+
+Given a Tor stream attached to a circuit that exits at the echo server,
+the client sends numbered probe payloads and records the time until each
+comes back. One probe round-trip traverses the entire circuit out and
+back — the quantity every Ting equation is written in.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.netsim.engine import Simulator
+from repro.tor.client import TorStream
+from repro.tor.control import SimFuture
+from repro.util.errors import MeasurementError
+from repro.util.units import Milliseconds
+
+_PROBE = struct.Struct("!IQ")  # sequence number, nonce
+
+
+@dataclass
+class EchoProbeResult:
+    """RTT samples from one echo run over one circuit."""
+
+    rtts_ms: list[Milliseconds] = field(default_factory=list)
+    sent: int = 0
+    received: int = 0
+
+    @property
+    def min_rtt_ms(self) -> Milliseconds:
+        """The minimum observed RTT (Ting's estimator input)."""
+        if not self.rtts_ms:
+            raise MeasurementError("no echo samples collected")
+        return min(self.rtts_ms)
+
+    @property
+    def loss(self) -> int:
+        """Probes sent but never answered."""
+        return self.sent - self.received
+
+
+class EchoClient:
+    """Sends echo probes over a Tor stream and times the replies."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._nonce = 0
+
+    def probe(
+        self,
+        stream: TorStream,
+        samples: int,
+        interval_ms: Milliseconds | None = 5.0,
+        timeout_ms: Milliseconds = 120_000.0,
+    ) -> EchoProbeResult:
+        """Send ``samples`` probes and return the collected RTTs.
+
+        With a numeric ``interval_ms``, probes are paced on a timer (a
+        small spacing keeps a probe's queueing from being self-inflicted
+        by its siblings while pipelining the run). With
+        ``interval_ms=None`` the client runs **ping-pong**: each probe is
+        sent only after the previous reply returns — the paper's serial
+        measurement loop, whose wall-clock cost is ~samples x RTT.
+
+        This synchronous form drives the simulator until done; use
+        :meth:`probe_async` from orchestration code that runs several
+        measurements concurrently.
+        """
+        future = SimFuture(self.sim)
+        self.probe_async(
+            stream,
+            samples,
+            on_done=future.resolve,
+            on_error=future.reject,
+            interval_ms=interval_ms,
+            timeout_ms=timeout_ms,
+        )
+        return future.wait()
+
+    def probe_async(
+        self,
+        stream: TorStream,
+        samples: int,
+        on_done: "callable",
+        on_error: "callable",
+        interval_ms: Milliseconds | None = 5.0,
+        timeout_ms: Milliseconds = 120_000.0,
+    ) -> None:
+        """Callback form of :meth:`probe`: schedules the probe run and
+        returns immediately; ``on_done(EchoProbeResult)`` or
+        ``on_error(reason)`` fires when it resolves."""
+        if samples < 1:
+            raise MeasurementError("samples must be >= 1")
+        result = EchoProbeResult()
+        in_flight: dict[int, Milliseconds] = {}
+        pingpong = interval_ms is None
+        state = {"finished": False}
+
+        def finish_ok() -> None:
+            if not state["finished"]:
+                state["finished"] = True
+                deadline.cancel()
+                on_done(result)
+
+        def finish_error(reason: str) -> None:
+            if not state["finished"]:
+                state["finished"] = True
+                deadline.cancel()
+                on_error(reason)
+
+        def reply_arrived(payload: bytes) -> None:
+            if len(payload) != _PROBE.size:
+                return
+            seq, _ = _PROBE.unpack(payload)
+            sent_at = in_flight.pop(seq, None)
+            if sent_at is None:
+                return
+            result.rtts_ms.append(self.sim.now - sent_at)
+            result.received += 1
+            if result.received >= samples:
+                finish_ok()
+            elif pingpong and result.sent < samples:
+                self.sim.schedule(0.0, send_next, result.sent)
+
+        stream.on_data = reply_arrived
+
+        def send_next(seq: int) -> None:
+            if state["finished"]:
+                return
+            if stream.state != "open":
+                finish_error(f"stream became {stream.state}")
+                return
+            self._nonce += 1
+            in_flight[seq] = self.sim.now
+            result.sent += 1
+            stream.send(_PROBE.pack(seq, self._nonce))
+            if not pingpong and seq + 1 < samples:
+                self.sim.schedule(interval_ms, send_next, seq + 1)
+
+        def deadline_hit() -> None:
+            # Accept partial results if we got anything; else a failure.
+            if result.rtts_ms:
+                finish_ok()
+            else:
+                finish_error("echo probe deadline with zero replies")
+
+        deadline = self.sim.schedule(timeout_ms, deadline_hit)
+        self.sim.schedule(0.0, send_next, 0)

@@ -1,0 +1,53 @@
+"""The minimal TCP echo server (the paper's ``d``).
+
+Accepts stream connections and writes every received payload straight
+back. Runs on a plain simulated host; Tor exit relays connect to it like
+any other TCP service.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.topology import Host
+from repro.netsim.transport import NetworkFabric, StreamConnection
+
+#: Default port the echo service listens on.
+DEFAULT_ECHO_PORT = 7
+
+
+class EchoServer:
+    """Echo every byte back to the sender."""
+
+    def __init__(
+        self, fabric: NetworkFabric, host: Host, port: int = DEFAULT_ECHO_PORT
+    ) -> None:
+        self.fabric = fabric
+        self.host = host
+        self.port = port
+        self.connections_accepted = 0
+        self.payloads_echoed = 0
+        fabric.listen(host, port, self._accept)
+
+    def _accept(self, conn: StreamConnection) -> None:
+        self.connections_accepted += 1
+        conn.on_data = lambda payload, c=conn: self._echo(c, payload)
+
+    def _echo(self, conn: StreamConnection, payload: bytes) -> None:
+        if conn.closed:
+            return
+        self.payloads_echoed += 1
+        conn.send(payload, size_bytes=max(64, len(payload)))
+
+    def shutdown(self) -> None:
+        """Stop accepting new connections."""
+        self.fabric.stop_listening(self.host, self.port)
+
+    @property
+    def address(self) -> str:
+        """The server host's IPv4 address."""
+        return self.host.address
+
+    def __repr__(self) -> str:
+        return (
+            f"EchoServer({self.host.name}:{self.port}, "
+            f"echoed={self.payloads_echoed})"
+        )

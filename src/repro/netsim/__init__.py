@@ -1,0 +1,43 @@
+"""Discrete-event network simulator: the underlay Tor runs on.
+
+This package provides the measurement substrate the paper took from the
+real Internet: a PoP-level topology with great-circle propagation delays,
+hop-count routing (the source of triangle-inequality violations), per-network
+protocol policies that treat ICMP, TCP, and Tor traffic differently, and a
+packet/stream transport driven by a deterministic event loop.
+"""
+
+from repro.netsim.engine import Simulator, EventHandle
+from repro.netsim.geo import GeoPoint, great_circle_km, CITY_CATALOG
+from repro.netsim.topology import Host, PoP, Topology, TopologyBuilder
+from repro.netsim.policies import TrafficClass, ProtocolPolicy
+from repro.netsim.latency import LatencyEngine, JitterModel, ExponentialJitter
+from repro.netsim.transport import (
+    NetworkFabric,
+    Packet,
+    StreamConnection,
+    IcmpPinger,
+    TcpConnectProber,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "GeoPoint",
+    "great_circle_km",
+    "CITY_CATALOG",
+    "Host",
+    "PoP",
+    "Topology",
+    "TopologyBuilder",
+    "TrafficClass",
+    "ProtocolPolicy",
+    "LatencyEngine",
+    "JitterModel",
+    "ExponentialJitter",
+    "NetworkFabric",
+    "Packet",
+    "StreamConnection",
+    "IcmpPinger",
+    "TcpConnectProber",
+]

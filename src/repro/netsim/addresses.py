@@ -1,0 +1,152 @@
+"""IPv4 address allocation for simulated hosts.
+
+The coverage application (Section 5.3 of the paper) counts unique /24
+prefixes among Tor relays and groups hosting providers by address range,
+so the simulator allocates addresses with a realistic prefix structure:
+hosts are placed into /24 networks, /24s nest inside provider /16s, and
+well-known hosting providers own recognizable ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def parse_ipv4(address: str) -> tuple[int, int, int, int]:
+    """Parse a dotted-quad string, validating each octet."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {address!r}")
+    octets = []
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"non-numeric octet in {address!r}")
+        value = int(part)
+        if not 0 <= value <= 255:
+            raise ValueError(f"octet out of range in {address!r}")
+        octets.append(value)
+    return tuple(octets)  # type: ignore[return-value]
+
+
+def prefix24(address: str) -> str:
+    """The /24 prefix of ``address``, e.g. ``'198.51.100.7' -> '198.51.100'``."""
+    a, b, c, _ = parse_ipv4(address)
+    return f"{a}.{b}.{c}"
+
+
+def prefix16(address: str) -> str:
+    """The /16 prefix of ``address``, e.g. ``'198.51.100.7' -> '198.51'``."""
+    a, b, _, _ = parse_ipv4(address)
+    return f"{a}.{b}"
+
+
+@dataclass(frozen=True)
+class ProviderRange:
+    """A named provider owning a set of /16s (used for hosting detection)."""
+
+    name: str
+    first_octet: int
+    second_octets: tuple[int, ...]
+
+    def contains(self, address: str) -> bool:
+        """Whether ``address`` falls inside this provider's range."""
+        a, b, _, _ = parse_ipv4(address)
+        return a == self.first_octet and b in self.second_octets
+
+
+#: Synthetic provider ranges, standing in for the real hosting providers the
+#: paper identifies by address range (e.g. Digital Ocean).  Drawn from
+#: otherwise-unused space so they never collide with random allocations.
+HOSTING_PROVIDER_RANGES: tuple[ProviderRange, ...] = (
+    ProviderRange(
+        name="oceanic-compute",
+        first_octet=104,
+        second_octets=tuple(range(16, 32)),
+    ),
+    ProviderRange(
+        name="stratus-cloud",
+        first_octet=107,
+        second_octets=tuple(range(160, 176)),
+    ),
+)
+
+
+class AddressAllocator:
+    """Hands out unique host addresses grouped into /24 networks.
+
+    The allocator avoids private (RFC 1918), loopback, multicast, and
+    documentation ranges, and never reuses an address. Call
+    :meth:`new_network` to open a fresh /24, then :meth:`address_in` to
+    draw hosts from it; or call :meth:`new_host` for a one-off host in its
+    own /24.
+    """
+
+    _FORBIDDEN_FIRST_OCTETS = frozenset({0, 10, 127} | set(range(224, 256)))
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._used_networks: set[str] = set()
+        self._used_addresses: set[str] = set()
+        self._hosts_in_network: dict[str, int] = {}
+        self._provider_counts: dict[str, int] = {}
+
+    def new_network(self, provider: ProviderRange | None = None) -> str:
+        """Allocate a fresh /24 prefix (optionally inside a provider range)."""
+        if provider is not None:
+            capacity = len(provider.second_octets) * 256
+            if self._provider_counts.get(provider.name, 0) >= capacity:
+                raise ConfigurationError(
+                    f"provider range {provider.name} has no free /24s"
+                )
+        for _ in range(100_000):
+            if provider is not None:
+                a = provider.first_octet
+                b = int(self._rng.choice(provider.second_octets))
+            else:
+                a = int(self._rng.integers(1, 224))
+                if a in self._FORBIDDEN_FIRST_OCTETS or a == 172 or a == 192:
+                    continue
+                b = int(self._rng.integers(0, 256))
+            c = int(self._rng.integers(0, 256))
+            prefix = f"{a}.{b}.{c}"
+            if prefix not in self._used_networks:
+                self._used_networks.add(prefix)
+                self._hosts_in_network[prefix] = 0
+                if provider is not None:
+                    self._provider_counts[provider.name] = (
+                        self._provider_counts.get(provider.name, 0) + 1
+                    )
+                return prefix
+        raise ConfigurationError("address space exhausted (could not find a free /24)")
+
+    def address_in(self, network: str) -> str:
+        """Allocate the next unused host address inside a /24 from
+        :meth:`new_network`."""
+        if network not in self._used_networks:
+            raise ConfigurationError(f"unknown network {network!r}; allocate it first")
+        count = self._hosts_in_network[network]
+        if count >= 254:
+            raise ConfigurationError(f"/24 {network} is full")
+        self._hosts_in_network[network] = count + 1
+        address = f"{network}.{count + 1}"
+        self._used_addresses.add(address)
+        return address
+
+    def new_host(self, provider: ProviderRange | None = None) -> str:
+        """Allocate one host in a brand-new /24 (the common case: each
+        volunteer relay tends to sit in its own home or VPS network)."""
+        return self.address_in(self.new_network(provider))
+
+    @property
+    def networks_allocated(self) -> int:
+        """Number of /24s handed out so far."""
+        return len(self._used_networks)
+
+    @property
+    def addresses_allocated(self) -> int:
+        """Number of host addresses handed out so far."""
+        return len(self._used_addresses)

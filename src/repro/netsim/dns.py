@@ -1,0 +1,253 @@
+"""A minimal DNS substrate: authoritative and recursive name servers.
+
+Built to host the King technique (Gummadi et al., IMW'02) — the paper's
+direct ancestor. King estimated the latency between two arbitrary hosts
+by bouncing a recursive query off a name server near the first host so
+that it queried the authoritative server of the second.
+
+The substrate models the two properties that decide King's fate:
+
+* **Name-server placement**: each host's authoritative server sits in
+  the same metro but on *hosting* infrastructure — name servers are
+  generally better connected than the residential hosts they speak for,
+  which is King's systematic underestimate (its ratio CDF is skewed
+  left of 1; paper Section 4.2 cites King's Fig. 5).
+* **Open recursion**: only a fraction of servers answer recursive
+  queries from strangers — 72–79% in 2002, ~3% by 2015 (paper
+  Section 5.3) — which decides King's *coverage*.
+
+Queries ride the datagram fabric as TCP-class packets with random
+labels (so caching, which real King had to dodge, never helps).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.netsim.engine import Simulator
+from repro.netsim.policies import TrafficClass
+from repro.netsim.topology import Host, Topology, TopologyBuilder
+from repro.netsim.transport import NetworkFabric, Packet
+from repro.util.errors import ConfigurationError, MeasurementError
+
+#: Well-known DNS port.
+DNS_PORT = 53
+
+#: Server-side processing time per query (lookup + response build).
+SERVER_PROCESSING_MS = 0.3
+
+
+@dataclass(frozen=True)
+class NameServer:
+    """One authoritative server and its recursion policy."""
+
+    host: Host
+    zone: str  # the DNS zone this server is authoritative for
+    supports_recursion: bool
+
+
+class DnsInfrastructure:
+    """Deploys name servers for a host population and answers queries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        topology: Topology,
+        builder: TopologyBuilder,
+        rng: np.random.Generator,
+        open_recursion_fraction: float = 0.03,
+    ) -> None:
+        if not 0.0 <= open_recursion_fraction <= 1.0:
+            raise ConfigurationError("open_recursion_fraction must be in [0, 1]")
+        self.sim = sim
+        self.fabric = fabric
+        self.topology = topology
+        self.builder = builder
+        self._rng = rng
+        self.open_recursion_fraction = open_recursion_fraction
+        self._servers_by_zone: dict[str, NameServer] = {}
+        self._servers_by_host_id: dict[int, NameServer] = {}
+        self._query_ids = itertools.count(1)
+        self._pending: dict[int, Callable[[bool], None]] = {}
+        self._recursing: dict[int, tuple[Packet, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+
+    def zone_of(self, host: Host) -> str:
+        """The DNS zone a host's name lives in (its /24, as a stand-in)."""
+        return f"{host.prefix24.replace('.', '-')}.example."
+
+    def deploy_for(self, host: Host) -> NameServer:
+        """Create (or return) the authoritative server for ``host``'s zone.
+
+        The server lands at the same PoP but on hosting-grade access —
+        the placement gap King could not correct for.
+        """
+        zone = self.zone_of(host)
+        existing = self._servers_by_zone.get(zone)
+        if existing is not None:
+            return existing
+        ns_host = self.builder.attach_random_host(
+            self.topology,
+            f"ns-{zone.rstrip('.')}",
+            host.pop_id,
+            host_type="hosting",
+        )
+        server = NameServer(
+            host=ns_host,
+            zone=zone,
+            supports_recursion=bool(
+                self._rng.random() < self.open_recursion_fraction
+            ),
+        )
+        self._servers_by_zone[zone] = server
+        self._servers_by_host_id[ns_host.host_id] = server
+        self.fabric.bind(ns_host, DNS_PORT, self._query_arrived)
+        return server
+
+    def server_for(self, host: Host) -> NameServer:
+        """The authoritative server responsible for ``host``."""
+        try:
+            return self._servers_by_zone[self.zone_of(host)]
+        except KeyError:
+            raise MeasurementError(
+                f"no name server deployed for {host.name}'s zone"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Client side
+
+    def query(
+        self,
+        client: Host,
+        server: NameServer,
+        qname: str,
+        recursive: bool,
+        on_reply: Callable[[bool], None],
+    ) -> None:
+        """Send one query; ``on_reply(ok)`` fires when the answer lands.
+
+        ``ok`` is False for a REFUSED (recursion requested but not
+        offered) — which still measures a round trip, as King noted.
+        """
+        query_id = next(self._query_ids)
+        self._pending[query_id] = on_reply
+        packet = Packet(
+            src=client,
+            dst=server.host,
+            sport=40_000 + (query_id % 20_000),
+            dport=DNS_PORT,
+            traffic_class=TrafficClass.TCP,
+            payload=("query", query_id, qname, recursive, client),
+            size_bytes=80,
+        )
+        self._ensure_reply_handler(client)
+        self.fabric.send(packet)
+
+    _REPLY_PORT = 5353
+
+    def _ensure_reply_handler(self, client: Host) -> None:
+        if not self.fabric.is_bound(client, self._REPLY_PORT):
+            self.fabric.bind(client, self._REPLY_PORT, self._reply_arrived)
+
+    def _reply_arrived(self, packet: Packet) -> None:
+        kind, query_id, ok = packet.payload
+        callback = self._pending.pop(query_id, None)
+        if callback is not None:
+            callback(ok)
+
+    # ------------------------------------------------------------------
+    # Server side
+
+    def _query_arrived(self, packet: Packet) -> None:
+        self.sim.schedule(SERVER_PROCESSING_MS, self._process_query, packet)
+
+    def _process_query(self, packet: Packet) -> None:
+        kind = packet.payload[0]
+        if kind == "upstream":
+            self._answer_upstream(packet)
+            return
+        if kind == "upstream-reply":
+            self._upstream_reply_arrived(packet)
+            return
+        server = self._servers_by_host_id.get(packet.dst.host_id)
+        if server is None:
+            return
+        _, query_id, qname, recursive, client = packet.payload
+        if not recursive or qname.endswith(server.zone):
+            # Authoritative (or iterative) answer straight back.
+            self._reply(server.host, client, query_id, ok=True)
+            return
+        if not server.supports_recursion:
+            self._reply(server.host, client, query_id, ok=False)
+            return
+        # Recurse: find the authoritative server for the target zone and
+        # forward; answer the client when its reply arrives.
+        target = next(
+            (
+                candidate
+                for zone, candidate in self._servers_by_zone.items()
+                if qname.endswith(zone)
+            ),
+            None,
+        )
+        if target is None:
+            self._reply(server.host, client, query_id, ok=False)
+            return
+        upstream_id = next(self._query_ids)
+        self._recursing[upstream_id] = (packet, query_id)
+        self.fabric.send(
+            Packet(
+                src=server.host,
+                dst=target.host,
+                sport=DNS_PORT,
+                dport=DNS_PORT,
+                traffic_class=TrafficClass.TCP,
+                payload=("upstream", upstream_id, qname, server.host),
+                size_bytes=80,
+            )
+        )
+
+    def _answer_upstream(self, packet: Packet) -> None:
+        """Authoritative answer to another server's recursion leg."""
+        _, upstream_id, _qname, _asker = packet.payload
+        self.fabric.send(
+            Packet(
+                src=packet.dst,
+                dst=packet.src,
+                sport=DNS_PORT,
+                dport=DNS_PORT,
+                traffic_class=TrafficClass.TCP,
+                payload=("upstream-reply", upstream_id),
+                size_bytes=120,
+            )
+        )
+
+    def _upstream_reply_arrived(self, packet: Packet) -> None:
+        """Complete a recursion: relay the answer to the waiting client."""
+        _, upstream_id = packet.payload
+        waiting = self._recursing.pop(upstream_id, None)
+        if waiting is None:
+            return
+        original_packet, client_query_id = waiting
+        _, _, _, _, client = original_packet.payload
+        self._reply(original_packet.dst, client, client_query_id, ok=True)
+
+    def _reply(self, src: Host, client: Host, query_id: int, ok: bool) -> None:
+        self.fabric.send(
+            Packet(
+                src=src,
+                dst=client,
+                sport=DNS_PORT,
+                dport=self._REPLY_PORT,
+                traffic_class=TrafficClass.TCP,
+                payload=("reply", query_id, ok),
+                size_bytes=120,
+            )
+        )

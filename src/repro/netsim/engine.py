@@ -1,0 +1,159 @@
+"""Deterministic discrete-event simulation engine.
+
+A :class:`Simulator` owns a virtual clock (milliseconds) and a binary heap
+of pending events. Events scheduled for the same instant fire in the order
+they were scheduled (a monotonically increasing sequence number breaks
+ties), which makes every run bit-for-bit reproducible.
+
+The engine is intentionally minimal: callbacks, timers, and a blocking
+``run``. Higher layers (transport, Tor relays, the Ting measurer) build
+request/response patterns out of callbacks; nothing in the library uses
+threads or wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+from repro.util.units import Milliseconds
+
+
+@dataclass(order=True)
+class _Event:
+    time: Milliseconds
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> Milliseconds:
+        """The simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic event loop over a virtual millisecond clock."""
+
+    def __init__(self) -> None:
+        self._now: Milliseconds = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> Milliseconds:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: Milliseconds,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self,
+        time: Milliseconds,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: time={time} < now={self._now}"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(
+        self,
+        until: Milliseconds | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Process events in timestamp order.
+
+        Stops when the queue is empty, when the next event lies beyond
+        ``until`` (the clock is then advanced *to* ``until``), after
+        ``max_events`` events, or as soon as ``stop_when()`` returns true
+        (checked after every event) — whichever comes first.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                processed += 1
+                if stop_when is not None and stop_when():
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Run until no events remain; guard against runaway loops."""
+        self.run(max_events=max_events)
+        if self._heap and not all(e.cancelled for e in self._heap):
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.3f}ms, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,133 @@
+"""Geography: coordinates, great-circle distances, and a city catalogue.
+
+The paper's testbeds are geographically diverse (PlanetLab hosts across 6
+European countries, 9 U.S. states, Asia, South America, Australia, and the
+Middle East; the live Tor network concentrated in the U.S. and Europe).
+The catalogue below provides real city coordinates with region tags so the
+testbed builders can reproduce those distributions, and Figure 8 can plot
+latency against true great-circle distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import Kilometers
+
+#: Mean Earth radius in kilometers (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A WGS-84 latitude/longitude pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> Kilometers:
+    """Great-circle distance between two points via the haversine formula.
+
+    Accurate to ~0.5% (spherical Earth), which is far below the latency
+    noise the simulator models; this matches how the paper computed
+    distances from geolocated coordinates.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+@dataclass(frozen=True)
+class City:
+    """A catalogue entry: name, country, region tag, and coordinates."""
+
+    name: str
+    country: str
+    region: str  # "us", "europe", "asia", "south-america", "oceania", "middle-east"
+    point: GeoPoint
+
+
+def _city(name: str, country: str, region: str, lat: float, lon: float) -> City:
+    return City(name=name, country=country, region=region, point=GeoPoint(lat, lon))
+
+
+#: Cities the topology and testbed builders draw from.  The U.S. entries
+#: cover more than nine states and the European entries more than six
+#: countries, matching the PlanetLab testbed requirements in Section 4.1.
+CITY_CATALOG: tuple[City, ...] = (
+    # --- United States (14 states) ---
+    _city("Seattle", "US", "us", 47.6062, -122.3321),
+    _city("Portland", "US", "us", 45.5152, -122.6784),
+    _city("San Francisco", "US", "us", 37.7749, -122.4194),
+    _city("Los Angeles", "US", "us", 34.0522, -118.2437),
+    _city("Salt Lake City", "US", "us", 40.7608, -111.8910),
+    _city("Denver", "US", "us", 39.7392, -104.9903),
+    _city("Dallas", "US", "us", 32.7767, -96.7970),
+    _city("Chicago", "US", "us", 41.8781, -87.6298),
+    _city("Minneapolis", "US", "us", 44.9778, -93.2650),
+    _city("Atlanta", "US", "us", 33.7490, -84.3880),
+    _city("Miami", "US", "us", 25.7617, -80.1918),
+    _city("New York", "US", "us", 40.7128, -74.0060),
+    _city("Boston", "US", "us", 42.3601, -71.0589),
+    _city("College Park", "US", "us", 38.9897, -76.9378),
+    # --- Europe (10 countries) ---
+    _city("London", "GB", "europe", 51.5074, -0.1278),
+    _city("Cambridge", "GB", "europe", 52.2053, 0.1218),
+    _city("Paris", "FR", "europe", 48.8566, 2.3522),
+    _city("Amsterdam", "NL", "europe", 52.3676, 4.9041),
+    _city("Frankfurt", "DE", "europe", 50.1109, 8.6821),
+    _city("Berlin", "DE", "europe", 52.5200, 13.4050),
+    _city("Zurich", "CH", "europe", 47.3769, 8.5417),
+    _city("Milan", "IT", "europe", 45.4642, 9.1900),
+    _city("Madrid", "ES", "europe", 40.4168, -3.7038),
+    _city("Stockholm", "SE", "europe", 59.3293, 18.0686),
+    _city("Warsaw", "PL", "europe", 52.2297, 21.0122),
+    _city("Vienna", "AT", "europe", 48.2082, 16.3738),
+    _city("Prague", "CZ", "europe", 50.0755, 14.4378),
+    # --- Asia ---
+    _city("Tokyo", "JP", "asia", 35.6762, 139.6503),
+    _city("Seoul", "KR", "asia", 37.5665, 126.9780),
+    _city("Singapore", "SG", "asia", 1.3521, 103.8198),
+    _city("Hong Kong", "HK", "asia", 22.3193, 114.1694),
+    # --- South America ---
+    _city("Sao Paulo", "BR", "south-america", -23.5505, -46.6333),
+    _city("Buenos Aires", "AR", "south-america", -34.6037, -58.3816),
+    # --- Oceania ---
+    _city("Sydney", "AU", "oceania", -33.8688, 151.2093),
+    _city("Melbourne", "AU", "oceania", -37.8136, 144.9631),
+    # --- Middle East ---
+    _city("Tel Aviv", "IL", "middle-east", 32.0853, 34.7818),
+    _city("Dubai", "AE", "middle-east", 25.2048, 55.2708),
+)
+
+
+def cities_in_region(region: str) -> tuple[City, ...]:
+    """All catalogue cities tagged with ``region``."""
+    matches = tuple(c for c in CITY_CATALOG if c.region == region)
+    if not matches:
+        known = sorted({c.region for c in CITY_CATALOG})
+        raise ValueError(f"unknown region {region!r}; known regions: {known}")
+    return matches
+
+
+#: Relay-population weights per region, shaped like the live Tor network:
+#: heavy in Europe and the U.S., sparse elsewhere (Section 4.1).
+TOR_REGION_WEIGHTS: dict[str, float] = {
+    "europe": 0.55,
+    "us": 0.33,
+    "asia": 0.06,
+    "south-america": 0.02,
+    "oceania": 0.02,
+    "middle-east": 0.02,
+}

@@ -1,0 +1,129 @@
+"""Per-network protocol policies: why ping and Tor disagree.
+
+Section 3.2 of the paper observes that "not all packets are treated
+equally": some networks delay ICMP relative to TCP, some deprioritize or
+inspect Tor traffic specifically, and the direction of the difference is
+unpredictable. Section 4.3 quantifies it — roughly 35% of the PlanetLab
+hosts' networks showed anomalous (sometimes *negative*) forwarding-delay
+estimates when ping was used as ground truth.
+
+:class:`ProtocolPolicy` models the per-traffic-class extra one-way delay a
+host's access network imposes, and :class:`PolicyModel` samples policies
+with the paper's observed mix of well-behaved and differential networks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import Milliseconds
+
+
+class TrafficClass(enum.Enum):
+    """The transport classes networks are observed to discriminate among."""
+
+    ICMP = "icmp"
+    TCP = "tcp"
+    TOR = "tor"  # TCP carrying Tor cells; distinguishable by port/DPI
+
+
+@dataclass(frozen=True)
+class ProtocolPolicy:
+    """Extra one-way delay (ms) a network adds per traffic class.
+
+    A policy with all zeros is a well-behaved network. A *differential*
+    policy breaks the assumption that a ping RTT is a sub-path of a Tor
+    RTT — exactly the failure mode that sinks the paper's strawman.
+    """
+
+    icmp_extra_ms: Milliseconds = 0.0
+    tcp_extra_ms: Milliseconds = 0.0
+    tor_extra_ms: Milliseconds = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("icmp_extra_ms", "tcp_extra_ms", "tor_extra_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def extra_ms(self, traffic_class: TrafficClass) -> Milliseconds:
+        """One-way extra delay for ``traffic_class`` through this network."""
+        if traffic_class is TrafficClass.ICMP:
+            return self.icmp_extra_ms
+        if traffic_class is TrafficClass.TCP:
+            return self.tcp_extra_ms
+        return self.tor_extra_ms
+
+    @property
+    def is_differential(self) -> bool:
+        """True if any two traffic classes see different delays."""
+        return not (
+            self.icmp_extra_ms == self.tcp_extra_ms == self.tor_extra_ms
+        )
+
+
+#: A policy that treats every class identically with zero overhead.
+NEUTRAL_POLICY = ProtocolPolicy()
+
+
+class PolicyModel:
+    """Samples per-network protocol policies.
+
+    With probability ``differential_fraction`` (default 0.35, matching the
+    anomalous share in Figure 5), the sampled network discriminates among
+    classes using one of the patterns the paper describes:
+
+    * ``icmp-deprioritized`` — ICMP answered slowly (slow-path/ratelimited
+      on the router CPU); ping looks *worse* than Tor, so a ping-based
+      forwarding-delay estimate goes negative.
+    * ``tor-throttled`` — Tor traffic inspected or shaped; Tor looks worse
+      than ping.
+    * ``icmp-and-tor`` — both non-plain-TCP classes penalized differently.
+    """
+
+    PATTERNS = ("icmp-deprioritized", "tor-throttled", "icmp-and-tor")
+
+    def __init__(
+        self,
+        differential_fraction: float = 0.35,
+        mild_penalty_range: tuple[float, float] = (0.2, 1.5),
+        severe_penalty_range: tuple[float, float] = (8.0, 30.0),
+        severe_fraction: float = 0.15,
+    ) -> None:
+        if not 0.0 <= differential_fraction <= 1.0:
+            raise ValueError(
+                f"differential_fraction must be in [0, 1], got {differential_fraction}"
+            )
+        if not 0.0 <= severe_fraction <= 1.0:
+            raise ValueError(f"severe_fraction must be in [0, 1], got {severe_fraction}")
+        self.differential_fraction = differential_fraction
+        self.mild_penalty_range = mild_penalty_range
+        self.severe_penalty_range = severe_penalty_range
+        self.severe_fraction = severe_fraction
+
+    def _penalty(self, rng: np.random.Generator, allow_severe: bool) -> float:
+        """Penalties are bimodal: most differential networks only nudge a
+        class by a few ms (slow-path handling); a minority punish ICMP
+        hard, producing the tens-of-ms anomalies of Figure 5. Severe
+        penalties apply to ICMP only — routers deprioritize echo
+        processing wholesale, whereas Tor-class shaping (DPI/port-based)
+        is subtler."""
+        if allow_severe and rng.random() < self.severe_fraction:
+            return float(rng.uniform(*self.severe_penalty_range))
+        return float(rng.uniform(*self.mild_penalty_range))
+
+    def sample(self, rng: np.random.Generator) -> ProtocolPolicy:
+        """Draw one network's policy."""
+        if rng.random() >= self.differential_fraction:
+            return NEUTRAL_POLICY
+        pattern = self.PATTERNS[rng.integers(0, len(self.PATTERNS))]
+        if pattern == "icmp-deprioritized":
+            return ProtocolPolicy(icmp_extra_ms=self._penalty(rng, allow_severe=True))
+        if pattern == "tor-throttled":
+            return ProtocolPolicy(tor_extra_ms=self._penalty(rng, allow_severe=False))
+        return ProtocolPolicy(
+            icmp_extra_ms=self._penalty(rng, allow_severe=True),
+            tor_extra_ms=self._penalty(rng, allow_severe=False),
+        )

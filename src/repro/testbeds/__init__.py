@@ -1,0 +1,20 @@
+"""Testbed builders: assembled worlds the experiments run in.
+
+* :class:`PlanetLabTestbed` — the Section 4.1 ground-truth environment:
+  31 geographically diverse relays on shared university infrastructure,
+  plus the Ting measurement host, plus ping-based ground truth.
+* :class:`LiveTorTestbed` — a live-Tor-shaped network: many volunteer
+  relays (residential-heavy, bandwidth-skewed) for the Sections 4.4–4.6
+  and Section 5 experiments.
+* :class:`GeolocationDB` — a synthetic IP-geolocation service with a
+  configurable error rate (the paper's Neustar stand-in).
+* :mod:`repro.testbeds.rdns` — reverse-DNS name synthesis for the
+  Section 5.3 residential-classification study.
+"""
+
+from repro.testbeds.churn import ChurnProcess
+from repro.testbeds.geolocation import GeolocationDB
+from repro.testbeds.planetlab import PlanetLabTestbed
+from repro.testbeds.livetor import LiveTorTestbed
+
+__all__ = ["ChurnProcess", "GeolocationDB", "PlanetLabTestbed", "LiveTorTestbed"]

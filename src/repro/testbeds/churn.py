@@ -1,0 +1,96 @@
+"""Relay churn: the live network never holds still.
+
+Volunteer relays reboot, lose connectivity, and come back. A
+:class:`ChurnProcess` drives that behaviour during an experiment: each
+managed relay alternates exponentially-distributed online and offline
+periods, and the directory authority's view follows (withdraw on
+failure, republish on return). Campaign code sees the same symptoms the
+paper's live measurements did — circuits failing mid-campaign, pairs
+needing retries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.engine import Simulator
+from repro.tor.directory import DirectoryAuthority
+from repro.tor.relay import Relay
+from repro.util.errors import ConfigurationError
+from repro.util.units import Milliseconds
+
+
+class ChurnProcess:
+    """Alternates relays between online and offline states."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        relays: list[Relay],
+        authority: DirectoryAuthority,
+        rng: np.random.Generator,
+        mean_uptime_ms: Milliseconds = 12.0 * 3_600_000.0,
+        mean_downtime_ms: Milliseconds = 30.0 * 60_000.0,
+    ) -> None:
+        if not relays:
+            raise ConfigurationError("churn process needs at least one relay")
+        if mean_uptime_ms <= 0 or mean_downtime_ms <= 0:
+            raise ConfigurationError("churn periods must be positive")
+        self.sim = sim
+        self.relays = list(relays)
+        self.authority = authority
+        self._rng = rng
+        self.mean_uptime_ms = mean_uptime_ms
+        self.mean_downtime_ms = mean_downtime_ms
+        self.transitions = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin churning: schedule each relay's first failure."""
+        if self._running:
+            return
+        self._running = True
+        for relay in self.relays:
+            self._schedule_failure(relay)
+
+    def stop(self) -> None:
+        """Stop scheduling further transitions (pending ones are inert)."""
+        self._running = False
+
+    def force_online(self) -> None:
+        """Bring every managed relay back up (end-of-experiment cleanup)."""
+        for relay in self.relays:
+            if not relay.is_online:
+                relay.restart()
+                self.authority.publish(relay.descriptor(), now_ms=self.sim.now)
+
+    # ------------------------------------------------------------------
+
+    def _schedule_failure(self, relay: Relay) -> None:
+        delay = float(self._rng.exponential(self.mean_uptime_ms))
+        self.sim.schedule(delay, self._fail, relay)
+
+    def _fail(self, relay: Relay) -> None:
+        if not self._running or not relay.is_online:
+            return
+        relay.shutdown()
+        self.authority.withdraw(relay.fingerprint)
+        self.transitions += 1
+        self.sim.schedule(
+            float(self._rng.exponential(self.mean_downtime_ms)),
+            self._recover,
+            relay,
+        )
+
+    def _recover(self, relay: Relay) -> None:
+        if not self._running:
+            return
+        relay.restart()
+        self.authority.publish(relay.descriptor(), now_ms=self.sim.now)
+        self.transitions += 1
+        self._schedule_failure(relay)
+
+    @property
+    def online_count(self) -> int:
+        """How many managed relays are currently online."""
+        return sum(1 for relay in self.relays if relay.is_online)

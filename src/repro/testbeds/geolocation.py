@@ -1,0 +1,64 @@
+"""A synthetic IP-geolocation database (the paper's Neustar stand-in).
+
+Figure 8 plots Ting RTTs against great-circle distances computed from a
+commercial geolocation service. Such databases are mostly right but
+contain gross errors — the paper traces its few below-(2/3)c points to
+exactly those. :class:`GeolocationDB` reproduces that: each host's entry
+is its true location, except a configurable fraction that get assigned a
+random catalogue city instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.geo import CITY_CATALOG, GeoPoint, great_circle_km
+from repro.netsim.topology import Host
+from repro.util.errors import ConfigurationError
+
+
+class GeolocationDB:
+    """Address → estimated coordinates, with database errors baked in."""
+
+    def __init__(self, entries: dict[str, GeoPoint], wrong: frozenset[str]) -> None:
+        self._entries = dict(entries)
+        self._wrong = wrong
+
+    @classmethod
+    def build(
+        cls,
+        hosts: list[Host],
+        rng: np.random.Generator,
+        error_fraction: float = 0.02,
+    ) -> "GeolocationDB":
+        """Index ``hosts``; ``error_fraction`` of entries are grossly wrong."""
+        if not 0.0 <= error_fraction <= 1.0:
+            raise ConfigurationError("error_fraction must be in [0, 1]")
+        entries: dict[str, GeoPoint] = {}
+        wrong: set[str] = set()
+        for host in hosts:
+            if rng.random() < error_fraction:
+                city = CITY_CATALOG[int(rng.integers(0, len(CITY_CATALOG)))]
+                entries[host.address] = city.point
+                wrong.add(host.address)
+            else:
+                entries[host.address] = host.point
+        return cls(entries, frozenset(wrong))
+
+    def lookup(self, address: str) -> GeoPoint:
+        """The database's (possibly wrong) coordinates for ``address``."""
+        try:
+            return self._entries[address]
+        except KeyError:
+            raise KeyError(f"no geolocation entry for {address!r}") from None
+
+    def distance_km(self, address_a: str, address_b: str) -> float:
+        """Great-circle distance between two database entries."""
+        return great_circle_km(self.lookup(address_a), self.lookup(address_b))
+
+    def is_erroneous(self, address: str) -> bool:
+        """Whether this entry was deliberately corrupted (for validation)."""
+        return address in self._wrong
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,158 @@
+"""Tor's default path selection: bandwidth-weighted with safety filters.
+
+A default Tor circuit is (guard, middle, exit), each chosen randomly with
+probability proportional to consensus bandwidth, subject to the filters
+the paper's Section 5.2 footnote mentions: no two relays from the same
+/16, no two relays from the same declared family, the entry must carry
+the Guard flag, the exit must allow the destination.
+
+The deanonymization study (Section 5.1) evaluates both this weighted mode
+and "traditional Tor" (uniform weights), so :class:`PathSelector` takes a
+``weighted`` switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tor.directory import Consensus, RelayDescriptor, RelayFlag
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PathConstraints:
+    """Which of Tor's path filters to enforce."""
+
+    distinct_relays: bool = True
+    distinct_subnets: bool = True  # no two hops in one /16
+    distinct_families: bool = True
+    require_guard_flag: bool = True
+    require_exit_policy: bool = True
+
+    @classmethod
+    def permissive(cls) -> "PathConstraints":
+        """Only the hard protocol rule (distinct relays); used when
+        measuring arbitrary pairs, as Ting does."""
+        return cls(
+            distinct_subnets=False,
+            distinct_families=False,
+            require_guard_flag=False,
+            require_exit_policy=False,
+        )
+
+
+class PathSelector:
+    """Samples circuit paths from a consensus."""
+
+    def __init__(
+        self,
+        consensus: Consensus,
+        rng: np.random.Generator,
+        weighted: bool = True,
+        constraints: PathConstraints | None = None,
+    ) -> None:
+        if len(consensus) == 0:
+            raise ConfigurationError("cannot select paths from an empty consensus")
+        self.consensus = consensus
+        self._rng = rng
+        self.weighted = weighted
+        self.constraints = constraints or PathConstraints()
+
+    # ------------------------------------------------------------------
+
+    def select_path(
+        self,
+        length: int = 3,
+        destination: tuple[str, int] | None = None,
+        exclude: frozenset[str] = frozenset(),
+    ) -> list[RelayDescriptor]:
+        """Sample one path of ``length`` hops (exit chosen last hop).
+
+        ``destination`` (address, port) activates the exit-policy filter
+        for the final hop; ``exclude`` removes fingerprints entirely.
+        """
+        if length < 2:
+            raise ConfigurationError("paths must have at least 2 hops")
+        chosen: list[RelayDescriptor] = []
+        for position in range(length):
+            role = (
+                "entry"
+                if position == 0
+                else "exit"
+                if position == length - 1
+                else "middle"
+            )
+            candidates = self._candidates(role, chosen, destination, exclude)
+            if not candidates:
+                raise ConfigurationError(
+                    f"no eligible relay for position {position} ({role})"
+                )
+            chosen.append(self._pick(candidates))
+        return chosen
+
+    def _candidates(
+        self,
+        role: str,
+        chosen: list[RelayDescriptor],
+        destination: tuple[str, int] | None,
+        exclude: frozenset[str],
+    ) -> list[RelayDescriptor]:
+        rules = self.constraints
+        taken_fps = {d.fingerprint for d in chosen}
+        taken_subnets = {self._subnet16(d.address) for d in chosen}
+        taken_families: set[str] = set()
+        for d in chosen:
+            taken_families.update(d.family)
+
+        out: list[RelayDescriptor] = []
+        for descriptor in self.consensus.routers.values():
+            if descriptor.fingerprint in exclude:
+                continue
+            if rules.distinct_relays and descriptor.fingerprint in taken_fps:
+                continue
+            if rules.distinct_subnets and self._subnet16(descriptor.address) in taken_subnets:
+                continue
+            if rules.distinct_families and (
+                descriptor.fingerprint in taken_families
+                or descriptor.family & taken_families
+            ):
+                continue
+            if (
+                role == "entry"
+                and rules.require_guard_flag
+                and not descriptor.has_flag(RelayFlag.GUARD)
+            ):
+                continue
+            if role == "exit" and rules.require_exit_policy:
+                if destination is not None:
+                    if not descriptor.exit_policy.allows(*destination):
+                        continue
+                elif not descriptor.exit_policy.is_exit:
+                    continue
+            out.append(descriptor)
+        return out
+
+    def _pick(self, candidates: list[RelayDescriptor]) -> RelayDescriptor:
+        if not self.weighted:
+            index = int(self._rng.integers(0, len(candidates)))
+            return candidates[index]
+        weights = np.array([d.bandwidth_kbps for d in candidates], dtype=float)
+        weights /= weights.sum()
+        index = int(self._rng.choice(len(candidates), p=weights))
+        return candidates[index]
+
+    @staticmethod
+    def _subnet16(address: str) -> str:
+        parts = address.split(".")
+        return ".".join(parts[:2])
+
+    # ------------------------------------------------------------------
+
+    def selection_probability(self, fingerprint: str) -> float:
+        """Marginal single-draw probability of picking ``fingerprint``
+        (uniform or bandwidth-weighted, ignoring positional filters)."""
+        if not self.weighted:
+            return 1.0 / len(self.consensus)
+        return self.consensus.bandwidth_weight(fingerprint)

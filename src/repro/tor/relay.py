@@ -1,0 +1,636 @@
+"""The Tor relay: circuit switching, onion layers, forwarding delays.
+
+A :class:`Relay` listens for OR connections, answers CREATE handshakes,
+switches RELAY cells between hops (peeling one onion layer forward,
+adding one backward), extends circuits on request, and opens exit
+streams subject to its exit policy.
+
+Every cell a relay handles pays a sampled *forwarding delay*
+(:class:`ForwardingDelayModel`): the paper's F_x term — user-space
+scheduling, queueing behind other circuits, and symmetric crypto. Its
+minimum is the crypto floor (the paper measures 0–3 ms); its tail grows
+with relay load, which is why Ting takes the minimum of many samples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.netsim.engine import Simulator
+from repro.netsim.policies import TrafficClass
+from repro.netsim.topology import Host, Topology
+from repro.netsim.transport import NetworkFabric, StreamConnection
+from repro.tor.cells import (
+    Cell,
+    CellCommand,
+    CellError,
+    RELAY_DATA_LEN,
+    RelayCellBody,
+    RelayCommand,
+)
+from repro.tor.crypto import (
+    CryptoError,
+    RelayCryptoState,
+    RelayIdentity,
+    ServerHandshake,
+)
+from repro.tor.directory import ExitPolicy, RelayDescriptor
+from repro.util.units import Milliseconds
+
+
+class ForwardingDelayModel:
+    """Samples the per-cell processing delay at one relay.
+
+    ``crypto_floor_ms`` is the deterministic minimum (symmetric crypto +
+    context switch). On top of that, with probability ``load`` the cell
+    waits behind other circuits for an exponential time, and rarely it
+    hits a long burst (scheduler stall, bandwidth throttle refill).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        crypto_floor_ms: Milliseconds = 0.4,
+        load: float = 0.3,
+        queue_scale_ms: Milliseconds = 1.5,
+        burst_probability: float = 0.02,
+        burst_scale_ms: Milliseconds = 30.0,
+    ) -> None:
+        if crypto_floor_ms < 0 or queue_scale_ms < 0 or burst_scale_ms < 0:
+            raise ValueError("delay parameters must be non-negative")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        self._rng = rng
+        self.crypto_floor_ms = crypto_floor_ms
+        self.load = load
+        self.queue_scale_ms = queue_scale_ms
+        self.burst_probability = burst_probability
+        self.burst_scale_ms = burst_scale_ms
+
+    def sample(self) -> Milliseconds:
+        """One cell's forwarding delay in milliseconds."""
+        delay = self.crypto_floor_ms
+        if self._rng.random() < self.load:
+            delay += float(self._rng.exponential(self.queue_scale_ms))
+        if self._rng.random() < self.burst_probability * max(self.load, 0.05):
+            delay += float(self._rng.exponential(self.burst_scale_ms))
+        return delay
+
+    @classmethod
+    def quiet(cls, rng: np.random.Generator) -> "ForwardingDelayModel":
+        """A lightly loaded relay (e.g. the measurement host's w and z)."""
+        return cls(rng, crypto_floor_ms=0.15, load=0.05, queue_scale_ms=0.5)
+
+
+class ServiceQueue:
+    """A work-conserving single-server queue for a relay's cell traffic.
+
+    Optional (off by default): with a queue attached, every cell also
+    occupies the relay's forwarding capacity for ``service_time_ms``, so
+    *competing traffic genuinely delays other circuits* — the physical
+    effect Murdoch–Danezis congestion probing exploits. The statistical
+    :class:`ForwardingDelayModel` still supplies background (unmodelled
+    cross-traffic) noise on top.
+
+    ``bandwidth_kbytes_s`` follows the consensus convention (KB/s).
+    """
+
+    def __init__(self, bandwidth_kbytes_s: float, cell_bytes: int = 512) -> None:
+        if bandwidth_kbytes_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.service_time_ms = cell_bytes / bandwidth_kbytes_s
+        self._busy_until: Milliseconds = 0.0
+        self.cells_served = 0
+
+    def admit(self, now: Milliseconds) -> Milliseconds:
+        """Admit one cell; return the time its service completes."""
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.service_time_ms
+        self.cells_served += 1
+        return self._busy_until
+
+    def backlog_ms(self, now: Milliseconds) -> Milliseconds:
+        """How long a cell arriving now would wait before service."""
+        return max(0.0, self._busy_until - now)
+
+
+class DiurnalForwardingDelayModel(ForwardingDelayModel):
+    """A forwarding-delay model whose load follows a daily cycle.
+
+    Real relay load swings with its users' time zones; the queueing tail
+    swells at peak hours while the crypto floor stays put. Ting's
+    min-of-N filter is designed to see through exactly this: the
+    stability experiments use this model to show minute-to-minute
+    estimates staying flat while raw sample means oscillate.
+    """
+
+    PERIOD_MS = 24.0 * 3600.0 * 1000.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        base_load: float = 0.1,
+        peak_load: float = 0.7,
+        phase_ms: Milliseconds = 0.0,
+        **kwargs,
+    ) -> None:
+        if not 0.0 <= base_load <= peak_load <= 1.0:
+            raise ValueError("need 0 <= base_load <= peak_load <= 1")
+        super().__init__(rng, load=base_load, **kwargs)
+        self._sim = sim
+        self.base_load = base_load
+        self.peak_load = peak_load
+        self.phase_ms = phase_ms
+
+    def current_load(self) -> float:
+        """The instantaneous load for the simulator's current time."""
+        import math
+
+        angle = 2.0 * math.pi * (self._sim.now + self.phase_ms) / self.PERIOD_MS
+        swing = 0.5 * (1.0 + math.sin(angle))
+        return self.base_load + (self.peak_load - self.base_load) * swing
+
+    def sample(self) -> Milliseconds:
+        self.load = self.current_load()
+        return super().sample()
+
+
+@dataclass
+class _CircuitEntry:
+    """A relay's per-circuit switching state."""
+
+    prev_conn: StreamConnection
+    prev_circ_id: int
+    crypto: RelayCryptoState
+    next_conn: StreamConnection | None = None
+    next_circ_id: int | None = None
+    # Exit streams carried on this circuit, keyed by stream id.
+    exit_streams: dict[int, StreamConnection] = field(default_factory=dict)
+    torn_down: bool = False
+
+
+class Relay:
+    """One Tor relay process bound to a simulated host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        topology: Topology,
+        host: Host,
+        nickname: str,
+        or_port: int = 9001,
+        bandwidth_kbps: int = 1024,
+        exit_policy: ExitPolicy | None = None,
+        forwarding_model: ForwardingDelayModel | None = None,
+        identity: RelayIdentity | None = None,
+        family: frozenset[str] = frozenset(),
+        service_queue: "ServiceQueue | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.topology = topology
+        self.host = host
+        self.nickname = nickname
+        self.or_port = or_port
+        self.bandwidth_kbps = bandwidth_kbps
+        self.exit_policy = exit_policy or ExitPolicy.reject_all()
+        self.identity = identity or RelayIdentity.generate(
+            entropy=RelayDescriptor.make_fingerprint(nickname, host.address, or_port)
+            .encode()
+            .ljust(32, b"\x00")[:32]
+        )
+        self.forwarding = forwarding_model or ForwardingDelayModel(
+            np.random.default_rng(abs(hash((nickname, host.address))) % (2**32))
+        )
+        self.family = family
+        self.service_queue = service_queue
+
+        self.fingerprint = RelayDescriptor.make_fingerprint(
+            nickname, host.address, or_port
+        )
+        self.cells_processed = 0
+
+        # Outbound OR connections keyed by "address:port"; each entry is
+        # (conn, established, pending cells queued while connecting).
+        self._or_conns: dict[str, StreamConnection] = {}
+        self._pending_cells: dict[str, list[Cell]] = {}
+        # Circuit table keyed by (id(conn), circ_id) for each direction.
+        self._circuits: dict[tuple[int, int], _CircuitEntry] = {}
+        # Reverse index: which (conn, circ_id) is the *next*-hop side.
+        self._next_side: dict[tuple[int, int], _CircuitEntry] = {}
+        self._circ_id_counter = itertools.count(1)
+        # Per-connection FIFO release times for the cell queue.
+        self._queue_head: dict[int, float] = {}
+        self._online = True
+
+        fabric.listen(host, or_port, self._accept_or_connection)
+
+    # ------------------------------------------------------------------
+    # Descriptor
+
+    def descriptor(self, published_at_ms: float = 0.0) -> RelayDescriptor:
+        """This relay's directory descriptor."""
+        return RelayDescriptor(
+            nickname=self.nickname,
+            fingerprint=self.fingerprint,
+            address=self.host.address,
+            or_port=self.or_port,
+            identity_public=self.identity.public,
+            bandwidth_kbps=self.bandwidth_kbps,
+            exit_policy=self.exit_policy,
+            family=self.family,
+            published_at_ms=published_at_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # OR connection handling
+
+    def _accept_or_connection(self, conn: StreamConnection) -> None:
+        conn.on_data = lambda cell, c=conn: self._cell_arrived(c, cell)
+
+    def _or_conn_to(
+        self, address: str, port: int, on_ready: Callable[[StreamConnection], None]
+    ) -> None:
+        """Get or open an OR connection to a peer relay."""
+        key = f"{address}:{port}"
+        existing = self._or_conns.get(key)
+        if existing is not None and existing.established and not existing.closed:
+            on_ready(existing)
+            return
+        if existing is not None and not existing.closed:
+            # Still connecting; chain onto establishment.
+            previous = existing._on_established
+
+            def chained(conn: StreamConnection) -> None:
+                if previous is not None:
+                    previous(conn)
+                on_ready(conn)
+
+            existing._on_established = chained
+            return
+        target = self.topology.host_by_address(address)
+
+        def established(conn: StreamConnection) -> None:
+            conn.on_data = lambda cell, c=conn: self._cell_arrived(c, cell)
+            on_ready(conn)
+
+        def failed(reason: str) -> None:
+            self._or_conns.pop(key, None)
+
+        conn = self.fabric.connect(
+            self.host, target, port, TrafficClass.TOR, established, failed
+        )
+        self._or_conns[key] = conn
+
+    # ------------------------------------------------------------------
+    # Cell dispatch
+
+    def _cell_arrived(self, conn: StreamConnection, cell: Cell) -> None:
+        """Every arriving cell pays this relay's forwarding delay first.
+
+        Processing is FIFO per connection (the relay's cell queue): a
+        cell's sampled delay can stretch its wait but never lets a later
+        cell overtake it — otherwise the per-hop stream ciphers, which
+        must advance in lockstep on both sides, would desynchronize.
+        """
+        ready_at = max(
+            self.sim.now + self.forwarding.sample(),
+            self._queue_head.get(id(conn), 0.0) + 1e-6,
+        )
+        if self.service_queue is not None:
+            # Real queueing: this cell also has to wait for the relay's
+            # forwarding capacity, shared with every other circuit.
+            ready_at = max(ready_at, self.service_queue.admit(self.sim.now))
+        self._queue_head[id(conn)] = ready_at
+        self.sim.schedule_at(ready_at, self._process_cell, conn, cell)
+
+    def _process_cell(self, conn: StreamConnection, cell: Cell) -> None:
+        self.cells_processed += 1
+        if cell.command is CellCommand.CREATE:
+            self._handle_create(conn, cell)
+        elif cell.command is CellCommand.CREATED:
+            self._handle_created(conn, cell)
+        elif cell.command is CellCommand.RELAY:
+            self._handle_relay(conn, cell)
+        elif cell.command is CellCommand.DESTROY:
+            self._handle_destroy(conn, cell)
+        # PADDING and unknown commands are dropped.
+
+    def _handle_create(self, conn: StreamConnection, cell: Cell) -> None:
+        key = (id(conn), cell.circ_id)
+        if key in self._circuits:
+            self._send_cell(conn, Cell(cell.circ_id, CellCommand.DESTROY, "duplicate"))
+            return
+        try:
+            created_payload, keys = ServerHandshake(self.identity).respond(cell.payload)
+        except CryptoError:
+            self._send_cell(conn, Cell(cell.circ_id, CellCommand.DESTROY, "handshake"))
+            return
+        self._circuits[key] = _CircuitEntry(
+            prev_conn=conn, prev_circ_id=cell.circ_id, crypto=RelayCryptoState(keys)
+        )
+        self._send_cell(conn, Cell(cell.circ_id, CellCommand.CREATED, created_payload))
+
+    def _handle_created(self, conn: StreamConnection, cell: Cell) -> None:
+        entry = self._next_side.get((id(conn), cell.circ_id))
+        if entry is None or entry.torn_down:
+            return
+        # Relay the handshake back to the client as EXTENDED.
+        self._send_backward(entry, RelayCommand.EXTENDED, 0, cell.payload)
+
+    # --- RELAY cells ----------------------------------------------------
+
+    def _handle_relay(self, conn: StreamConnection, cell: Cell) -> None:
+        key = (id(conn), cell.circ_id)
+        entry = self._circuits.get(key)
+        if entry is not None and not entry.torn_down:
+            self._relay_forward(entry, cell)
+            return
+        entry = self._next_side.get(key)
+        if entry is not None and not entry.torn_down:
+            self._relay_backward(entry, cell)
+            return
+        self._send_cell(conn, Cell(cell.circ_id, CellCommand.DESTROY, "unknown circuit"))
+
+    def _relay_forward(self, entry: _CircuitEntry, cell: Cell) -> None:
+        body = entry.crypto.peel_forward(cell.payload)
+        if self._recognize(entry, body):
+            try:
+                parsed = RelayCellBody.unpack(body)
+            except CellError:
+                self._teardown(entry, reason="malformed relay cell")
+                return
+            self._handle_recognized(entry, parsed)
+            return
+        if entry.next_conn is None or entry.next_circ_id is None:
+            # Unrecognized at the last hop: protocol violation.
+            self._teardown(entry, reason="unrecognized cell at circuit end")
+            return
+        self._send_cell(
+            entry.next_conn, Cell(entry.next_circ_id, CellCommand.RELAY, body)
+        )
+
+    def _relay_backward(self, entry: _CircuitEntry, cell: Cell) -> None:
+        body = entry.crypto.wrap_backward(cell.payload)
+        self._send_cell(
+            entry.prev_conn, Cell(entry.prev_circ_id, CellCommand.RELAY, body)
+        )
+
+    def _recognize(self, entry: _CircuitEntry, body: bytes) -> bool:
+        """Tor's 'recognized' check: zero field plus running-digest match."""
+        if body[1:3] != b"\x00\x00":
+            return False
+        digest = body[5:9]
+        zeroed = body[:5] + b"\x00\x00\x00\x00" + body[9:]
+        if entry.crypto.forward_digest.peek(zeroed) != digest:
+            return False
+        entry.crypto.forward_digest.update(zeroed)
+        return True
+
+    def _handle_recognized(self, entry: _CircuitEntry, body: RelayCellBody) -> None:
+        command = body.relay_command
+        if command is RelayCommand.EXTEND:
+            self._handle_extend(entry, body)
+        elif command is RelayCommand.BEGIN:
+            self._handle_begin(entry, body)
+        elif command is RelayCommand.DATA:
+            self._handle_exit_data(entry, body)
+        elif command is RelayCommand.END:
+            self._close_exit_stream(entry, body.stream_id)
+        elif command is RelayCommand.TRUNCATE:
+            self._handle_truncate(entry)
+        elif command is RelayCommand.DROP:
+            pass  # long-range padding: absorbed silently
+        else:
+            self._teardown(entry, reason=f"unexpected relay command {command.name}")
+
+    def _handle_extend(self, entry: _CircuitEntry, body: RelayCellBody) -> None:
+        if entry.next_conn is not None:
+            self._teardown(entry, reason="circuit already extended")
+            return
+        try:
+            spec, onionskin = body.data.split(b"|", 1)
+            address, port_text, fingerprint = spec.decode("ascii").split(":")
+            port = int(port_text)
+        except (ValueError, UnicodeDecodeError):
+            self._teardown(entry, reason="malformed EXTEND")
+            return
+        if fingerprint == self.fingerprint:
+            # A relay refuses to extend a circuit to itself.
+            self._teardown(entry, reason="extend to self")
+            return
+
+        def ready(next_conn: StreamConnection) -> None:
+            if entry.torn_down:
+                return
+            next_circ_id = next(self._circ_id_counter)
+            entry.next_conn = next_conn
+            entry.next_circ_id = next_circ_id
+            self._next_side[(id(next_conn), next_circ_id)] = entry
+            self._send_cell(
+                next_conn, Cell(next_circ_id, CellCommand.CREATE, bytes(onionskin))
+            )
+
+        try:
+            self._or_conn_to(address, port, ready)
+        except KeyError:
+            self._teardown(entry, reason=f"no route to {address}:{port}")
+
+    def _handle_begin(self, entry: _CircuitEntry, body: RelayCellBody) -> None:
+        try:
+            address, port_text = body.data.decode("ascii").rsplit(":", 1)
+            port = int(port_text)
+        except (ValueError, UnicodeDecodeError):
+            self._send_backward(
+                entry, RelayCommand.END, body.stream_id, b"malformed begin"
+            )
+            return
+        if not self.exit_policy.allows(address, port):
+            self._send_backward(
+                entry, RelayCommand.END, body.stream_id, b"exit policy"
+            )
+            return
+        try:
+            target = self.topology.host_by_address(address)
+        except KeyError:
+            self._send_backward(
+                entry, RelayCommand.END, body.stream_id, b"resolve failed"
+            )
+            return
+        stream_id = body.stream_id
+
+        def established(exit_conn: StreamConnection) -> None:
+            if entry.torn_down:
+                exit_conn.close()
+                return
+            entry.exit_streams[stream_id] = exit_conn
+            exit_conn.on_data = lambda data: self._exit_data_arrived(
+                entry, stream_id, data
+            )
+            exit_conn.on_close = lambda: self._exit_closed(entry, stream_id)
+            self._send_backward(entry, RelayCommand.CONNECTED, stream_id, b"")
+
+        def failed(reason: str) -> None:
+            if not entry.torn_down:
+                self._send_backward(
+                    entry, RelayCommand.END, stream_id, reason.encode("ascii")
+                )
+
+        self.fabric.connect(
+            self.host, target, port, TrafficClass.TCP, established, failed
+        )
+
+    def _handle_exit_data(self, entry: _CircuitEntry, body: RelayCellBody) -> None:
+        exit_conn = entry.exit_streams.get(body.stream_id)
+        if exit_conn is None or exit_conn.closed:
+            self._send_backward(entry, RelayCommand.END, body.stream_id, b"no stream")
+            return
+        exit_conn.send(body.data, size_bytes=max(64, len(body.data)))
+
+    def _exit_data_arrived(
+        self, entry: _CircuitEntry, stream_id: int, data: bytes
+    ) -> None:
+        if entry.torn_down:
+            return
+        # Chunk to relay-cell capacity; echo payloads are usually one cell.
+        payload = bytes(data)
+        for start in range(0, len(payload), RELAY_DATA_LEN):
+            self._send_backward(
+                entry,
+                RelayCommand.DATA,
+                stream_id,
+                payload[start : start + RELAY_DATA_LEN],
+            )
+
+    def _exit_closed(self, entry: _CircuitEntry, stream_id: int) -> None:
+        entry.exit_streams.pop(stream_id, None)
+        if not entry.torn_down:
+            self._send_backward(entry, RelayCommand.END, stream_id, b"closed")
+
+    def _close_exit_stream(self, entry: _CircuitEntry, stream_id: int) -> None:
+        exit_conn = entry.exit_streams.pop(stream_id, None)
+        if exit_conn is not None:
+            exit_conn.close()
+
+    def _handle_truncate(self, entry: _CircuitEntry) -> None:
+        if entry.next_conn is not None and entry.next_circ_id is not None:
+            self._send_cell(
+                entry.next_conn,
+                Cell(entry.next_circ_id, CellCommand.DESTROY, "truncated"),
+            )
+            self._next_side.pop((id(entry.next_conn), entry.next_circ_id), None)
+            entry.next_conn = None
+            entry.next_circ_id = None
+        self._send_backward(entry, RelayCommand.TRUNCATED, 0, b"")
+
+    def _handle_destroy(self, conn: StreamConnection, cell: Cell) -> None:
+        key = (id(conn), cell.circ_id)
+        entry = self._circuits.get(key)
+        if entry is not None:
+            # Came from the previous hop: propagate toward the exit.
+            self._teardown(entry, notify_prev=False)
+            return
+        entry = self._next_side.get(key)
+        if entry is not None:
+            # Came from the next hop: propagate toward the client.
+            self._teardown(entry, notify_next=False)
+
+    # ------------------------------------------------------------------
+    # Sending helpers
+
+    def _send_backward(
+        self,
+        entry: _CircuitEntry,
+        command: RelayCommand,
+        stream_id: int,
+        data: bytes,
+    ) -> None:
+        """Originate a client-bound relay cell (stamp digest, add layer)."""
+        body = RelayCellBody(relay_command=command, stream_id=stream_id, data=data)
+        digest = entry.crypto.backward_digest.update(body.pack_for_digest())
+        packed = body.with_digest(digest).pack()
+        encrypted = entry.crypto.wrap_backward(packed)
+        self._send_cell(
+            entry.prev_conn, Cell(entry.prev_circ_id, CellCommand.RELAY, encrypted)
+        )
+
+    def _send_cell(self, conn: StreamConnection, cell: Cell) -> None:
+        if conn.closed or not conn.established:
+            return
+        conn.send(cell, size_bytes=cell.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Teardown
+
+    def _teardown(
+        self,
+        entry: _CircuitEntry,
+        reason: str = "torn down",
+        notify_prev: bool = True,
+        notify_next: bool = True,
+    ) -> None:
+        if entry.torn_down:
+            return
+        entry.torn_down = True
+        for exit_conn in entry.exit_streams.values():
+            exit_conn.close()
+        entry.exit_streams.clear()
+        if notify_prev:
+            self._send_cell(
+                entry.prev_conn,
+                Cell(entry.prev_circ_id, CellCommand.DESTROY, reason),
+            )
+        if notify_next and entry.next_conn is not None and entry.next_circ_id is not None:
+            self._send_cell(
+                entry.next_conn,
+                Cell(entry.next_circ_id, CellCommand.DESTROY, reason),
+            )
+        self._circuits.pop((id(entry.prev_conn), entry.prev_circ_id), None)
+        if entry.next_conn is not None and entry.next_circ_id is not None:
+            self._next_side.pop((id(entry.next_conn), entry.next_circ_id), None)
+
+    def shutdown(self) -> None:
+        """Take the relay offline: tear down everything, stop listening."""
+        if not self._online:
+            return
+        self._online = False
+        for entry in list(self._circuits.values()):
+            self._teardown(entry, reason="relay shutdown")
+        self._circuits.clear()
+        self._next_side.clear()
+        self.fabric.stop_listening(self.host, self.or_port)
+        for conn in self._or_conns.values():
+            conn.close()
+        self._or_conns.clear()
+        self._queue_head.clear()
+
+    def restart(self) -> None:
+        """Bring a shut-down relay back online (fresh circuit state)."""
+        if self._online:
+            return
+        self._online = True
+        self.fabric.listen(self.host, self.or_port, self._accept_or_connection)
+
+    @property
+    def is_online(self) -> bool:
+        """Whether the relay is accepting connections."""
+        return self._online
+
+    @property
+    def open_circuits(self) -> int:
+        """Circuits currently switched through this relay."""
+        return sum(1 for e in self._circuits.values() if not e.torn_down)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relay({self.nickname}, {self.host.address}:{self.or_port}, "
+            f"circuits={self.open_circuits})"
+        )

@@ -1,0 +1,31 @@
+"""Shared utilities: errors, units, and deterministic random streams."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    MeasurementError,
+)
+from repro.util.rng import RandomStreams
+from repro.util.units import (
+    Milliseconds,
+    Seconds,
+    ms_to_s,
+    s_to_ms,
+    KM_PER_MS_FIBER,
+    SPEED_OF_LIGHT_KM_S,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "MeasurementError",
+    "RandomStreams",
+    "Milliseconds",
+    "Seconds",
+    "ms_to_s",
+    "s_to_ms",
+    "KM_PER_MS_FIBER",
+    "SPEED_OF_LIGHT_KM_S",
+]

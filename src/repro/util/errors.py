@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class MeasurementError(ReproError):
+    """A Ting measurement could not be completed (circuit failure, timeout)."""
+
+
+class CircuitError(ReproError):
+    """A Tor circuit could not be built, extended, or used."""
+
+
+class StreamError(ReproError):
+    """A Tor stream could not be attached or carried data incorrectly."""
+
+
+class ControlProtocolError(ReproError):
+    """The Stem-like control channel received a malformed command or reply."""
+
+
+class DirectoryError(ReproError):
+    """Directory/consensus lookup failed (unknown relay, stale consensus)."""

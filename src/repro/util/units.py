@@ -1,0 +1,49 @@
+"""Time and distance unit conventions.
+
+The simulator keeps all timestamps in *milliseconds* as floats: network RTTs
+live naturally in the 0.1--2000 ms range, so milliseconds keep numbers
+human-readable in logs and tests. These aliases and helpers document intent
+at API boundaries.
+"""
+
+from __future__ import annotations
+
+# Type aliases used in signatures to document the unit of a float.
+Milliseconds = float
+Seconds = float
+Kilometers = float
+
+#: Speed of light in vacuum, km/s.
+SPEED_OF_LIGHT_KM_S = 299_792.458
+
+#: Propagation speed in fiber is commonly taken as 2/3 c.  Expressed as
+#: kilometers traveled per millisecond, this is the constant the paper's
+#: Figure 8 uses for its "(2/3)c" sanity-check line.
+KM_PER_MS_FIBER = SPEED_OF_LIGHT_KM_S * (2.0 / 3.0) / 1000.0
+
+
+def ms_to_s(value: Milliseconds) -> Seconds:
+    """Convert milliseconds to seconds."""
+    return value / 1000.0
+
+
+def s_to_ms(value: Seconds) -> Milliseconds:
+    """Convert seconds to milliseconds."""
+    return value * 1000.0
+
+
+def propagation_delay_ms(distance_km: Kilometers) -> Milliseconds:
+    """One-way propagation delay for ``distance_km`` of fiber at 2/3 c."""
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return distance_km / KM_PER_MS_FIBER
+
+
+def min_rtt_floor_ms(distance_km: Kilometers) -> Milliseconds:
+    """The physical lower bound on RTT between points ``distance_km`` apart.
+
+    This is the "(2/3)c" line from Figure 8 of the paper: no real
+    measurement between two hosts should fall below it, and points that do
+    indicate geolocation-database errors.
+    """
+    return 2.0 * propagation_delay_ms(distance_km)

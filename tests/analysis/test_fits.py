@@ -1,0 +1,82 @@
+"""Tests for latency-vs-distance fits and reference lines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import (
+    HTRAE_INTERCEPT_MS,
+    HTRAE_SLOPE_MS_PER_KM,
+    LinearFit,
+    fit_latency_vs_distance,
+    htrae_line,
+    points_below_floor,
+    two_thirds_c_line,
+)
+from repro.util.errors import MeasurementError
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        x = np.linspace(0, 10_000, 50)
+        y = 0.02 * x + 5.0
+        fit = fit_latency_vs_distance(x, y)
+        assert fit.slope == pytest.approx(0.02)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 15_000, 500)
+        y = 0.015 * x + 10 + rng.normal(0, 5, 500)
+        fit = fit_latency_vs_distance(x, y)
+        assert fit.slope == pytest.approx(0.015, rel=0.1)
+        assert fit.r_squared > 0.9
+
+    def test_predict(self):
+        fit = LinearFit(slope=2.0, intercept=1.0, r_squared=1.0)
+        assert fit.predict(3.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            fit_latency_vs_distance([1.0], [1.0, 2.0])
+        with pytest.raises(MeasurementError):
+            fit_latency_vs_distance([1.0], [1.0])
+
+
+class TestReferenceLines:
+    def test_htrae_published_constants(self):
+        assert HTRAE_SLOPE_MS_PER_KM == pytest.approx(0.0269)
+        assert HTRAE_INTERCEPT_MS == pytest.approx(4.9)
+        assert htrae_line(1000) == pytest.approx(31.8, rel=0.01)
+
+    def test_two_thirds_c_floor(self):
+        # 10,000 km at 2/3 c: ~50 ms one way, ~100 ms RTT.
+        assert two_thirds_c_line(10_000) == pytest.approx(100.0, rel=0.01)
+
+    def test_htrae_above_floor_everywhere(self):
+        # Median latencies always exceed the physical floor.
+        for d in np.linspace(0, 20_000, 100):
+            assert htrae_line(d) > two_thirds_c_line(d) - 1e-9
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(MeasurementError):
+            htrae_line(-1)
+        with pytest.raises(MeasurementError):
+            two_thirds_c_line(-1)
+
+
+class TestFloorViolations:
+    def test_honest_points_not_flagged(self):
+        distances = np.array([1000.0, 5000.0])
+        rtts = np.array([two_thirds_c_line(1000) + 5, two_thirds_c_line(5000) + 5])
+        assert len(points_below_floor(distances, rtts)) == 0
+
+    def test_geolocation_error_flagged(self):
+        # An RTT physically impossible for the claimed distance.
+        distances = np.array([10_000.0])
+        rtts = np.array([20.0])
+        assert list(points_below_floor(distances, rtts)) == [0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            points_below_floor([1.0], [1.0, 2.0])

@@ -1,0 +1,59 @@
+"""Tests for text reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import TextTable, format_cdf_rows, format_series
+from repro.util.errors import MeasurementError
+
+
+class TestTextTable:
+    def test_render_contains_title_and_cells(self):
+        table = TextTable("Results", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        rendered = table.render()
+        assert "Results" in rendered
+        assert "alpha" in rendered
+        assert "1.500" in rendered
+
+    def test_column_count_enforced(self):
+        table = TextTable("T", ["a", "b"])
+        with pytest.raises(MeasurementError):
+            table.add_row("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(MeasurementError):
+            TextTable("T", [])
+
+    def test_render_empty_table(self):
+        table = TextTable("T", ["a"])
+        assert "a" in table.render()
+
+    def test_alignment_width(self):
+        table = TextTable("T", ["col"])
+        table.add_row("a-very-long-cell-value")
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+
+class TestFormatters:
+    def test_cdf_rows(self):
+        out = format_cdf_rows(range(1, 101), label="latency")
+        assert "CDF of latency" in out
+        assert "p50" in out
+
+    def test_cdf_rows_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            format_cdf_rows([])
+
+    def test_series_thinned(self):
+        out = format_series("line", range(100), range(100), max_points=10)
+        assert len(out.splitlines()) <= 12
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(MeasurementError):
+            format_series("x", [1, 2], [1])
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            format_series("x", [], [])

@@ -1,0 +1,148 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    box_stats,
+    cdf,
+    cdf_at,
+    coefficient_of_variation,
+    fraction_within,
+    percentile,
+    spearman_rank_correlation,
+)
+from repro.util.errors import MeasurementError
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=100,
+)
+
+
+class TestCdf:
+    def test_cdf_shape(self):
+        xs, fractions = cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == 0.5
+        assert cdf_at([1, 2, 3, 4], 0.0) == 0.0
+        assert cdf_at([1, 2, 3, 4], 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            cdf([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(MeasurementError):
+            cdf([1.0, float("nan")])
+
+    @given(_samples)
+    def test_cdf_monotone(self, samples):
+        xs, fractions = cdf(samples)
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_range_validation(self):
+        with pytest.raises(MeasurementError):
+            percentile([1.0], 101)
+
+
+class TestFractionWithin:
+    def test_paper_style_tolerance(self):
+        estimates = [100.0, 109.0, 150.0]
+        truths = [100.0, 100.0, 100.0]
+        assert fraction_within(estimates, truths, 0.10) == pytest.approx(2 / 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            fraction_within([1.0], [1.0, 2.0], 0.1)
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(MeasurementError):
+            fraction_within([1.0], [0.0], 0.1)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_ties_average_rank(self):
+        rho = spearman_rank_correlation([1, 2, 2, 3], [1, 2, 2, 3])
+        assert rho == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=50)
+        b = a + rng.normal(scale=0.5, size=50)
+        ours = spearman_rank_correlation(a, b)
+        theirs = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_nonlinear_monotone_still_one(self):
+        a = np.linspace(1, 10, 20)
+        assert spearman_rank_correlation(a, np.exp(a)) == pytest.approx(1.0)
+
+    def test_constant_rejected(self):
+        with pytest.raises(MeasurementError):
+            spearman_rank_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_single_pair_rejected(self):
+        with pytest.raises(MeasurementError):
+            spearman_rank_correlation([1], [2])
+
+    @given(_samples)
+    def test_bounded(self, samples):
+        other = list(reversed(samples))
+        try:
+            rho = spearman_rank_correlation(samples, other)
+        except MeasurementError:
+            return  # constant input
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+class TestCoefficientOfVariation:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        values = [90.0, 100.0, 110.0]
+        expected = np.std(values) / np.mean(values)
+        assert coefficient_of_variation(values) == pytest.approx(expected)
+
+    def test_zero_mean_defined(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        stats = box_stats(list(range(1, 101)))
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["q1"] == pytest.approx(25.75)
+        assert stats["q3"] == pytest.approx(75.25)
+
+    def test_outlier_detection(self):
+        values = [10.0] * 20 + [500.0]
+        stats = box_stats(values)
+        assert stats["outliers"] == 1
+        assert stats["whisker_high"] == 10.0
+
+    def test_whiskers_within_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(100, 10, 500)
+        stats = box_stats(values)
+        assert stats["whisker_low"] >= values.min()
+        assert stats["whisker_high"] <= values.max()

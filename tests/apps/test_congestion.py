@@ -1,0 +1,106 @@
+"""Tests for the Murdoch–Danezis congestion probe."""
+
+import numpy as np
+import pytest
+
+from repro.apps.congestion import CongestionProbe, VictimTraffic
+from repro.core.measurement_host import MeasurementHost
+from repro.echo.client import EchoClient
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.tor.client import OnionProxy
+from repro.tor.control import Controller
+from repro.util.errors import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def attack_world():
+    """A queued world with an attacker deployment and a victim circuit."""
+    testbed = LiveTorTestbed.build(seed=77, n_relays=14, service_queues=True)
+    attacker = testbed.measurement  # the attacker owns the destination
+
+    # Victim: its own client host + a 3-hop circuit exiting to the
+    # attacker's echo server.
+    victim_host = testbed.builder.attach_random_host(
+        testbed.topology, "victim", 5, "residential"
+    )
+    victim_proxy = OnionProxy(
+        testbed.sim, testbed.fabric, testbed.topology, victim_host,
+        testbed.consensus,
+    )
+    victim_controller = Controller(victim_proxy)
+    exits = [
+        r for r in testbed.relays
+        if r.exit_policy.allows(attacker.echo_address, attacker.echo_port)
+    ]
+    non_exits = [r for r in testbed.relays if r not in exits]
+    assert len(exits) >= 1 and len(non_exits) >= 3
+    entry, middle = non_exits[0], non_exits[1]
+    exit_relay = exits[0]
+    circuit = victim_controller.build_circuit(
+        [entry.fingerprint, middle.fingerprint, exit_relay.fingerprint]
+    )
+    stream = victim_controller.open_stream(
+        circuit, attacker.echo_address, attacker.echo_port
+    )
+    victim = VictimTraffic(
+        stream=stream, client=EchoClient(testbed.sim), interval_ms=40.0
+    )
+    on_path = [entry, middle, exit_relay]
+    off_path = [r for r in non_exits[2:4]]
+    return testbed, attacker, victim, on_path, off_path
+
+
+class TestCongestionProbe:
+    def test_on_path_relay_detected(self, attack_world):
+        _, attacker, victim, on_path, _ = attack_world
+        probe = CongestionProbe(attacker)
+        verdict = probe.probe_relay(on_path[1].descriptor(), victim)
+        assert verdict.on_path
+        assert verdict.attack_mean_ms > verdict.baseline_mean_ms
+
+    def test_off_path_relay_not_detected(self, attack_world):
+        _, attacker, victim, _, off_path = attack_world
+        probe = CongestionProbe(attacker)
+        verdict = probe.probe_relay(off_path[0].descriptor(), victim)
+        assert not verdict.on_path
+
+    def test_identify_on_path_separates_sets(self, attack_world):
+        _, attacker, victim, on_path, off_path = attack_world
+        probe = CongestionProbe(attacker)
+        candidates = [on_path[0].descriptor(), off_path[1].descriptor()]
+        verdicts = probe.identify_on_path(candidates, victim)
+        by_fp = {v.fingerprint: v for v in verdicts}
+        assert by_fp[on_path[0].fingerprint].on_path
+        assert not by_fp[off_path[1].fingerprint].on_path
+
+    def test_probe_counts(self, attack_world):
+        _, attacker, victim, on_path, _ = attack_world
+        probe = CongestionProbe(attacker)
+        probe.probe_relay(on_path[2].descriptor(), victim)
+        assert probe.probes_executed == 1
+
+    def test_validation(self, attack_world):
+        _, attacker, victim, _, _ = attack_world
+        with pytest.raises(MeasurementError):
+            CongestionProbe(attacker, clog_circuits=0)
+        with pytest.raises(MeasurementError):
+            CongestionProbe(attacker, detection_threshold=0.0)
+        probe = CongestionProbe(attacker)
+        with pytest.raises(MeasurementError):
+            probe.identify_on_path([], victim)
+
+
+class TestVictimTraffic:
+    def test_series_accumulates(self, attack_world):
+        testbed, _, victim, _, _ = attack_world
+        before = len(victim.rtts_ms)
+        victim.run_for(400.0)
+        assert len(victim.rtts_ms) >= before + 5
+
+    def test_series_between_window(self, attack_world):
+        testbed, _, victim, _, _ = attack_world
+        start = testbed.sim.now
+        victim.run_for(400.0)
+        window = victim.series_between(start, testbed.sim.now)
+        assert window.size >= 5
+        assert (window > 0).all()

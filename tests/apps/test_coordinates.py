@@ -1,0 +1,148 @@
+"""Tests for the Vivaldi coordinate baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.coordinates import (
+    VivaldiCoordinate,
+    VivaldiSystem,
+    embedding_tiv_floor,
+    relative_errors,
+)
+from repro.core.dataset import RttMatrix
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+def _euclidean_world(n: int, seed: int = 0):
+    """A perfectly embeddable world: points on a plane."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 200, size=(n, 2))
+    names = [f"n{i}" for i in range(n)]
+    matrix = np.sqrt(
+        ((points[:, None, :] - points[None, :, :]) ** 2).sum(-1)
+    )
+    return names, matrix
+
+
+def _samples_from(names, matrix):
+    out = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            out.append((names[i], names[j], float(matrix[i, j])))
+    return out
+
+
+class TestCoordinate:
+    def test_distance_includes_heights(self):
+        a = VivaldiCoordinate(position=np.array([0.0, 0.0]), height=5.0)
+        b = VivaldiCoordinate(position=np.array([3.0, 4.0]), height=2.0)
+        assert a.distance_to(b) == pytest.approx(5.0 + 5.0 + 2.0)
+
+    def test_distance_symmetric(self):
+        a = VivaldiCoordinate(position=np.array([1.0, 2.0]), height=1.0)
+        b = VivaldiCoordinate(position=np.array([4.0, 6.0]), height=0.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestVivaldiConvergence:
+    def test_converges_on_euclidean_world(self):
+        names, matrix = _euclidean_world(12)
+        system = VivaldiSystem(names, np.random.default_rng(1))
+        system.train(_samples_from(names, matrix), rounds=80)
+        errors = relative_errors(system.predict_matrix().as_array(), matrix)
+        assert np.median(errors) < 0.12
+
+    def test_error_estimate_decreases(self):
+        names, matrix = _euclidean_world(10)
+        system = VivaldiSystem(names, np.random.default_rng(1))
+        before = system.mean_error()
+        system.train(_samples_from(names, matrix), rounds=40)
+        assert system.mean_error() < before
+
+    def test_prediction_symmetric_and_zero_diagonal(self):
+        names, matrix = _euclidean_world(8)
+        system = VivaldiSystem(names, np.random.default_rng(1))
+        system.train(_samples_from(names, matrix), rounds=10)
+        assert system.predict("n0", "n1") == pytest.approx(
+            system.predict("n1", "n0")
+        )
+        assert system.predict("n0", "n0") == 0.0
+
+    def test_heights_stay_non_negative(self):
+        names, matrix = _euclidean_world(8)
+        system = VivaldiSystem(names, np.random.default_rng(1))
+        system.train(_samples_from(names, matrix), rounds=30)
+        assert all(c.height >= 0 for c in system.coordinates.values())
+
+    def test_partial_observations_still_predict_all_pairs(self):
+        names, matrix = _euclidean_world(12)
+        samples = _samples_from(names, matrix)
+        rng = np.random.default_rng(2)
+        subset = [samples[i] for i in rng.choice(len(samples), 30, replace=False)]
+        system = VivaldiSystem(names, rng)
+        system.train(subset, rounds=80)
+        predicted = system.predict_matrix()
+        assert predicted.is_complete
+
+    def test_tiv_world_has_irreducible_error(self, oracle_matrix):
+        # The paper's argument: embeddings cannot represent TIVs.
+        names = [f"n{i}" for i in range(oracle_matrix.shape[0])]
+        floor = embedding_tiv_floor(oracle_matrix)
+        assert floor > 0.0
+        system = VivaldiSystem(names, np.random.default_rng(3))
+        system.train(_samples_from(names, oracle_matrix), rounds=60)
+        errors = relative_errors(
+            system.predict_matrix().as_array(), oracle_matrix
+        )
+        assert errors.max() >= floor * 0.5
+
+
+class TestValidation:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VivaldiSystem(["a", "a"], np.random.default_rng(0))
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VivaldiSystem(["a"], np.random.default_rng(0))
+
+    def test_bad_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VivaldiSystem(["a", "b"], np.random.default_rng(0), c_error=0.0)
+
+    def test_negative_rtt_rejected(self):
+        system = VivaldiSystem(["a", "b"], np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            system.observe("a", "b", -1.0)
+
+    def test_unknown_node_rejected(self):
+        system = VivaldiSystem(["a", "b"], np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            system.observe("a", "zz", 10.0)
+
+    def test_self_observation_rejected(self):
+        system = VivaldiSystem(["a", "b"], np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            system.observe("a", "a", 10.0)
+
+    def test_empty_training_rejected(self):
+        system = VivaldiSystem(["a", "b"], np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            system.train([])
+
+    def test_relative_errors_shape_mismatch(self):
+        with pytest.raises(MeasurementError):
+            relative_errors(np.zeros((3, 3)), np.ones((4, 4)))
+
+
+class TestTivFloor:
+    def test_metric_world_has_zero_floor(self):
+        names, matrix = _euclidean_world(10)
+        assert embedding_tiv_floor(matrix) == 0.0
+
+    def test_known_tiv_floor(self):
+        # direct 100 vs detour 60: embedding must shrink by >= 20%.
+        m = np.array(
+            [[0.0, 100.0, 30.0], [100.0, 0.0, 30.0], [30.0, 30.0, 0.0]]
+        )
+        assert embedding_tiv_floor(m) == pytest.approx(0.2)

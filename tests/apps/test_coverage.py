@@ -1,0 +1,162 @@
+"""Tests for the coverage/measurement-platform analysis (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.coverage import (
+    ConsensusArchive,
+    DailySnapshot,
+    RelayRecord,
+    ResidentialClassifier,
+    synthesize_archive,
+)
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return synthesize_archive(
+        np.random.default_rng(11), n_days=20, initial_relays=1500
+    )
+
+
+class TestArchiveSynthesis:
+    def test_day_count(self, archive):
+        assert len(archive.snapshots) == 20
+
+    def test_population_stays_near_initial(self, archive):
+        days, totals, _ = archive.series()
+        assert all(1400 <= t <= 1700 for t in totals)
+
+    def test_unique_24s_below_total(self, archive):
+        _, totals, uniques = archive.series()
+        for total, unique in zip(totals, uniques):
+            assert unique < total
+            assert unique > total * 0.75  # mostly own-/24 allocation
+
+    def test_churn_changes_membership(self, archive):
+        first = {r.fingerprint for r in archive.snapshots[0].relays}
+        last = {r.fingerprint for r in archive.snapshots[-1].relays}
+        assert first != last
+        assert len(first & last) > len(first) * 0.5
+
+    def test_fingerprints_unique_within_snapshot(self, archive):
+        snapshot = archive.latest
+        fps = [r.fingerprint for r in snapshot.relays]
+        assert len(fps) == len(set(fps))
+
+    def test_addresses_unique_within_snapshot(self, archive):
+        addresses = [r.address for r in archive.latest.relays]
+        assert len(addresses) == len(set(addresses))
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            synthesize_archive(rng, n_days=0)
+        with pytest.raises(ConfigurationError):
+            synthesize_archive(rng, initial_relays=0)
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_archive(np.random.default_rng(5), n_days=3, initial_relays=50)
+        b = synthesize_archive(np.random.default_rng(5), n_days=3, initial_relays=50)
+        assert [r.address for r in a.latest.relays] == [
+            r.address for r in b.latest.relays
+        ]
+
+
+class TestClassifier:
+    def test_us_residential_names(self):
+        classifier = ResidentialClassifier()
+        assert classifier.classify("c-73-162-11-5.hsd1.ca.comcast.net") == "residential"
+        assert (
+            classifier.classify("pool-96-255-1-2.nycmny.fios.verizon.net")
+            == "residential"
+        )
+
+    def test_european_residential_names(self):
+        classifier = ResidentialClassifier()
+        assert classifier.classify("p5dcf91a2.dip0.t-ipconnect.de") == "residential"
+        assert classifier.classify("88-121-33-2.abo.bbox.fr") == "residential"
+        assert (
+            classifier.classify("cpc91-seve21-2-0-cust123.13-3.cable.virginm.net")
+            == "residential"
+        )
+
+    def test_hosting_names(self):
+        classifier = ResidentialClassifier()
+        assert classifier.classify("li123-45.members.linode.com") == "hosting"
+        assert (
+            classifier.classify("ec2-52-1-2-3.compute-1.amazonaws.com") == "hosting"
+        )
+        assert (
+            classifier.classify("static.7.6.5.104.clients.your-server.de")
+            == "hosting"
+        )
+
+    def test_institutional_names_are_other(self):
+        classifier = ResidentialClassifier()
+        assert classifier.classify("planetlab1.cs.example-u.edu") == "other"
+
+    def test_unnamed_is_none(self):
+        assert ResidentialClassifier().classify(None) is None
+
+    def test_generic_octets_without_keyword_are_other(self):
+        # Octets alone do not imply residential (could be any numbered host).
+        assert ResidentialClassifier().classify("ns1.example.net") == "other"
+
+    def test_classifier_accuracy_against_ground_truth(self, archive):
+        # The classifier should recover the synthetic ground truth well
+        # for named hosts.
+        classifier = ResidentialClassifier()
+        named = [r for r in archive.latest.relays if r.rdns is not None]
+        correct = sum(
+            1
+            for r in named
+            if (classifier.classify(r.rdns) == "residential")
+            == (r.host_type == "residential")
+        )
+        assert correct / len(named) > 0.9
+
+
+class TestSurvey:
+    def test_survey_counts_sum(self, archive):
+        classifier = ResidentialClassifier()
+        counts = classifier.survey(archive.latest)
+        named_total = (
+            counts["residential"] + counts["other"]
+        )
+        assert counts["unnamed"] > 0
+        assert named_total > 0
+
+    def test_residential_fraction_near_paper(self, archive):
+        # Paper: ~61% of named relays are residential.
+        classifier = ResidentialClassifier()
+        fraction = classifier.residential_fraction_of_named(archive.latest)
+        assert 0.45 <= fraction <= 0.75
+
+    def test_unnamed_fraction_near_paper(self, archive):
+        # Paper: 1150 of 6634 relays (~17%) had no rDNS.
+        snapshot = archive.latest
+        unnamed = sum(1 for r in snapshot.relays if r.rdns is None)
+        assert unnamed / snapshot.total_relays == pytest.approx(0.17, abs=0.05)
+
+    def test_provider_range_detection(self):
+        classifier = ResidentialClassifier()
+        snapshot = DailySnapshot(
+            day=0,
+            relays=[
+                RelayRecord("F1", "104.16.1.1", None, "hosting"),
+                RelayRecord("F2", "100.1.2.3", None, "residential"),
+            ],
+        )
+        counts = classifier.survey(snapshot)
+        assert counts["hosting"] == 1
+        assert counts["unnamed"] == 2
+
+    def test_fraction_requires_named_relays(self):
+        classifier = ResidentialClassifier()
+        snapshot = DailySnapshot(
+            day=0, relays=[RelayRecord("F1", "100.1.2.3", None, "hosting")]
+        )
+        with pytest.raises(ConfigurationError):
+            classifier.residential_fraction_of_named(snapshot)

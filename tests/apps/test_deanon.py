@@ -1,0 +1,147 @@
+"""Tests for the deanonymization simulator (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.deanon import STRATEGIES, DeanonymizationSimulator
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def sim(oracle_matrix):
+    return DeanonymizationSimulator(oracle_matrix, np.random.default_rng(0))
+
+
+class TestScenario:
+    def test_nodes_distinct(self, sim):
+        for _ in range(100):
+            s = sim.sample_scenario()
+            assert len({s.source, s.entry, s.middle, s.exit}) == 4
+
+    def test_re2e_consistent(self, sim, oracle_matrix):
+        s = sim.sample_scenario()
+        circuit = (
+            oracle_matrix[s.source, s.entry]
+            + oracle_matrix[s.entry, s.middle]
+            + oracle_matrix[s.middle, s.exit]
+        )
+        assert s.end_to_end_rtt_ms == pytest.approx(circuit + s.attacker_rtt_ms)
+
+    def test_weighted_sampling_prefers_heavy_nodes(self, oracle_matrix):
+        n = oracle_matrix.shape[0]
+        weights = np.ones(n)
+        weights[0] = 200.0
+        sim = DeanonymizationSimulator(
+            oracle_matrix, np.random.default_rng(0), weights=weights
+        )
+        hits = sum(
+            1
+            for _ in range(300)
+            if 0 in (lambda s: (s.entry, s.middle, s.exit))(sim.sample_scenario())
+        )
+        assert hits > 150
+
+
+class TestStrategies:
+    def test_all_strategies_succeed(self, sim):
+        for strategy in STRATEGIES:
+            result = sim.run(strategy, sim.sample_scenario())
+            assert result.found_entry and result.found_middle
+
+    def test_unaware_median_near_theory(self, sim):
+        # Max of two uniform order statistics: median ~ sqrt(1/2) ~ 0.707.
+        results = sim.evaluate("unaware", runs=400)
+        median = np.median([r.fraction_tested for r in results])
+        assert median == pytest.approx(0.707, abs=0.08)
+
+    def test_ignore_beats_unaware(self, sim):
+        paired = sim.evaluate_all(runs=300)
+        unaware = np.median([r.fraction_tested for r in paired["unaware"]])
+        ignore = np.median([r.fraction_tested for r in paired["ignore"]])
+        assert ignore < unaware
+
+    def test_informed_beats_ignore(self, sim):
+        paired = sim.evaluate_all(runs=300)
+        ignore = np.median([r.fraction_tested for r in paired["ignore"]])
+        informed = np.median([r.fraction_tested for r in paired["informed"]])
+        assert informed <= ignore
+
+    def test_fraction_tested_bounded(self, sim):
+        for strategy in STRATEGIES:
+            for result in sim.evaluate(strategy, runs=50):
+                assert 0.0 < result.fraction_tested <= 1.0
+
+    def test_ruled_out_zero_for_unaware(self, sim):
+        result = sim.run("unaware", sim.sample_scenario())
+        assert result.fraction_ruled_out == 0.0
+
+    def test_low_rtt_circuits_rule_out_more(self, sim):
+        # Figure 13: lower end-to-end RTT => more implicit exclusion.
+        rows = []
+        for _ in range(300):
+            scenario = sim.sample_scenario()
+            result = sim.run("ignore", scenario)
+            rows.append((scenario.end_to_end_rtt_ms, result.fraction_ruled_out))
+        rows.sort()
+        low_third = np.mean([r for _, r in rows[:100]])
+        high_third = np.mean([r for _, r in rows[-100:]])
+        assert low_third > high_third
+
+    def test_unknown_strategy_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            sim.run("psychic", sim.sample_scenario())
+
+    def test_weighted_informed_beats_weighted_baseline(self):
+        # Footnote 5: with bandwidth-weighted circuits, Algorithm 1's
+        # score/weight ordering beats probing in decreasing-weight order.
+        # (Deterministic world: fixed seeds.)
+        rng0 = np.random.default_rng(42)
+        n = 30
+        points = rng0.uniform(0, 1, (n, 2))
+        base = (
+            np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1)) * 300
+            + rng0.uniform(5, 40, (n, n))
+        )
+        matrix = (base + base.T) / 2
+        np.fill_diagonal(matrix, 0)
+        rng = np.random.default_rng(3)
+        weights = rng.lognormal(mean=0.0, sigma=1.0, size=n)
+        sim = DeanonymizationSimulator(matrix, rng, weights=weights)
+        paired = sim.evaluate_all(runs=300)
+        unaware = np.median([r.fraction_tested for r in paired["unaware"]])
+        informed = np.median([r.fraction_tested for r in paired["informed"]])
+        assert informed < unaware
+
+
+class TestValidation:
+    def test_incomplete_matrix_rejected(self):
+        from repro.core.dataset import RttMatrix
+        from repro.util.errors import MeasurementError
+
+        matrix = RttMatrix(["a", "b", "c", "d"])
+        matrix.set("a", "b", 1.0)
+        with pytest.raises(MeasurementError):
+            DeanonymizationSimulator(matrix, np.random.default_rng(0))
+
+    def test_asymmetric_matrix_rejected(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            DeanonymizationSimulator(bad, np.random.default_rng(0))
+
+    def test_too_small_matrix_rejected(self):
+        tiny = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            DeanonymizationSimulator(tiny, np.random.default_rng(0))
+
+    def test_bad_weights_rejected(self, oracle_matrix):
+        n = oracle_matrix.shape[0]
+        with pytest.raises(ConfigurationError):
+            DeanonymizationSimulator(
+                oracle_matrix, np.random.default_rng(0), weights=np.zeros(n)
+            )
+
+    def test_mu_is_matrix_mean(self, oracle_matrix):
+        sim = DeanonymizationSimulator(oracle_matrix, np.random.default_rng(0))
+        n = oracle_matrix.shape[0]
+        expected = oracle_matrix[np.triu_indices(n, k=1)].mean()
+        assert sim.mu == pytest.approx(expected)

@@ -1,0 +1,153 @@
+"""Tests for the DNS substrate and the King estimator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.king import KingMeasurer
+from repro.netsim.dns import DnsInfrastructure
+from repro.netsim.engine import Simulator
+from repro.netsim.latency import LatencyEngine
+from repro.netsim.policies import TrafficClass
+from repro.netsim.routing import Router
+from repro.netsim.topology import TopologyBuilder
+from repro.netsim.transport import NetworkFabric
+from repro.util.errors import ConfigurationError, MeasurementError
+from repro.util.rng import RandomStreams
+
+
+class KingWorld:
+    def __init__(self, seed: int = 15, recursion_fraction: float = 1.0) -> None:
+        self.streams = RandomStreams(seed)
+        self.builder = TopologyBuilder(self.streams.get("topo"))
+        self.topology = self.builder.build()
+        self.router = Router(self.topology.graph)
+        self.sim = Simulator()
+        self.latency = LatencyEngine(self.topology, self.router, self.streams)
+        self.fabric = NetworkFabric(self.sim, self.latency)
+        self.dns = DnsInfrastructure(
+            self.sim,
+            self.fabric,
+            self.topology,
+            self.builder,
+            self.streams.get("dns"),
+            open_recursion_fraction=recursion_fraction,
+        )
+        self.client = self.builder.attach_random_host(
+            self.topology, "king-client", 0, "university"
+        )
+        self.targets = []
+        for i in range(6):
+            host = self.builder.attach_random_host(
+                self.topology, f"target{i}", (3 + i * 5) % self.topology.num_pops,
+                "residential",
+            )
+            self.dns.deploy_for(host)
+            self.targets.append(host)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return KingWorld()
+
+
+class TestDnsSubstrate:
+    def test_servers_deployed_per_zone(self, world):
+        server = world.dns.server_for(world.targets[0])
+        assert server.zone == world.dns.zone_of(world.targets[0])
+
+    def test_same_zone_shares_server(self, world):
+        host_a = world.targets[0]
+        network = host_a.prefix24
+        sibling = world.builder.allocator.address_in(network)
+        host_b = world.topology.attach_host(
+            "sibling", sibling, host_a.pop_id, 2.0, 40.0,
+            host_type="residential",
+        )
+        assert world.dns.deploy_for(host_b) is world.dns.server_for(host_a)
+
+    def test_unknown_zone_raises(self, world):
+        orphan = world.builder.attach_random_host(
+            world.topology, "orphan", 1, "residential"
+        )
+        with pytest.raises(MeasurementError):
+            world.dns.server_for(orphan)
+
+    def test_iterative_query_answers(self, world):
+        server = world.dns.server_for(world.targets[0])
+        replies = []
+        world.dns.query(world.client, server, server.zone, False, replies.append)
+        world.sim.run_until_idle()
+        assert replies == [True]
+
+    def test_recursion_refused_when_unsupported(self):
+        closed = KingWorld(seed=16, recursion_fraction=0.0)
+        ns_a = closed.dns.server_for(closed.targets[0])
+        ns_b = closed.dns.server_for(closed.targets[1])
+        replies = []
+        closed.dns.query(
+            closed.client, ns_a, f"x.{ns_b.zone}", True, replies.append
+        )
+        closed.sim.run_until_idle()
+        assert replies == [False]
+
+    def test_bad_fraction_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            DnsInfrastructure(
+                world.sim, world.fabric, world.topology, world.builder,
+                world.streams.get("x"), open_recursion_fraction=1.5,
+            )
+
+
+class TestKing:
+    def test_estimates_ns_to_ns_rtt(self, world):
+        king = KingMeasurer(world.dns, world.client, samples=15)
+        a, b = world.targets[0], world.targets[1]
+        result = king.measure_pair(a, b)
+        ns_rtt = world.latency.true_rtt_ms(
+            world.dns.server_for(a).host,
+            world.dns.server_for(b).host,
+            TrafficClass.TCP,
+        )
+        assert result.rtt_ms == pytest.approx(ns_rtt, rel=0.15, abs=3.0)
+
+    def test_underestimates_residential_pairs(self, world):
+        # The structural bias: name servers are better connected than
+        # the residential hosts they represent.
+        king = KingMeasurer(world.dns, world.client, samples=15)
+        ratios = []
+        for i in range(3):
+            a, b = world.targets[i], world.targets[i + 3]
+            result = king.measure_pair(a, b)
+            truth = world.latency.true_rtt_ms(a, b, TrafficClass.TCP)
+            ratios.append(result.rtt_ms / truth)
+        assert np.median(ratios) < 1.0
+
+    def test_refuses_closed_resolver(self):
+        closed = KingWorld(seed=16, recursion_fraction=0.0)
+        king = KingMeasurer(closed.dns, closed.client)
+        with pytest.raises(MeasurementError):
+            king.measure_pair(closed.targets[0], closed.targets[1])
+        assert not king.can_measure(closed.targets[0], closed.targets[1])
+
+    def test_coverage_tracks_recursion_fraction(self):
+        sparse = KingWorld(seed=17, recursion_fraction=0.0)
+        king = KingMeasurer(sparse.dns, sparse.client)
+        measurable = sum(
+            1
+            for i in range(len(sparse.targets))
+            for j in range(i + 1, len(sparse.targets))
+            if king.can_measure(sparse.targets[i], sparse.targets[j])
+        )
+        assert measurable == 0
+
+    def test_sample_validation(self, world):
+        with pytest.raises(MeasurementError):
+            KingMeasurer(world.dns, world.client, samples=0)
+
+    def test_result_legs_consistent(self, world):
+        king = KingMeasurer(world.dns, world.client, samples=10)
+        result = king.measure_pair(world.targets[2], world.targets[4])
+        assert result.rtt_ms == pytest.approx(
+            result.recursive_total_ms - result.leg_to_ns_a_ms
+        )
+        assert result.leg_to_ns_a_ms > 0

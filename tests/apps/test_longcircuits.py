@@ -1,0 +1,114 @@
+"""Tests for the long-circuit analysis (Section 5.2.2)."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.apps.longcircuits import (
+    circuit_count_histogram,
+    circuits_within_band,
+    node_presence_by_rtt,
+    sample_circuit_rtts,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestSampling:
+    def test_rtt_is_sum_of_hops(self, oracle_matrix):
+        rng = np.random.default_rng(0)
+        rtts, paths = sample_circuit_rtts(
+            oracle_matrix, 4, 20, rng, return_paths=True
+        )
+        for rtt, path in zip(rtts, paths):
+            expected = sum(
+                oracle_matrix[a, b] for a, b in zip(path[:-1], path[1:])
+            )
+            assert rtt == pytest.approx(expected)
+
+    def test_paths_are_simple(self, oracle_matrix):
+        rng = np.random.default_rng(0)
+        _, paths = sample_circuit_rtts(oracle_matrix, 6, 50, rng, return_paths=True)
+        for path in paths:
+            assert len(set(path)) == 6
+
+    def test_longer_circuits_higher_mean_rtt(self, oracle_matrix):
+        rng = np.random.default_rng(0)
+        mean3 = sample_circuit_rtts(oracle_matrix, 3, 500, rng).mean()
+        mean8 = sample_circuit_rtts(oracle_matrix, 8, 500, rng).mean()
+        assert mean8 > mean3 * 2
+
+    def test_validation(self, oracle_matrix):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_circuit_rtts(oracle_matrix, 1, 10, rng)
+        with pytest.raises(ConfigurationError):
+            sample_circuit_rtts(oracle_matrix, 99, 10, rng)
+        with pytest.raises(ConfigurationError):
+            sample_circuit_rtts(oracle_matrix, 3, 0, rng)
+
+
+class TestHistogram:
+    def test_counts_scale_to_combinations(self, oracle_matrix):
+        n = oracle_matrix.shape[0]
+        hist = circuit_count_histogram(
+            oracle_matrix, lengths=(3,), n_samples=2000, rng=np.random.default_rng(0)
+        )
+        centers, counts = hist[3]
+        assert counts.sum() == pytest.approx(comb(n, 3), rel=0.01)
+
+    def test_all_lengths_present(self, oracle_matrix):
+        hist = circuit_count_histogram(
+            oracle_matrix, n_samples=500, rng=np.random.default_rng(0)
+        )
+        assert set(hist) == set(range(3, 11))
+
+    def test_more_long_circuits_at_moderate_rtt(self, oracle_matrix):
+        # Figure 16's key claim: at a fixed moderate RTT there are orders
+        # of magnitude more longer circuits than 3-hop ones.
+        band = circuits_within_band(
+            oracle_matrix,
+            300.0,
+            500.0,
+            lengths=(3, 4, 5),
+            n_samples=4000,
+            rng=np.random.default_rng(0),
+        )
+        assert band[4] > band[3]
+        assert band[5] > band[4]
+
+    def test_band_validation(self, oracle_matrix):
+        with pytest.raises(ConfigurationError):
+            circuits_within_band(oracle_matrix, 300.0, 200.0)
+
+
+class TestDiversity:
+    def test_presence_probability_bounds(self, oracle_matrix):
+        centers, presence = node_presence_by_rtt(
+            oracle_matrix, 4, n_samples=2000, rng=np.random.default_rng(0)
+        )
+        assert (presence >= 0).all()
+        assert (presence <= 1).all()
+
+    def test_presence_zero_in_empty_bins(self, oracle_matrix):
+        centers, presence = node_presence_by_rtt(
+            oracle_matrix,
+            3,
+            n_samples=500,
+            max_rtt_ms=10_000.0,
+            rng=np.random.default_rng(0),
+        )
+        assert presence[-1] == 0.0  # nothing out at 10 s
+
+    def test_expected_presence_scales_with_length(self, oracle_matrix):
+        # A node sits on an ell-relay circuit with probability ell/n, so
+        # the average (over bins with mass) median presence grows with ell.
+        n = oracle_matrix.shape[0]
+        rng = np.random.default_rng(0)
+        means = {}
+        for length in (3, 8):
+            _, presence = node_presence_by_rtt(
+                oracle_matrix, length, n_samples=3000, rng=rng
+            )
+            means[length] = presence[presence > 0].mean()
+        assert means[8] > means[3]

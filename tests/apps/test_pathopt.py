@@ -1,0 +1,124 @@
+"""Tests for latency-aware circuit selection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pathopt import STRATEGIES, CircuitSelector, RelayInfo
+from repro.core.dataset import RttMatrix
+from repro.netsim.geo import GeoPoint
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+@pytest.fixture(scope="module")
+def selector():
+    rng = np.random.default_rng(5)
+    n = 15
+    points = rng.uniform(-50, 50, size=(n, 2))
+    relays = [
+        RelayInfo(
+            name=f"r{i}",
+            bandwidth_kbps=int(rng.integers(100, 5000)),
+            location=GeoPoint(float(points[i, 0]), float(points[i, 1])),
+        )
+        for i in range(n)
+    ]
+    matrix = RttMatrix([r.name for r in relays])
+    for i in range(n):
+        for j in range(i + 1, n):
+            base = float(np.linalg.norm(points[i] - points[j])) * 2.0 + 5.0
+            matrix.set(f"r{i}", f"r{j}", base + float(rng.uniform(0, 30)))
+    return CircuitSelector(relays, matrix, np.random.default_rng(0))
+
+
+class TestSelection:
+    def test_circuits_are_simple(self, selector):
+        for strategy in STRATEGIES:
+            for _ in range(30):
+                circuit = selector.select(strategy)
+                assert len(set(circuit)) == 3
+
+    def test_unknown_strategy_rejected(self, selector):
+        with pytest.raises(ConfigurationError):
+            selector.select("telepathy")
+
+    def test_ting_selection_beats_default_latency(self, selector):
+        outcomes = selector.evaluate_all(n_circuits=400)
+        assert (
+            outcomes["ting"].median_rtt_ms()
+            < outcomes["default"].median_rtt_ms()
+        )
+
+    def test_ting_beats_geographic(self, selector):
+        # Geographic distance cannot see the random routing inflation in
+        # the matrix, so measured RTTs pick strictly better circuits.
+        outcomes = selector.evaluate_all(n_circuits=400)
+        assert (
+            outcomes["ting"].median_rtt_ms()
+            <= outcomes["geographic"].median_rtt_ms() + 1.0
+        )
+
+    def test_informed_strategies_lose_some_entropy(self, selector):
+        outcomes = selector.evaluate_all(n_circuits=400)
+        assert (
+            outcomes["ting"].selection_entropy()
+            <= outcomes["default"].selection_entropy()
+        )
+
+    def test_entropy_stays_meaningful(self, selector):
+        # The best-quartile sampling keeps the selector from collapsing
+        # onto a handful of relays.
+        outcomes = selector.evaluate(strategy="ting", n_circuits=400)
+        assert outcomes.selection_entropy() > 0.6 * outcomes.max_entropy()
+
+    def test_circuit_rtt_matches_matrix(self, selector):
+        circuit = selector.select("default")
+        a, b, c = circuit
+        expected = selector.matrix.get(
+            selector.relays[a].name, selector.relays[b].name
+        ) + selector.matrix.get(selector.relays[b].name, selector.relays[c].name)
+        assert selector.circuit_rtt_ms(circuit) == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_too_few_relays_rejected(self):
+        relays = [
+            RelayInfo("a", 100, GeoPoint(0, 0)),
+            RelayInfo("b", 100, GeoPoint(1, 1)),
+        ]
+        matrix = RttMatrix(["a", "b"])
+        matrix.set("a", "b", 10.0)
+        with pytest.raises(ConfigurationError):
+            CircuitSelector(relays, matrix, np.random.default_rng(0))
+
+    def test_matrix_must_cover_relays(self):
+        relays = [
+            RelayInfo("a", 100, GeoPoint(0, 0)),
+            RelayInfo("b", 100, GeoPoint(1, 1)),
+            RelayInfo("c", 100, GeoPoint(2, 2)),
+        ]
+        matrix = RttMatrix(["a", "b"])
+        matrix.set("a", "b", 10.0)
+        with pytest.raises(ConfigurationError):
+            CircuitSelector(relays, matrix, np.random.default_rng(0))
+
+    def test_incomplete_matrix_rejected(self):
+        relays = [
+            RelayInfo("a", 100, GeoPoint(0, 0)),
+            RelayInfo("b", 100, GeoPoint(1, 1)),
+            RelayInfo("c", 100, GeoPoint(2, 2)),
+        ]
+        matrix = RttMatrix(["a", "b", "c"])
+        matrix.set("a", "b", 10.0)
+        with pytest.raises(MeasurementError):
+            CircuitSelector(relays, matrix, np.random.default_rng(0))
+
+    def test_outcome_entropy_requires_selections(self):
+        from repro.apps.pathopt import SelectionOutcome
+
+        outcome = SelectionOutcome(
+            strategy="default",
+            circuit_rtts_ms=np.array([]),
+            selection_counts=np.zeros(3),
+        )
+        with pytest.raises(MeasurementError):
+            outcome.selection_entropy()

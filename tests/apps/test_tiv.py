@@ -1,0 +1,96 @@
+"""Tests for triangle-inequality-violation analysis (Section 5.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tiv import detour_scatter, find_tivs, tiv_summary
+from repro.core.dataset import RttMatrix
+from repro.util.errors import MeasurementError
+
+
+def _matrix_with_known_tiv():
+    # R(a,b)=100 but a-c-b = 30+30=60: a clear TIV with relay c.
+    m = np.array(
+        [
+            [0.0, 100.0, 30.0],
+            [100.0, 0.0, 30.0],
+            [30.0, 30.0, 0.0],
+        ]
+    )
+    return m
+
+
+class TestFindTivs:
+    def test_known_tiv_found(self):
+        findings = find_tivs(_matrix_with_known_tiv())
+        assert len(findings) == 1
+        f = findings[0]
+        assert (f.src, f.dst) == ("0", "1")
+        assert f.relay == "2"
+        assert f.detour_rtt_ms == pytest.approx(60.0)
+        assert f.savings_fraction == pytest.approx(0.4)
+
+    def test_metric_space_has_no_tivs(self):
+        # Points on a line: the triangle inequality holds everywhere.
+        positions = np.array([0.0, 10.0, 25.0, 70.0])
+        m = np.abs(positions[:, None] - positions[None, :])
+        assert find_tivs(m) == []
+
+    def test_best_detour_chosen(self):
+        m = np.array(
+            [
+                [0.0, 100.0, 30.0, 45.0],
+                [100.0, 0.0, 30.0, 45.0],
+                [30.0, 30.0, 0.0, 50.0],
+                [45.0, 45.0, 50.0, 0.0],
+            ]
+        )
+        findings = [f for f in find_tivs(m) if (f.src, f.dst) == ("0", "1")]
+        assert findings[0].relay == "2"  # 60 beats 90
+
+    def test_works_with_rtt_matrix_object(self):
+        matrix = RttMatrix(["a", "b", "c"])
+        matrix.set("a", "b", 100.0)
+        matrix.set("a", "c", 30.0)
+        matrix.set("b", "c", 30.0)
+        findings = find_tivs(matrix)
+        assert findings[0].relay == "c"
+
+    def test_incomplete_matrix_rejected(self):
+        matrix = RttMatrix(["a", "b", "c"])
+        matrix.set("a", "b", 1.0)
+        with pytest.raises(MeasurementError):
+            find_tivs(matrix)
+
+    def test_oracle_matrix_has_tivs(self, oracle_matrix):
+        # The policy-routed underlay produces overlay TIVs (the paper's
+        # core observation about Tor).
+        summary = tiv_summary(oracle_matrix)
+        assert summary["tiv_fraction"] > 0.1
+
+    def test_savings_fraction_bounds(self, oracle_matrix):
+        for finding in find_tivs(oracle_matrix):
+            assert 0.0 < finding.savings_fraction < 1.0
+            assert finding.detour_rtt_ms < finding.direct_rtt_ms
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = tiv_summary(_matrix_with_known_tiv())
+        assert summary["pairs"] == 3
+        assert summary["tiv_pairs"] == 1
+        assert summary["tiv_fraction"] == pytest.approx(1 / 3)
+        assert summary["median_savings_fraction"] == pytest.approx(0.4)
+
+    def test_no_tivs_summary(self):
+        positions = np.array([0.0, 10.0, 25.0])
+        m = np.abs(positions[:, None] - positions[None, :])
+        summary = tiv_summary(m)
+        assert summary["tiv_pairs"] == 0
+        assert summary["median_savings_fraction"] == 0.0
+
+    def test_scatter_matches_findings(self, oracle_matrix):
+        direct, detour = detour_scatter(oracle_matrix)
+        findings = find_tivs(oracle_matrix)
+        assert len(direct) == len(findings)
+        assert (detour < direct).all()

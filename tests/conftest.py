@@ -1,0 +1,112 @@
+"""Shared fixtures.
+
+Heavy worlds (topologies, testbeds, all-pairs matrices) are built once
+per session; tests that only *read* them share the instance, and tests
+that mutate simulation state build their own via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.measurement_host import MeasurementHost
+from repro.netsim.engine import Simulator
+from repro.netsim.latency import LatencyEngine
+from repro.netsim.routing import Router
+from repro.netsim.topology import Topology, TopologyBuilder
+from repro.netsim.transport import NetworkFabric
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.testbeds.planetlab import PlanetLabTestbed
+from repro.tor.directory import DirectoryAuthority, ExitPolicy
+from repro.tor.relay import ForwardingDelayModel, Relay
+from repro.util.rng import RandomStreams
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=1234)
+
+
+class MiniWorld:
+    """A tiny complete deployment: N public relays + measurement host."""
+
+    def __init__(self, seed: int = 42, n_relays: int = 4) -> None:
+        self.streams = RandomStreams(seed)
+        self.builder = TopologyBuilder(self.streams.get("topology"))
+        self.topology = self.builder.build()
+        self.router = Router(self.topology.graph)
+        self.sim = Simulator()
+        self.latency = LatencyEngine(self.topology, self.router, self.streams)
+        self.fabric = NetworkFabric(self.sim, self.latency)
+        self.authority = DirectoryAuthority()
+        self.relays: list[Relay] = []
+        relay_rng = self.streams.get("relays")
+        pops = sorted(self.topology.pops)
+        for i in range(n_relays):
+            host = self.builder.attach_random_host(
+                self.topology, f"mini{i}", pops[(i * 7) % len(pops)], "hosting"
+            )
+            relay = Relay(
+                self.sim,
+                self.fabric,
+                self.topology,
+                host,
+                nickname=f"mini{i}",
+                bandwidth_kbps=1024 * (i + 1),
+                exit_policy=ExitPolicy.accept_all() if i % 2 == 0 else ExitPolicy.reject_all(),
+                forwarding_model=ForwardingDelayModel(relay_rng, load=0.1),
+            )
+            self.relays.append(relay)
+            self.authority.publish(relay.descriptor())
+        self.consensus = self.authority.make_consensus()
+        self.measurement = MeasurementHost.deploy(
+            self.sim,
+            self.fabric,
+            self.topology,
+            self.builder,
+            self.consensus,
+            pop_id=pops[0],
+            streams=self.streams,
+        )
+
+    def fingerprints(self) -> list[str]:
+        return [r.fingerprint for r in self.relays]
+
+
+@pytest.fixture
+def mini_world() -> MiniWorld:
+    """A fresh tiny deployment per test (mutation-safe)."""
+    return MiniWorld()
+
+
+@pytest.fixture(scope="session")
+def shared_mini_world() -> MiniWorld:
+    """A session-shared tiny deployment for read-mostly tests."""
+    return MiniWorld(seed=77)
+
+
+@pytest.fixture(scope="session")
+def pl_testbed() -> PlanetLabTestbed:
+    """A small PlanetLab-style testbed shared across validation tests."""
+    return PlanetLabTestbed.build(seed=5, n_relays=6)
+
+
+@pytest.fixture(scope="session")
+def live_testbed() -> LiveTorTestbed:
+    """A small live-Tor-shaped network shared across app tests."""
+    return LiveTorTestbed.build(seed=5, n_relays=40)
+
+
+@pytest.fixture(scope="session")
+def oracle_matrix(live_testbed: LiveTorTestbed) -> np.ndarray:
+    """A 30-node all-pairs oracle RTT matrix over the live testbed."""
+    rng = np.random.default_rng(9)
+    descriptors = live_testbed.random_relays(30, rng)
+    n = len(descriptors)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = live_testbed.oracle_rtt(descriptors[i], descriptors[j])
+            matrix[i, j] = matrix[j, i] = rtt
+    return matrix

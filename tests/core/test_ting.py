@@ -1,0 +1,177 @@
+"""Tests for the Ting measurement technique itself."""
+
+import pytest
+
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.util.errors import MeasurementError
+
+FAST = SamplePolicy(samples=30, interval_ms=2.0)
+
+
+@pytest.fixture
+def measurer(mini_world):
+    return TingMeasurer(mini_world.measurement, policy=FAST)
+
+
+class TestMeasurePair:
+    def test_estimate_close_to_oracle(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        oracle = mini_world.latency.true_rtt_ms(x.host, y.host)
+        assert result.rtt_ms == pytest.approx(oracle, rel=0.25, abs=8.0)
+
+    def test_estimate_is_eq4(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        expected = (
+            result.circuit_xy.min_ms
+            - result.circuit_x.min_ms / 2.0
+            - result.circuit_y.min_ms / 2.0
+        )
+        assert result.rtt_ms == pytest.approx(expected)
+
+    def test_circuit_paths_follow_design(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        w = mini_world.measurement.relay_w.fingerprint
+        z = mini_world.measurement.relay_z.fingerprint
+        assert result.circuit_xy.path == (w, x.fingerprint, y.fingerprint, z)
+        assert result.circuit_x.path == (w, x.fingerprint, z)
+        assert result.circuit_y.path == (w, y.fingerprint, z)
+
+    def test_sample_counts_match_policy(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        assert len(result.circuit_xy.samples_ms) == FAST.samples
+        assert result.total_probes == 3 * FAST.samples
+
+    def test_accepts_fingerprint_strings(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.fingerprint, y.fingerprint)
+        assert result.x_fingerprint == x.fingerprint
+
+    def test_self_pair_rejected(self, mini_world, measurer):
+        x = mini_world.relays[0]
+        with pytest.raises(MeasurementError):
+            measurer.measure_pair(x.fingerprint, x.fingerprint)
+
+    def test_local_helpers_rejected(self, mini_world, measurer):
+        x = mini_world.relays[0]
+        w = mini_world.measurement.relay_w
+        with pytest.raises(MeasurementError):
+            measurer.measure_pair(w.fingerprint, x.fingerprint)
+
+    def test_duration_recorded(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        assert result.duration_ms > 0
+
+    def test_offline_relay_raises_measurement_error(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        x.shutdown()
+        with pytest.raises(MeasurementError):
+            measurer.measure_pair(
+                x.descriptor(),
+                y.descriptor(),
+                policy=SamplePolicy(samples=5, timeout_ms=5_000.0),
+            )
+
+    def test_clamped_estimate_non_negative(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        assert result.rtt_clamped_ms >= 0.0
+
+    def test_bookkeeping_counters(self, mini_world, measurer):
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        measurer.measure_pair(x.descriptor(), y.descriptor())
+        assert measurer.circuits_built == 3
+        assert measurer.probes_sent == 3 * FAST.samples
+
+
+class TestLegCache:
+    def test_cache_reuses_leg_measurements(self, mini_world):
+        measurer = TingMeasurer(
+            mini_world.measurement, policy=FAST, cache_legs=True
+        )
+        relays = mini_world.relays
+        measurer.measure_pair(relays[0].descriptor(), relays[1].descriptor())
+        built_after_first = measurer.circuits_built
+        measurer.measure_pair(relays[0].descriptor(), relays[2].descriptor())
+        # Second pair: C_xy plus only relay 2's new leg.
+        assert measurer.circuits_built == built_after_first + 2
+
+    def test_without_cache_all_legs_remeasured(self, mini_world):
+        measurer = TingMeasurer(mini_world.measurement, policy=FAST)
+        relays = mini_world.relays
+        measurer.measure_pair(relays[0].descriptor(), relays[1].descriptor())
+        measurer.measure_pair(relays[0].descriptor(), relays[2].descriptor())
+        assert measurer.circuits_built == 6
+
+    def test_invalidate_clears_cache(self, mini_world):
+        measurer = TingMeasurer(
+            mini_world.measurement, policy=FAST, cache_legs=True
+        )
+        relays = mini_world.relays
+        measurer.measure_leg(relays[0].descriptor())
+        measurer.invalidate_leg_cache()
+        measurer.measure_leg(relays[0].descriptor())
+        assert measurer.circuits_built == 2
+
+    def test_cached_leg_same_object(self, mini_world):
+        measurer = TingMeasurer(
+            mini_world.measurement, policy=FAST, cache_legs=True
+        )
+        relay = mini_world.relays[0]
+        first = measurer.measure_leg(relay.descriptor())
+        second = measurer.measure_leg(relay.descriptor())
+        assert first is second
+
+
+class TestCircuitReuse:
+    def test_reuse_estimates_match_fresh(self, mini_world):
+        fresh = TingMeasurer(mini_world.measurement, policy=FAST)
+        reuse = TingMeasurer(
+            mini_world.measurement, policy=FAST, reuse_circuits=True
+        )
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        fresh_result = fresh.measure_pair(x.descriptor(), y.descriptor())
+        reuse_result = reuse.measure_pair(x.descriptor(), y.descriptor())
+        assert reuse_result.rtt_ms == pytest.approx(
+            fresh_result.rtt_ms, rel=0.25, abs=8.0
+        )
+        assert reuse.circuits_reused == 1
+
+    def test_reuse_saves_a_build(self, mini_world):
+        reuse = TingMeasurer(
+            mini_world.measurement, policy=FAST, reuse_circuits=True
+        )
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        reuse.measure_pair(x.descriptor(), y.descriptor())
+        # One pair circuit (reshaped into the x leg) plus the y leg.
+        assert reuse.circuits_built == 2
+
+    def test_reuse_circuit_paths_correct(self, mini_world):
+        reuse = TingMeasurer(
+            mini_world.measurement, policy=FAST, reuse_circuits=True
+        )
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        result = reuse.measure_pair(x.descriptor(), y.descriptor())
+        w = mini_world.measurement.relay_w.fingerprint
+        z = mini_world.measurement.relay_z.fingerprint
+        assert result.circuit_x.path == (w, x.fingerprint, z)
+
+    def test_reuse_with_leg_cache(self, mini_world):
+        reuse = TingMeasurer(
+            mini_world.measurement,
+            policy=FAST,
+            reuse_circuits=True,
+            cache_legs=True,
+        )
+        relays = mini_world.relays
+        reuse.measure_pair(relays[0].descriptor(), relays[1].descriptor())
+        built_first = reuse.circuits_built
+        # Second pair reuses relay 0's cached leg: no surgery needed.
+        reuse.measure_pair(relays[0].descriptor(), relays[2].descriptor())
+        assert reuse.circuits_reused == 1
+        assert reuse.circuits_built == built_first + 2

@@ -1,0 +1,119 @@
+"""Failure injection: relays going away mid-measurement, bad circuits."""
+
+import pytest
+
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.util.errors import CircuitError, MeasurementError
+
+FAST = SamplePolicy(samples=10, interval_ms=2.0, timeout_ms=10_000.0)
+
+
+class TestRelayFailures:
+    def test_offline_x_relay_fails_cleanly(self, mini_world):
+        measurer = TingMeasurer(mini_world.measurement, policy=FAST)
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        x.shutdown()
+        with pytest.raises(MeasurementError):
+            measurer.measure_pair(x.descriptor(), y.descriptor())
+        # The world remains usable for other pairs.
+        result = measurer.measure_pair(
+            mini_world.relays[1].descriptor(), mini_world.relays[2].descriptor()
+        )
+        assert result.rtt_ms is not None
+
+    def test_relay_shutdown_mid_circuit_destroys_it(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        z = mini_world.measurement.relay_z
+        x = mini_world.relays[0]
+        circuit = controller.build_circuit(
+            [w.fingerprint, x.fingerprint, z.fingerprint]
+        )
+        assert circuit.is_built
+        x.shutdown()
+        mini_world.sim.run_until_idle()
+        # New streams cannot be attached through a dead middle relay.
+        from repro.util.errors import StreamError
+
+        with pytest.raises(StreamError):
+            controller.open_stream(
+                circuit,
+                mini_world.measurement.echo_address,
+                mini_world.measurement.echo_port,
+                timeout_ms=10_000.0,
+            )
+
+    def test_echo_server_down_fails_stream(self, mini_world):
+        measurement = mini_world.measurement
+        controller = measurement.controller
+        w = measurement.relay_w
+        z = measurement.relay_z
+        x = mini_world.relays[0]
+        measurement.echo_server.shutdown()
+        circuit = controller.build_circuit(
+            [w.fingerprint, x.fingerprint, z.fingerprint]
+        )
+        from repro.util.errors import StreamError
+
+        with pytest.raises(StreamError):
+            controller.open_stream(
+                circuit, measurement.echo_address, measurement.echo_port
+            )
+
+    def test_build_timeout_enforced(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        x = mini_world.relays[0]
+        x.shutdown()
+        with pytest.raises(CircuitError):
+            controller.build_circuit(
+                [w.fingerprint, x.fingerprint], timeout_ms=2_000.0
+            )
+
+    def test_destroy_propagates_to_all_hops(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        z = mini_world.measurement.relay_z
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        circuit = controller.build_circuit(
+            [w.fingerprint, x.fingerprint, y.fingerprint, z.fingerprint]
+        )
+        controller.close_circuit(circuit)
+        mini_world.sim.run_until_idle()
+        assert x.open_circuits == 0
+        assert y.open_circuits == 0
+
+
+class TestCorruption:
+    def test_tampered_backward_cell_fails_circuit(self, mini_world):
+        # Flip bytes in a relayed cell: digest recognition must fail and
+        # the client must tear the circuit down rather than accept data.
+        controller = mini_world.measurement.controller
+        measurement = mini_world.measurement
+        w = measurement.relay_w
+        z = measurement.relay_z
+        x = mini_world.relays[0]
+        circuit = controller.build_circuit(
+            [w.fingerprint, x.fingerprint, z.fingerprint]
+        )
+        stream = controller.open_stream(
+            circuit, measurement.echo_address, measurement.echo_port
+        )
+        from repro.tor.cells import Cell, CellCommand
+
+        # Inject a forged RELAY cell at the client as if from the entry.
+        conn = measurement.proxy._conn_for_circuit[circuit.circ_id]
+        forged = Cell(circuit.circ_id, CellCommand.RELAY, b"\x5a" * 509)
+        measurement.proxy._cell_arrived(conn, forged)
+        assert circuit.state == "failed"
+        assert "unrecognized" in circuit.failure_reason
+
+    def test_unknown_circuit_cell_ignored_by_client(self, mini_world):
+        measurement = mini_world.measurement
+        from repro.tor.cells import Cell, CellCommand
+
+        # A cell for a circuit id that does not exist is dropped silently.
+        measurement.proxy._cell_arrived(
+            None, Cell(9999, CellCommand.RELAY, b"\x00" * 509)
+        )

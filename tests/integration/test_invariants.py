@@ -1,0 +1,84 @@
+"""Cross-cutting invariants of the measurement pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.deanon import DeanonymizationSimulator
+from repro.apps.tiv import find_tivs
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+
+
+class TestTingInvariants:
+    def test_measurement_order_does_not_matter_much(self, mini_world):
+        # R(x, y) and R(y, x) are the same quantity; Ting measured in
+        # either orientation must agree within noise.
+        measurer = TingMeasurer(
+            mini_world.measurement, policy=SamplePolicy(samples=40, interval_ms=2.0)
+        )
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        forward = measurer.measure_pair(x.descriptor(), y.descriptor())
+        backward = measurer.measure_pair(y.descriptor(), x.descriptor())
+        assert forward.rtt_ms == pytest.approx(
+            backward.rtt_ms, rel=0.2, abs=5.0
+        )
+
+    def test_estimate_bounded_by_circuit_measurement(self, mini_world):
+        # Eq. 4 subtracts positive quantities: the estimate can never
+        # exceed the full-circuit RTT.
+        measurer = TingMeasurer(
+            mini_world.measurement, policy=SamplePolicy(samples=20, interval_ms=2.0)
+        )
+        x, y = mini_world.relays[0], mini_world.relays[2]
+        result = measurer.measure_pair(x.descriptor(), y.descriptor())
+        assert result.rtt_ms < result.circuit_xy.min_ms
+
+    def test_more_samples_never_worse_floor(self, mini_world):
+        # The min filter is monotone in the sample count over the same
+        # circuit (statistically: a superset of draws).
+        measurer = TingMeasurer(mini_world.measurement)
+        x, y = mini_world.relays[0], mini_world.relays[1]
+        few = measurer.measure_pair_circuit(
+            x.descriptor(), y.descriptor(), SamplePolicy(samples=10, interval_ms=2.0)
+        )
+        many = measurer.measure_pair_circuit(
+            x.descriptor(), y.descriptor(), SamplePolicy(samples=100, interval_ms=2.0)
+        )
+        # Not a strict guarantee across different draws, but the floors
+        # must be within jitter of each other.
+        assert many.min_ms <= few.min_ms + 2.0
+
+
+_matrix_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestMatrixInvariants:
+    @given(seed=_matrix_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_tiv_detours_strictly_better(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        points = rng.uniform(0, 1, (n, 2))
+        base = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+        noise = rng.uniform(0, 0.5, (n, n))
+        matrix = (base + noise + (base + noise).T) * 50
+        np.fill_diagonal(matrix, 0)
+        for finding in find_tivs(matrix):
+            assert finding.detour_rtt_ms < finding.direct_rtt_ms
+            assert 0 < finding.savings_fraction < 1
+
+    @given(seed=_matrix_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_deanonymization_always_terminates(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 10
+        points = rng.uniform(0, 1, (n, 2))
+        base = np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1))
+        matrix = (base + base.T) * 100 + 5
+        np.fill_diagonal(matrix, 0)
+        simulator = DeanonymizationSimulator(matrix, rng)
+        for strategy in ("unaware", "ignore", "informed"):
+            result = simulator.run(strategy, simulator.sample_scenario())
+            assert result.found_entry and result.found_middle
+            assert result.probes_used <= result.testable_nodes

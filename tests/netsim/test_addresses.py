@@ -1,0 +1,95 @@
+"""Unit tests for address allocation and prefix handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.addresses import (
+    AddressAllocator,
+    HOSTING_PROVIDER_RANGES,
+    parse_ipv4,
+    prefix16,
+    prefix24,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestParsing:
+    def test_parse_valid(self):
+        assert parse_ipv4("198.51.100.7") == (198, 51, 100, 7)
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "1.2.3.256", "1.2.3.-1", ""]
+    )
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_prefix24(self):
+        assert prefix24("198.51.100.7") == "198.51.100"
+
+    def test_prefix16(self):
+        assert prefix16("198.51.100.7") == "198.51"
+
+    @given(st.tuples(*[st.integers(0, 255)] * 4))
+    def test_prefixes_nest(self, octets):
+        address = ".".join(map(str, octets))
+        assert prefix24(address).startswith(prefix16(address))
+
+
+class TestAllocator:
+    def test_addresses_unique(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        addresses = [allocator.new_host() for _ in range(300)]
+        assert len(set(addresses)) == 300
+
+    def test_networks_unique(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        networks = [allocator.new_network() for _ in range(300)]
+        assert len(set(networks)) == 300
+
+    def test_address_in_unknown_network_rejected(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            allocator.address_in("10.0.0")
+
+    def test_network_fills_at_254_hosts(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        network = allocator.new_network()
+        for _ in range(254):
+            allocator.address_in(network)
+        with pytest.raises(ConfigurationError):
+            allocator.address_in(network)
+
+    def test_no_private_or_multicast_space(self):
+        allocator = AddressAllocator(np.random.default_rng(7))
+        for _ in range(500):
+            first = parse_ipv4(allocator.new_host())[0]
+            assert first not in (0, 10, 127, 172, 192)
+            assert first < 224
+
+    def test_provider_allocation_inside_range(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        provider = HOSTING_PROVIDER_RANGES[0]
+        for _ in range(20):
+            address = allocator.new_host(provider)
+            assert provider.contains(address)
+
+    def test_provider_contains_rejects_outside(self):
+        provider = HOSTING_PROVIDER_RANGES[0]
+        assert not provider.contains("8.8.8.8")
+
+    def test_counters(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        network = allocator.new_network()
+        allocator.address_in(network)
+        allocator.address_in(network)
+        assert allocator.networks_allocated == 1
+        assert allocator.addresses_allocated == 2
+
+    def test_same_network_hosts_share_prefix24(self):
+        allocator = AddressAllocator(np.random.default_rng(0))
+        network = allocator.new_network()
+        a = allocator.address_in(network)
+        b = allocator.address_in(network)
+        assert prefix24(a) == prefix24(b) == network

@@ -1,0 +1,120 @@
+"""Unit tests for the DNS substrate (beyond the King-level tests)."""
+
+import pytest
+
+from repro.netsim.dns import DNS_PORT, DnsInfrastructure, SERVER_PROCESSING_MS
+from repro.netsim.engine import Simulator
+from repro.netsim.latency import LatencyEngine
+from repro.netsim.policies import TrafficClass
+from repro.netsim.routing import Router
+from repro.netsim.topology import TopologyBuilder
+from repro.netsim.transport import NetworkFabric
+from repro.util.rng import RandomStreams
+
+
+@pytest.fixture
+def dns_world():
+    streams = RandomStreams(seed=33)
+    builder = TopologyBuilder(streams.get("topo"))
+    topology = builder.build()
+    sim = Simulator()
+    latency = LatencyEngine(topology, Router(topology.graph), streams)
+    fabric = NetworkFabric(sim, latency)
+    dns = DnsInfrastructure(
+        sim, fabric, topology, builder, streams.get("dns"),
+        open_recursion_fraction=1.0,
+    )
+    client = builder.attach_random_host(topology, "resolver", 0, "university")
+    targets = [
+        builder.attach_random_host(
+            topology, f"host{i}", (2 + i * 7) % topology.num_pops, "residential"
+        )
+        for i in range(3)
+    ]
+    for target in targets:
+        dns.deploy_for(target)
+    return sim, latency, dns, client, targets
+
+
+class TestDeployment:
+    def test_server_colocated_with_host_pop(self, dns_world):
+        _, _, dns, _, targets = dns_world
+        server = dns.server_for(targets[0])
+        assert server.host.pop_id == targets[0].pop_id
+
+    def test_server_on_hosting_access(self, dns_world):
+        _, _, dns, _, targets = dns_world
+        assert dns.server_for(targets[0]).host.host_type == "hosting"
+
+    def test_deploy_idempotent(self, dns_world):
+        _, _, dns, _, targets = dns_world
+        first = dns.deploy_for(targets[0])
+        second = dns.deploy_for(targets[0])
+        assert first is second
+
+    def test_zone_name_derived_from_slash24(self, dns_world):
+        _, _, dns, _, targets = dns_world
+        zone = dns.zone_of(targets[0])
+        assert zone.endswith(".example.")
+        assert targets[0].prefix24.replace(".", "-") in zone
+
+
+class TestQueryTiming:
+    def test_iterative_query_costs_one_rtt_plus_processing(self, dns_world):
+        sim, latency, dns, client, targets = dns_world
+        server = dns.server_for(targets[0])
+        finished = []
+        started = sim.now
+        dns.query(
+            client, server, server.zone, False,
+            lambda ok: finished.append(sim.now - started),
+        )
+        sim.run_until_idle()
+        floor = latency.true_rtt_ms(client, server.host, TrafficClass.TCP)
+        assert finished[0] >= floor + SERVER_PROCESSING_MS
+
+    def test_recursive_adds_upstream_leg(self, dns_world):
+        sim, latency, dns, client, targets = dns_world
+        ns_a = dns.server_for(targets[0])
+        ns_b = dns.server_for(targets[1])
+        durations = {}
+
+        def run(kind, qname, recursive):
+            started = sim.now
+            dns.query(
+                client, ns_a, qname, recursive,
+                lambda ok: durations.__setitem__(kind, sim.now - started),
+            )
+            sim.run_until_idle()
+
+        run("iterative", ns_a.zone, False)
+        run("recursive", f"x.{ns_b.zone}", True)
+        upstream_floor = latency.true_rtt_ms(
+            ns_a.host, ns_b.host, TrafficClass.TCP
+        )
+        assert durations["recursive"] >= durations["iterative"] + upstream_floor * 0.8
+
+    def test_concurrent_queries_do_not_cross_wires(self, dns_world):
+        sim, _, dns, client, targets = dns_world
+        replies = []
+        for target in targets:
+            server = dns.server_for(target)
+            dns.query(
+                client, server, server.zone, False,
+                lambda ok, name=server.zone: replies.append((name, ok)),
+            )
+        sim.run_until_idle()
+        assert len(replies) == 3
+        assert all(ok for _, ok in replies)
+        assert len({name for name, _ in replies}) == 3
+
+    def test_recursion_to_unknown_zone_fails_cleanly(self, dns_world):
+        sim, _, dns, client, targets = dns_world
+        ns_a = dns.server_for(targets[0])
+        replies = []
+        dns.query(client, ns_a, "x.nowhere.invalid.", True, replies.append)
+        sim.run_until_idle()
+        assert replies == [False]
+
+    def test_dns_port_constant(self):
+        assert DNS_PORT == 53

@@ -1,0 +1,222 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.engine import Simulator
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired_at = []
+        sim.schedule(5.0, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(5.0, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(3.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_callback_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), "x", 2)
+        sim.run()
+        assert got == [("x", 2)]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(2.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_event_runs(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(0.0, hit.append, 1)
+        sim.run()
+        assert hit == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hit = []
+        handle = sim.schedule(1.0, hit.append, 1)
+        handle.cancel()
+        sim.run()
+        assert hit == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # no error
+
+    def test_handle_reports_time(self):
+        sim = Simulator()
+        handle = sim.schedule(7.5, lambda: None)
+        assert handle.time == 7.5
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule(1.0, hit.append, "a")
+        sim.schedule(10.0, hit.append, "b")
+        sim.run(until=5.0)
+        assert hit == ["a"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_limits_processing(self):
+        sim = Simulator()
+        hit = []
+        for i in range(5):
+            sim.schedule(float(i), hit.append, i)
+        sim.run(max_events=2)
+        assert hit == [0, 1]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_run_until_idle_raises_on_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_pending_counts_queued_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+
+
+class TestDeterminism:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_any_delay_set_fires_in_sorted_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, fired.append, d)
+        sim.run()
+        assert fired == sorted(fired)
+
+    def test_identical_schedules_identical_traces(self):
+        def trace():
+            sim = Simulator()
+            out = []
+            sim.schedule(2.0, out.append, "b")
+            sim.schedule(2.0, out.append, "c")
+            sim.schedule(1.0, out.append, "a")
+            sim.run()
+            return out
+
+        assert trace() == trace()
+
+
+class TestStopWhen:
+    def test_stop_when_halts_immediately(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i), hits.append, i)
+        sim.run(stop_when=lambda: len(hits) >= 3)
+        assert hits == [0, 1, 2]
+
+    def test_stop_when_leaves_queue_intact(self):
+        sim = Simulator()
+        hits = []
+        for i in range(5):
+            sim.schedule(float(i), hits.append, i)
+        sim.run(stop_when=lambda: len(hits) >= 2)
+        assert sim.pending == 3
+        sim.run()
+        assert hits == [0, 1, 2, 3, 4]
+
+    def test_stop_when_does_not_overshoot_clock(self):
+        # The regression that inflated measurement durations: a pending
+        # far-future timeout must not be processed once the condition
+        # resolves.
+        sim = Simulator()
+        done = []
+        sim.schedule(1.0, done.append, True)
+        sim.schedule(600_000.0, done.append, "timeout")
+        sim.run(stop_when=lambda: bool(done))
+        assert sim.now == 1.0
+        assert done == [True]

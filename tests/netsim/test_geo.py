@@ -1,0 +1,129 @@
+"""Unit tests for geography: distances, catalogue, units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.geo import (
+    CITY_CATALOG,
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    TOR_REGION_WEIGHTS,
+    cities_in_region,
+    great_circle_km,
+)
+from repro.util.units import (
+    KM_PER_MS_FIBER,
+    min_rtt_floor_ms,
+    ms_to_s,
+    propagation_delay_ms,
+    s_to_ms,
+)
+
+_coords = st.tuples(
+    st.floats(min_value=-90, max_value=90, allow_nan=False),
+    st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(38.99, -76.94)
+        assert p.lat == pytest.approx(38.99)
+
+    @pytest.mark.parametrize("lat", [-91.0, 90.5, 1000.0])
+    def test_bad_latitude_rejected(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-181.0, 180.5])
+    def test_bad_longitude_rejected(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+
+class TestGreatCircle:
+    def test_zero_distance_to_self(self):
+        p = GeoPoint(10.0, 20.0)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_known_distance_london_newyork(self):
+        london = GeoPoint(51.5074, -0.1278)
+        nyc = GeoPoint(40.7128, -74.0060)
+        # Commonly quoted value ~5570 km.
+        assert great_circle_km(london, nyc) == pytest.approx(5570, rel=0.01)
+
+    def test_equator_quarter_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 90.0)
+        assert great_circle_km(a, b) == pytest.approx(
+            math.pi * EARTH_RADIUS_KM / 2.0, rel=1e-6
+        )
+
+    @given(a=_coords, b=_coords)
+    def test_symmetry(self, a, b):
+        pa, pb = GeoPoint(*a), GeoPoint(*b)
+        assert great_circle_km(pa, pb) == pytest.approx(
+            great_circle_km(pb, pa), abs=1e-9
+        )
+
+    @given(a=_coords, b=_coords)
+    def test_bounded_by_half_circumference(self, a, b):
+        d = great_circle_km(GeoPoint(*a), GeoPoint(*b))
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(a=_coords, b=_coords, c=_coords)
+    def test_triangle_inequality_holds_on_sphere(self, a, b, c):
+        # Geography cannot violate the triangle inequality (the paper's
+        # point about why distance is a bad latency proxy).
+        pa, pb, pc = GeoPoint(*a), GeoPoint(*b), GeoPoint(*c)
+        assert great_circle_km(pa, pb) <= (
+            great_circle_km(pa, pc) + great_circle_km(pc, pb) + 1e-6
+        )
+
+
+class TestCatalog:
+    def test_paper_region_requirements(self):
+        # Section 4.1: 6+ European countries, 9+ U.S. states-worth of
+        # cities, and at least one each of the other regions.
+        assert len({c.country for c in cities_in_region("europe")}) >= 6
+        assert len(cities_in_region("us")) >= 9
+        for region in ("asia", "south-america", "oceania", "middle-east"):
+            assert len(cities_in_region(region)) >= 1
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError):
+            cities_in_region("atlantis")
+
+    def test_city_names_unique(self):
+        names = [c.name for c in CITY_CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_region_weights_sum_to_one(self):
+        assert sum(TOR_REGION_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_us_and_europe_dominate(self):
+        assert TOR_REGION_WEIGHTS["europe"] + TOR_REGION_WEIGHTS["us"] > 0.8
+
+
+class TestUnits:
+    def test_fiber_speed_is_two_thirds_c(self):
+        assert KM_PER_MS_FIBER == pytest.approx(199.86, rel=1e-3)
+
+    def test_propagation_delay_known_distance(self):
+        # ~5570 km transatlantic at 2/3 c: about 27.9 ms one way.
+        assert propagation_delay_ms(5570) == pytest.approx(27.9, rel=0.01)
+
+    def test_rtt_floor_is_twice_one_way(self):
+        assert min_rtt_floor_ms(1000) == pytest.approx(
+            2 * propagation_delay_ms(1000)
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay_ms(-1.0)
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_ms_s_roundtrip(self, value):
+        assert s_to_ms(ms_to_s(value)) == pytest.approx(value, rel=1e-12)

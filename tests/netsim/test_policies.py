@@ -1,0 +1,80 @@
+"""Unit tests for per-network protocol policies."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.policies import (
+    NEUTRAL_POLICY,
+    PolicyModel,
+    ProtocolPolicy,
+    TrafficClass,
+)
+
+
+class TestProtocolPolicy:
+    def test_neutral_is_not_differential(self):
+        assert not NEUTRAL_POLICY.is_differential
+
+    def test_differential_detection(self):
+        assert ProtocolPolicy(icmp_extra_ms=5.0).is_differential
+
+    def test_equal_nonzero_extras_not_differential(self):
+        policy = ProtocolPolicy(1.0, 1.0, 1.0)
+        assert not policy.is_differential
+
+    def test_extra_ms_per_class(self):
+        policy = ProtocolPolicy(icmp_extra_ms=1.0, tcp_extra_ms=2.0, tor_extra_ms=3.0)
+        assert policy.extra_ms(TrafficClass.ICMP) == 1.0
+        assert policy.extra_ms(TrafficClass.TCP) == 2.0
+        assert policy.extra_ms(TrafficClass.TOR) == 3.0
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolPolicy(icmp_extra_ms=-1.0)
+
+
+class TestPolicyModel:
+    def test_differential_fraction_approximate(self):
+        model = PolicyModel(differential_fraction=0.35)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(3000)]
+        fraction = sum(1 for p in samples if p.is_differential) / len(samples)
+        assert fraction == pytest.approx(0.35, abs=0.03)
+
+    def test_zero_fraction_all_neutral(self):
+        model = PolicyModel(differential_fraction=0.0)
+        rng = np.random.default_rng(0)
+        assert all(not model.sample(rng).is_differential for _ in range(100))
+
+    def test_one_fraction_all_differential(self):
+        model = PolicyModel(differential_fraction=1.0)
+        rng = np.random.default_rng(0)
+        assert all(model.sample(rng).is_differential for _ in range(100))
+
+    def test_severe_penalties_icmp_only(self):
+        # Severe shaping applies to ICMP; Tor penalties stay mild.
+        model = PolicyModel(differential_fraction=1.0, severe_fraction=1.0)
+        rng = np.random.default_rng(1)
+        lo, hi = model.mild_penalty_range
+        for _ in range(200):
+            policy = model.sample(rng)
+            assert policy.tor_extra_ms <= hi
+
+    def test_severe_icmp_penalties_occur(self):
+        model = PolicyModel(differential_fraction=1.0, severe_fraction=1.0)
+        rng = np.random.default_rng(1)
+        severe_lo = model.severe_penalty_range[0]
+        icmp_values = [model.sample(rng).icmp_extra_ms for _ in range(200)]
+        assert max(icmp_values) >= severe_lo
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyModel(differential_fraction=1.5)
+        with pytest.raises(ValueError):
+            PolicyModel(severe_fraction=-0.1)
+
+    def test_sampling_deterministic_per_seed(self):
+        model = PolicyModel()
+        a = [model.sample(np.random.default_rng(5)) for _ in range(50)]
+        b = [model.sample(np.random.default_rng(5)) for _ in range(50)]
+        assert a == b

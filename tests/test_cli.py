@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.dataset import RttMatrix
+
+
+@pytest.fixture
+def small_matrix_file(tmp_path):
+    rng = np.random.default_rng(0)
+    n = 8
+    nodes = [f"N{i}" for i in range(n)]
+    matrix = RttMatrix(nodes)
+    points = rng.uniform(0, 1, (n, 2))
+    for i in range(n):
+        for j in range(i + 1, n):
+            base = float(np.linalg.norm(points[i] - points[j])) * 300 + 5
+            matrix.set(nodes[i], nodes[j], base + float(rng.uniform(0, 40)))
+    path = tmp_path / "matrix.json"
+    matrix.save(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "coverage"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_validate_runs(self, capsys):
+        code = main(["validate", "--relays", "4", "--samples", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "within 10% of ping" in out
+        assert "Spearman" in out
+
+    def test_measure_writes_matrix(self, tmp_path, capsys):
+        output = tmp_path / "out.json"
+        code = main(
+            [
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "15",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        matrix = RttMatrix.load(output)
+        assert matrix.is_complete
+        assert len(matrix) == 4
+
+    def test_tiv_reads_matrix(self, small_matrix_file, capsys):
+        code = main(["tiv", str(small_matrix_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pairs with a TIV" in out
+
+    def test_deanon_reads_matrix(self, small_matrix_file, capsys):
+        code = main(["deanon", str(small_matrix_file), "--runs", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "informed" in out
+
+    def test_coverage_runs(self, capsys):
+        code = main(["coverage", "--days", "3", "--relays", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unique /24s" in out
+        assert "residential" in out
+
+    def test_seed_changes_validate_world(self, capsys):
+        main(["--seed", "1", "validate", "--relays", "4", "--samples", "10"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "validate", "--relays", "4", "--samples", "10"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,157 @@
+"""Tests for relay churn, restart, and campaign retries."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import AllPairsCampaign
+from repro.core.sampling import SamplePolicy
+from repro.core.ting import TingMeasurer
+from repro.testbeds.churn import ChurnProcess
+from repro.util.errors import ConfigurationError, MeasurementError
+
+FAST = SamplePolicy(samples=10, interval_ms=2.0, timeout_ms=10_000.0)
+
+
+class TestRelayRestart:
+    def test_restart_after_shutdown(self, mini_world):
+        relay = mini_world.relays[0]
+        relay.shutdown()
+        assert not relay.is_online
+        relay.restart()
+        assert relay.is_online
+        # Circuits build through it again.
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        circuit = controller.build_circuit([w.fingerprint, relay.fingerprint])
+        assert circuit.is_built
+
+    def test_shutdown_idempotent(self, mini_world):
+        relay = mini_world.relays[0]
+        relay.shutdown()
+        relay.shutdown()  # no error
+        relay.restart()
+        relay.restart()  # no error
+
+    def test_restart_clears_circuit_state(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        relay = mini_world.relays[0]
+        controller.build_circuit([w.fingerprint, relay.fingerprint])
+        relay.shutdown()
+        relay.restart()
+        assert relay.open_circuits == 0
+
+
+class TestChurnProcess:
+    def test_transitions_happen(self, mini_world):
+        churn = ChurnProcess(
+            mini_world.sim,
+            mini_world.relays,
+            mini_world.authority,
+            np.random.default_rng(0),
+            mean_uptime_ms=5_000.0,
+            mean_downtime_ms=2_000.0,
+        )
+        churn.start()
+        mini_world.sim.run(until=mini_world.sim.now + 60_000.0)
+        assert churn.transitions > 0
+
+    def test_relays_recover(self, mini_world):
+        churn = ChurnProcess(
+            mini_world.sim,
+            mini_world.relays,
+            mini_world.authority,
+            np.random.default_rng(1),
+            mean_uptime_ms=3_000.0,
+            mean_downtime_ms=1_000.0,
+        )
+        churn.start()
+        mini_world.sim.run(until=mini_world.sim.now + 120_000.0)
+        churn.stop()
+        churn.force_online()
+        assert churn.online_count == len(mini_world.relays)
+
+    def test_authority_tracks_churn(self, mini_world):
+        churn = ChurnProcess(
+            mini_world.sim,
+            mini_world.relays,
+            mini_world.authority,
+            np.random.default_rng(2),
+            mean_uptime_ms=1_000.0,
+            mean_downtime_ms=500_000.0,  # long outages: stay down
+        )
+        before = mini_world.authority.num_published
+        churn.start()
+        mini_world.sim.run(until=mini_world.sim.now + 30_000.0)
+        assert mini_world.authority.num_published < before
+
+    def test_validation(self, mini_world):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(
+                mini_world.sim, [], mini_world.authority, np.random.default_rng(0)
+            )
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(
+                mini_world.sim,
+                mini_world.relays,
+                mini_world.authority,
+                np.random.default_rng(0),
+                mean_uptime_ms=0.0,
+            )
+
+
+class TestCampaignRetries:
+    def test_retry_recovers_pairs_after_relay_returns(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        target = mini_world.relays[2]
+        target.shutdown()
+        # The relay comes back 30 s into the campaign's retry delay.
+        mini_world.sim.schedule(30_000.0, target.restart)
+        campaign = AllPairsCampaign(
+            TingMeasurer(mini_world.measurement, policy=FAST),
+            relays,
+            retries=1,
+            retry_delay_ms=60_000.0,
+        )
+        report = campaign.run()
+        assert report.matrix.is_complete
+        assert report.failures == []
+
+    def test_persistent_failure_still_recorded(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        mini_world.relays[2].shutdown()  # never comes back
+        campaign = AllPairsCampaign(
+            TingMeasurer(mini_world.measurement, policy=FAST),
+            relays,
+            retries=1,
+            retry_delay_ms=10_000.0,
+        )
+        report = campaign.run()
+        assert len(report.failures) == 2
+        assert not report.matrix.is_complete
+
+    def test_negative_retries_rejected(self, mini_world):
+        relays = [r.descriptor() for r in mini_world.relays[:2]]
+        with pytest.raises(MeasurementError):
+            AllPairsCampaign(
+                TingMeasurer(mini_world.measurement, policy=FAST),
+                relays,
+                retries=-1,
+            )
+
+    def test_campaign_under_active_churn_completes(self, mini_world):
+        churn = ChurnProcess(
+            mini_world.sim,
+            mini_world.relays[2:],  # churn only relays outside the set
+            mini_world.authority,
+            np.random.default_rng(3),
+            mean_uptime_ms=2_000.0,
+            mean_downtime_ms=1_000.0,
+        )
+        churn.start()
+        relays = [r.descriptor() for r in mini_world.relays[:2]]
+        campaign = AllPairsCampaign(
+            TingMeasurer(mini_world.measurement, policy=FAST), relays, retries=2
+        )
+        report = campaign.run()
+        assert report.matrix.is_complete

@@ -1,0 +1,95 @@
+"""Tests for the synthetic geolocation database and rDNS synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.geo import great_circle_km
+from repro.netsim.topology import TopologyBuilder
+from repro.testbeds.geolocation import GeolocationDB
+from repro.testbeds.rdns import synthesize_rdns
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def hosts():
+    streams = RandomStreams(seed=10)
+    builder = TopologyBuilder(streams.get("t"))
+    topo = builder.build()
+    return [
+        builder.attach_random_host(topo, f"geo{i}", i % topo.num_pops, "hosting")
+        for i in range(100)
+    ]
+
+
+class TestGeolocationDB:
+    def test_correct_entries_match_truth(self, hosts):
+        db = GeolocationDB.build(hosts, np.random.default_rng(0), error_fraction=0.0)
+        for host in hosts:
+            assert db.lookup(host.address) == host.point
+
+    def test_error_fraction_roughly_respected(self, hosts):
+        db = GeolocationDB.build(hosts, np.random.default_rng(0), error_fraction=0.3)
+        wrong = sum(1 for h in hosts if db.is_erroneous(h.address))
+        assert 15 <= wrong <= 45
+
+    def test_distance_between_entries(self, hosts):
+        db = GeolocationDB.build(hosts, np.random.default_rng(0), error_fraction=0.0)
+        a, b = hosts[0], hosts[1]
+        assert db.distance_km(a.address, b.address) == pytest.approx(
+            great_circle_km(a.point, b.point)
+        )
+
+    def test_unknown_address_raises(self, hosts):
+        db = GeolocationDB.build(hosts, np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            db.lookup("203.0.113.1")
+
+    def test_bad_fraction_rejected(self, hosts):
+        with pytest.raises(ConfigurationError):
+            GeolocationDB.build(hosts, np.random.default_rng(0), error_fraction=1.5)
+
+    def test_len(self, hosts):
+        db = GeolocationDB.build(hosts, np.random.default_rng(0))
+        assert len(db) == len(hosts)
+
+
+class TestRdnsSynthesis:
+    def test_residential_names_classifiable(self):
+        from repro.apps.coverage import ResidentialClassifier
+
+        rng = np.random.default_rng(0)
+        classifier = ResidentialClassifier()
+        hits = 0
+        total = 0
+        for _ in range(200):
+            name = synthesize_rdns(rng, "100.2.3.4", "residential", unnamed_fraction=0.0)
+            total += 1
+            if classifier.classify(name) == "residential":
+                hits += 1
+        assert hits / total > 0.95
+
+    def test_hosting_names_classifiable(self):
+        from repro.apps.coverage import ResidentialClassifier
+
+        rng = np.random.default_rng(0)
+        classifier = ResidentialClassifier()
+        for _ in range(100):
+            name = synthesize_rdns(rng, "100.2.3.4", "hosting", unnamed_fraction=0.0)
+            assert classifier.classify(name) == "hosting"
+
+    def test_unnamed_fraction(self):
+        rng = np.random.default_rng(0)
+        names = [
+            synthesize_rdns(rng, "100.2.3.4", "residential", unnamed_fraction=0.5)
+            for _ in range(400)
+        ]
+        unnamed = sum(1 for n in names if n is None)
+        assert 150 <= unnamed <= 250
+
+    def test_octets_embedded_in_name(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            name = synthesize_rdns(rng, "93.184.216.34", "residential", unnamed_fraction=0.0)
+            digits = any(part in name for part in ("93", "184", "216", "34"))
+            assert digits

@@ -1,0 +1,89 @@
+"""Tests for the live-Tor-shaped testbed."""
+
+import numpy as np
+import pytest
+
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_relay_count(self, live_testbed):
+        assert len(live_testbed.relays) == 40
+
+    def test_host_type_mix(self):
+        testbed = LiveTorTestbed.build(seed=8, n_relays=300)
+        types = [r.host.host_type for r in testbed.relays]
+        residential = types.count("residential") / len(types)
+        assert 0.45 <= residential <= 0.70
+
+    def test_regions_europe_us_heavy(self):
+        testbed = LiveTorTestbed.build(seed=8, n_relays=300)
+        regions = [
+            testbed.topology.pops[r.host.pop_id].city.region
+            for r in testbed.relays
+        ]
+        western = sum(1 for r in regions if r in ("europe", "us"))
+        assert western / len(regions) > 0.75
+
+    def test_bandwidths_heavy_tailed(self):
+        testbed = LiveTorTestbed.build(seed=8, n_relays=300)
+        bandwidths = np.array([r.bandwidth_kbps for r in testbed.relays])
+        assert bandwidths.max() > 20 * np.median(bandwidths)
+
+    def test_some_exits_exist(self, live_testbed):
+        exits = [r for r in live_testbed.relays if r.exit_policy.is_exit]
+        assert 0 < len(exits) < len(live_testbed.relays)
+
+    def test_rdns_assigned_with_gaps(self):
+        testbed = LiveTorTestbed.build(seed=8, n_relays=300)
+        unnamed = sum(1 for r in testbed.relays if r.host.rdns is None)
+        assert 0.08 <= unnamed / 300 <= 0.30
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LiveTorTestbed.build(seed=1, n_relays=2)
+
+    def test_deterministic(self):
+        a = LiveTorTestbed.build(seed=44, n_relays=20)
+        b = LiveTorTestbed.build(seed=44, n_relays=20)
+        assert [r.host.address for r in a.relays] == [
+            r.host.address for r in b.relays
+        ]
+
+
+class TestSampling:
+    def test_random_relays_distinct(self, live_testbed):
+        rng = np.random.default_rng(0)
+        sample = live_testbed.random_relays(10, rng)
+        assert len({d.fingerprint for d in sample}) == 10
+
+    def test_random_relays_too_many_rejected(self, live_testbed):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            live_testbed.random_relays(1000, rng)
+
+    def test_random_pairs_distinct(self, live_testbed):
+        rng = np.random.default_rng(0)
+        pairs = live_testbed.random_pairs(30, rng)
+        keys = {
+            tuple(sorted((a.fingerprint, b.fingerprint))) for a, b in pairs
+        }
+        assert len(keys) == 30
+
+    def test_random_pairs_too_many_rejected(self, live_testbed):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            live_testbed.random_pairs(10**6, rng)
+
+    def test_oracle_positive_and_symmetric(self, live_testbed):
+        rng = np.random.default_rng(0)
+        a, b = live_testbed.random_pairs(1, rng)[0]
+        assert live_testbed.oracle_rtt(a, b) > 0
+        assert live_testbed.oracle_rtt(a, b) == pytest.approx(
+            live_testbed.oracle_rtt(b, a)
+        )
+
+    def test_geolocation_covers_all_relays(self, live_testbed):
+        for relay in live_testbed.relays:
+            live_testbed.geolocation.lookup(relay.host.address)

@@ -1,0 +1,91 @@
+"""Tests for the PlanetLab ground-truth testbed."""
+
+import pytest
+
+from repro.netsim.policies import TrafficClass
+from repro.testbeds.planetlab import PlanetLabTestbed, REGION_QUOTAS
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_relay_count(self, pl_testbed):
+        assert len(pl_testbed.relays) == 6
+
+    def test_full_size_build(self):
+        testbed = PlanetLabTestbed.build(seed=1, n_relays=31)
+        assert len(testbed.relays) == 31
+
+    def test_region_quotas_cover_paper_requirements(self):
+        assert REGION_QUOTAS["us"] >= 9
+        assert REGION_QUOTAS["europe"] >= 6
+        for region in ("asia", "south-america", "oceania", "middle-east"):
+            assert REGION_QUOTAS[region] >= 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanetLabTestbed.build(seed=1, n_relays=1)
+
+    def test_relays_in_consensus(self, pl_testbed):
+        for relay in pl_testbed.relays:
+            assert relay.fingerprint in pl_testbed.consensus
+
+    def test_relays_are_university_hosts(self, pl_testbed):
+        for relay in pl_testbed.relays:
+            assert relay.host.host_type == "university"
+
+    def test_restrictive_exit_policy(self, pl_testbed):
+        # Relays exit only to the measurement host's addresses.
+        echo = pl_testbed.measurement.echo_address
+        for relay in pl_testbed.relays:
+            assert relay.exit_policy.allows(echo, 7)
+            assert not relay.exit_policy.allows("8.8.8.8", 80)
+
+    def test_measurement_host_at_college_park(self, pl_testbed):
+        pop = pl_testbed.topology.pops[
+            pl_testbed.measurement.echo_client_host.pop_id
+        ]
+        assert pop.city.name == "College Park"
+
+    def test_deterministic_per_seed(self):
+        a = PlanetLabTestbed.build(seed=123, n_relays=5)
+        b = PlanetLabTestbed.build(seed=123, n_relays=5)
+        assert [r.host.address for r in a.relays] == [
+            r.host.address for r in b.relays
+        ]
+
+    def test_different_seeds_differ(self):
+        a = PlanetLabTestbed.build(seed=1, n_relays=5)
+        b = PlanetLabTestbed.build(seed=2, n_relays=5)
+        assert [r.host.address for r in a.relays] != [
+            r.host.address for r in b.relays
+        ]
+
+
+class TestGroundTruth:
+    def test_pair_enumeration(self, pl_testbed):
+        pairs = pl_testbed.relay_pairs()
+        assert len(pairs) == 6 * 5 // 2
+
+    def test_ping_close_to_icmp_oracle(self, pl_testbed):
+        a, b = pl_testbed.relay_pairs()[0]
+        ping = pl_testbed.ping_ground_truth(a, b, count=60)
+        oracle = pl_testbed.oracle_rtt(a, b, TrafficClass.ICMP)
+        assert ping == pytest.approx(oracle, rel=0.05, abs=1.0)
+        assert ping >= oracle - 1e-9
+
+    def test_oracle_symmetric(self, pl_testbed):
+        a, b = pl_testbed.relay_pairs()[0]
+        assert pl_testbed.oracle_rtt(a, b) == pytest.approx(
+            pl_testbed.oracle_rtt(b, a)
+        )
+
+    def test_latency_diversity(self):
+        # Section 4.1: latencies from very close to nearly antipodal.
+        testbed = PlanetLabTestbed.build(seed=3, n_relays=20)
+        rtts = [testbed.oracle_rtt(a, b) for a, b in testbed.relay_pairs()]
+        assert min(rtts) < 60.0
+        assert max(rtts) > 250.0
+
+    def test_host_of(self, pl_testbed):
+        descriptor = pl_testbed.relays[0].descriptor()
+        assert pl_testbed.host_of(descriptor).address == descriptor.address

@@ -1,0 +1,110 @@
+"""Unit tests for cell framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tor.cells import (
+    CELL_SIZE_BYTES,
+    Cell,
+    CellCommand,
+    CellError,
+    RELAY_BODY_LEN,
+    RELAY_DATA_LEN,
+    RelayCellBody,
+    RelayCommand,
+)
+
+
+class TestRelayCellBody:
+    def test_pack_is_fixed_size(self):
+        body = RelayCellBody(RelayCommand.DATA, stream_id=1, data=b"hi")
+        assert len(body.pack()) == RELAY_BODY_LEN
+
+    def test_roundtrip(self):
+        body = RelayCellBody(RelayCommand.BEGIN, stream_id=9, data=b"host:80")
+        parsed = RelayCellBody.unpack(body.pack())
+        assert parsed.relay_command is RelayCommand.BEGIN
+        assert parsed.stream_id == 9
+        assert parsed.data == b"host:80"
+
+    @given(
+        command=st.sampled_from(list(RelayCommand)),
+        stream_id=st.integers(min_value=0, max_value=0xFFFF),
+        data=st.binary(max_size=RELAY_DATA_LEN),
+    )
+    def test_roundtrip_property(self, command, stream_id, data):
+        body = RelayCellBody(command, stream_id=stream_id, data=data)
+        parsed = RelayCellBody.unpack(body.pack())
+        assert parsed.relay_command is command
+        assert parsed.stream_id == stream_id
+        assert parsed.data == data
+
+    def test_oversized_data_rejected(self):
+        with pytest.raises(CellError):
+            RelayCellBody(
+                RelayCommand.DATA, stream_id=1, data=b"x" * (RELAY_DATA_LEN + 1)
+            )
+
+    def test_bad_stream_id_rejected(self):
+        with pytest.raises(CellError):
+            RelayCellBody(RelayCommand.DATA, stream_id=70_000)
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(CellError):
+            RelayCellBody(RelayCommand.DATA, stream_id=1, digest=b"abc")
+
+    def test_unpack_wrong_length_rejected(self):
+        with pytest.raises(CellError):
+            RelayCellBody.unpack(b"\x00" * 10)
+
+    def test_unpack_unknown_command_rejected(self):
+        raw = bytearray(RELAY_BODY_LEN)
+        raw[0] = 200  # not a RelayCommand
+        with pytest.raises(CellError):
+            RelayCellBody.unpack(bytes(raw))
+
+    def test_unpack_bad_length_field_rejected(self):
+        body = RelayCellBody(RelayCommand.DATA, stream_id=1, data=b"x").pack()
+        corrupted = body[:9] + (RELAY_DATA_LEN + 1).to_bytes(2, "big") + body[11:]
+        with pytest.raises(CellError):
+            RelayCellBody.unpack(corrupted)
+
+    def test_pack_for_digest_zeroes_digest_field(self):
+        body = RelayCellBody(
+            RelayCommand.DATA, stream_id=1, data=b"x", digest=b"\xAA\xBB\xCC\xDD"
+        )
+        packed = body.pack_for_digest()
+        assert packed[5:9] == b"\x00\x00\x00\x00"
+
+    def test_with_digest_preserves_fields(self):
+        body = RelayCellBody(RelayCommand.END, stream_id=3, data=b"bye")
+        stamped = body.with_digest(b"\x01\x02\x03\x04")
+        assert stamped.digest == b"\x01\x02\x03\x04"
+        assert stamped.data == body.data
+        assert stamped.stream_id == body.stream_id
+
+    def test_padding_is_zeros(self):
+        body = RelayCellBody(RelayCommand.DATA, stream_id=1, data=b"ab")
+        packed = body.pack()
+        assert packed[11 + 2 :] == b"\x00" * (RELAY_BODY_LEN - 13)
+
+
+class TestCell:
+    def test_all_cells_are_fixed_size(self):
+        for command in CellCommand:
+            cell = Cell(circ_id=1, command=command)
+            assert cell.size_bytes == CELL_SIZE_BYTES
+
+    def test_relay_command_values_match_tor_spec(self):
+        assert RelayCommand.BEGIN == 1
+        assert RelayCommand.DATA == 2
+        assert RelayCommand.END == 3
+        assert RelayCommand.CONNECTED == 4
+        assert RelayCommand.EXTEND == 6
+        assert RelayCommand.EXTENDED == 7
+
+    def test_cell_command_values_match_tor_spec(self):
+        assert CellCommand.CREATE == 1
+        assert CellCommand.CREATED == 2
+        assert CellCommand.RELAY == 3
+        assert CellCommand.DESTROY == 4

@@ -1,0 +1,126 @@
+"""Tests for the Stem-like controller and its line protocol."""
+
+import pytest
+
+from repro.util.errors import ControlProtocolError
+
+
+class TestLineProtocol:
+    def test_extendcircuit_builds(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        reply = controller.raw_command(f"EXTENDCIRCUIT 0 {w.fingerprint},{fps[0]}")
+        assert reply.startswith("250 EXTENDED ")
+
+    def test_extendcircuit_bad_syntax(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("EXTENDCIRCUIT").startswith("512")
+
+    def test_extendcircuit_existing_id_unsupported(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("EXTENDCIRCUIT 5 AAAA").startswith("552")
+
+    def test_extendcircuit_one_hop_rejected(self, mini_world):
+        controller = mini_world.measurement.controller
+        fps = mini_world.fingerprints()
+        reply = controller.raw_command(f"EXTENDCIRCUIT 0 {fps[0]}")
+        assert reply.startswith("552")
+
+    def test_closecircuit(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        reply = controller.raw_command(f"EXTENDCIRCUIT 0 {w.fingerprint},{fps[0]}")
+        circ_id = reply.split()[-1]
+        assert controller.raw_command(f"CLOSECIRCUIT {circ_id}") == "250 OK"
+
+    def test_closecircuit_unknown_id(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("CLOSECIRCUIT 999").startswith("552")
+
+    def test_closecircuit_bad_syntax(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("CLOSECIRCUIT nope").startswith("512")
+
+    def test_getinfo_circuit_status(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        controller.raw_command(f"EXTENDCIRCUIT 0 {w.fingerprint},{fps[0]}")
+        reply = controller.raw_command("GETINFO circuit-status")
+        assert "BUILT" in reply
+
+    def test_getinfo_ns_all_lists_relays(self, mini_world):
+        controller = mini_world.measurement.controller
+        reply = controller.raw_command("GETINFO ns/all")
+        for relay in mini_world.relays:
+            assert relay.fingerprint in reply
+
+    def test_getinfo_unknown_key(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("GETINFO bogus").startswith("552")
+
+    def test_unknown_command(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("FROBNICATE").startswith("510")
+
+    def test_empty_command_rejected(self, mini_world):
+        controller = mini_world.measurement.controller
+        with pytest.raises(ControlProtocolError):
+            controller.raw_command("   ")
+
+    def test_signal_newnym(self, mini_world):
+        controller = mini_world.measurement.controller
+        assert controller.raw_command("SIGNAL NEWNYM") == "250 OK"
+
+
+class TestEvents:
+    def test_circ_built_event_emitted(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        controller.drain_events()
+        circuit = controller.build_circuit([w.fingerprint, fps[0]])
+        events = controller.drain_events()
+        assert f"CIRC {circuit.circ_id} BUILT" in events
+
+    def test_setevents_filters(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        controller.raw_command("SETEVENTS STREAM")
+        controller.drain_events()
+        controller.build_circuit([w.fingerprint, fps[0]])
+        events = controller.drain_events()
+        assert not any(e.startswith("CIRC") for e in events)
+
+    def test_listener_sees_all_events(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        seen = []
+        controller.add_event_listener(seen.append)
+        controller.build_circuit([w.fingerprint, fps[0]])
+        assert any("BUILT" in e for e in seen)
+
+    def test_drain_clears_buffer(self, mini_world):
+        controller = mini_world.measurement.controller
+        w = mini_world.measurement.relay_w
+        fps = mini_world.fingerprints()
+        controller.build_circuit([w.fingerprint, fps[0]])
+        controller.drain_events()
+        assert controller.drain_events() == []
+
+    def test_get_network_statuses(self, mini_world):
+        controller = mini_world.measurement.controller
+        statuses = controller.get_network_statuses()
+        fingerprints = {d.fingerprint for d in statuses}
+        for relay in mini_world.relays:
+            assert relay.fingerprint in fingerprints
+
+    def test_run_for_advances_clock(self, mini_world):
+        controller = mini_world.measurement.controller
+        before = mini_world.sim.now
+        controller.run_for(125.0)
+        assert mini_world.sim.now == pytest.approx(before + 125.0)

@@ -1,0 +1,211 @@
+"""Unit tests for the onion-layer cryptography."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tor.cells import RELAY_BODY_LEN
+from repro.tor.crypto import (
+    ClientHandshake,
+    CryptoError,
+    KeyMaterial,
+    LayerCipher,
+    OnionLayer,
+    RelayCryptoState,
+    RelayIdentity,
+    RunningDigest,
+    ServerHandshake,
+)
+
+
+class TestLayerCipher:
+    def test_encrypt_decrypt_roundtrip(self):
+        key = b"k" * 32
+        plaintext = b"the quick brown onion" * 10
+        assert LayerCipher(key).process(
+            LayerCipher(key).process(plaintext)
+        ) == plaintext
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = LayerCipher(b"k" * 32)
+        assert cipher.process(b"hello world") != b"hello world"
+
+    def test_stateful_keystream_advances(self):
+        cipher = LayerCipher(b"k" * 32)
+        first = cipher.process(b"\x00" * 64)
+        second = cipher.process(b"\x00" * 64)
+        assert first != second
+
+    def test_lockstep_requirement(self):
+        # Decrypting out of order yields garbage — the property that
+        # forced FIFO cell processing in the relay.
+        enc = LayerCipher(b"k" * 32)
+        dec = LayerCipher(b"k" * 32)
+        c1 = enc.process(b"first message....")
+        c2 = enc.process(b"second message...")
+        assert dec.process(c2) != b"second message..."
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError):
+            LayerCipher(b"short")
+
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, data):
+        key = b"property-test-key-material-00000"
+        assert LayerCipher(key).process(LayerCipher(key).process(data)) == data
+
+    def test_partial_block_keystream_continuity(self):
+        # Processing in odd-sized chunks must equal processing at once.
+        key = b"k" * 32
+        data = b"x" * 150
+        whole = LayerCipher(key).process(data)
+        chunked_cipher = LayerCipher(key)
+        chunked = b"".join(
+            chunked_cipher.process(data[i : i + 7]) for i in range(0, len(data), 7)
+        )
+        assert whole == chunked
+
+
+class TestRunningDigest:
+    def test_same_seed_same_sequence(self):
+        a, b = RunningDigest(b"seed"), RunningDigest(b"seed")
+        assert a.update(b"cell-1") == b.update(b"cell-1")
+        assert a.update(b"cell-2") == b.update(b"cell-2")
+
+    def test_order_sensitivity(self):
+        a, b = RunningDigest(b"seed"), RunningDigest(b"seed")
+        a.update(b"one")
+        a_tag = a.update(b"two")
+        b.update(b"two")
+        b_tag = b.update(b"one")
+        assert a_tag != b_tag
+
+    def test_peek_does_not_advance(self):
+        digest = RunningDigest(b"seed")
+        peeked = digest.peek(b"body")
+        assert digest.update(b"body") == peeked
+
+    def test_different_seeds_differ(self):
+        assert RunningDigest(b"a").update(b"x") != RunningDigest(b"b").update(b"x")
+
+    def test_tag_is_four_bytes(self):
+        assert len(RunningDigest(b"s").update(b"x")) == 4
+
+
+class TestKeyMaterial:
+    def test_four_distinct_secrets(self):
+        keys = KeyMaterial.derive(b"shared-secret")
+        values = {
+            keys.forward_key,
+            keys.backward_key,
+            keys.forward_digest_seed,
+            keys.backward_digest_seed,
+        }
+        assert len(values) == 4
+
+    def test_deterministic(self):
+        assert KeyMaterial.derive(b"s") == KeyMaterial.derive(b"s")
+
+    def test_secret_sensitivity(self):
+        assert KeyMaterial.derive(b"s1").forward_key != KeyMaterial.derive(
+            b"s2"
+        ).forward_key
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyMaterial.derive(b"")
+
+
+class TestHandshake:
+    def test_client_and_server_derive_same_keys(self):
+        identity = RelayIdentity.generate(entropy=b"e" * 32)
+        client = ClientHandshake(identity.public, nonce=b"n" * 16)
+        created, server_keys = ServerHandshake(identity).respond(
+            client.create_payload(), server_nonce=b"m" * 16
+        )
+        client_keys = client.complete(created)
+        assert client_keys == server_keys
+
+    def test_confirmation_tamper_detected(self):
+        identity = RelayIdentity.generate(entropy=b"e" * 32)
+        client = ClientHandshake(identity.public, nonce=b"n" * 16)
+        created, _ = ServerHandshake(identity).respond(
+            client.create_payload(), server_nonce=b"m" * 16
+        )
+        tampered = created[:-1] + bytes([created[-1] ^ 0xFF])
+        with pytest.raises(CryptoError):
+            client.complete(tampered)
+
+    def test_wrong_relay_public_detected(self):
+        right = RelayIdentity.generate(entropy=b"r" * 32)
+        wrong = RelayIdentity.generate(entropy=b"w" * 32)
+        client = ClientHandshake(wrong.public, nonce=b"n" * 16)
+        created, _ = ServerHandshake(right).respond(
+            client.create_payload(), server_nonce=b"m" * 16
+        )
+        with pytest.raises(CryptoError):
+            client.complete(created)
+
+    def test_malformed_payload_lengths_rejected(self):
+        identity = RelayIdentity.generate(entropy=b"e" * 32)
+        with pytest.raises(CryptoError):
+            ServerHandshake(identity).respond(b"short")
+        client = ClientHandshake(identity.public, nonce=b"n" * 16)
+        with pytest.raises(CryptoError):
+            client.complete(b"way too short")
+
+    def test_distinct_nonces_distinct_keys(self):
+        identity = RelayIdentity.generate(entropy=b"e" * 32)
+        server = ServerHandshake(identity)
+        created1, keys1 = server.respond(b"1" * 16, server_nonce=b"m" * 16)
+        created2, keys2 = server.respond(b"2" * 16, server_nonce=b"m" * 16)
+        assert keys1 != keys2
+
+
+class TestLayeredOnion:
+    def test_client_relay_lockstep_forward(self):
+        keys = KeyMaterial.derive(b"hop-secret")
+        client = OnionLayer(keys)
+        relay = RelayCryptoState(keys)
+        body = b"b" * RELAY_BODY_LEN
+        encrypted = client.forward_cipher.process(body)
+        assert relay.peel_forward(encrypted) == body
+
+    def test_client_relay_lockstep_backward(self):
+        keys = KeyMaterial.derive(b"hop-secret")
+        client = OnionLayer(keys)
+        relay = RelayCryptoState(keys)
+        body = b"r" * RELAY_BODY_LEN
+        wrapped = relay.wrap_backward(body)
+        assert client.backward_cipher.process(wrapped) == body
+
+    def test_multi_hop_onion_roundtrip(self):
+        secrets = [b"hop-0", b"hop-1", b"hop-2"]
+        client_layers = [OnionLayer(KeyMaterial.derive(s)) for s in secrets]
+        relay_states = [RelayCryptoState(KeyMaterial.derive(s)) for s in secrets]
+        body = b"payload".ljust(RELAY_BODY_LEN, b"\x00")
+        # Client wraps innermost (last hop) first.
+        wire = body
+        for layer in reversed(client_layers):
+            wire = layer.forward_cipher.process(wire)
+        # Each relay peels its own layer in order.
+        for state in relay_states:
+            wire = state.peel_forward(wire)
+        assert wire == body
+
+    def test_wrong_length_rejected(self):
+        state = RelayCryptoState(KeyMaterial.derive(b"s"))
+        with pytest.raises(CryptoError):
+            state.peel_forward(b"short")
+        with pytest.raises(CryptoError):
+            state.wrap_backward(b"short")
+
+
+class TestRelayIdentity:
+    def test_deterministic_from_entropy(self):
+        a = RelayIdentity.generate(entropy=b"x" * 32)
+        b = RelayIdentity.generate(entropy=b"x" * 32)
+        assert a.public == b.public
+
+    def test_public_differs_from_secret(self):
+        identity = RelayIdentity.generate(entropy=b"x" * 32)
+        assert identity.public != identity.secret

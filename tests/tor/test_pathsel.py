@@ -1,0 +1,160 @@
+"""Tests for bandwidth-weighted path selection with Tor's filters."""
+
+import numpy as np
+import pytest
+
+from repro.tor.directory import (
+    Consensus,
+    ExitPolicy,
+    RelayDescriptor,
+    RelayFlag,
+)
+from repro.tor.pathsel import PathConstraints, PathSelector
+from repro.util.errors import ConfigurationError
+
+
+def _descriptor(nickname, address, bandwidth=1000, guard=False, exit_all=False,
+                family=frozenset()):
+    flags = RelayFlag.RUNNING | RelayFlag.VALID
+    if guard:
+        flags |= RelayFlag.GUARD
+    policy = ExitPolicy.accept_all() if exit_all else ExitPolicy.reject_all()
+    if exit_all:
+        flags |= RelayFlag.EXIT
+    return RelayDescriptor(
+        nickname=nickname,
+        fingerprint=RelayDescriptor.make_fingerprint(nickname, address, 9001),
+        address=address,
+        or_port=9001,
+        identity_public=b"p" * 32,
+        bandwidth_kbps=bandwidth,
+        exit_policy=policy,
+        flags=flags,
+        family=family,
+    )
+
+
+@pytest.fixture
+def consensus():
+    relays = [
+        _descriptor("g1", "100.1.2.3", guard=True, bandwidth=4000),
+        _descriptor("g2", "101.1.2.3", guard=True, bandwidth=2000),
+        _descriptor("m1", "102.1.2.3"),
+        _descriptor("m2", "103.1.2.3"),
+        _descriptor("m3", "104.1.2.3"),
+        _descriptor("e1", "105.1.2.3", exit_all=True, bandwidth=3000),
+        _descriptor("e2", "106.1.2.3", exit_all=True),
+    ]
+    return Consensus({d.fingerprint: d for d in relays})
+
+
+class TestSelection:
+    def test_default_path_structure(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        for _ in range(50):
+            path = selector.select_path(3)
+            assert len(path) == 3
+            assert path[0].has_flag(RelayFlag.GUARD)
+            assert path[-1].exit_policy.is_exit
+
+    def test_no_duplicate_relays(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        for _ in range(50):
+            path = selector.select_path(3)
+            fps = [d.fingerprint for d in path]
+            assert len(set(fps)) == 3
+
+    def test_distinct_16s_enforced(self):
+        shared = [
+            _descriptor("a", "100.1.2.3", guard=True),
+            _descriptor("b", "100.1.9.9", exit_all=True),
+            _descriptor("c", "101.1.2.3", exit_all=True),
+        ]
+        consensus = Consensus({d.fingerprint: d for d in shared})
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        for _ in range(20):
+            path = selector.select_path(2)
+            subnets = {".".join(d.address.split(".")[:2]) for d in path}
+            assert len(subnets) == 2
+
+    def test_family_constraint(self):
+        fam = frozenset({"SHARED"})
+        relays = [
+            _descriptor("a", "100.1.2.3", guard=True, family=fam),
+            _descriptor("b", "101.1.2.3", exit_all=True, family=fam),
+            _descriptor("c", "102.1.2.3", exit_all=True),
+        ]
+        consensus = Consensus({d.fingerprint: d for d in relays})
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        for _ in range(20):
+            path = selector.select_path(2)
+            families = [d.family for d in path]
+            assert not (families[0] & families[1])
+
+    def test_destination_filters_exit(self, consensus):
+        restricted = _descriptor("e3", "107.1.2.3")
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        for _ in range(20):
+            path = selector.select_path(3, destination=("9.9.9.9", 80))
+            assert path[-1].exit_policy.allows("9.9.9.9", 80)
+
+    def test_exclude_removes_relays(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        banned = consensus.by_nickname("g1").fingerprint
+        for _ in range(30):
+            path = selector.select_path(3, exclude=frozenset({banned}))
+            assert banned not in {d.fingerprint for d in path}
+
+    def test_bandwidth_weighting_prefers_big_relays(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0), weighted=True)
+        counts = {"g1": 0, "g2": 0}
+        for _ in range(500):
+            entry = selector.select_path(3)[0]
+            counts[entry.nickname] += 1
+        # g1 has 2x g2's bandwidth; expect roughly 2:1 selection.
+        assert counts["g1"] > counts["g2"] * 1.4
+
+    def test_unweighted_is_roughly_uniform(self, consensus):
+        selector = PathSelector(
+            consensus, np.random.default_rng(0), weighted=False
+        )
+        counts = {"g1": 0, "g2": 0}
+        for _ in range(500):
+            entry = selector.select_path(3)[0]
+            counts[entry.nickname] += 1
+        assert abs(counts["g1"] - counts["g2"]) < 100
+
+    def test_permissive_constraints_for_ting(self, consensus):
+        # Ting measures arbitrary pairs: only the hard duplicate rule.
+        selector = PathSelector(
+            consensus,
+            np.random.default_rng(0),
+            constraints=PathConstraints.permissive(),
+        )
+        path = selector.select_path(4)
+        assert len({d.fingerprint for d in path}) == 4
+
+    def test_too_short_path_rejected(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            selector.select_path(1)
+
+    def test_impossible_constraints_raise(self):
+        relays = [_descriptor("only", "100.1.2.3", guard=True)]
+        consensus = Consensus({d.fingerprint: d for d in relays})
+        selector = PathSelector(consensus, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            selector.select_path(3)
+
+    def test_empty_consensus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathSelector(Consensus({}), np.random.default_rng(0))
+
+    def test_selection_probability(self, consensus):
+        selector = PathSelector(consensus, np.random.default_rng(0), weighted=False)
+        fp = consensus.by_nickname("g1").fingerprint
+        assert selector.selection_probability(fp) == pytest.approx(1 / 7)
+        weighted = PathSelector(consensus, np.random.default_rng(0), weighted=True)
+        assert weighted.selection_probability(fp) == pytest.approx(
+            4000 / consensus.total_bandwidth_kbps()
+        )

@@ -1,0 +1,97 @@
+"""Tests for relay forwarding-delay models."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.tor.relay import DiurnalForwardingDelayModel, ForwardingDelayModel
+
+
+class TestForwardingDelayModel:
+    def test_floor_is_respected(self):
+        model = ForwardingDelayModel(
+            np.random.default_rng(0), crypto_floor_ms=0.5, load=0.5
+        )
+        assert all(model.sample() >= 0.5 for _ in range(500))
+
+    def test_zero_load_gives_floor_mostly(self):
+        model = ForwardingDelayModel(
+            np.random.default_rng(0), crypto_floor_ms=0.3, load=0.0,
+            burst_probability=0.0,
+        )
+        samples = [model.sample() for _ in range(200)]
+        assert samples == pytest.approx([0.3] * 200)
+
+    def test_higher_load_higher_mean(self):
+        low = ForwardingDelayModel(np.random.default_rng(1), load=0.05)
+        high = ForwardingDelayModel(np.random.default_rng(1), load=0.9)
+        low_mean = np.mean([low.sample() for _ in range(2000)])
+        high_mean = np.mean([high.sample() for _ in range(2000)])
+        assert high_mean > low_mean
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ForwardingDelayModel(rng, crypto_floor_ms=-1.0)
+        with pytest.raises(ValueError):
+            ForwardingDelayModel(rng, load=1.5)
+        with pytest.raises(ValueError):
+            ForwardingDelayModel(rng, burst_probability=-0.1)
+
+    def test_quiet_profile_is_light(self):
+        model = ForwardingDelayModel.quiet(np.random.default_rng(0))
+        samples = [model.sample() for _ in range(1000)]
+        assert np.median(samples) < 1.0
+
+
+class TestDiurnalModel:
+    def test_load_oscillates_with_clock(self):
+        sim = Simulator()
+        model = DiurnalForwardingDelayModel(
+            sim, np.random.default_rng(0), base_load=0.1, peak_load=0.9
+        )
+        loads = []
+        for hour in range(0, 25, 3):
+            sim.run(until=hour * 3_600_000.0)
+            loads.append(model.current_load())
+        assert max(loads) > 0.7
+        assert min(loads) < 0.3
+
+    def test_load_bounded_by_base_and_peak(self):
+        sim = Simulator()
+        model = DiurnalForwardingDelayModel(
+            sim, np.random.default_rng(0), base_load=0.2, peak_load=0.6
+        )
+        for hour in range(0, 48, 1):
+            sim.run(until=hour * 3_600_000.0)
+            assert 0.2 <= model.current_load() <= 0.6
+
+    def test_phase_shifts_the_cycle(self):
+        sim = Simulator()
+        a = DiurnalForwardingDelayModel(sim, np.random.default_rng(0))
+        b = DiurnalForwardingDelayModel(
+            sim, np.random.default_rng(0), phase_ms=12.0 * 3_600_000.0
+        )
+        sim.run(until=6 * 3_600_000.0)
+        assert a.current_load() != pytest.approx(b.current_load())
+
+    def test_floor_unaffected_by_load(self):
+        # The crypto floor — what the min filter converges to — does not
+        # move with the cycle.
+        sim = Simulator()
+        model = DiurnalForwardingDelayModel(
+            sim,
+            np.random.default_rng(0),
+            crypto_floor_ms=0.4,
+            burst_probability=0.0,
+        )
+        sim.run(until=18 * 3_600_000.0)  # peak hours
+        mins = min(model.sample() for _ in range(2000))
+        assert mins == pytest.approx(0.4, abs=0.05)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DiurnalForwardingDelayModel(
+                sim, np.random.default_rng(0), base_load=0.8, peak_load=0.2
+            )
