@@ -43,6 +43,7 @@ from repro.core import (
     TingResult,
 )
 from repro.apps import DeanonymizationSimulator, find_tivs, tiv_summary
+from repro.obs import MetricsRegistry, TraceLog
 from repro.testbeds import GeolocationDB, LiveTorTestbed, PlanetLabTestbed
 from repro.util.errors import MeasurementError, ReproError
 
@@ -56,6 +57,7 @@ __all__ = [
     "LiveTorTestbed",
     "MeasurementHost",
     "MeasurementError",
+    "MetricsRegistry",
     "PlanetLabTestbed",
     "ReproError",
     "RttMatrix",
@@ -64,6 +66,7 @@ __all__ = [
     "StrawmanMeasurer",
     "TingMeasurer",
     "TingResult",
+    "TraceLog",
     "find_tivs",
     "tiv_summary",
     "__version__",

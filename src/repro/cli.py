@@ -13,11 +13,16 @@ Commands mirror how the paper's tool was used operationally:
   measured matrix.
 * ``coverage`` — synthesize a consensus archive and print the
   Section 5.3 coverage statistics.
+* ``stats`` — run an instrumented concurrent all-pairs campaign and
+  report the observability counters (circuits, probes, losses, cache
+  hits, heap compactions), optionally exporting the full metrics
+  snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -29,6 +34,7 @@ from repro.apps.deanon import STRATEGIES, DeanonymizationSimulator
 from repro.apps.tiv import tiv_summary
 from repro.core.campaign import AllPairsCampaign
 from repro.core.dataset import RttMatrix
+from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
 from repro.core.ting import TingMeasurer
 from repro.testbeds.livetor import LiveTorTestbed
@@ -64,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     coverage = sub.add_parser("coverage", help="network coverage statistics")
     coverage.add_argument("--days", type=int, default=30)
     coverage.add_argument("--relays", type=int, default=3000)
+
+    stats = sub.add_parser(
+        "stats", help="instrumented campaign with metrics report"
+    )
+    stats.add_argument("--relays", type=int, default=8)
+    stats.add_argument("--network-size", type=int, default=40)
+    stats.add_argument("--samples", type=int, default=20)
+    stats.add_argument("--concurrency", type=int, default=4)
+    stats.add_argument("--output", type=Path, default=None,
+                       help="write the full metrics snapshot as JSON")
 
     return parser
 
@@ -160,12 +176,70 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: instrumented concurrent campaign + metrics report."""
+    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
+    host = testbed.measurement
+    registry = host.enable_observability()
+    rng = testbed.streams.get("cli.selection")
+    relays = testbed.random_relays(args.relays, rng)
+    pairs = args.relays * (args.relays - 1) // 2
+    print(f"Measuring all {pairs} pairs "
+          f"(concurrency {args.concurrency}, instrumented) ...")
+    report = ParallelCampaign(
+        host,
+        relays,
+        policy=SamplePolicy(samples=args.samples),
+        concurrency=args.concurrency,
+    ).run()
+    print(f"  measured {report.pairs_measured}/{report.pairs_attempted} pairs, "
+          f"{len(report.failures)} failures, "
+          f"{report.makespan_ms / 60000:.1f} simulated minutes")
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    print("\ncampaign metrics:")
+    for name in (
+        "tor.circuits_built",
+        "tor.circuits_failed",
+        "tor.streams_attached",
+        "echo.probes_sent",
+        "echo.probes_received",
+        "echo.probes_lost",
+        "ting.leg_cache_hits",
+        "ting.leg_cache_misses",
+        "sim.heap_compactions",
+    ):
+        print(f"  {name:<24} {counters.get(name, 0)}")
+    sent = counters.get("echo.probes_sent", 0)
+    lost = counters.get("echo.probes_lost", 0)
+    if sent:
+        print(f"  {'probe loss rate':<24} {lost / sent:.2%}")
+    rtt = registry.histogram("echo.rtt_ms")
+    if rtt is not None and rtt.count:
+        print(f"  {'probe RTT mean':<24} {rtt.mean:.1f} ms "
+              f"(p50<={rtt.quantile(0.5):g} ms, p90<={rtt.quantile(0.9):g} ms)")
+    gauges = snapshot["gauges"]
+    for name in ("campaign.peak_concurrency", "sim.heap_peak",
+                 "sim.events_processed"):
+        if name in gauges:
+            print(f"  {name:<24} {gauges[name]:g}")
+    print(f"  {'trace events retained':<24} {len(host.trace)}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(snapshot, indent=2))
+        print(f"  metrics snapshot written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "validate": cmd_validate,
     "measure": cmd_measure,
     "tiv": cmd_tiv,
     "deanon": cmd_deanon,
     "coverage": cmd_coverage,
+    "stats": cmd_stats,
 }
 
 

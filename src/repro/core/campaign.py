@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.dataset import RttMatrix
 from repro.core.sampling import SamplePolicy
 from repro.core.ting import TingMeasurer
+from repro.obs import PAIR_FAILED, RETRY_ROUND, categorize_failure
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
@@ -26,12 +27,20 @@ from repro.util.units import Milliseconds
 
 @dataclass
 class CampaignReport:
-    """Bookkeeping for one all-pairs run."""
+    """Bookkeeping for one all-pairs run.
+
+    ``failures`` holds the *surviving* failure records — pairs still
+    unmeasured once every retry round has run. ``failures_total`` counts
+    every failed attempt across all rounds; it only grows, and it is the
+    quantity the ``max_failures`` abort threshold is checked against (a
+    retried pair must not reset the budget).
+    """
 
     matrix: RttMatrix
     pairs_attempted: int = 0
     pairs_measured: int = 0
     failures: list[tuple[str, str, str]] = field(default_factory=list)
+    failures_total: int = 0
     duration_ms: Milliseconds = 0.0
 
 
@@ -82,10 +91,18 @@ class AllPairsCampaign:
             pairs = [pairs[i] for i in order]
 
         failed = self._measure_round(pairs, matrix, report)
-        for _ in range(self.retries):
+        for round_index in range(self.retries):
             if not failed:
                 break
             sim = self.measurer.host.sim
+            self.measurer.host.metrics.inc("campaign.retry_rounds")
+            if self.measurer.host.trace.enabled:
+                self.measurer.host.trace.record(
+                    sim.now,
+                    RETRY_ROUND,
+                    round=round_index + 1,
+                    pending_pairs=len(failed),
+                )
             sim.run(until=sim.now + self.retry_delay_ms)
             # Leg conditions may have changed while relays were down.
             self.measurer.invalidate_leg_cache()
@@ -107,19 +124,36 @@ class AllPairsCampaign:
         report: CampaignReport,
     ) -> list[tuple[RelayDescriptor, RelayDescriptor]]:
         failed: list[tuple[RelayDescriptor, RelayDescriptor]] = []
+        host = self.measurer.host
         for a, b in pairs:
             report.pairs_attempted += 1
             try:
                 result = self.measurer.measure_pair(a, b, policy=self.policy)
             except MeasurementError as exc:
-                report.failures.append((a.fingerprint, b.fingerprint, str(exc)))
+                reason = str(exc)
+                report.failures.append((a.fingerprint, b.fingerprint, reason))
+                report.failures_total += 1
+                host.metrics.inc(
+                    f"campaign.failures.{categorize_failure(reason)}"
+                )
+                if host.trace.enabled:
+                    host.trace.record(
+                        host.sim.now,
+                        PAIR_FAILED,
+                        x=a.fingerprint,
+                        y=b.fingerprint,
+                        reason=reason,
+                    )
                 failed.append((a, b))
+                # The abort budget is cumulative across retry rounds:
+                # report.failures is pruned before each retry, so its
+                # length must not gate the threshold.
                 if (
                     self.max_failures is not None
-                    and len(report.failures) > self.max_failures
+                    and report.failures_total > self.max_failures
                 ):
                     raise MeasurementError(
-                        f"campaign aborted after {len(report.failures)} failures"
+                        f"campaign aborted after {report.failures_total} failures"
                     ) from exc
                 continue
             matrix.set(a.fingerprint, b.fingerprint, result.rtt_clamped_ms)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.echo.client import EchoClient
 from repro.echo.server import DEFAULT_ECHO_PORT, EchoServer
 from repro.netsim.engine import Simulator
+from repro.obs import MetricsRegistry, NULL_METRICS, NULL_TRACE, TraceLog
 from repro.netsim.topology import Host, Topology, TopologyBuilder
 from repro.netsim.transport import NetworkFabric
 from repro.tor.client import OnionProxy
@@ -42,6 +43,10 @@ class MeasurementHost:
     echo_client: EchoClient
     proxy: OnionProxy
     controller: Controller
+    #: Observability sinks shared by every component of this deployment;
+    #: no-ops until :meth:`enable_observability` wires live ones in.
+    metrics: MetricsRegistry = NULL_METRICS
+    trace: TraceLog = NULL_TRACE
 
     @classmethod
     def deploy(
@@ -125,6 +130,47 @@ class MeasurementHost:
             proxy=proxy,
             controller=Controller(proxy),
         )
+
+    def enable_observability(
+        self,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceLog | None = None,
+    ) -> MetricsRegistry:
+        """Wire one live registry and trace log through the whole stack.
+
+        Attaches to the simulator, the onion proxy, the echo client, and
+        the two helper relays (w, z); measurers and campaigns built on
+        this host pick the sinks up via ``host.metrics`` / ``host.trace``.
+        Returns the registry so callers can snapshot it after a run.
+        """
+        registry = metrics if metrics is not None else MetricsRegistry()
+        log = trace if trace is not None else TraceLog()
+        self.metrics = registry
+        self.trace = log
+        self.sim.metrics = registry
+        self.sim.trace = log
+        self.proxy.metrics = registry
+        self.proxy.trace = log
+        self.echo_client.metrics = registry
+        self.echo_client.trace = log
+        self.relay_w.metrics = registry
+        self.relay_z.metrics = registry
+        # Pre-declare the headline counters so a snapshot reports zeros
+        # for paths that never ran instead of omitting the keys.
+        for name in (
+            "tor.circuits_built",
+            "tor.circuits_failed",
+            "tor.streams_attached",
+            "tor.stream_failures",
+            "echo.probes_sent",
+            "echo.probes_received",
+            "echo.probes_lost",
+            "ting.leg_cache_hits",
+            "ting.leg_cache_misses",
+            "sim.heap_compactions",
+        ):
+            registry.inc(name, 0)
+        return registry
 
     def refresh_consensus(self, consensus: Consensus) -> None:
         """Install a new network consensus, keeping w and z hard-coded."""

@@ -18,12 +18,14 @@ assembles the same :class:`~repro.core.dataset.RttMatrix`.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.dataset import RttMatrix
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import SamplePolicy, min_estimate
+from repro.obs import PAIR_FAILED, PAIR_MEASURED, categorize_failure
 from repro.tor.client import Circuit
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import CircuitError, MeasurementError, StreamError
@@ -150,15 +152,19 @@ class ParallelCampaign:
             for i, a in enumerate(self.relays)
             for b in self.relays[i + 1 :]
         ]
-        # Leg tasks first (each exactly once), then pair tasks.
-        queue: list[tuple[str, ...]] = [
-            ("leg", r.fingerprint) for r in self.relays
-        ] + [("pair", a, b) for a, b in tasks]
+        # Leg tasks first (each exactly once), then pair tasks. A deque:
+        # the C(n,2)+n task list is drained one task per completion, and
+        # a list.pop(0) here is O(n^2) over the campaign — minutes of
+        # pure queue-shuffling at a few hundred relays.
+        queue: deque[tuple[str, ...]] = deque(
+            [("leg", r.fingerprint) for r in self.relays]
+            + [("pair", a, b) for a, b in tasks]
+        )
         state = {"running": 0, "done": 0, "total": len(queue)}
 
         def launch_next() -> None:
             while state["running"] < self.concurrency and queue:
-                task = queue.pop(0)
+                task = queue.popleft()
                 state["running"] += 1
                 report.peak_concurrency = max(
                     report.peak_concurrency, state["running"]
@@ -184,6 +190,14 @@ class ParallelCampaign:
         report.pairs_attempted = len(tasks)
         report.pairs_measured = matrix.num_measured
         report.makespan_ms = self.host.sim.now - started
+        metrics = self.host.metrics
+        if metrics.enabled:
+            metrics.inc("campaign.pairs_attempted", report.pairs_attempted)
+            metrics.inc("campaign.pairs_measured", report.pairs_measured)
+            metrics.set_gauge("campaign.makespan_ms", report.makespan_ms)
+            metrics.max_gauge(
+                "campaign.peak_concurrency", report.peak_concurrency
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -191,6 +205,9 @@ class ParallelCampaign:
     def _run_leg_task(self, fingerprint: str, finished: Callable[[], None]) -> None:
         def done(samples: list[float]) -> None:
             self._legs[fingerprint] = min_estimate(samples)
+            # Each leg is measured exactly once and shared — the
+            # campaign-level equivalent of a sequential cache miss.
+            self.host.metrics.inc("ting.leg_cache_misses")
             self._notify_leg(fingerprint)
             finished()
 
@@ -221,6 +238,9 @@ class ParallelCampaign:
         report: ParallelReport,
         finished: Callable[[], None],
     ) -> None:
+        started = self.host.sim.now
+        metrics = self.host.metrics
+
         def done(samples: list[float]) -> None:
             cxy = min_estimate(samples)
             self._when_leg_ready(
@@ -230,16 +250,39 @@ class ParallelCampaign:
         def combine(cxy: float) -> None:
             if x_fp in self._leg_failures or y_fp in self._leg_failures:
                 reason = self._leg_failures.get(x_fp) or self._leg_failures.get(y_fp)
-                report.failures.append((x_fp, y_fp, f"leg failed: {reason}"))
-                finished()
+                fail(f"leg failed: {reason}")
                 return
             estimate = cxy - self._legs[x_fp] / 2.0 - self._legs[y_fp] / 2.0
             matrix.set(x_fp, y_fp, max(0.0, estimate))
+            if metrics.enabled:
+                # Both legs came from the shared per-relay measurements.
+                metrics.inc("ting.leg_cache_hits", 2)
+                metrics.observe(
+                    "campaign.pair_duration_ms", self.host.sim.now - started
+                )
+            if self.host.trace.enabled:
+                self.host.trace.record(
+                    self.host.sim.now,
+                    PAIR_MEASURED,
+                    x=x_fp,
+                    y=y_fp,
+                    rtt_ms=max(0.0, estimate),
+                    duration_ms=self.host.sim.now - started,
+                )
+            finished()
+
+        def fail(reason: str) -> None:
+            report.failures.append((x_fp, y_fp, reason))
+            if metrics.enabled:
+                metrics.inc(f"campaign.failures.{categorize_failure(reason)}")
+            if self.host.trace.enabled:
+                self.host.trace.record(
+                    self.host.sim.now, PAIR_FAILED, x=x_fp, y=y_fp, reason=reason
+                )
             finished()
 
         def error(reason: str) -> None:
-            report.failures.append((x_fp, y_fp, reason))
-            finished()
+            fail(reason)
 
         _CircuitProbe(
             self.host, [self._w, x_fp, y_fp, self._z], self.policy, done, error

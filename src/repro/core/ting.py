@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import SamplePolicy, min_estimate
+from repro.obs import LEG_CACHE_HIT, LEG_CACHE_MISS, PAIR_MEASURED
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import CircuitError, MeasurementError, StreamError
 from repro.util.units import Milliseconds
@@ -127,6 +128,7 @@ class TingMeasurer:
             )
             if self.cache_legs:
                 self._leg_cache[x_fp] = circuit_x
+                self.host.metrics.inc("ting.leg_cache_misses")
         else:
             circuit_xy = self._measure_circuit((w_fp, x_fp, y_fp, z_fp), policy)
             circuit_x = self._measure_leg(x_fp, policy)
@@ -135,6 +137,19 @@ class TingMeasurer:
         estimate = (
             circuit_xy.min_ms - circuit_x.min_ms / 2.0 - circuit_y.min_ms / 2.0
         )
+        metrics = self.host.metrics
+        if metrics.enabled:
+            metrics.inc("ting.pairs_measured")
+            metrics.observe("ting.pair_duration_ms", self.host.sim.now - started)
+        if self.host.trace.enabled:
+            self.host.trace.record(
+                self.host.sim.now,
+                PAIR_MEASURED,
+                x=x_fp,
+                y=y_fp,
+                rtt_ms=estimate,
+                duration_ms=self.host.sim.now - started,
+            )
         return TingResult(
             x_fingerprint=x_fp,
             y_fingerprint=y_fp,
@@ -155,6 +170,11 @@ class TingMeasurer:
 
     def _measure_leg(self, x_fp: str, policy: SamplePolicy) -> CircuitMeasurement:
         if self.cache_legs and x_fp in self._leg_cache:
+            self.host.metrics.inc("ting.leg_cache_hits")
+            if self.host.trace.enabled:
+                self.host.trace.record(
+                    self.host.sim.now, LEG_CACHE_HIT, relay=x_fp
+                )
             return self._leg_cache[x_fp]
         measurement = self._measure_circuit(
             (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
@@ -162,6 +182,11 @@ class TingMeasurer:
         )
         if self.cache_legs:
             self._leg_cache[x_fp] = measurement
+            self.host.metrics.inc("ting.leg_cache_misses")
+            if self.host.trace.enabled:
+                self.host.trace.record(
+                    self.host.sim.now, LEG_CACHE_MISS, relay=x_fp
+                )
         return measurement
 
     def measure_pair_circuit(

@@ -12,12 +12,17 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.netsim.engine import Simulator
+from repro.obs import NULL_METRICS, NULL_TRACE, PROBE_LOST, PROBE_SENT
 from repro.tor.client import TorStream
 from repro.tor.control import SimFuture
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
 
 _PROBE = struct.Struct("!IQ")  # sequence number, nonce
+
+#: Default probe-run deadline; matches ``SamplePolicy.timeout_ms`` so a
+#: bare client run and a policy-driven run behave the same.
+DEFAULT_PROBE_TIMEOUT_MS: Milliseconds = 600_000.0
 
 
 @dataclass
@@ -47,13 +52,16 @@ class EchoClient:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._nonce = 0
+        #: Observability sinks; no-ops unless a live registry is wired in.
+        self.metrics = NULL_METRICS
+        self.trace = NULL_TRACE
 
     def probe(
         self,
         stream: TorStream,
         samples: int,
         interval_ms: Milliseconds | None = 5.0,
-        timeout_ms: Milliseconds = 120_000.0,
+        timeout_ms: Milliseconds = DEFAULT_PROBE_TIMEOUT_MS,
     ) -> EchoProbeResult:
         """Send ``samples`` probes and return the collected RTTs.
 
@@ -86,28 +94,53 @@ class EchoClient:
         on_done: "callable",
         on_error: "callable",
         interval_ms: Milliseconds | None = 5.0,
-        timeout_ms: Milliseconds = 120_000.0,
+        timeout_ms: Milliseconds = DEFAULT_PROBE_TIMEOUT_MS,
     ) -> None:
         """Callback form of :meth:`probe`: schedules the probe run and
         returns immediately; ``on_done(EchoProbeResult)`` or
-        ``on_error(reason)`` fires when it resolves."""
+        ``on_error(reason)`` fires when it resolves.
+
+        Partial results are handled uniformly: whether the run ends at
+        the deadline or because the stream died mid-run, any already-
+        collected RTT samples are delivered via ``on_done`` (the minimum
+        filter works on what arrived); ``on_error`` fires only when a
+        run ends with zero replies.
+        """
         if samples < 1:
             raise MeasurementError("samples must be >= 1")
         result = EchoProbeResult()
         in_flight: dict[int, Milliseconds] = {}
         pingpong = interval_ms is None
         state = {"finished": False}
+        metrics = self.metrics
+
+        def account_finished() -> None:
+            if not metrics.enabled:
+                return
+            lost = result.loss
+            if lost > 0:
+                metrics.inc("echo.probes_lost", lost)
+                if self.trace.enabled:
+                    self.trace.record(
+                        self.sim.now,
+                        PROBE_LOST,
+                        lost=lost,
+                        sent=result.sent,
+                        received=result.received,
+                    )
 
         def finish_ok() -> None:
             if not state["finished"]:
                 state["finished"] = True
                 deadline.cancel()
+                account_finished()
                 on_done(result)
 
         def finish_error(reason: str) -> None:
             if not state["finished"]:
                 state["finished"] = True
                 deadline.cancel()
+                account_finished()
                 on_error(reason)
 
         def reply_arrived(payload: bytes) -> None:
@@ -117,8 +150,12 @@ class EchoClient:
             sent_at = in_flight.pop(seq, None)
             if sent_at is None:
                 return
-            result.rtts_ms.append(self.sim.now - sent_at)
+            rtt = self.sim.now - sent_at
+            result.rtts_ms.append(rtt)
             result.received += 1
+            if metrics.enabled:
+                metrics.inc("echo.probes_received")
+                metrics.observe("echo.rtt_ms", rtt)
             if result.received >= samples:
                 finish_ok()
             elif pingpong and result.sent < samples:
@@ -130,11 +167,21 @@ class EchoClient:
             if state["finished"]:
                 return
             if stream.state != "open":
-                finish_error(f"stream became {stream.state}")
+                # Mid-run stream death: keep whatever already came back
+                # rather than discarding collected samples (a minimum
+                # over a shortened run is still a valid estimate).
+                if result.rtts_ms:
+                    finish_ok()
+                else:
+                    finish_error(f"stream became {stream.state}")
                 return
             self._nonce += 1
             in_flight[seq] = self.sim.now
             result.sent += 1
+            if metrics.enabled:
+                metrics.inc("echo.probes_sent")
+                if self.trace.enabled:
+                    self.trace.record(self.sim.now, PROBE_SENT, seq=seq)
             stream.send(_PROBE.pack(seq, self._nonce))
             if not pingpong and seq + 1 < samples:
                 self.sim.schedule(interval_ms, send_next, seq + 1)

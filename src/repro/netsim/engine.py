@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs import HEAP_COMPACTION, NULL_METRICS, NULL_TRACE
 from repro.util.errors import SimulationError
 from repro.util.units import Milliseconds
 
@@ -29,15 +30,19 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    # Set once the event has left the heap (fired or purged); a cancel
+    # after that must not perturb the simulator's cancelled-count.
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> Milliseconds:
@@ -51,11 +56,27 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._sim._note_cancelled()
 
 
 class Simulator:
-    """A deterministic event loop over a virtual millisecond clock."""
+    """A deterministic event loop over a virtual millisecond clock.
+
+    Cancelled events are not left to rot until their (possibly
+    far-future) timestamps: the simulator counts live cancellations and
+    compacts the heap whenever they outnumber the live entries. Event
+    ordering is total — ``(time, seq)`` — so a compaction (filter +
+    re-heapify) cannot change the firing order; runs remain bit-for-bit
+    reproducible.
+    """
+
+    #: Compaction trigger floor: below this many pending cancellations
+    #: the heap is left alone (re-heapifying tiny heaps buys nothing).
+    COMPACTION_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
         self._now: Milliseconds = 0.0
@@ -63,6 +84,16 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self._events_cancelled = 0
+        self._heap_compactions = 0
+        self._compaction_purged = 0
+        self._heap_peak = 0
+        self.compaction_min_cancelled = self.COMPACTION_MIN_CANCELLED
+        #: Observability sinks; no-ops unless a live registry is wired in
+        #: (see ``MeasurementHost.enable_observability``).
+        self.metrics = NULL_METRICS
+        self.trace = NULL_TRACE
 
     @property
     def now(self) -> Milliseconds:
@@ -78,6 +109,26 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total cancellations over the simulator's lifetime."""
+        return self._events_cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many times the heap was compacted to purge cancellations."""
+        return self._heap_compactions
+
+    @property
+    def heap_peak(self) -> int:
+        """The largest heap size observed so far."""
+        return self._heap_peak
 
     def schedule(
         self,
@@ -103,7 +154,47 @@ class Simulator:
             )
         event = _Event(time=time, seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        if len(self._heap) > self._heap_peak:
+            self._heap_peak = len(self._heap)
+        return EventHandle(event, self)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for one live cancellation; compacts when due.
+
+        Every echo run schedules a far-future deadline and cancels it on
+        success, so long campaigns would otherwise accumulate hundreds of
+        thousands of dead heap entries. Compaction keeps the heap sized
+        to its live events.
+        """
+        self._cancelled_pending += 1
+        self._events_cancelled += 1
+        if (
+            self._cancelled_pending >= self.compaction_min_cancelled
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Ordering is total on ``(time, seq)``, so rebuilding the heap from
+        the surviving events pops in exactly the same order as before.
+        """
+        purged = self._cancelled_pending
+        for event in self._heap:
+            if event.cancelled:
+                event.done = True
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compaction_purged += purged
+        self._heap_compactions += 1
+        self.metrics.inc("sim.heap_compactions")
+        self.metrics.inc("sim.heap_compaction_purged", purged)
+        if self.trace.enabled:
+            self.trace.record(
+                self._now, HEAP_COMPACTION, purged=purged, live=len(self._heap)
+            )
 
     def run(
         self,
@@ -129,10 +220,13 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    event.done = True
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event.done = True
                 self._now = event.time
                 event.callback(*event.args)
                 self._events_processed += 1
@@ -143,6 +237,16 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.set_gauge("sim.events_processed", self._events_processed)
+                metrics.set_gauge("sim.events_cancelled", self._events_cancelled)
+                metrics.set_gauge("sim.heap_pending", len(self._heap))
+                metrics.max_gauge("sim.heap_peak", self._heap_peak)
+                metrics.set_gauge(
+                    "sim.cancelled_ratio",
+                    self._cancelled_pending / len(self._heap) if self._heap else 0.0,
+                )
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
         """Run until no events remain; guard against runaway loops."""

@@ -1,0 +1,68 @@
+"""repro.obs — lightweight observability for the measurement stack.
+
+Two primitives, both with zero-cost no-op defaults:
+
+* :class:`MetricsRegistry` — counters, gauges, and ms-bucketed
+  histograms, aggregated by dotted name and exportable as JSON.
+* :class:`TraceLog` — a bounded structured log of typed events
+  (circuit built/failed, probe lost, leg cache hit, retry round, heap
+  compaction, ...).
+
+Components (``Simulator``, ``OnionProxy``, ``Relay``, ``EchoClient``)
+each carry ``metrics``/``trace`` attributes defaulting to
+:data:`NULL_METRICS` / :data:`NULL_TRACE`; call
+``MeasurementHost.enable_observability()`` to wire one live registry and
+trace through an entire deployment.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKET_EDGES_MS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import (
+    CIRCUIT_BUILT,
+    CIRCUIT_FAILED,
+    HEAP_COMPACTION,
+    LEG_CACHE_HIT,
+    LEG_CACHE_MISS,
+    NULL_TRACE,
+    NullTraceLog,
+    PAIR_FAILED,
+    PAIR_MEASURED,
+    PROBE_LOST,
+    PROBE_SENT,
+    RETRY_ROUND,
+    STREAM_ATTACHED,
+    STREAM_FAILED,
+    TraceEvent,
+    TraceLog,
+    categorize_failure,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES_MS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACE",
+    "NullMetricsRegistry",
+    "NullTraceLog",
+    "TraceEvent",
+    "TraceLog",
+    "categorize_failure",
+    "CIRCUIT_BUILT",
+    "CIRCUIT_FAILED",
+    "STREAM_ATTACHED",
+    "STREAM_FAILED",
+    "PROBE_SENT",
+    "PROBE_LOST",
+    "LEG_CACHE_HIT",
+    "LEG_CACHE_MISS",
+    "RETRY_ROUND",
+    "HEAP_COMPACTION",
+    "PAIR_MEASURED",
+    "PAIR_FAILED",
+]

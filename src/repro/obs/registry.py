@@ -1,0 +1,230 @@
+"""Metrics: counters, gauges, and millisecond-bucketed histograms.
+
+A :class:`MetricsRegistry` is a flat, name-keyed store that the
+measurement stack writes into as it works: the simulator counts events
+and heap compactions, the onion proxy counts circuits and times their
+builds, the echo client histograms probe RTTs, campaigns categorize
+failures. Benchmarks and the ``repro stats`` CLI read it back with
+:meth:`MetricsRegistry.snapshot` and can assert on exact counter values
+instead of only on timings.
+
+The default everywhere is :data:`NULL_METRICS`, a no-op registry whose
+mutators do nothing — instrumentation stays in the hot paths at zero
+measurable cost until someone opts in (usually via
+``MeasurementHost.enable_observability()``).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any
+
+#: Default histogram bucket upper edges, in milliseconds. Chosen to span
+#: everything the stack times: sub-ms forwarding delays up through the
+#: 600 s probe deadline. Values above the last edge land in "+Inf".
+DEFAULT_BUCKET_EDGES_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 30_000.0, 60_000.0, 600_000.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram over millisecond observations."""
+
+    __slots__ = ("edges", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES_MS) -> None:
+        self.edges = tuple(edges)
+        self.bucket_counts = [0] * (len(self.edges) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value_ms: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.edges, value_ms)] += 1
+        self.count += 1
+        self.total += value_ms
+        if self.min is None or value_ms < self.min:
+            self.min = value_ms
+        if self.max is None or value_ms > self.max:
+            self.max = value_ms
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket edges (upper-edge estimate)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                if index < len(self.edges):
+                    return self.edges[index]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of the histogram state."""
+        buckets: dict[str, int] = {}
+        for edge, bucket in zip(self.edges, self.bucket_counts):
+            if bucket:
+                buckets[f"le_{edge:g}"] = bucket
+        if self.bucket_counts[-1]:
+            buckets["inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        data: dict[str, Any],
+        edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES_MS,
+    ) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        histogram = cls(edges)
+        histogram.count = int(data["count"])
+        histogram.total = float(data["sum"])
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        by_label = dict(data.get("buckets", {}))
+        for index, edge in enumerate(histogram.edges):
+            histogram.bucket_counts[index] = int(by_label.get(f"le_{edge:g}", 0))
+        histogram.bucket_counts[-1] = int(by_label.get("inf", 0))
+        return histogram
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.3f}ms)"
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges, and histograms.
+
+    Names are dotted strings (``"tor.circuits_built"``); metrics are
+    created on first write, so instrumented code never declares anything
+    up front. Reads of unknown names return zero/``None`` rather than
+    raising — a snapshot consumer should not crash because a code path
+    never ran.
+    """
+
+    #: Whether writes are recorded; hot paths may branch on this to skip
+    #: building event payloads when observability is off.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writes --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a counter (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge to ``value``."""
+        self._gauges[name] = float(value)
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Raise a gauge to ``value`` if it is a new maximum."""
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value_ms: float) -> None:
+        """Record ``value_ms`` into a histogram (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value_ms)
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reads ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current counter value (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        """Current gauge value (``None`` if never set)."""
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The named histogram (``None`` if never observed)."""
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable view of every metric."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize :meth:`snapshot` as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_json` output."""
+        data = json.loads(text)
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry._counters[name] = int(value)
+        for name, value in data.get("gauges", {}).items():
+            registry._gauges[name] = float(value)
+        for name, hist_data in data.get("histograms", {}).items():
+            registry._histograms[name] = Histogram.from_snapshot(hist_data)
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry that records nothing: the zero-cost default."""
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def max_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value_ms: float) -> None:
+        pass
+
+
+#: The process-wide no-op registry; instrumented components default to it.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,138 @@
+"""Structured trace of typed measurement events.
+
+Where :mod:`repro.obs.registry` aggregates, a :class:`TraceLog` keeps
+the individual occurrences: which circuit was built when, which probe
+run lost replies, which retry round started. The log is a bounded ring
+buffer — long campaigns keep the most recent ``capacity`` events and
+count what they dropped — and every event is JSON-serializable.
+
+The default everywhere is :data:`NULL_TRACE`, which drops everything.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# Event kinds recorded by the measurement stack. Plain strings so
+# downstream consumers can add their own without touching this module.
+CIRCUIT_BUILT = "circuit_built"
+CIRCUIT_FAILED = "circuit_failed"
+STREAM_ATTACHED = "stream_attached"
+STREAM_FAILED = "stream_failed"
+PROBE_SENT = "probe_sent"
+PROBE_LOST = "probe_lost"
+LEG_CACHE_HIT = "leg_cache_hit"
+LEG_CACHE_MISS = "leg_cache_miss"
+RETRY_ROUND = "retry_round"
+HEAP_COMPACTION = "heap_compaction"
+PAIR_MEASURED = "pair_measured"
+PAIR_FAILED = "pair_failed"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed occurrence at a simulated instant."""
+
+    time_ms: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready view of the event."""
+        return {"time_ms": self.time_ms, "kind": self.kind, **self.fields}
+
+
+class TraceLog:
+    """A bounded, append-only log of :class:`TraceEvent`."""
+
+    #: Whether :meth:`record` keeps events; hot paths may branch on this.
+    enabled = True
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, time_ms: float, kind: str, **fields: Any) -> None:
+        """Append one event; the oldest is dropped when full."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(time_ms=time_ms, kind=kind, fields=fields))
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All retained events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """How many retained events have the given kind."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def clear(self) -> None:
+        """Drop every retained event and the dropped count."""
+        self._events.clear()
+        self.dropped = 0
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the retained events as a JSON array."""
+        return json.dumps([event.to_dict() for event in self._events], indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str, capacity: int = 100_000) -> "TraceLog":
+        """Rebuild a log from :meth:`to_json` output."""
+        log = cls(capacity=capacity)
+        for entry in json.loads(text):
+            entry = dict(entry)
+            time_ms = entry.pop("time_ms")
+            kind = entry.pop("kind")
+            log.record(time_ms, kind, **entry)
+        return log
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"TraceLog({len(self._events)}/{self.capacity} events, dropped={self.dropped})"
+
+
+class NullTraceLog(TraceLog):
+    """A trace log that drops everything: the zero-cost default."""
+
+    enabled = False
+
+    def record(self, time_ms: float, kind: str, **fields: Any) -> None:
+        pass
+
+
+#: The process-wide no-op trace log; instrumented components default to it.
+NULL_TRACE = NullTraceLog(capacity=1)
+
+
+def categorize_failure(reason: str) -> str:
+    """Bucket a free-text failure reason into a stable category.
+
+    Campaigns count failures by category (``campaign.failures.<cat>``)
+    so operators can tell relay churn (circuit builds) from probe loss
+    at a glance instead of diffing reason strings.
+    """
+    lowered = reason.lower()
+    if "leg failed" in lowered:
+        return "leg"
+    if "circuit" in lowered and ("build" in lowered or "could not build" in lowered):
+        return "circuit_build"
+    if "truncate" in lowered or "surgery" in lowered:
+        return "circuit_reuse"
+    if "stream" in lowered:
+        return "stream"
+    if "deadline" in lowered or "zero replies" in lowered or "timed out" in lowered:
+        return "probe_timeout"
+    return "other"

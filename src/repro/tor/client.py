@@ -18,6 +18,14 @@ from typing import Callable
 
 from repro.netsim.engine import EventHandle, Simulator
 from repro.netsim.policies import TrafficClass
+from repro.obs import (
+    CIRCUIT_BUILT,
+    CIRCUIT_FAILED,
+    NULL_METRICS,
+    NULL_TRACE,
+    STREAM_ATTACHED,
+    STREAM_FAILED,
+)
 from repro.netsim.topology import Host, Topology
 from repro.netsim.transport import NetworkFabric, StreamConnection
 from repro.tor.cells import (
@@ -49,6 +57,7 @@ class Circuit:
         self.layers: list[OnionLayer] = []
         self.state = "building"  # building | built | failed | closed
         self.failure_reason: str | None = None
+        self.created_at_ms: Milliseconds = 0.0
         self.built_at_ms: Milliseconds | None = None
         self.streams: dict[int, "TorStream"] = {}
 
@@ -146,6 +155,9 @@ class OnionProxy:
         # the mapping from connection to the circuits it carries.
         self._or_conns: dict[str, StreamConnection] = {}
         self._conn_for_circuit: dict[int, StreamConnection] = {}
+        #: Observability sinks; no-ops unless a live registry is wired in.
+        self.metrics = NULL_METRICS
+        self.trace = NULL_TRACE
 
     def set_consensus(self, consensus: Consensus) -> None:
         """Install a fresh network view (e.g. after a directory fetch)."""
@@ -177,6 +189,7 @@ class OnionProxy:
             raise CircuitError("a relay cannot appear on a circuit more than once")
 
         circuit = Circuit(circ_id=next(self._circ_ids), path=descriptors)
+        circuit.created_at_ms = self.sim.now
         self.circuits[circuit.circ_id] = circuit
         timeout = self.sim.schedule(
             timeout_ms, self._build_timed_out, circuit
@@ -257,6 +270,15 @@ class OnionProxy:
         for stream in list(circuit.streams.values()):
             stream.state = "failed"
         circuit.streams.clear()
+        self.metrics.inc("tor.circuits_failed")
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                CIRCUIT_FAILED,
+                circ_id=circuit.circ_id,
+                hops=len(circuit.path),
+                reason=reason,
+            )
         if build is not None:
             build.timeout.cancel()
             build.on_failure(circuit, reason)
@@ -291,6 +313,20 @@ class OnionProxy:
             circuit.built_at_ms = self.sim.now
             build.timeout.cancel()
             self._builds.pop(circuit.circ_id, None)
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.inc("tor.circuits_built")
+                metrics.observe(
+                    "tor.circuit_build_ms", self.sim.now - circuit.created_at_ms
+                )
+            if self.trace.enabled:
+                self.trace.record(
+                    self.sim.now,
+                    CIRCUIT_BUILT,
+                    circ_id=circuit.circ_id,
+                    hops=len(circuit.path),
+                    build_ms=self.sim.now - circuit.created_at_ms,
+                )
             build.on_built(circuit)
             return
         # Extend to the next hop.
@@ -383,6 +419,15 @@ class OnionProxy:
         on_connected, _, timeout = waiter
         timeout.cancel()
         stream.state = "open"
+        self.metrics.inc("tor.streams_attached")
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                STREAM_ATTACHED,
+                circ_id=circuit.circ_id,
+                stream_id=stream_id,
+                target=stream.target,
+            )
         on_connected(stream)
 
     def _stream_ended(self, circuit: Circuit, stream_id: int, reason: bytes) -> None:
@@ -393,7 +438,17 @@ class OnionProxy:
             timeout.cancel()
             if stream is not None:
                 stream.state = "failed"
-            on_failure(reason.decode("ascii", errors="replace"))
+            decoded = reason.decode("ascii", errors="replace")
+            self.metrics.inc("tor.stream_failures")
+            if self.trace.enabled:
+                self.trace.record(
+                    self.sim.now,
+                    STREAM_FAILED,
+                    circ_id=circuit.circ_id,
+                    stream_id=stream_id,
+                    reason=decoded,
+                )
+            on_failure(decoded)
             return
         if stream is not None and stream.state == "open":
             stream.state = "closed"
@@ -408,6 +463,15 @@ class OnionProxy:
         stream = circuit.streams.pop(stream_id, None)
         if stream is not None:
             stream.state = "failed"
+        self.metrics.inc("tor.stream_failures")
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                STREAM_FAILED,
+                circ_id=circuit.circ_id,
+                stream_id=stream_id,
+                reason="stream attach timed out",
+            )
         on_failure("stream attach timed out")
 
     def _send_stream_data(self, stream: TorStream, data: bytes) -> None:
@@ -512,6 +576,7 @@ class OnionProxy:
             raise CircuitError("a relay cannot appear on a circuit more than once")
         circuit.path.extend(descriptors)
         circuit.state = "building"
+        circuit.created_at_ms = self.sim.now
         timeout = self.sim.schedule(timeout_ms, self._build_timed_out, circuit)
         build = _BuildState(on_built, on_failure, timeout)
         self._builds[circuit.circ_id] = build

@@ -23,6 +23,7 @@ import numpy as np
 from repro.netsim.engine import Simulator
 from repro.netsim.policies import TrafficClass
 from repro.netsim.topology import Host, Topology
+from repro.obs import NULL_METRICS
 from repro.netsim.transport import NetworkFabric, StreamConnection
 from repro.tor.cells import (
     Cell,
@@ -217,6 +218,8 @@ class Relay:
             nickname, host.address, or_port
         )
         self.cells_processed = 0
+        #: Observability sink; a no-op unless a live registry is wired in.
+        self.metrics = NULL_METRICS
 
         # Outbound OR connections keyed by "address:port"; each entry is
         # (conn, established, pending cells queued while connecting).
@@ -314,6 +317,11 @@ class Relay:
 
     def _process_cell(self, conn: StreamConnection, cell: Cell) -> None:
         self.cells_processed += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("relay.cells_processed")
+            if cell.command is CellCommand.RELAY:
+                metrics.inc("relay.cells_relayed")
         if cell.command is CellCommand.CREATE:
             self._handle_create(conn, cell)
         elif cell.command is CellCommand.CREATED:

@@ -69,6 +69,51 @@ class TestAllPairsCampaign:
         with pytest.raises(MeasurementError):
             campaign.run()
 
+    def test_retry_rounds_track_cumulative_failures(self, mini_world):
+        host = mini_world.measurement
+        registry = host.enable_observability()
+        measurer = TingMeasurer(host, policy=FAST)
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        mini_world.relays[2].shutdown()
+        report = AllPairsCampaign(
+            measurer,
+            relays,
+            policy=SamplePolicy(samples=5, timeout_ms=5000.0),
+            retries=1,
+            retry_delay_ms=1_000.0,
+        ).run()
+        # The dead relay fails both its pairs in both rounds: four failed
+        # attempts total, two pairs still unmeasured at the end.
+        assert report.failures_total == 4
+        assert len(report.failures) == 2
+        assert registry.counter("campaign.retry_rounds") == 1
+        categorized = sum(
+            count
+            for name, count in registry.snapshot()["counters"].items()
+            if name.startswith("campaign.failures.")
+        )
+        assert categorized == 4
+
+    def test_max_failures_budget_survives_retry_pruning(self, mini_world):
+        # The regression: pruning retried pairs from report.failures used
+        # to reset the abort budget each round, so a permanently-dead
+        # relay could fail forever without tripping max_failures.
+        measurer = TingMeasurer(mini_world.measurement, policy=FAST)
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        mini_world.relays[2].shutdown()
+        campaign = AllPairsCampaign(
+            measurer,
+            relays,
+            policy=SamplePolicy(samples=5, timeout_ms=5000.0),
+            max_failures=3,
+            retries=2,
+            retry_delay_ms=1_000.0,
+        )
+        # Round 1 contributes 2 failures (under budget); the first retry
+        # round pushes the cumulative count past 3 and must abort.
+        with pytest.raises(MeasurementError, match="aborted after 4 failures"):
+            campaign.run()
+
     def test_too_few_relays_rejected(self, mini_world):
         measurer = TingMeasurer(mini_world.measurement, policy=FAST)
         with pytest.raises(MeasurementError):

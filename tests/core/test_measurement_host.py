@@ -3,6 +3,7 @@
 import pytest
 
 from repro.netsim.policies import TrafficClass
+from repro.obs import NULL_METRICS, NULL_TRACE, MetricsRegistry, TraceLog
 
 
 class TestDeployment:
@@ -56,6 +57,41 @@ class TestDeployment:
         m = mini_world.measurement
         assert m.echo_address == m.echo_server_host.address
         assert m.echo_port == m.echo_server.port
+
+    def test_observability_defaults_to_noop(self, mini_world):
+        m = mini_world.measurement
+        assert m.metrics is NULL_METRICS
+        assert m.trace is NULL_TRACE
+        assert m.sim.metrics is NULL_METRICS
+        assert m.echo_client.metrics is NULL_METRICS
+
+    def test_enable_observability_wires_every_component(self, mini_world):
+        m = mini_world.measurement
+        registry = m.enable_observability()
+        assert isinstance(registry, MetricsRegistry)
+        assert registry.enabled
+        for sink in (
+            m.metrics,
+            m.sim.metrics,
+            m.proxy.metrics,
+            m.echo_client.metrics,
+            m.relay_w.metrics,
+            m.relay_z.metrics,
+        ):
+            assert sink is registry
+        assert isinstance(m.trace, TraceLog)
+        assert m.trace is m.sim.trace is m.proxy.trace is m.echo_client.trace
+        # Headline counters are pre-declared so snapshots report zeros.
+        assert "tor.circuits_built" in registry.snapshot()["counters"]
+        assert "sim.heap_compactions" in registry.snapshot()["counters"]
+
+    def test_enable_observability_accepts_custom_sinks(self, mini_world):
+        m = mini_world.measurement
+        registry, log = MetricsRegistry(), TraceLog(capacity=16)
+        returned = m.enable_observability(metrics=registry, trace=log)
+        assert returned is registry
+        assert m.metrics is registry
+        assert m.trace is log
 
     def test_refresh_consensus_updates_public_view(self, mini_world):
         m = mini_world.measurement

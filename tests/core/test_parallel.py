@@ -78,3 +78,67 @@ class TestParallelCampaign:
             ParallelCampaign(
                 mini_world.measurement, [relays[0], relays[0]]
             )
+
+
+class TestInstrumentedCampaign:
+    def test_counters_account_for_every_circuit(self, mini_world):
+        host = mini_world.measurement
+        registry = host.enable_observability()
+        relays = [r.descriptor() for r in mini_world.relays]
+        n = len(relays)
+        pairs = n * (n - 1) // 2
+        report = ParallelCampaign(
+            host, relays, policy=FAST, concurrency=4
+        ).run()
+        assert report.pairs_measured == pairs
+        # One circuit per leg plus one per pair, nothing hidden.
+        assert registry.counter("tor.circuits_built") == n + pairs
+        assert registry.counter("ting.leg_cache_misses") == n
+        # Every pair combines two shared leg measurements.
+        assert registry.counter("ting.leg_cache_hits") == 2 * pairs
+        assert registry.counter("campaign.pairs_measured") == pairs
+        sent = registry.counter("echo.probes_sent")
+        received = registry.counter("echo.probes_received")
+        lost = registry.counter("echo.probes_lost")
+        assert sent == (n + pairs) * FAST.samples
+        assert sent == received + lost
+        assert registry.histogram("echo.rtt_ms").count == received
+        assert registry.gauge("campaign.peak_concurrency") <= 4
+
+    def test_observability_does_not_perturb_estimates(self):
+        # Zero-cost also means zero-effect: an instrumented run must
+        # produce a bit-for-bit identical matrix to a plain one.
+        from repro.testbeds.planetlab import PlanetLabTestbed
+
+        def run(instrument: bool):
+            testbed = PlanetLabTestbed.build(seed=31, n_relays=4)
+            if instrument:
+                testbed.measurement.enable_observability()
+            report = ParallelCampaign(
+                testbed.measurement,
+                [r.descriptor() for r in testbed.relays],
+                policy=FAST,
+                concurrency=3,
+            ).run()
+            return sorted(report.matrix.measured_pairs())
+
+        assert run(instrument=True) == run(instrument=False)
+
+    def test_failures_categorized_in_counters(self, mini_world):
+        host = mini_world.measurement
+        registry = host.enable_observability()
+        relays = [r.descriptor() for r in mini_world.relays[:3]]
+        mini_world.relays[2].shutdown()
+        report = ParallelCampaign(
+            host,
+            relays,
+            policy=SamplePolicy(samples=5, timeout_ms=5_000.0),
+            concurrency=4,
+        ).run()
+        assert len(report.failures) == 2
+        categorized = sum(
+            count
+            for name, count in registry.snapshot()["counters"].items()
+            if name.startswith("campaign.failures.")
+        )
+        assert categorized == 2

@@ -161,6 +161,116 @@ class TestRunControl:
         assert sim.pending == 2
 
 
+class TestHeapCompaction:
+    def test_cancellations_below_floor_left_in_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:5]:
+            handle.cancel()
+        # Too few cancellations to justify a re-heapify.
+        assert sim.heap_compactions == 0
+        assert sim.cancelled_pending == 5
+        assert sim.pending == 10
+
+    def test_compaction_purges_cancelled_majority(self):
+        sim = Simulator()
+        sim.compaction_min_cancelled = 8
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for handle in handles[:11]:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.cancelled_pending == 0
+        # Only live events remain queued.
+        assert sim.pending == 9
+
+    def test_compaction_at_default_threshold(self):
+        # The regression: every echo run cancels its far-future deadline,
+        # so a long campaign used to accumulate dead entries forever.
+        sim = Simulator()
+        handles = [
+            sim.schedule(600_000.0 + i, lambda: None) for i in range(200)
+        ]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.pending < 200
+        assert sim.events_cancelled == 150
+
+    def test_compaction_preserves_firing_order_bit_for_bit(self):
+        # (time, seq) ordering is total, so filter + heapify must pop the
+        # survivors in exactly the order an uncompacted heap would.
+        def run(min_cancelled: int) -> list[tuple[float, int]]:
+            sim = Simulator()
+            sim.compaction_min_cancelled = min_cancelled
+            fired: list[tuple[float, int]] = []
+            handles = []
+            for i in range(100):
+                delay = float((i * 37) % 50)  # many ties, shuffled order
+                handles.append(
+                    sim.schedule(delay, lambda d=delay, i=i: fired.append((d, i)))
+                )
+            for i, handle in enumerate(handles):
+                if i % 3 == 0:
+                    handle.cancel()
+            sim.run()
+            return fired
+
+        compacted = run(min_cancelled=4)
+        untouched = run(min_cancelled=10_000)
+        assert compacted == untouched
+
+    def test_cancel_after_fire_does_not_corrupt_counts(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # event already fired: must be a no-op
+        assert sim.events_cancelled == 0
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_after_purge_does_not_corrupt_counts(self):
+        sim = Simulator()
+        sim.compaction_min_cancelled = 2
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert sim.cancelled_pending == 0  # compacted
+        handles[0].cancel()  # already purged: must not go negative
+        assert sim.cancelled_pending == 0
+        assert sim.events_cancelled == 3
+
+    def test_popped_cancelled_event_decrements_pending(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.cancelled_pending == 1
+        sim.run()
+        assert sim.cancelled_pending == 0
+
+    def test_heap_peak_tracks_high_water_mark(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.heap_peak == 7
+        assert sim.pending == 0
+
+    def test_metrics_published_at_run_exit(self):
+        from repro.obs import MetricsRegistry
+
+        sim = Simulator()
+        sim.metrics = MetricsRegistry()
+        sim.compaction_min_cancelled = 2
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+        for handle in handles[:4]:
+            handle.cancel()
+        sim.run()
+        assert sim.metrics.counter("sim.heap_compactions") >= 1
+        assert sim.metrics.counter("sim.heap_compaction_purged") >= 1
+        assert sim.metrics.gauge("sim.events_processed") == 2
+        assert sim.metrics.gauge("sim.events_cancelled") == 4
+
+
 class TestDeterminism:
     @given(
         delays=st.lists(

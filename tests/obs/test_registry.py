@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKET_EDGES_MS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_starts_empty(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.min is None
+        assert histogram.max is None
+
+    def test_observe_tracks_count_sum_extremes(self):
+        histogram = Histogram()
+        for value in (3.0, 7.0, 1.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(11.0 / 3.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 7.0
+
+    def test_values_land_in_correct_buckets(self):
+        histogram = Histogram(edges=(1.0, 10.0, 100.0))
+        histogram.observe(0.5)   # <= 1.0
+        histogram.observe(1.0)   # <= 1.0 (edge is inclusive upper bound)
+        histogram.observe(5.0)   # <= 10.0
+        histogram.observe(1e6)   # +Inf
+        assert histogram.bucket_counts == [2, 1, 0, 1]
+
+    def test_quantile_upper_edge_estimate(self):
+        histogram = Histogram(edges=(1.0, 10.0, 100.0))
+        for _ in range(9):
+            histogram.observe(5.0)
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_snapshot_roundtrip(self):
+        histogram = Histogram()
+        for value in (0.2, 3.0, 40.0, 1e7):
+            histogram.observe(value)
+        restored = Histogram.from_snapshot(histogram.snapshot())
+        assert restored.count == histogram.count
+        assert restored.total == histogram.total
+        assert restored.min == histogram.min
+        assert restored.max == histogram.max
+        assert restored.bucket_counts == histogram.bucket_counts
+
+    def test_default_edges_span_probe_deadline(self):
+        # The stack times everything from sub-ms forwarding delays to the
+        # 600 s probe deadline; the default buckets must cover that span.
+        assert DEFAULT_BUCKET_EDGES_MS[0] <= 1.0
+        assert DEFAULT_BUCKET_EDGES_MS[-1] >= 600_000.0
+
+
+class TestMetricsRegistry:
+    def test_counters_created_on_first_inc(self):
+        registry = MetricsRegistry()
+        registry.inc("tor.circuits_built")
+        registry.inc("tor.circuits_built", 4)
+        assert registry.counter("tor.circuits_built") == 5
+
+    def test_unknown_reads_return_defaults(self):
+        registry = MetricsRegistry()
+        assert registry.counter("never.written") == 0
+        assert registry.gauge("never.written") is None
+        assert registry.histogram("never.written") is None
+
+    def test_set_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("sim.heap_pending", 10)
+        registry.set_gauge("sim.heap_pending", 3)
+        assert registry.gauge("sim.heap_pending") == 3.0
+
+    def test_max_gauge_keeps_maximum(self):
+        registry = MetricsRegistry()
+        registry.max_gauge("campaign.peak_concurrency", 4)
+        registry.max_gauge("campaign.peak_concurrency", 2)
+        registry.max_gauge("campaign.peak_concurrency", 7)
+        assert registry.gauge("campaign.peak_concurrency") == 7.0
+
+    def test_observe_builds_histogram(self):
+        registry = MetricsRegistry()
+        registry.observe("echo.rtt_ms", 12.0)
+        registry.observe("echo.rtt_ms", 18.0)
+        histogram = registry.histogram("echo.rtt_ms")
+        assert histogram is not None
+        assert histogram.count == 2
+        assert histogram.mean == 15.0
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.inc("a.count")
+        registry.set_gauge("b.level", 2.5)
+        registry.observe("c.ms", 9.0)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"] == {"a.count": 1}
+        assert snapshot["gauges"] == {"b.level": 2.5}
+        assert snapshot["histograms"]["c.ms"]["count"] == 1
+
+    def test_json_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.inc("tor.circuits_built", 12)
+        registry.set_gauge("sim.heap_peak", 480)
+        for value in (1.5, 22.0, 340.0):
+            registry.observe("echo.rtt_ms", value)
+        restored = MetricsRegistry.from_json(registry.to_json())
+        assert restored.snapshot() == registry.snapshot()
+
+    def test_to_json_is_valid_json(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        assert json.loads(registry.to_json(indent=2)) == registry.snapshot()
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.set_gauge("b", 1.0)
+        registry.observe("c", 2.0)
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+
+
+class TestNullMetricsRegistry:
+    def test_disabled_and_records_nothing(self):
+        registry = NullMetricsRegistry()
+        assert registry.enabled is False
+        registry.inc("a", 5)
+        registry.set_gauge("b", 1.0)
+        registry.max_gauge("b", 9.0)
+        registry.observe("c", 3.0)
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_reads_still_safe(self):
+        assert NULL_METRICS.counter("anything") == 0
+        assert NULL_METRICS.gauge("anything") is None
+        assert NULL_METRICS.histogram("anything") is None
+
+    def test_null_singleton_is_shared_default(self):
+        from repro.netsim.engine import Simulator
+
+        assert Simulator().metrics is NULL_METRICS

@@ -1,0 +1,107 @@
+"""Unit tests for the structured trace log."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CIRCUIT_BUILT,
+    NULL_TRACE,
+    NullTraceLog,
+    PROBE_LOST,
+    TraceEvent,
+    TraceLog,
+    categorize_failure,
+)
+
+
+class TestTraceLog:
+    def test_records_typed_events(self):
+        log = TraceLog()
+        log.record(5.0, CIRCUIT_BUILT, circuit_id=1, hops=3)
+        log.record(9.0, PROBE_LOST, lost=2)
+        assert len(log) == 2
+        assert log.count(CIRCUIT_BUILT) == 1
+        (event,) = log.events(PROBE_LOST)
+        assert event.time_ms == 9.0
+        assert event.fields == {"lost": 2}
+
+    def test_events_returns_all_in_order(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), CIRCUIT_BUILT, index=i)
+        assert [event.fields["index"] for event in log.events()] == list(range(5))
+
+    def test_ring_buffer_drops_oldest(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.record(float(i), CIRCUIT_BUILT, index=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [event.fields["index"] for event in log] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_clear(self):
+        log = TraceLog(capacity=2)
+        for i in range(4):
+            log.record(float(i), CIRCUIT_BUILT)
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_json_roundtrip(self):
+        log = TraceLog()
+        log.record(1.0, CIRCUIT_BUILT, circuit_id=7)
+        log.record(2.0, PROBE_LOST, lost=1, sent=10)
+        restored = TraceLog.from_json(log.to_json())
+        assert [event.to_dict() for event in restored] == [
+            event.to_dict() for event in log
+        ]
+
+    def test_to_json_is_valid_json_array(self):
+        log = TraceLog()
+        log.record(1.0, CIRCUIT_BUILT)
+        parsed = json.loads(log.to_json())
+        assert parsed == [{"time_ms": 1.0, "kind": CIRCUIT_BUILT}]
+
+    def test_event_to_dict_flattens_fields(self):
+        event = TraceEvent(time_ms=3.0, kind="custom", fields={"x": "A"})
+        assert event.to_dict() == {"time_ms": 3.0, "kind": "custom", "x": "A"}
+
+
+class TestNullTraceLog:
+    def test_disabled_and_drops_everything(self):
+        log = NullTraceLog()
+        assert log.enabled is False
+        log.record(1.0, CIRCUIT_BUILT)
+        assert len(log) == 0
+        assert log.events() == []
+
+    def test_null_singleton_is_shared_default(self):
+        from repro.echo.client import EchoClient
+        from repro.netsim.engine import Simulator
+
+        sim = Simulator()
+        assert sim.trace is NULL_TRACE
+        assert EchoClient(sim).trace is NULL_TRACE
+
+
+class TestCategorizeFailure:
+    @pytest.mark.parametrize(
+        ("reason", "category"),
+        [
+            ("leg failed: circuit build failed: relay down", "leg"),
+            ("could not build circuit A->B: timeout", "circuit_build"),
+            ("circuit build failed: destroyed", "circuit_build"),
+            ("circuit reuse surgery failed for X: truncate refused", "circuit_reuse"),
+            ("could not attach echo stream on A->B: refused", "stream"),
+            ("stream became closed", "stream"),
+            ("echo probe deadline with zero replies", "probe_timeout"),
+            ("something entirely new", "other"),
+        ],
+    )
+    def test_buckets_reason_strings(self, reason, category):
+        assert categorize_failure(reason) == category

@@ -81,6 +81,43 @@ class TestCommands:
         assert "unique /24s" in out
         assert "residential" in out
 
+    def test_stats_reports_counters(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "10",
+                "--concurrency", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tor.circuits_built" in out
+        assert "echo.probes_sent" in out
+        assert "ting.leg_cache_hits" in out
+        assert "sim.heap_compactions" in out
+        assert "probe loss rate" in out
+
+    def test_stats_writes_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "metrics.json"
+        code = main(
+            [
+                "stats",
+                "--relays", "3",
+                "--network-size", "20",
+                "--samples", "10",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(output.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["tor.circuits_built"] > 0
+        assert snapshot["histograms"]["echo.rtt_ms"]["count"] > 0
+
     def test_seed_changes_validate_world(self, capsys):
         main(["--seed", "1", "validate", "--relays", "4", "--samples", "10"])
         first = capsys.readouterr().out
