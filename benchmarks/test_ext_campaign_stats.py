@@ -18,6 +18,8 @@ relays, ~1800 pair tasks):
 import time
 from collections import deque
 
+import pytest
+
 from _config import scaled
 from repro.analysis.report import TextTable
 from repro.core.parallel import ParallelCampaign
@@ -33,6 +35,7 @@ def _drain_seconds(make_queue, pop) -> float:
     return time.perf_counter() - start
 
 
+@pytest.mark.benchguard
 def test_queue_drain_guard(report):
     """deque.popleft must beat list.pop(0) decisively at campaign scale."""
     n_tasks = scaled(150_000, minimum=50_000)

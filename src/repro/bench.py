@@ -1,0 +1,258 @@
+"""The repro bench harness: timed representative workloads.
+
+``repro bench`` times the pipeline's hot paths end to end — cell
+crypto, the event engine, a single Ting pair, a concurrent all-pairs
+campaign, and the sharded multiprocess campaign — and writes a
+schema-stable JSON report (``BENCH_ting.json``)::
+
+    {workload: {wall_s, events_processed, cells_processed, throughput}}
+
+The committed report is the performance baseline for this machine
+class; ``repro bench --check`` re-runs the workloads and exits nonzero
+if any workload's wall time regressed by more than
+:data:`REGRESSION_FACTOR` against the baseline. The factor is loose on
+purpose: wall timings on shared CI boxes jitter by tens of percent, and
+the check exists to catch order-of-magnitude fast-path regressions
+(per-byte crypto loops, O(n^2) queue drains), not 10% noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.core.parallel import ParallelCampaign
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import ShardedCampaign
+from repro.core.ting import TingMeasurer
+from repro.netsim.engine import Simulator
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.tor.crypto import LayerCipher
+
+#: ``--check`` fails when a workload's wall time exceeds baseline x this.
+REGRESSION_FACTOR = 2.0
+
+#: Keys every workload entry carries, in schema order.
+WORKLOAD_KEYS = ("wall_s", "events_processed", "cells_processed", "throughput")
+
+#: Fixed cell-body size for the crypto workload (the Tor relay-cell
+#: payload the acceptance criteria are phrased in terms of).
+CRYPTO_BODY_BYTES = 512
+
+
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    On a single-CPU box the sharded workload cannot beat the
+    single-process campaign — workers timeshare one core and pay the
+    isolation overhead on top — so consumers of the report need to know
+    the core count to interpret the campaign numbers.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _entry(
+    wall_s: float, events: int, cells: int, units_per_s: float
+) -> dict[str, float]:
+    return {
+        "wall_s": round(wall_s, 6),
+        "events_processed": int(events),
+        "cells_processed": int(cells),
+        "throughput": round(units_per_s, 3),
+    }
+
+
+def _testbed_cells(testbed: LiveTorTestbed) -> int:
+    cells = sum(relay.cells_processed for relay in testbed.relays)
+    cells += testbed.measurement.relay_w.cells_processed
+    cells += testbed.measurement.relay_z.cells_processed
+    return cells
+
+
+# --- workloads ---------------------------------------------------------
+
+
+def bench_cell_crypto(cells: int = 20_000) -> dict[str, float]:
+    """Onion-encrypt ``cells`` relay-cell bodies through three layers."""
+    layers = [LayerCipher(bytes([i]) * 32) for i in range(3)]
+    body = bytes(range(256)) * (CRYPTO_BODY_BYTES // 256)
+    start = time.perf_counter()
+    for _ in range(cells):
+        data = body
+        for layer in layers:
+            data = layer.process(data)
+    wall = time.perf_counter() - start
+    return _entry(wall, 0, cells, cells / wall)
+
+
+def bench_engine_events(events: int = 200_000) -> dict[str, float]:
+    """Push ``events`` timer events through a fresh simulator.
+
+    Half the events are cancelled before firing, so the heap-compaction
+    path is exercised the way echo-probe deadline timers exercise it.
+    """
+    sim = Simulator()
+
+    def noop() -> None:
+        pass
+
+    start = time.perf_counter()
+    handles = [sim.schedule(float(i % 97), noop) for i in range(events)]
+    for handle in handles[::2]:
+        handle.cancel()
+    sim.run()
+    wall = time.perf_counter() - start
+    return _entry(wall, sim.events_processed, 0, sim.events_processed / wall)
+
+
+def bench_ting_single_pair(seed: int = 2015) -> dict[str, float]:
+    """One full Ting measurement (both legs + pair) on a small world."""
+    start = time.perf_counter()
+    testbed = LiveTorTestbed.build(seed=seed, n_relays=20)
+    a, b = testbed.random_relays(2, testbed.streams.get("bench.pair"))
+    measurer = TingMeasurer(
+        testbed.measurement, policy=SamplePolicy(samples=10, interval_ms=2.0)
+    )
+    measurer.measure_pair(a, b)
+    wall = time.perf_counter() - start
+    events = testbed.sim.events_processed
+    return _entry(wall, events, _testbed_cells(testbed), events / wall)
+
+
+def bench_campaign_parallel(
+    seed: int = 47, relays: int = 60, samples: int = 6
+) -> dict[str, float]:
+    """Single-process concurrent all-pairs campaign (concurrency 16)."""
+    start = time.perf_counter()
+    testbed = LiveTorTestbed.build(seed=seed, n_relays=relays + 15)
+    selected = testbed.random_relays(relays, testbed.streams.get("bench.campaign"))
+    ParallelCampaign(
+        testbed.measurement,
+        selected,
+        policy=SamplePolicy(samples=samples, interval_ms=2.0),
+        concurrency=16,
+    ).run()
+    wall = time.perf_counter() - start
+    events = testbed.sim.events_processed
+    return _entry(wall, events, _testbed_cells(testbed), events / wall)
+
+
+def bench_campaign_sharded(
+    seed: int = 47, relays: int = 60, samples: int = 6, workers: int = 4
+) -> dict[str, float]:
+    """The same all-pairs campaign split across ``workers`` processes."""
+    import functools
+
+    testbed = LiveTorTestbed.build(seed=seed, n_relays=relays + 15)
+    selected = testbed.random_relays(relays, testbed.streams.get("bench.campaign"))
+    campaign = ShardedCampaign(
+        functools.partial(LiveTorTestbed.build, seed=seed, n_relays=relays + 15),
+        [d.fingerprint for d in selected],
+        policy=SamplePolicy(samples=samples, interval_ms=2.0),
+        workers=workers,
+    )
+    report = campaign.run()
+    return _entry(
+        report.wall_s,
+        report.events_processed,
+        report.cells_processed,
+        report.events_processed / report.wall_s,
+    )
+
+
+# --- harness -----------------------------------------------------------
+
+
+def run_bench(
+    seed: int = 47,
+    relays: int = 60,
+    samples: int = 6,
+    workers: int = 4,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Run every workload; returns the schema-stable report mapping."""
+    say = progress or (lambda _msg: None)
+    report: dict[str, dict[str, float]] = {
+        # Run configuration + machine class, so a committed baseline is
+        # interpretable. ``_``-prefixed keys are ignored by --check.
+        "_meta": {
+            "seed": seed,
+            "relays": relays,
+            "samples": samples,
+            "workers": workers,
+            "cpus": _available_cpus(),
+        },
+    }
+    workloads: list[tuple[str, Callable[[], dict[str, float]]]] = [
+        ("cell_crypto", bench_cell_crypto),
+        ("engine_events", bench_engine_events),
+        ("ting_single_pair", lambda: bench_ting_single_pair(seed=2015)),
+        (
+            "campaign_parallel",
+            lambda: bench_campaign_parallel(
+                seed=seed, relays=relays, samples=samples
+            ),
+        ),
+        (
+            "campaign_sharded",
+            lambda: bench_campaign_sharded(
+                seed=seed, relays=relays, samples=samples, workers=workers
+            ),
+        ),
+    ]
+    for name, workload in workloads:
+        say(f"  {name} ...")
+        report[name] = workload()
+        say(
+            f"  {name}: {report[name]['wall_s']:.2f}s, "
+            f"throughput {report[name]['throughput']:,.0f}/s"
+        )
+    return report
+
+
+def check_regressions(
+    report: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    factor: float = REGRESSION_FACTOR,
+) -> list[str]:
+    """Compare a fresh report to a baseline; returns regression messages.
+
+    A workload regresses when its wall time exceeds ``factor`` times the
+    baseline's. Workloads missing from either side are reported too — a
+    renamed or dropped workload silently escaping the guard is itself a
+    regression of the harness.
+    """
+    problems: list[str] = []
+    for name, base in baseline.items():
+        if name.startswith("_"):
+            continue
+        fresh = report.get(name)
+        if fresh is None:
+            problems.append(f"{name}: missing from fresh run")
+            continue
+        if fresh["wall_s"] > factor * base["wall_s"]:
+            problems.append(
+                f"{name}: wall {fresh['wall_s']:.3f}s > "
+                f"{factor:g}x baseline {base['wall_s']:.3f}s"
+            )
+    for name in report:
+        if not name.startswith("_") and name not in baseline:
+            problems.append(f"{name}: missing from baseline")
+    return problems
+
+
+def save_report(report: dict[str, dict[str, float]], path: Path) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: Path) -> dict[str, dict[str, float]]:
+    """Load a previously saved bench report."""
+    return json.loads(path.read_text())

@@ -71,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--days", type=int, default=30)
     coverage.add_argument("--relays", type=int, default=3000)
 
+    bench = sub.add_parser(
+        "bench", help="time representative workloads; write BENCH_ting.json"
+    )
+    bench.add_argument("--relays", type=int, default=60,
+                       help="relays in the campaign workloads")
+    bench.add_argument("--samples", type=int, default=6,
+                       help="probe samples per circuit measurement")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the sharded workload")
+    bench.add_argument("--output", type=Path, default=Path("BENCH_ting.json"),
+                       help="where to write the bench report")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the baseline; exit nonzero on "
+                            ">2x wall-time regression")
+    bench.add_argument("--baseline", type=Path, default=Path("BENCH_ting.json"),
+                       help="baseline report for --check")
+
     stats = sub.add_parser(
         "stats", help="instrumented campaign with metrics report"
     )
@@ -176,6 +193,39 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench``: time the hot-path workloads, write/check the report."""
+    from repro import bench as bench_mod
+
+    if args.check and not args.baseline.exists():
+        # Fail before spending minutes on workloads nothing will judge.
+        print(f"baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    print(f"Running bench workloads (relays={args.relays}, "
+          f"samples={args.samples}, workers={args.workers}) ...")
+    report = bench_mod.run_bench(
+        seed=args.seed,
+        relays=args.relays,
+        samples=args.samples,
+        workers=args.workers,
+        progress=print,
+    )
+    if args.check:
+        baseline = bench_mod.load_report(args.baseline)
+        problems = bench_mod.check_regressions(report, baseline)
+        if problems:
+            print("\nperformance regressions detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(threshold {bench_mod.REGRESSION_FACTOR:g}x)")
+        return 0
+    bench_mod.save_report(report, args.output)
+    print(f"\nbench report written to {args.output}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``stats``: instrumented concurrent campaign + metrics report."""
     print(f"Building live-Tor-style network ({args.network_size} relays) ...")
@@ -239,6 +289,7 @@ _COMMANDS = {
     "tiv": cmd_tiv,
     "deanon": cmd_deanon,
     "coverage": cmd_coverage,
+    "bench": cmd_bench,
     "stats": cmd_stats,
 }
 

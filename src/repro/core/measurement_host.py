@@ -168,6 +168,7 @@ class MeasurementHost:
             "ting.leg_cache_hits",
             "ting.leg_cache_misses",
             "sim.heap_compactions",
+            "campaign.task_isolations",
         ):
             registry.inc(name, 0)
         return registry

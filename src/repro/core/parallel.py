@@ -14,13 +14,22 @@ second).
 through a bounded worker pool, deduplicates leg measurements across
 pairs (each relay's ``C_x`` is measured exactly once and shared), and
 assembles the same :class:`~repro.core.dataset.RttMatrix`.
+
+With a :class:`TaskIsolation` attached the campaign instead runs its
+tasks strictly one at a time, resetting cached connections and
+reseeding every delay-relevant RNG stream from the task's key before
+each task. Each task's result then depends only on ``(root seed, task
+key)`` — not on which tasks ran before it in this process — which is
+what lets :class:`~repro.core.shard.ShardedCampaign` split the pair
+list across worker processes and still merge a matrix that is
+invariant to the shard count.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.core.dataset import RttMatrix
 from repro.core.measurement_host import MeasurementHost
@@ -29,7 +38,40 @@ from repro.obs import PAIR_FAILED, PAIR_MEASURED, categorize_failure
 from repro.tor.client import Circuit
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import CircuitError, MeasurementError, StreamError
+from repro.util.rng import RandomStreams
 from repro.util.units import Milliseconds
+
+#: Estimates produced under task isolation are quantized to this many
+#: decimal digits of a millisecond (1e-6 ms = one nanosecond). Absolute
+#: event times differ between a sharded worker and a full campaign, so
+#: float rounding perturbs raw RTTs at the ~1e-10 ms scale; nanosecond
+#: quantization erases that while staying far below measurement
+#: resolution. Unisolated campaigns never round (bit-for-bit compatible
+#: with the historical estimator).
+ISOLATED_ESTIMATE_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class TaskIsolation:
+    """Recipe for making each measurement task's outcome context-free.
+
+    ``streams`` is the testbed's root :class:`RandomStreams`;
+    ``stream_names`` lists every named stream that is drawn from while a
+    probe is in flight (latency jitter, relay forwarding models);
+    ``reset`` drops world state cached across tasks (OR connections).
+    Testbeds construct this — see ``LiveTorTestbed.task_isolation``.
+    """
+
+    streams: RandomStreams
+    stream_names: tuple[str, ...]
+    reset: Callable[[], None] | None = None
+
+    def begin(self, task_key: str) -> None:
+        """Prepare the world so the next task is a pure function of its key."""
+        if self.reset is not None:
+            self.reset()
+        for name in self.stream_names:
+            self.streams.reseed(name, task_key)
 
 
 @dataclass
@@ -119,6 +161,8 @@ class ParallelCampaign:
         relays: list[RelayDescriptor],
         policy: SamplePolicy | None = None,
         concurrency: int = 8,
+        pairs: Sequence[tuple[str, str]] | None = None,
+        isolation: TaskIsolation | None = None,
     ) -> None:
         if len(relays) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -127,10 +171,20 @@ class ParallelCampaign:
             raise MeasurementError("duplicate relays in campaign set")
         if concurrency < 1:
             raise MeasurementError("concurrency must be >= 1")
+        if pairs is not None:
+            known = set(fingerprints)
+            for a, b in pairs:
+                if a == b or a not in known or b not in known:
+                    raise MeasurementError(f"invalid campaign pair ({a}, {b})")
         self.host = host
         self.relays = list(relays)
         self.policy = policy or SamplePolicy.high_accuracy()
         self.concurrency = concurrency
+        #: Explicit pair subset (a shard); ``None`` means all C(n,2).
+        self.pairs = list(pairs) if pairs is not None else None
+        #: When set, tasks run serially with per-task RNG/connection
+        #: isolation; ``concurrency`` is ignored.
+        self.isolation = isolation
 
         self._w = host.relay_w.fingerprint
         self._z = host.relay_z.fingerprint
@@ -141,24 +195,60 @@ class ParallelCampaign:
 
     # ------------------------------------------------------------------
 
+    def _task_lists(self) -> tuple[list[str], list[tuple[str, str]]]:
+        """Leg fingerprints and pair tasks for this campaign's scope."""
+        if self.pairs is not None:
+            pair_tasks = list(self.pairs)
+            needed = {fp for pair in pair_tasks for fp in pair}
+            leg_fps = [r.fingerprint for r in self.relays if r.fingerprint in needed]
+        else:
+            pair_tasks = [
+                (a.fingerprint, b.fingerprint)
+                for i, a in enumerate(self.relays)
+                for b in self.relays[i + 1 :]
+            ]
+            leg_fps = [r.fingerprint for r in self.relays]
+        return leg_fps, pair_tasks
+
     def run(self) -> ParallelReport:
         """Execute the campaign; drives the simulator until completion."""
         matrix = RttMatrix([r.fingerprint for r in self.relays])
         report = ParallelReport(matrix=matrix)
         started = self.host.sim.now
+        leg_fps, pair_tasks = self._task_lists()
 
-        tasks: list[tuple[str, str]] = [
-            (a.fingerprint, b.fingerprint)
-            for i, a in enumerate(self.relays)
-            for b in self.relays[i + 1 :]
-        ]
+        if self.isolation is not None:
+            self._run_isolated(leg_fps, pair_tasks, matrix, report)
+        else:
+            self._run_concurrent(leg_fps, pair_tasks, matrix, report)
+
+        report.pairs_attempted = len(pair_tasks)
+        report.pairs_measured = matrix.num_measured
+        report.makespan_ms = self.host.sim.now - started
+        metrics = self.host.metrics
+        if metrics.enabled:
+            metrics.inc("campaign.pairs_attempted", report.pairs_attempted)
+            metrics.inc("campaign.pairs_measured", report.pairs_measured)
+            metrics.set_gauge("campaign.makespan_ms", report.makespan_ms)
+            metrics.max_gauge(
+                "campaign.peak_concurrency", report.peak_concurrency
+            )
+        return report
+
+    def _run_concurrent(
+        self,
+        leg_fps: list[str],
+        pair_tasks: list[tuple[str, str]],
+        matrix: RttMatrix,
+        report: ParallelReport,
+    ) -> None:
         # Leg tasks first (each exactly once), then pair tasks. A deque:
         # the C(n,2)+n task list is drained one task per completion, and
         # a list.pop(0) here is O(n^2) over the campaign — minutes of
         # pure queue-shuffling at a few hundred relays.
         queue: deque[tuple[str, ...]] = deque(
-            [("leg", r.fingerprint) for r in self.relays]
-            + [("pair", a, b) for a, b in tasks]
+            [("leg", fp) for fp in leg_fps]
+            + [("pair", a, b) for a, b in pair_tasks]
         )
         state = {"running": 0, "done": 0, "total": len(queue)}
 
@@ -187,24 +277,64 @@ class ParallelCampaign:
         )
         if state["done"] < state["total"]:
             raise MeasurementError("parallel campaign did not complete")
-        report.pairs_attempted = len(tasks)
-        report.pairs_measured = matrix.num_measured
-        report.makespan_ms = self.host.sim.now - started
-        metrics = self.host.metrics
-        if metrics.enabled:
-            metrics.inc("campaign.pairs_attempted", report.pairs_attempted)
-            metrics.inc("campaign.pairs_measured", report.pairs_measured)
-            metrics.set_gauge("campaign.makespan_ms", report.makespan_ms)
-            metrics.max_gauge(
-                "campaign.peak_concurrency", report.peak_concurrency
-            )
-        return report
+
+    def _run_isolated(
+        self,
+        leg_fps: list[str],
+        pair_tasks: list[tuple[str, str]],
+        matrix: RttMatrix,
+        report: ParallelReport,
+    ) -> None:
+        """Serial per-task execution with context-free task outcomes.
+
+        Before each task the isolation recipe drops cached OR connections
+        and reseeds the delay streams from the task key; after each task
+        the simulator drains to idle so no event (circuit teardown,
+        connection close) crosses a task boundary. Together these make
+        every task's samples a pure function of ``(root seed, task key)``.
+        """
+        sim = self.host.sim
+        report.peak_concurrency = 1
+        state = {"done": False}
+
+        def finished() -> None:
+            state["done"] = True
+
+        tasks: list[tuple[str, ...]] = [("leg", fp) for fp in leg_fps] + [
+            ("pair", a, b) for a, b in pair_tasks
+        ]
+        for task in tasks:
+            key = ":".join(task)
+            self.isolation.begin(key)
+            state["done"] = False
+            if task[0] == "leg":
+                self._run_leg_task(task[1], finished)
+            else:
+                self._run_pair_task(task[1], task[2], matrix, report, finished)
+            sim.run(max_events=200_000_000, stop_when=lambda: state["done"])
+            if not state["done"]:
+                raise MeasurementError(f"isolated task {key} did not complete")
+            # Drain teardown traffic before the next task's reset/reseed.
+            sim.run(max_events=10_000_000)
+            self.host.metrics.inc("campaign.task_isolations")
 
     # ------------------------------------------------------------------
 
+    def _estimate(self, samples: list[float]) -> float:
+        """Min-filter the samples; quantize when running isolated.
+
+        See :data:`ISOLATED_ESTIMATE_DECIMALS` — quantization erases the
+        sub-picosecond float noise that absolute event times inject, so
+        sharded and unsharded runs of the same task agree exactly.
+        """
+        value = min_estimate(samples)
+        if self.isolation is not None:
+            value = round(value, ISOLATED_ESTIMATE_DECIMALS)
+        return value
+
     def _run_leg_task(self, fingerprint: str, finished: Callable[[], None]) -> None:
         def done(samples: list[float]) -> None:
-            self._legs[fingerprint] = min_estimate(samples)
+            self._legs[fingerprint] = self._estimate(samples)
             # Each leg is measured exactly once and shared — the
             # campaign-level equivalent of a sequential cache miss.
             self.host.metrics.inc("ting.leg_cache_misses")
@@ -242,7 +372,7 @@ class ParallelCampaign:
         metrics = self.host.metrics
 
         def done(samples: list[float]) -> None:
-            cxy = min_estimate(samples)
+            cxy = self._estimate(samples)
             self._when_leg_ready(
                 x_fp, lambda: self._when_leg_ready(y_fp, lambda: combine(cxy))
             )

@@ -1,0 +1,208 @@
+"""Sharded all-pairs campaigns across worker processes.
+
+A single :class:`~repro.core.parallel.ParallelCampaign` is bound to one
+Python process; an all-pairs matrix over hundreds of relays is hours of
+single-core event processing. The measurements themselves are
+embarrassingly parallel, so :class:`ShardedCampaign` splits the C(n,2)
+pair list round-robin across worker processes. Each worker rebuilds the
+*identical* seeded testbed from a picklable factory, runs a
+:class:`~repro.core.parallel.ParallelCampaign` restricted to its pair
+shard, and ships its measured entries back; the parent merges them into
+one :class:`~repro.core.dataset.RttMatrix`.
+
+The merged matrix is **invariant to the shard count**: every worker runs
+its tasks under :class:`~repro.core.parallel.TaskIsolation`, which makes
+each task's samples a pure function of ``(root seed, task key)`` — so it
+cannot matter which process a task landed in or which tasks ran before
+it. ``ShardedCampaign(workers=1)`` therefore produces bit-for-bit the
+same matrix as ``workers=4``, and the same as an unsharded
+``ParallelCampaign`` running with the same isolation recipe.
+
+Workers are forked (``multiprocessing`` fork context) so the factory and
+policy only need to be picklable — ``functools.partial(
+LiveTorTestbed.build, seed=..., n_relays=...)`` works as-is. Set
+``workers=0`` (or run on a platform without fork) to execute every shard
+inline in the parent process, which is also how the invariance tests
+compare shard counts deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.dataset import RttMatrix
+from repro.core.sampling import SamplePolicy
+from repro.util.errors import MeasurementError
+from repro.util.units import Milliseconds
+
+
+@dataclass
+class ShardResult:
+    """What one worker ships back to the parent: plain picklable data."""
+
+    shard_index: int
+    entries: list[tuple[str, str, float]]
+    failures: list[tuple[str, str, str]]
+    pairs_attempted: int
+    events_processed: int
+    cells_processed: int
+    makespan_ms: Milliseconds
+    wall_s: float
+
+
+@dataclass
+class ShardedReport:
+    """Outcome of a sharded campaign, merged across all workers."""
+
+    matrix: RttMatrix
+    pairs_attempted: int = 0
+    pairs_measured: int = 0
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+    shards: list[ShardResult] = field(default_factory=list)
+    workers: int = 1
+    events_processed: int = 0
+    cells_processed: int = 0
+    wall_s: float = 0.0
+
+
+def _run_shard(
+    factory: Callable[[], object],
+    fingerprints: list[str],
+    shard_pairs: list[tuple[str, str]],
+    policy: SamplePolicy | None,
+    shard_index: int,
+) -> ShardResult:
+    """Worker entry point: rebuild the world, measure one pair shard.
+
+    Module-level (not a closure) so the fork/spawn pool can pickle it.
+    The testbed factory must rebuild the *same* seeded world in every
+    worker — descriptors are then re-selected by fingerprint, so the
+    shard measures exactly the relays the parent asked about.
+    """
+    from repro.core.parallel import ParallelCampaign
+
+    started = time.perf_counter()
+    testbed = factory()
+    by_fp = {relay.fingerprint: relay for relay in testbed.relays}
+    missing = [fp for fp in fingerprints if fp not in by_fp]
+    if missing:
+        raise MeasurementError(
+            f"factory-built testbed lacks relays {missing[:3]}"
+            f"{'...' if len(missing) > 3 else ''}"
+        )
+    descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
+    campaign = ParallelCampaign(
+        testbed.measurement,
+        descriptors,
+        policy=policy,
+        pairs=shard_pairs,
+        isolation=testbed.task_isolation(),
+    )
+    report = campaign.run()
+    cells = sum(relay.cells_processed for relay in testbed.relays)
+    cells += testbed.measurement.relay_w.cells_processed
+    cells += testbed.measurement.relay_z.cells_processed
+    return ShardResult(
+        shard_index=shard_index,
+        entries=list(report.matrix.measured_pairs()),
+        failures=list(report.failures),
+        pairs_attempted=report.pairs_attempted,
+        events_processed=testbed.sim.events_processed,
+        cells_processed=cells,
+        makespan_ms=report.makespan_ms,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+class ShardedCampaign:
+    """All-pairs Ting campaign partitioned across worker processes.
+
+    ``factory`` is any zero-argument picklable callable returning a
+    testbed with ``relays``, ``measurement``, ``sim``, and
+    ``task_isolation()`` — in practice ``functools.partial(
+    LiveTorTestbed.build, seed=..., n_relays=...)``. ``fingerprints``
+    names the relay subset to measure (order fixes the matrix's node
+    order). ``pairs`` optionally restricts the campaign to a pair
+    subset; by default all C(n,2) pairs are measured.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], object],
+        fingerprints: Sequence[str],
+        policy: SamplePolicy | None = None,
+        workers: int = 4,
+        pairs: Sequence[tuple[str, str]] | None = None,
+    ) -> None:
+        if len(fingerprints) < 2:
+            raise MeasurementError("need at least two relays for a campaign")
+        if len(set(fingerprints)) != len(fingerprints):
+            raise MeasurementError("duplicate fingerprints in campaign set")
+        if workers < 0:
+            raise MeasurementError("workers must be >= 0")
+        self.factory = factory
+        self.fingerprints = list(fingerprints)
+        self.policy = policy
+        self.workers = workers
+        if pairs is None:
+            self.pairs = [
+                (a, b)
+                for i, a in enumerate(self.fingerprints)
+                for b in self.fingerprints[i + 1 :]
+            ]
+        else:
+            known = set(self.fingerprints)
+            for a, b in pairs:
+                if a == b or a not in known or b not in known:
+                    raise MeasurementError(f"invalid campaign pair ({a}, {b})")
+            self.pairs = list(pairs)
+
+    def shard_pairs(self) -> list[list[tuple[str, str]]]:
+        """Round-robin partition of the pair list, one shard per worker.
+
+        Round-robin (``pairs[i::n]``) balances the work better than
+        contiguous chunks: expensive relays (slow forwarding models)
+        cluster in the pair list, and striping spreads them out.
+        """
+        n_shards = max(1, self.workers)
+        shards = [self.pairs[i::n_shards] for i in range(n_shards)]
+        return [shard for shard in shards if shard]
+
+    def run(self) -> ShardedReport:
+        """Measure every pair; merge the per-shard results."""
+        started = time.perf_counter()
+        shards = self.shard_pairs()
+        jobs = [
+            (self.factory, self.fingerprints, shard, self.policy, index)
+            for index, shard in enumerate(shards)
+        ]
+        if self.workers <= 1 or len(jobs) <= 1:
+            results = [_run_shard(*job) for job in jobs]
+        else:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=len(jobs)) as pool:
+                results = pool.starmap(_run_shard, jobs)
+        report = self._merge(results)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    def _merge(self, results: list[ShardResult]) -> ShardedReport:
+        matrix = RttMatrix(self.fingerprints)
+        report = ShardedReport(matrix=matrix, workers=max(1, self.workers))
+        for result in sorted(results, key=lambda r: r.shard_index):
+            for a, b, rtt in result.entries:
+                if matrix.has(a, b):
+                    raise MeasurementError(
+                        f"pair ({a}, {b}) measured by two shards"
+                    )
+                matrix.set(a, b, rtt)
+            report.failures.extend(result.failures)
+            report.pairs_attempted += result.pairs_attempted
+            report.events_processed += result.events_processed
+            report.cells_processed += result.cells_processed
+            report.shards.append(result)
+        report.pairs_measured = matrix.num_measured
+        return report

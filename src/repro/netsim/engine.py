@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs import HEAP_COMPACTION, NULL_METRICS, NULL_TRACE
@@ -23,16 +22,35 @@ from repro.util.errors import SimulationError
 from repro.util.units import Milliseconds
 
 
-@dataclass(order=True)
 class _Event:
-    time: Milliseconds
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    # Set once the event has left the heap (fired or purged); a cancel
-    # after that must not perturb the simulator's cancelled-count.
-    done: bool = field(compare=False, default=False)
+    """One heap entry. Slotted and hand-compared: campaigns push tens of
+    millions of these, so per-event dict storage and tuple-building
+    dataclass comparisons are a dominant cost of the event loop."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "done")
+
+    def __init__(
+        self,
+        time: Milliseconds,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        # Set once the event has left the heap (fired or purged); a cancel
+        # after that must not perturb the simulator's cancelled-count.
+        self.done = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        # Total order on (time, seq) — identical to the dataclass
+        # comparison it replaces, without building tuples per heap op.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class EventHandle:
@@ -152,7 +170,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: time={time} < now={self._now}"
             )
-        event = _Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        event = _Event(time, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
         if len(self._heap) > self._heap_peak:
             self._heap_peak = len(self._heap)

@@ -124,7 +124,8 @@ class LatencyEngine:
             max(src.host_id, dst.host_id),
             traffic_class,
         )
-        if key not in self._base_cache:
+        base = self._base_cache.get(key)
+        if base is None:
             low = self.topology.hosts[key[0]]
             high = self.topology.hosts[key[1]]
             backbone = self.router.path_latency_ms(low.pop_id, high.pop_id)
@@ -136,7 +137,7 @@ class LatencyEngine:
                 + high.policy.extra_ms(traffic_class)
             )
             self._base_cache[key] = base
-        return self._base_cache[key]
+        return base
 
     def true_rtt_ms(
         self,

@@ -11,8 +11,9 @@ size controls TIV prevalence and magnitude: with ~15–25 ms per hop,
 most node pairs see small detour savings and a minority see large ones,
 matching the paper's Figure 14.
 
-Routes are cached per canonical (low, high) PoP pair so that latency is
-symmetric and repeat lookups are O(1).
+Routes are computed once per canonical (low, high) PoP pair — latency is
+symmetric — then cached in both orientations, alongside a per-direction
+path-latency cache, so repeat lookups are a single dict probe.
 """
 
 from __future__ import annotations
@@ -37,7 +38,12 @@ class Router:
             raise SimulationError("hop penalty must be non-negative")
         self._graph = graph
         self.hop_penalty_ms = hop_penalty_ms
+        # Both orientations of every computed route are cached, so repeat
+        # lookups never pay the ``[::-1]`` reversal copy; latencies are
+        # cached per *directed* query so the summation order (and thus
+        # the exact float) matches a cold computation bit-for-bit.
         self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._latency_cache: dict[tuple[int, int], Milliseconds] = {}
         self._trees: dict[int, dict[int, list[int]]] = {}
 
     def path(self, src_pop: int, dst_pop: int) -> tuple[int, ...]:
@@ -48,11 +54,16 @@ class Router:
         """
         if src_pop == dst_pop:
             return (src_pop,)
-        key = (min(src_pop, dst_pop), max(src_pop, dst_pop))
-        if key not in self._path_cache:
-            self._path_cache[key] = tuple(self._policy_path(*key))
-        canonical = self._path_cache[key]
-        return canonical if canonical[0] == src_pop else canonical[::-1]
+        route = self._path_cache.get((src_pop, dst_pop))
+        if route is None:
+            low, high = (
+                (src_pop, dst_pop) if src_pop < dst_pop else (dst_pop, src_pop)
+            )
+            canonical = tuple(self._policy_path(low, high))
+            self._path_cache[(low, high)] = canonical
+            self._path_cache[(high, low)] = canonical[::-1]
+            route = self._path_cache[(src_pop, dst_pop)]
+        return route
 
     def _policy_path(self, src: int, dst: int) -> list[int]:
         if src not in self._trees:
@@ -97,10 +108,15 @@ class Router:
 
     def path_latency_ms(self, src_pop: int, dst_pop: int) -> Milliseconds:
         """One-way latency of the routed path between two PoPs."""
-        route = self.path(src_pop, dst_pop)
-        total = 0.0
-        for a, b in zip(route, route[1:]):
-            total += self._graph.edges[a, b]["latency_ms"]
+        key = (src_pop, dst_pop)
+        total = self._latency_cache.get(key)
+        if total is None:
+            route = self.path(src_pop, dst_pop)
+            edges = self._graph.edges
+            total = 0.0
+            for a, b in zip(route, route[1:]):
+                total += edges[a, b]["latency_ms"]
+            self._latency_cache[key] = total
         return total
 
     def hop_count(self, src_pop: int, dst_pop: int) -> int:

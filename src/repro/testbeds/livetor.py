@@ -15,6 +15,7 @@ count as a parameter.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -267,4 +268,39 @@ class LiveTorTestbed:
         return self.latency.true_rtt_ms(
             self.topology.host_by_address(a.address),
             self.topology.host_by_address(b.address),
+        )
+
+    # ------------------------------------------------------------------
+
+    #: Every named stream drawn from while a probe is in flight. Reseeding
+    #: exactly these per task makes a task's delay draws independent of
+    #: process history (see :class:`~repro.core.parallel.TaskIsolation`).
+    ISOLATION_STREAMS: ClassVar[tuple[str, ...]] = (
+        "netsim.latency.jitter",
+        "livetor.relays",
+        "ting.local-relays",
+    )
+
+    def reset_connections(self) -> None:
+        """Drop every cached OR connection in the world.
+
+        Connection reuse couples measurement tasks: whichever task runs
+        first pays the handshake (and its RNG draws), later tasks do not.
+        Dropping the caches before each isolated task makes every task
+        start from the same cold-connection state.
+        """
+        self.measurement.proxy.disconnect_or_conns()
+        self.measurement.relay_w.disconnect_or_conns()
+        self.measurement.relay_z.disconnect_or_conns()
+        for relay in self.relays:
+            relay.disconnect_or_conns()
+
+    def task_isolation(self):
+        """A :class:`~repro.core.parallel.TaskIsolation` for this world."""
+        from repro.core.parallel import TaskIsolation
+
+        return TaskIsolation(
+            streams=self.streams,
+            stream_names=self.ISOLATION_STREAMS,
+            reset=self.reset_connections,
         )

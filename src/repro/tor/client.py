@@ -347,8 +347,9 @@ class OnionProxy:
                 continue
             digest = body[5:9]
             zeroed = body[:5] + b"\x00\x00\x00\x00" + body[9:]
-            if layer.backward_digest.peek(zeroed) == digest:
-                layer.backward_digest.update(zeroed)
+            # Single-hash recognize: commit() advances the digest only on
+            # a tag match instead of hashing the body a second time.
+            if layer.backward_digest.commit(zeroed, digest):
                 source_hop = index
                 break
         if source_hop is None:
@@ -646,6 +647,17 @@ class OnionProxy:
         conn = self._conn_for_circuit.pop(circuit.circ_id, None)
         if conn is not None and previous_state in ("building", "built"):
             self._send_cell(conn, Cell(circuit.circ_id, CellCommand.DESTROY, "closed"))
+
+    def disconnect_or_conns(self) -> None:
+        """Close and forget cached entry-relay OR connections.
+
+        Counterpart of :meth:`~repro.tor.relay.Relay.disconnect_or_conns`
+        for the client side; used by per-task isolation so each
+        measurement task starts from a connection-free world.
+        """
+        for conn in self._or_conns.values():
+            conn.close()
+        self._or_conns.clear()
 
     @property
     def open_circuit_count(self) -> int:

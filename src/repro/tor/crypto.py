@@ -39,7 +39,19 @@ class CryptoError(ReproError):
 
 
 class LayerCipher:
-    """Stateful XOR stream cipher (one direction of one onion layer)."""
+    """Stateful XOR stream cipher (one direction of one onion layer).
+
+    This is the single hottest inner loop of the simulator: every relay
+    body is processed once per hop, in both directions, per cell. The
+    keystream schedule — BLAKE2b(key, block counter) in 64-byte blocks —
+    is fixed (ciphers on both circuit ends must stay in lockstep), but
+    the work per cell is not: the key block is absorbed once into a
+    reusable hash state (``copy()`` per block instead of a fresh keyed
+    construction), and the XOR is one big-int operation over the whole
+    body instead of a per-byte Python loop.
+    """
+
+    __slots__ = ("_key", "_counter", "_leftover", "_base")
 
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
@@ -47,25 +59,34 @@ class LayerCipher:
         self._key = key
         self._counter = 0
         self._leftover = b""
+        # Keyed state with the key block already absorbed; each keystream
+        # block is a copy of this plus the 8-byte counter.
+        self._base = hashlib.blake2b(key=key[:64], digest_size=_BLOCK)
 
     def process(self, data: bytes) -> bytes:
         """Encrypt or decrypt ``data`` (XOR is symmetric) advancing state."""
-        out = bytearray(len(data))
-        stream = self._keystream(len(data))
-        for i, (d, k) in enumerate(zip(data, stream)):
-            out[i] = d ^ k
-        return bytes(out)
+        n = len(data)
+        stream = self._keystream(n)
+        return (
+            int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(n, "big")
 
     def _keystream(self, n: int) -> bytes:
-        chunks = [self._leftover]
-        have = len(self._leftover)
+        leftover = self._leftover
+        if len(leftover) >= n:
+            self._leftover = leftover[n:]
+            return leftover[:n]
+        chunks = [leftover]
+        have = len(leftover)
+        base = self._base
+        counter = self._counter
         while have < n:
-            block = hashlib.blake2b(
-                self._counter.to_bytes(8, "big"), key=self._key[:64], digest_size=_BLOCK
-            ).digest()
-            self._counter += 1
-            chunks.append(block)
+            block = base.copy()
+            block.update(counter.to_bytes(8, "big"))
+            chunks.append(block.digest())
+            counter += 1
             have += _BLOCK
+        self._counter = counter
         stream = b"".join(chunks)
         self._leftover = stream[n:]
         return stream[:n]
@@ -85,6 +106,20 @@ class RunningDigest:
     def peek(self, body_without_digest: bytes) -> bytes:
         """The tag :meth:`update` would return, without advancing state."""
         return hashlib.sha256(self._state + body_without_digest).digest()[:4]
+
+    def commit(self, body_without_digest: bytes, tag: bytes) -> bool:
+        """Advance iff ``tag`` matches this body; hash exactly once.
+
+        The recognize path needs "does the tag match, and if so absorb
+        the body" — done with :meth:`peek` + :meth:`update` that hashes
+        every recognized cell twice. ``commit`` keeps the full digest
+        from the single hash and installs it as the new state on match.
+        """
+        digest = hashlib.sha256(self._state + body_without_digest).digest()
+        if digest[:4] != tag:
+            return False
+        self._state = digest
+        return True
 
 
 @dataclass

@@ -398,10 +398,9 @@ class Relay:
             return False
         digest = body[5:9]
         zeroed = body[:5] + b"\x00\x00\x00\x00" + body[9:]
-        if entry.crypto.forward_digest.peek(zeroed) != digest:
-            return False
-        entry.crypto.forward_digest.update(zeroed)
-        return True
+        # commit() hashes once: it advances the running digest only on a
+        # tag match, so recognized cells are no longer hashed twice.
+        return entry.crypto.forward_digest.commit(zeroed, digest)
 
     def _handle_recognized(self, entry: _CircuitEntry, body: RelayCellBody) -> None:
         command = body.relay_command
@@ -604,6 +603,20 @@ class Relay:
         self._circuits.pop((id(entry.prev_conn), entry.prev_circ_id), None)
         if entry.next_conn is not None and entry.next_circ_id is not None:
             self._next_side.pop((id(entry.next_conn), entry.next_circ_id), None)
+
+    def disconnect_or_conns(self) -> None:
+        """Close and forget cached outbound OR connections; stay online.
+
+        Used by the per-task isolation mode of sharded campaigns: with no
+        cached connections, every measurement task rebuilds its links from
+        scratch and therefore consumes an identical event (and RNG-draw)
+        sequence regardless of which tasks ran before it in this process.
+        """
+        for conn in self._or_conns.values():
+            conn.close()
+        self._or_conns.clear()
+        self._pending_cells.clear()
+        self._queue_head.clear()
 
     def shutdown(self) -> None:
         """Take the relay offline: tear down everything, stop listening."""

@@ -56,6 +56,21 @@ class RandomStreams:
             )
         return self._streams[name]
 
+    def reseed(self, name: str, context: str) -> None:
+        """Rewind the named stream to a ``context``-derived state, in place.
+
+        The generator object returned by :meth:`get` is mutated, so every
+        component already holding a reference to the stream starts drawing
+        the new deterministic sequence immediately. Sharded campaigns use
+        this to give each measurement task an RNG state that is a pure
+        function of ``(root seed, stream name, task key)`` — making task
+        results independent of which tasks ran earlier in the process.
+        """
+        seed = self.derive_seed(self._seed, f"{name}@{context}")
+        self.get(name).bit_generator.state = np.random.default_rng(
+            seed
+        ).bit_generator.state
+
     def fork(self, name: str) -> "RandomStreams":
         """Return a new factory whose root seed is derived from ``name``.
 

@@ -1,0 +1,158 @@
+"""Sharded campaigns: shard-count invariance and merge semantics.
+
+The whole point of :class:`~repro.core.shard.ShardedCampaign` is that
+splitting the pair list across worker processes is *invisible* in the
+data: the merged matrix must be bit-for-bit identical whatever the
+shard count, and identical to an unsharded isolated campaign with the
+same seed. These tests run every shard layout inline (workers=1 forces
+in-process execution) so the comparison is exact and CI-stable; the
+multiprocess path itself is exercised by ``repro bench`` and the
+benchmarks.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelCampaign
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import ShardedCampaign, ShardResult, _run_shard
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.util.errors import MeasurementError
+
+SEED = 3
+N_RELAYS = 14
+POLICY = SamplePolicy(samples=3, interval_ms=2.0)
+FACTORY = functools.partial(LiveTorTestbed.build, seed=SEED, n_relays=N_RELAYS)
+
+
+@pytest.fixture(scope="module")
+def fingerprints():
+    testbed = FACTORY()
+    descriptors = testbed.random_relays(5, testbed.streams.get("shard.sel"))
+    return [d.fingerprint for d in descriptors]
+
+
+def _merged_matrix(fingerprints, workers):
+    campaign = ShardedCampaign(
+        FACTORY, fingerprints, policy=POLICY, workers=workers
+    )
+    # Run each shard inline regardless of ``workers`` so the invariance
+    # comparison is free of fork/platform effects: partitioning is what
+    # is under test, not the process pool.
+    shards = campaign.shard_pairs()
+    results = [
+        _run_shard(FACTORY, campaign.fingerprints, shard, POLICY, index)
+        for index, shard in enumerate(shards)
+    ]
+    return campaign._merge(results)
+
+
+class TestShardInvariance:
+    def test_matrix_invariant_to_shard_count(self, fingerprints):
+        arrays = {}
+        for workers in (1, 2, 4):
+            report = _merged_matrix(fingerprints, workers)
+            assert report.matrix.is_complete
+            assert report.failures == []
+            arrays[workers] = report.matrix.as_array()
+        assert np.array_equal(arrays[1], arrays[2])
+        assert np.array_equal(arrays[1], arrays[4])
+
+    def test_matches_unsharded_isolated_campaign(self, fingerprints):
+        sharded = _merged_matrix(fingerprints, 4)
+
+        testbed = FACTORY()
+        by_fp = {r.fingerprint: r for r in testbed.relays}
+        descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
+        unsharded = ParallelCampaign(
+            testbed.measurement,
+            descriptors,
+            policy=POLICY,
+            isolation=testbed.task_isolation(),
+        ).run()
+        assert np.array_equal(
+            sharded.matrix.as_array(), unsharded.matrix.as_array()
+        )
+
+    def test_isolated_task_results_ignore_task_order(self, fingerprints):
+        # The property the invariance rests on: a pair measured alone
+        # equals the same pair measured after the full campaign ran.
+        testbed = FACTORY()
+        by_fp = {r.fingerprint: r for r in testbed.relays}
+        descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
+        full = ParallelCampaign(
+            testbed.measurement,
+            descriptors,
+            policy=POLICY,
+            isolation=testbed.task_isolation(),
+        ).run()
+
+        alone_testbed = FACTORY()
+        by_fp = {r.fingerprint: r for r in alone_testbed.relays}
+        pair = (fingerprints[0], fingerprints[-1])
+        alone = ParallelCampaign(
+            alone_testbed.measurement,
+            [by_fp[fp].descriptor() for fp in fingerprints],
+            policy=POLICY,
+            pairs=[pair],
+            isolation=alone_testbed.task_isolation(),
+        ).run()
+        assert alone.matrix.get(*pair) == full.matrix.get(*pair)
+
+
+class TestShardPartitioning:
+    def test_round_robin_covers_all_pairs_exactly_once(self, fingerprints):
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=3
+        )
+        shards = campaign.shard_pairs()
+        flattened = [pair for shard in shards for pair in shard]
+        assert sorted(flattened) == sorted(campaign.pairs)
+        assert len(shards) <= 3
+
+    def test_more_workers_than_pairs(self, fingerprints):
+        pairs = [(fingerprints[0], fingerprints[1])]
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=8, pairs=pairs
+        )
+        shards = campaign.shard_pairs()
+        assert shards == [pairs]
+
+    def test_duplicate_entries_across_shards_rejected(self, fingerprints):
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=2
+        )
+        entry = (fingerprints[0], fingerprints[1], 50.0)
+        clashing = [
+            ShardResult(
+                shard_index=i,
+                entries=[entry],
+                failures=[],
+                pairs_attempted=1,
+                events_processed=0,
+                cells_processed=0,
+                makespan_ms=0.0,
+                wall_s=0.0,
+            )
+            for i in range(2)
+        ]
+        with pytest.raises(MeasurementError):
+            campaign._merge(clashing)
+
+    def test_validates_inputs(self, fingerprints):
+        with pytest.raises(MeasurementError):
+            ShardedCampaign(FACTORY, fingerprints[:1])
+        with pytest.raises(MeasurementError):
+            ShardedCampaign(FACTORY, fingerprints + fingerprints[:1])
+        with pytest.raises(MeasurementError):
+            ShardedCampaign(FACTORY, fingerprints, workers=-1)
+        with pytest.raises(MeasurementError):
+            ShardedCampaign(
+                FACTORY, fingerprints, pairs=[(fingerprints[0], "unknown")]
+            )
+
+    def test_worker_rejects_unknown_fingerprint(self, fingerprints):
+        with pytest.raises(MeasurementError):
+            _run_shard(FACTORY, ["missing-fp"] + fingerprints, [], POLICY, 0)

@@ -60,3 +60,37 @@ class TestRandomStreams:
         assert RandomStreams.derive_seed(seed, "a") != RandomStreams.derive_seed(
             seed, "b"
         )
+
+
+class TestReseed:
+    def test_reseed_mutates_existing_generator_in_place(self):
+        streams = RandomStreams(seed=11)
+        held = streams.get("jitter")
+        streams.reseed("jitter", "task-1")
+        # The component's existing reference sees the new sequence.
+        assert held is streams.get("jitter")
+
+    def test_reseed_is_deterministic(self):
+        one = RandomStreams(seed=11)
+        one.get("jitter").random(100)  # arbitrary prior history
+        one.reseed("jitter", "pair:A:B")
+        two = RandomStreams(seed=11)
+        two.reseed("jitter", "pair:A:B")
+        assert list(one.get("jitter").random(5)) == list(
+            two.get("jitter").random(5)
+        )
+
+    def test_reseed_context_sensitivity(self):
+        streams = RandomStreams(seed=11)
+        streams.reseed("jitter", "pair:A:B")
+        first = list(streams.get("jitter").random(5))
+        streams.reseed("jitter", "pair:A:C")
+        assert list(streams.get("jitter").random(5)) != first
+
+    def test_reseed_differs_from_initial_stream(self):
+        # A task context must not collide with the stream's cold state,
+        # or the first task would be indistinguishable from no reseed.
+        initial = list(RandomStreams(seed=11).get("jitter").random(5))
+        reseeded = RandomStreams(seed=11)
+        reseeded.reseed("jitter", "leg:X")
+        assert list(reseeded.get("jitter").random(5)) != initial

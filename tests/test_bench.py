@@ -1,0 +1,150 @@
+"""Tests for the ``repro bench`` harness: schema and --check semantics.
+
+The timings themselves are machine-dependent and not asserted; what is
+pinned down is the report's shape (``BENCH_ting.json`` is a committed
+artifact other tooling reads) and the regression-check contract
+(``--check`` exits nonzero exactly when a workload's wall time blows
+past the threshold, or when the workload sets diverge).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+
+def _fake_report(**walls):
+    return {
+        name: {
+            "wall_s": wall,
+            "events_processed": 100,
+            "cells_processed": 100,
+            "throughput": 100 / wall,
+        }
+        for name, wall in walls.items()
+    }
+
+
+class TestWorkloads:
+    def test_cell_crypto_entry_schema(self):
+        entry = bench.bench_cell_crypto(cells=200)
+        assert tuple(sorted(entry)) == tuple(sorted(bench.WORKLOAD_KEYS))
+        assert entry["cells_processed"] == 200
+        assert entry["wall_s"] > 0
+        assert entry["throughput"] > 0
+
+    def test_engine_events_entry_schema(self):
+        entry = bench.bench_engine_events(events=2_000)
+        assert tuple(sorted(entry)) == tuple(sorted(bench.WORKLOAD_KEYS))
+        # Half the scheduled events are cancelled before firing.
+        assert entry["events_processed"] == 1_000
+        assert entry["cells_processed"] == 0
+
+    def test_ting_single_pair_produces_traffic(self):
+        entry = bench.bench_ting_single_pair()
+        assert entry["events_processed"] > 0
+        assert entry["cells_processed"] > 0
+
+
+class TestCheckRegressions:
+    def test_clean_run_passes(self):
+        baseline = _fake_report(a=1.0, b=2.0)
+        fresh = _fake_report(a=1.5, b=1.0)
+        assert bench.check_regressions(fresh, baseline) == []
+
+    def test_slow_workload_flagged(self):
+        baseline = _fake_report(a=1.0, b=2.0)
+        fresh = _fake_report(a=2.5, b=1.0)
+        problems = bench.check_regressions(fresh, baseline)
+        assert len(problems) == 1
+        assert problems[0].startswith("a:")
+
+    def test_missing_workloads_flagged_both_ways(self):
+        baseline = _fake_report(a=1.0, gone=1.0)
+        fresh = _fake_report(a=1.0, added=1.0)
+        problems = bench.check_regressions(fresh, baseline)
+        assert any("gone" in p for p in problems)
+        assert any("added" in p for p in problems)
+
+    def test_meta_keys_ignored(self):
+        baseline = _fake_report(a=1.0)
+        baseline["_meta"] = {"cpus": 64}
+        fresh = _fake_report(a=1.0)
+        fresh["_meta"] = {"cpus": 1}
+        assert bench.check_regressions(fresh, baseline) == []
+
+    def test_roundtrips_through_save_and_load(self, tmp_path):
+        report = _fake_report(a=1.0)
+        path = tmp_path / "bench.json"
+        bench.save_report(report, path)
+        assert bench.load_report(path) == report
+
+
+class TestBenchCommand:
+    @pytest.fixture
+    def tiny_report(self, monkeypatch):
+        """Replace the real workloads with an instant fake run."""
+        report = _fake_report(
+            cell_crypto=0.1, campaign_parallel=0.2, campaign_sharded=0.3
+        )
+
+        def fake_run_bench(**kwargs):
+            return dict(report)
+
+        monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+        return report
+
+    def test_bench_writes_schema_stable_report(self, tiny_report, tmp_path, capsys):
+        output = tmp_path / "BENCH_ting.json"
+        code = main(["bench", "--output", str(output)])
+        assert code == 0
+        written = json.loads(output.read_text())
+        for name, entry in written.items():
+            if name.startswith("_"):
+                continue
+            assert tuple(sorted(entry)) == tuple(sorted(bench.WORKLOAD_KEYS))
+
+    def test_check_passes_against_own_baseline(self, tiny_report, tmp_path):
+        baseline = tmp_path / "BENCH_ting.json"
+        bench.save_report(dict(tiny_report), baseline)
+        code = main(["bench", "--check", "--baseline", str(baseline)])
+        assert code == 0
+
+    def test_check_fails_on_regression(self, tiny_report, tmp_path, capsys):
+        slow_baseline = {
+            name: {**entry, "wall_s": entry["wall_s"] / 10}
+            for name, entry in tiny_report.items()
+        }
+        baseline = tmp_path / "BENCH_ting.json"
+        bench.save_report(slow_baseline, baseline)
+        code = main(["bench", "--check", "--baseline", str(baseline)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "regression" in err
+
+    def test_check_missing_baseline_is_an_error(self, tiny_report, tmp_path):
+        code = main(
+            ["bench", "--check", "--baseline", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+
+    def test_committed_baseline_matches_schema(self):
+        # The repo ships BENCH_ting.json as the --check baseline; it must
+        # stay parseable and schema-stable or the guard silently dies.
+        report = bench.load_report(Path("BENCH_ting.json"))
+        workloads = [k for k in report if not k.startswith("_")]
+        assert sorted(workloads) == [
+            "campaign_parallel",
+            "campaign_sharded",
+            "cell_crypto",
+            "engine_events",
+            "ting_single_pair",
+        ]
+        for name in workloads:
+            assert tuple(sorted(report[name])) == tuple(
+                sorted(bench.WORKLOAD_KEYS)
+            )
+            assert report[name]["wall_s"] > 0
