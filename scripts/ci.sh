@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 tests, hot-path benchguards, and the
+# wall-time regression check against the committed BENCH_ting.json
+# baseline. Run from the repository root:
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --fast     # tier-1 only (skip benchguards + bench)
+#
+# REPRO_SCALE scales the benchguard workloads as usual.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+if [[ "$fast" == "1" ]]; then
+    echo "== fast mode: skipping benchguards and bench check =="
+    exit 0
+fi
+
+echo "== hot-path benchguards =="
+python -m pytest benchmarks -m benchguard -x -q
+
+echo "== bench regression check =="
+# Compares fresh timings against the committed baseline; writes the
+# fresh report to a scratch file so the baseline stays untouched.
+python -m repro.cli bench --check --output /tmp/BENCH_ting.ci.json
+
+echo "== CI green =="

@@ -16,12 +16,20 @@ Commands mirror how the paper's tool was used operationally:
 * ``stats`` — run an instrumented concurrent all-pairs campaign and
   report the observability counters (circuits, probes, losses, cache
   hits, heap compactions), optionally exporting the full metrics
-  snapshot as JSON.
+  snapshot as JSON. ``--workers N`` routes the same instrumented run
+  through the sharded multiprocess path and reports the *merged*
+  registry.
+* ``report`` — run (or load) an instrumented campaign and emit the
+  fused run report: accuracy vs the simulator's ground truth, failure
+  breakdown, slowest pairs, shard balance, span summary; optionally
+  exporting report JSON, a Perfetto-loadable span trace, and the
+  matrix+provenance dataset.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from pathlib import Path
@@ -33,9 +41,10 @@ from repro.apps.coverage import ResidentialClassifier, synthesize_archive
 from repro.apps.deanon import STRATEGIES, DeanonymizationSimulator
 from repro.apps.tiv import tiv_summary
 from repro.core.campaign import AllPairsCampaign
-from repro.core.dataset import RttMatrix
+from repro.core.dataset import CampaignDataset, RttMatrix
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
+from repro.core.shard import ShardedCampaign
 from repro.core.ting import TingMeasurer
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.testbeds.planetlab import PlanetLabTestbed
@@ -95,8 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--network-size", type=int, default=40)
     stats.add_argument("--samples", type=int, default=20)
     stats.add_argument("--concurrency", type=int, default=4)
+    stats.add_argument("--workers", type=int, default=0,
+                       help="run the sharded multiprocess path with N "
+                            "workers and report the merged metrics "
+                            "(0 = unsharded concurrent campaign)")
     stats.add_argument("--output", type=Path, default=None,
                        help="write the full metrics snapshot as JSON")
+
+    report = sub.add_parser(
+        "report", help="fused run report: accuracy, failures, spans, shards"
+    )
+    report.add_argument("--relays", type=int, default=8)
+    report.add_argument("--network-size", type=int, default=40)
+    report.add_argument("--samples", type=int, default=10)
+    report.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the instrumented "
+                             "sharded campaign")
+    report.add_argument("--top", type=int, default=5,
+                        help="slowest pairs to list")
+    report.add_argument("--input", type=Path, default=None,
+                        help="report on a saved campaign dataset instead "
+                             "of running a new campaign")
+    report.add_argument("--no-ground-truth", action="store_true",
+                        help="skip the accuracy-vs-oracle section")
+    report.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the report as JSON")
+    report.add_argument("--spans", type=Path, default=None,
+                        help="write the span trace as Chrome trace-event "
+                             "JSON (open in ui.perfetto.dev)")
+    report.add_argument("--output", type=Path, default=None,
+                        help="write the matrix+provenance dataset as JSON")
 
     return parser
 
@@ -227,25 +264,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """``stats``: instrumented concurrent campaign + metrics report."""
+    """``stats``: instrumented concurrent campaign + metrics report.
+
+    With ``--workers N`` the same instrumented campaign runs through
+    :class:`ShardedCampaign` and the *merged* registry is reported —
+    deterministic counters (pairs attempted/measured, leg cache hits)
+    match the single-process run exactly, which is the property the
+    shard-invariance tests pin down.
+    """
     print(f"Building live-Tor-style network ({args.network_size} relays) ...")
-    testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
-    host = testbed.measurement
-    registry = host.enable_observability()
-    rng = testbed.streams.get("cli.selection")
-    relays = testbed.random_relays(args.relays, rng)
     pairs = args.relays * (args.relays - 1) // 2
-    print(f"Measuring all {pairs} pairs "
-          f"(concurrency {args.concurrency}, instrumented) ...")
-    report = ParallelCampaign(
-        host,
-        relays,
-        policy=SamplePolicy(samples=args.samples),
-        concurrency=args.concurrency,
-    ).run()
-    print(f"  measured {report.pairs_measured}/{report.pairs_attempted} pairs, "
-          f"{len(report.failures)} failures, "
-          f"{report.makespan_ms / 60000:.1f} simulated minutes")
+    if args.workers >= 1:
+        factory = functools.partial(
+            LiveTorTestbed.build, seed=args.seed, n_relays=args.network_size
+        )
+        testbed = factory()
+        rng = testbed.streams.get("cli.selection")
+        relays = testbed.random_relays(args.relays, rng)
+        print(f"Measuring all {pairs} pairs "
+              f"({args.workers} workers, instrumented) ...")
+        sharded = ShardedCampaign(
+            factory,
+            [d.fingerprint for d in relays],
+            policy=SamplePolicy(samples=args.samples),
+            workers=args.workers,
+            observe=True,
+        ).run()
+        registry = sharded.metrics
+        trace = sharded.trace
+        print(f"  measured {sharded.pairs_measured}/{sharded.pairs_attempted} "
+              f"pairs, {len(sharded.failures)} failures, "
+              f"merged from {len(sharded.shards)} shard(s)")
+    else:
+        testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
+        host = testbed.measurement
+        registry = host.enable_observability()
+        trace = host.trace
+        rng = testbed.streams.get("cli.selection")
+        relays = testbed.random_relays(args.relays, rng)
+        print(f"Measuring all {pairs} pairs "
+              f"(concurrency {args.concurrency}, instrumented) ...")
+        report = ParallelCampaign(
+            host,
+            relays,
+            policy=SamplePolicy(samples=args.samples),
+            concurrency=args.concurrency,
+        ).run()
+        print(f"  measured {report.pairs_measured}/{report.pairs_attempted} "
+              f"pairs, {len(report.failures)} failures, "
+              f"{report.makespan_ms / 60000:.1f} simulated minutes")
 
     snapshot = registry.snapshot()
     counters = snapshot["counters"]
@@ -275,11 +342,101 @@ def cmd_stats(args: argparse.Namespace) -> int:
                  "sim.events_processed"):
         if name in gauges:
             print(f"  {name:<24} {gauges[name]:g}")
-    print(f"  {'trace events retained':<24} {len(host.trace)}")
+    print(f"  {'trace events retained':<24} {len(trace)}")
 
     if args.output is not None:
         args.output.write_text(json.dumps(snapshot, indent=2))
         print(f"  metrics snapshot written to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: run an instrumented campaign, emit the fused report.
+
+    Default mode runs an observed :class:`ShardedCampaign` and fuses
+    merged metrics + spans + provenance + shard balance + the
+    simulator's oracle RTTs into one report. ``--input`` instead
+    re-reports a saved :class:`CampaignDataset` (matrix + provenance
+    only — spans and shard data do not persist in datasets).
+    """
+    from repro.obs.report import build_report
+
+    if args.input is not None:
+        dataset = CampaignDataset.load(args.input)
+        report = build_report(
+            dataset.matrix,
+            provenance=dataset.provenance,
+            pairs_attempted=dataset.meta.get("pairs_attempted"),
+            makespan_ms=dataset.meta.get("makespan_ms"),
+            top_n=args.top,
+        )
+        print(report.render_text())
+        if args.json_out is not None:
+            args.json_out.write_text(report.to_json())
+            print(f"\nreport JSON written to {args.json_out}")
+        return 0
+
+    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    factory = functools.partial(
+        LiveTorTestbed.build, seed=args.seed, n_relays=args.network_size
+    )
+    testbed = factory()
+    rng = testbed.streams.get("cli.selection")
+    relays = testbed.random_relays(args.relays, rng)
+    pairs = args.relays * (args.relays - 1) // 2
+    print(f"Measuring all {pairs} pairs "
+          f"({max(1, args.workers)} worker(s), instrumented) ...")
+    sharded = ShardedCampaign(
+        factory,
+        [d.fingerprint for d in relays],
+        policy=SamplePolicy(samples=args.samples),
+        workers=args.workers,
+        observe=True,
+    ).run()
+
+    ground_truth = None
+    if not args.no_ground_truth:
+        ground_truth = RttMatrix([d.fingerprint for d in relays])
+        for i, a in enumerate(relays):
+            for b in relays[i + 1:]:
+                ground_truth.set(
+                    a.fingerprint, b.fingerprint, testbed.oracle_rtt(a, b)
+                )
+
+    report = build_report(
+        sharded.matrix,
+        metrics=sharded.metrics,
+        spans=sharded.spans,
+        provenance=sharded.provenance,
+        trace=sharded.trace,
+        shards=sharded.shards,
+        ground_truth=ground_truth,
+        pairs_attempted=sharded.pairs_attempted,
+        top_n=args.top,
+    )
+    print()
+    print(report.render_text())
+    if args.json_out is not None:
+        args.json_out.write_text(report.to_json())
+        print(f"\nreport JSON written to {args.json_out}")
+    if args.spans is not None:
+        sharded.spans.save(args.spans)
+        print(f"span trace written to {args.spans} "
+              "(open in ui.perfetto.dev)")
+    if args.output is not None:
+        CampaignDataset(
+            matrix=sharded.matrix,
+            provenance=sharded.provenance,
+            meta={
+                "seed": args.seed,
+                "network_size": args.network_size,
+                "relays": args.relays,
+                "samples": args.samples,
+                "workers": args.workers,
+                "pairs_attempted": sharded.pairs_attempted,
+            },
+        ).save(args.output)
+        print(f"campaign dataset written to {args.output}")
     return 0
 
 
@@ -291,6 +448,7 @@ _COMMANDS = {
     "coverage": cmd_coverage,
     "bench": cmd_bench,
     "stats": cmd_stats,
+    "report": cmd_report,
 }
 
 

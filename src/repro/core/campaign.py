@@ -16,13 +16,43 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dataset import RttMatrix
+from repro.core.dataset import PairProvenance, RttMatrix
 from repro.core.sampling import SamplePolicy
-from repro.core.ting import TingMeasurer
-from repro.obs import PAIR_FAILED, RETRY_ROUND, categorize_failure
+from repro.core.ting import TingMeasurer, TingResult
+from repro.obs import CAMPAIGN_SPAN, PAIR_FAILED, RETRY_ROUND, categorize_failure
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
+
+
+def _success_provenance(
+    result: TingResult,
+    cached_x: bool,
+    cached_y: bool,
+    retries: int,
+) -> PairProvenance:
+    """Build the provenance record for one successfully measured pair.
+
+    ``samples_requested`` counts the probes the policy asked for over
+    the circuits actually probed (a cached leg is not re-probed);
+    ``samples_kept`` counts the replies that survived to feed the
+    min-filter.
+    """
+    circuits_probed = 1 + (0 if cached_x else 1) + (0 if cached_y else 1)
+    return PairProvenance(
+        x=result.x_fingerprint,
+        y=result.y_fingerprint,
+        status="measured",
+        rtt_ms=result.rtt_clamped_ms,
+        cxy_ms=result.circuit_xy.min_ms,
+        leg_x_ms=result.circuit_x.min_ms,
+        leg_y_ms=result.circuit_y.min_ms,
+        samples_requested=result.policy.samples * circuits_probed,
+        samples_kept=result.total_probes,
+        leg_cache_hits=int(cached_x) + int(cached_y),
+        retries=retries,
+        duration_ms=result.duration_ms,
+    )
 
 
 @dataclass
@@ -74,12 +104,16 @@ class AllPairsCampaign:
         #: often back within minutes.
         self.retries = retries
         self.retry_delay_ms = retry_delay_ms
+        #: Attempts made per pair this run, for provenance ``retries``.
+        self._attempts: dict[tuple[str, str], int] = {}
 
     def run(self) -> CampaignReport:
         """Measure every pair; failed pairs are recorded, not fatal."""
         matrix = RttMatrix([r.fingerprint for r in self.relays])
         report = CampaignReport(matrix=matrix)
-        started = self.measurer.host.sim.now
+        host = self.measurer.host
+        started = host.sim.now
+        self._attempts = {}
 
         pairs = [
             (a, b)
@@ -90,31 +124,50 @@ class AllPairsCampaign:
             order = self._rng.permutation(len(pairs))
             pairs = [pairs[i] for i in order]
 
-        failed = self._measure_round(pairs, matrix, report)
-        for round_index in range(self.retries):
-            if not failed:
-                break
-            sim = self.measurer.host.sim
-            self.measurer.host.metrics.inc("campaign.retry_rounds")
-            if self.measurer.host.trace.enabled:
-                self.measurer.host.trace.record(
-                    sim.now,
-                    RETRY_ROUND,
-                    round=round_index + 1,
-                    pending_pairs=len(failed),
-                )
-            sim.run(until=sim.now + self.retry_delay_ms)
-            # Leg conditions may have changed while relays were down.
-            self.measurer.invalidate_leg_cache()
-            report.failures = [
-                f
-                for f in report.failures
-                if (f[0], f[1])
-                not in {(a.fingerprint, b.fingerprint) for a, b in failed}
-            ]
-            failed = self._measure_round(failed, matrix, report)
+        with host.spans.span(
+            CAMPAIGN_SPAN, relays=len(self.relays), pairs=len(pairs)
+        ):
+            failed = self._measure_round(pairs, matrix, report)
+            for round_index in range(self.retries):
+                if not failed:
+                    break
+                sim = host.sim
+                host.metrics.inc("campaign.retry_rounds")
+                if host.trace.enabled:
+                    host.trace.record(
+                        sim.now,
+                        RETRY_ROUND,
+                        round=round_index + 1,
+                        pending_pairs=len(failed),
+                    )
+                sim.run(until=sim.now + self.retry_delay_ms)
+                # Leg conditions may have changed while relays were down.
+                self.measurer.invalidate_leg_cache()
+                report.failures = [
+                    f
+                    for f in report.failures
+                    if (f[0], f[1])
+                    not in {(a.fingerprint, b.fingerprint) for a, b in failed}
+                ]
+                failed = self._measure_round(failed, matrix, report)
 
-        report.duration_ms = self.measurer.host.sim.now - started
+        if host.provenance is not None:
+            # Pairs still failed after every retry round get one final
+            # record each; measured pairs were recorded as they landed.
+            for x_fp, y_fp, reason in report.failures:
+                attempts = self._attempts.get((x_fp, y_fp), 1)
+                host.provenance.add(
+                    PairProvenance(
+                        x=x_fp,
+                        y=y_fp,
+                        status="failed",
+                        retries=max(0, attempts - 1),
+                        failure_category=categorize_failure(reason),
+                        reason=reason,
+                    )
+                )
+
+        report.duration_ms = host.sim.now - started
         return report
 
     def _measure_round(
@@ -127,6 +180,10 @@ class AllPairsCampaign:
         host = self.measurer.host
         for a, b in pairs:
             report.pairs_attempted += 1
+            key = (a.fingerprint, b.fingerprint)
+            self._attempts[key] = self._attempts.get(key, 0) + 1
+            cached_x = self.measurer.leg_is_cached(a)
+            cached_y = self.measurer.leg_is_cached(b)
             try:
                 result = self.measurer.measure_pair(a, b, policy=self.policy)
             except MeasurementError as exc:
@@ -134,7 +191,7 @@ class AllPairsCampaign:
                 report.failures.append((a.fingerprint, b.fingerprint, reason))
                 report.failures_total += 1
                 host.metrics.inc(
-                    f"campaign.failures.{categorize_failure(reason)}"
+                    f"campaign.failures.{categorize_failure(reason, host.metrics)}"
                 )
                 if host.trace.enabled:
                     host.trace.record(
@@ -158,6 +215,15 @@ class AllPairsCampaign:
                 continue
             matrix.set(a.fingerprint, b.fingerprint, result.rtt_clamped_ms)
             report.pairs_measured += 1
+            if host.provenance is not None:
+                host.provenance.add(
+                    _success_provenance(
+                        result,
+                        cached_x=cached_x,
+                        cached_y=cached_y,
+                        retries=self._attempts[key] - 1,
+                    )
+                )
         return failed
 
 

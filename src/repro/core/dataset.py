@@ -1,4 +1,4 @@
-"""All-pairs RTT datasets.
+"""All-pairs RTT datasets, with per-pair measurement provenance.
 
 :class:`RttMatrix` is the product Ting exists to create: a symmetric
 matrix of minimum RTTs between every pair in a relay set. Every
@@ -6,14 +6,25 @@ application in Section 5 (deanonymization speedup, TIV hunting, long
 low-latency circuits) consumes one of these. Matrices serialize to JSON
 so that expensive campaigns can be cached, which Section 4.6 justifies:
 Ting's measurements are stable over at least a week.
+
+A bare matrix cannot say *why* an entry is what it is, so instrumented
+campaigns also emit one :class:`PairProvenance` record per pair — how
+many probe samples were taken and survived, which legs came from cache,
+how many retries it took, the residual ``½R_Cx + ½R_Cy`` terms Eq. 4
+subtracted, and (on failure) the categorized reason.
+:class:`CampaignDataset` persists matrix + provenance + run metadata as
+one JSON document, which downstream consumers of all-pairs Tor latency
+data (multi-hop overlay routing, latency-graph circuit construction)
+need to audit what they are building on.
 """
 
 from __future__ import annotations
 
 import json
 import math
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -165,4 +176,236 @@ class RttMatrix:
         return (
             f"RttMatrix(nodes={len(self.nodes)}, "
             f"measured={self.num_measured}/{len(self.nodes) * (len(self.nodes) - 1) // 2})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-pair measurement provenance
+
+
+@dataclass(slots=True)
+class PairProvenance:
+    """Why one matrix entry is what it is (or why it is missing).
+
+    One record per attempted pair. ``samples_requested``/``samples_kept``
+    expose the min-filter's input and survivors; ``leg_cache_hits`` says
+    how many of the two ``R_Cx``/``R_Cy`` legs were reused from an
+    earlier pair (Section 4.3's dominant cost saver); ``retries`` counts
+    extra attempts beyond the first; ``leg_x_ms``/``leg_y_ms`` are the
+    residual one-way-circuit RTTs Eq. 4 subtracts (``residual_ms`` is the
+    ``½R_Cx + ½R_Cy`` term itself). Failed pairs carry the categorized
+    reason instead of an estimate.
+    """
+
+    x: str
+    y: str
+    status: str = "measured"  # "measured" | "failed"
+    rtt_ms: float | None = None
+    cxy_ms: float | None = None
+    leg_x_ms: float | None = None
+    leg_y_ms: float | None = None
+    samples_requested: int = 0
+    samples_kept: int = 0
+    leg_cache_hits: int = 0
+    retries: int = 0
+    failure_category: str | None = None
+    reason: str | None = None
+    duration_ms: float = 0.0
+    shard: int | None = None
+
+    @property
+    def residual_ms(self) -> float | None:
+        """The ``½R_Cx + ½R_Cy`` term Eq. 4 subtracts from ``R_Cxy``."""
+        if self.leg_x_ms is None or self.leg_y_ms is None:
+            return None
+        return (self.leg_x_ms + self.leg_y_ms) / 2.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready view; ``None`` fields are omitted for compactness."""
+        record: dict[str, Any] = {
+            "x": self.x,
+            "y": self.y,
+            "status": self.status,
+            "samples_requested": self.samples_requested,
+            "samples_kept": self.samples_kept,
+            "leg_cache_hits": self.leg_cache_hits,
+            "retries": self.retries,
+            "duration_ms": round(self.duration_ms, 6),
+        }
+        for name in ("rtt_ms", "cxy_ms", "leg_x_ms", "leg_y_ms"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = round(float(value), 6)
+        if self.residual_ms is not None:
+            record["residual_ms"] = round(self.residual_ms, 6)
+        if self.failure_category is not None:
+            record["failure_category"] = self.failure_category
+        if self.reason is not None:
+            record["reason"] = self.reason
+        if self.shard is not None:
+            record["shard"] = self.shard
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PairProvenance":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            x=data["x"],
+            y=data["y"],
+            status=data.get("status", "measured"),
+            rtt_ms=data.get("rtt_ms"),
+            cxy_ms=data.get("cxy_ms"),
+            leg_x_ms=data.get("leg_x_ms"),
+            leg_y_ms=data.get("leg_y_ms"),
+            samples_requested=int(data.get("samples_requested", 0)),
+            samples_kept=int(data.get("samples_kept", 0)),
+            leg_cache_hits=int(data.get("leg_cache_hits", 0)),
+            retries=int(data.get("retries", 0)),
+            failure_category=data.get("failure_category"),
+            reason=data.get("reason"),
+            duration_ms=float(data.get("duration_ms", 0.0)),
+            shard=data.get("shard"),
+        )
+
+
+class ProvenanceLog:
+    """An append-only collection of :class:`PairProvenance` records.
+
+    Shard workers each build one; the parent folds them together with
+    :meth:`merge`, retagging adopted records with the worker index so a
+    fused log still says which process measured what.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: list[PairProvenance] = []
+
+    def add(self, record: PairProvenance) -> None:
+        """Append one pair's provenance."""
+        self._records.append(record)
+
+    def records(self) -> list[PairProvenance]:
+        """All records, in insertion order."""
+        return list(self._records)
+
+    def get(self, x: str, y: str) -> PairProvenance | None:
+        """The record for an unordered pair, or ``None``."""
+        for record in self._records:
+            if {record.x, record.y} == {x, y}:
+                return record
+        return None
+
+    def merge(
+        self,
+        other: "ProvenanceLog | list[dict[str, Any]]",
+        shard: int | None = None,
+    ) -> "ProvenanceLog":
+        """Adopt another log's (or a raw dict list's) records. Returns self.
+
+        ``shard`` retags the adopted records with the worker that
+        produced them; records that already carry a shard keep it.
+        """
+        if isinstance(other, ProvenanceLog):
+            adopted = [PairProvenance.from_dict(r.to_dict()) for r in other._records]
+        else:
+            adopted = [PairProvenance.from_dict(r) for r in other]
+        for record in adopted:
+            if shard is not None and record.shard is None:
+                record.shard = shard
+            self._records.append(record)
+        return self
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """JSON-ready list of every record."""
+        return [record.to_dict() for record in self._records]
+
+    @classmethod
+    def from_list(cls, data: list[dict[str, Any]]) -> "ProvenanceLog":
+        """Rebuild a log from :meth:`to_list` output."""
+        log = cls()
+        for entry in data:
+            log._records.append(PairProvenance.from_dict(entry))
+        return log
+
+    def by_status(self, status: str) -> list[PairProvenance]:
+        """Records with the given status (``measured``/``failed``)."""
+        return [record for record in self._records if record.status == status]
+
+    def failure_breakdown(self) -> dict[str, int]:
+        """Failed-pair counts keyed by failure category."""
+        breakdown: dict[str, int] = {}
+        for record in self._records:
+            if record.status == "failed":
+                category = record.failure_category or "other"
+                breakdown[category] = breakdown.get(category, 0) + 1
+        return breakdown
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PairProvenance]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        failed = len(self.by_status("failed"))
+        return f"ProvenanceLog({len(self._records)} records, {failed} failed)"
+
+
+# ----------------------------------------------------------------------
+# Matrix + provenance + metadata, as one auditable document
+
+
+DATASET_FORMAT = "ting-campaign/1"
+
+
+@dataclass(slots=True)
+class CampaignDataset:
+    """A campaign's full output: matrix, per-pair provenance, metadata.
+
+    The matrix alone answers "what is R(x, y)?"; the dataset also
+    answers "how do you know?" — which downstream consumers of
+    all-pairs latency data (overlay routing, latency-aware circuit
+    construction) need before they build on it.
+    """
+
+    matrix: RttMatrix
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """One JSON document: format tag, metadata, matrix, provenance."""
+        payload = {
+            "format": DATASET_FORMAT,
+            "meta": self.meta,
+            "matrix": json.loads(self.matrix.to_json()),
+            "provenance": self.provenance.to_list(),
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignDataset":
+        """Rebuild a dataset from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if payload.get("format") != DATASET_FORMAT:
+            raise MeasurementError(
+                f"unknown dataset format {payload.get('format')!r}"
+            )
+        matrix = RttMatrix.from_json(json.dumps(payload["matrix"]))
+        provenance = ProvenanceLog.from_list(payload.get("provenance", []))
+        return cls(matrix=matrix, provenance=provenance, meta=payload.get("meta", {}))
+
+    def save(self, path: str | Path) -> None:
+        """Write the dataset as JSON to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignDataset(matrix={self.matrix!r}, "
+            f"provenance={len(self.provenance)} records)"
         )

@@ -14,10 +14,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.dataset import ProvenanceLog
 from repro.echo.client import EchoClient
 from repro.echo.server import DEFAULT_ECHO_PORT, EchoServer
 from repro.netsim.engine import Simulator
-from repro.obs import MetricsRegistry, NULL_METRICS, NULL_TRACE, TraceLog
+from repro.obs import (
+    NULL_METRICS,
+    NULL_SPANS,
+    NULL_TRACE,
+    MetricsRegistry,
+    SpanTracer,
+    TraceLog,
+)
 from repro.netsim.topology import Host, Topology, TopologyBuilder
 from repro.netsim.transport import NetworkFabric
 from repro.tor.client import OnionProxy
@@ -47,6 +55,9 @@ class MeasurementHost:
     #: no-ops until :meth:`enable_observability` wires live ones in.
     metrics: MetricsRegistry = NULL_METRICS
     trace: TraceLog = NULL_TRACE
+    spans: SpanTracer = NULL_SPANS
+    #: Per-pair provenance; ``None`` until observability is enabled.
+    provenance: ProvenanceLog | None = None
 
     @classmethod
     def deploy(
@@ -135,18 +146,26 @@ class MeasurementHost:
         self,
         metrics: MetricsRegistry | None = None,
         trace: TraceLog | None = None,
+        spans: SpanTracer | None = None,
     ) -> MetricsRegistry:
         """Wire one live registry and trace log through the whole stack.
 
         Attaches to the simulator, the onion proxy, the echo client, and
         the two helper relays (w, z); measurers and campaigns built on
         this host pick the sinks up via ``host.metrics`` / ``host.trace``.
-        Returns the registry so callers can snapshot it after a run.
+        Also installs a :class:`SpanTracer` ticking on the simulated
+        clock and a fresh :class:`ProvenanceLog`, so instrumented
+        campaigns record interval and per-pair data without further
+        setup. Returns the registry so callers can snapshot it.
         """
         registry = metrics if metrics is not None else MetricsRegistry()
         log = trace if trace is not None else TraceLog()
         self.metrics = registry
         self.trace = log
+        self.spans = spans if spans is not None else SpanTracer(
+            clock=lambda: self.sim.now
+        )
+        self.provenance = ProvenanceLog()
         self.sim.metrics = registry
         self.sim.trace = log
         self.proxy.metrics = registry

@@ -31,10 +31,20 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.core.dataset import RttMatrix
+from repro.core.dataset import PairProvenance, RttMatrix
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import SamplePolicy, min_estimate
-from repro.obs import PAIR_FAILED, PAIR_MEASURED, categorize_failure
+from repro.obs import (
+    CAMPAIGN_SPAN,
+    CIRCUIT_BUILD_SPAN,
+    LEG_SPAN,
+    PAIR_FAILED,
+    PAIR_MEASURED,
+    PAIR_SPAN,
+    PROBE_ROUND_SPAN,
+    SpanHandle,
+    categorize_failure,
+)
 from repro.tor.client import Circuit
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import CircuitError, MeasurementError, StreamError
@@ -96,19 +106,29 @@ class _CircuitProbe:
         policy: SamplePolicy,
         on_done: Callable[[list[float]], None],
         on_error: Callable[[str], None],
+        span_parent: SpanHandle | None = None,
     ) -> None:
         self.host = host
         self.policy = policy
         self.on_done = on_done
         self.on_error = on_error
         self.circuit: Circuit | None = None
+        #: Open spans for the current phase; ``end()`` is idempotent, so
+        #: error paths can close whatever happens to be open.
+        self._span_parent = span_parent
+        self._build_span = host.spans.begin(
+            CIRCUIT_BUILD_SPAN, parent=span_parent, hops=len(path)
+        )
+        self._probe_span: SpanHandle | None = None
         try:
             host.proxy.create_circuit(path, self._built, self._build_failed)
         except CircuitError as exc:
             # Synchronous validation failure (bad path).
+            self._build_span.end()
             host.sim.schedule(0.0, on_error, str(exc))
 
     def _built(self, circuit: Circuit) -> None:
+        self._build_span.end()
         self.circuit = circuit
         try:
             self.host.proxy.open_stream(
@@ -122,12 +142,16 @@ class _CircuitProbe:
             self._finish_error(str(exc))
 
     def _build_failed(self, circuit: Circuit, reason: str) -> None:
+        self._build_span.end()
         self.on_error(f"circuit build failed: {reason}")
 
     def _stream_failed(self, reason: str) -> None:
         self._finish_error(f"stream attach failed: {reason}")
 
     def _attached(self, stream) -> None:
+        self._probe_span = self.host.spans.begin(
+            PROBE_ROUND_SPAN, parent=self._span_parent, samples=self.policy.samples
+        )
         self.host.echo_client.probe_async(
             stream,
             samples=self.policy.samples,
@@ -138,11 +162,16 @@ class _CircuitProbe:
         )
 
     def _probed(self, stream, result) -> None:
+        if self._probe_span is not None:
+            self._probe_span.end()
         stream.close()
         self._close_circuit()
         self.on_done(result.rtts_ms)
 
     def _finish_error(self, reason: str) -> None:
+        self._build_span.end()
+        if self._probe_span is not None:
+            self._probe_span.end()
         self._close_circuit()
         self.on_error(reason)
 
@@ -217,10 +246,16 @@ class ParallelCampaign:
         started = self.host.sim.now
         leg_fps, pair_tasks = self._task_lists()
 
-        if self.isolation is not None:
-            self._run_isolated(leg_fps, pair_tasks, matrix, report)
-        else:
-            self._run_concurrent(leg_fps, pair_tasks, matrix, report)
+        campaign_span = self.host.spans.begin(
+            CAMPAIGN_SPAN, relays=len(self.relays), pairs=len(pair_tasks)
+        )
+        try:
+            if self.isolation is not None:
+                self._run_isolated(leg_fps, pair_tasks, matrix, report)
+            else:
+                self._run_concurrent(leg_fps, pair_tasks, matrix, report)
+        finally:
+            campaign_span.end()
 
         report.pairs_attempted = len(pair_tasks)
         report.pairs_measured = matrix.num_measured
@@ -333,21 +368,30 @@ class ParallelCampaign:
         return value
 
     def _run_leg_task(self, fingerprint: str, finished: Callable[[], None]) -> None:
+        leg_span = self.host.spans.begin(LEG_SPAN, relay=fingerprint)
+
         def done(samples: list[float]) -> None:
             self._legs[fingerprint] = self._estimate(samples)
             # Each leg is measured exactly once and shared — the
             # campaign-level equivalent of a sequential cache miss.
             self.host.metrics.inc("ting.leg_cache_misses")
+            leg_span.end()
             self._notify_leg(fingerprint)
             finished()
 
         def error(reason: str) -> None:
             self._leg_failures[fingerprint] = reason
+            leg_span.end()
             self._notify_leg(fingerprint)
             finished()
 
         _CircuitProbe(
-            self.host, [self._w, fingerprint, self._z], self.policy, done, error
+            self.host,
+            [self._w, fingerprint, self._z],
+            self.policy,
+            done,
+            error,
+            span_parent=leg_span,
         )
 
     def _notify_leg(self, fingerprint: str) -> None:
@@ -370,14 +414,17 @@ class ParallelCampaign:
     ) -> None:
         started = self.host.sim.now
         metrics = self.host.metrics
+        provenance = self.host.provenance
+        pair_span = self.host.spans.begin(PAIR_SPAN, x=x_fp, y=y_fp)
 
         def done(samples: list[float]) -> None:
             cxy = self._estimate(samples)
+            kept = len(samples)
             self._when_leg_ready(
-                x_fp, lambda: self._when_leg_ready(y_fp, lambda: combine(cxy))
+                x_fp, lambda: self._when_leg_ready(y_fp, lambda: combine(cxy, kept))
             )
 
-        def combine(cxy: float) -> None:
+        def combine(cxy: float, kept: int) -> None:
             if x_fp in self._leg_failures or y_fp in self._leg_failures:
                 reason = self._leg_failures.get(x_fp) or self._leg_failures.get(y_fp)
                 fail(f"leg failed: {reason}")
@@ -399,21 +446,59 @@ class ParallelCampaign:
                     rtt_ms=max(0.0, estimate),
                     duration_ms=self.host.sim.now - started,
                 )
+            if provenance is not None:
+                provenance.add(
+                    PairProvenance(
+                        x=x_fp,
+                        y=y_fp,
+                        status="measured",
+                        rtt_ms=max(0.0, estimate),
+                        cxy_ms=cxy,
+                        leg_x_ms=self._legs[x_fp],
+                        leg_y_ms=self._legs[y_fp],
+                        samples_requested=self.policy.samples,
+                        samples_kept=kept,
+                        # The shared per-relay legs are the concurrent
+                        # campaign's cache: every pair reuses both.
+                        leg_cache_hits=2,
+                        duration_ms=self.host.sim.now - started,
+                    )
+                )
+            pair_span.end()
             finished()
 
         def fail(reason: str) -> None:
             report.failures.append((x_fp, y_fp, reason))
-            if metrics.enabled:
-                metrics.inc(f"campaign.failures.{categorize_failure(reason)}")
+            if metrics.enabled or provenance is not None:
+                category = categorize_failure(reason, metrics)
+                if metrics.enabled:
+                    metrics.inc(f"campaign.failures.{category}")
+                if provenance is not None:
+                    provenance.add(
+                        PairProvenance(
+                            x=x_fp,
+                            y=y_fp,
+                            status="failed",
+                            failure_category=category,
+                            reason=reason,
+                            duration_ms=self.host.sim.now - started,
+                        )
+                    )
             if self.host.trace.enabled:
                 self.host.trace.record(
                     self.host.sim.now, PAIR_FAILED, x=x_fp, y=y_fp, reason=reason
                 )
+            pair_span.end()
             finished()
 
         def error(reason: str) -> None:
             fail(reason)
 
         _CircuitProbe(
-            self.host, [self._w, x_fp, y_fp, self._z], self.policy, done, error
+            self.host,
+            [self._w, x_fp, y_fp, self._z],
+            self.policy,
+            done,
+            error,
+            span_parent=pair_span,
         )

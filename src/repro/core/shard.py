@@ -31,17 +31,24 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.core.dataset import RttMatrix
+from repro.core.dataset import ProvenanceLog, RttMatrix
 from repro.core.sampling import SamplePolicy
+from repro.obs import MetricsRegistry, SpanTracer, TraceLog
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
 
 
 @dataclass
 class ShardResult:
-    """What one worker ships back to the parent: plain picklable data."""
+    """What one worker ships back to the parent: plain picklable data.
+
+    The observability payloads are snapshots, not live objects — a
+    metrics dict (:meth:`MetricsRegistry.snapshot`), a trace dict
+    (:meth:`TraceLog.snapshot`), span record dicts, and provenance
+    dicts. ``None`` means the shard ran without observability.
+    """
 
     shard_index: int
     entries: list[tuple[str, str, float]]
@@ -51,11 +58,23 @@ class ShardResult:
     cells_processed: int
     makespan_ms: Milliseconds
     wall_s: float
+    metrics: dict[str, Any] | None = None
+    trace: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] | None = None
+    provenance: list[dict[str, Any]] | None = None
 
 
 @dataclass
 class ShardedReport:
-    """Outcome of a sharded campaign, merged across all workers."""
+    """Outcome of a sharded campaign, merged across all workers.
+
+    When the campaign ran with ``observe=True``, ``metrics``/``trace``/
+    ``spans``/``provenance`` hold the *merged* observability state:
+    counters summed, gauges maxed, histogram buckets summed, and every
+    trace event, span, and provenance record tagged with the shard that
+    produced it. Deterministic counters in the merged registry are
+    invariant to the worker count.
+    """
 
     matrix: RttMatrix
     pairs_attempted: int = 0
@@ -66,6 +85,10 @@ class ShardedReport:
     events_processed: int = 0
     cells_processed: int = 0
     wall_s: float = 0.0
+    metrics: MetricsRegistry | None = None
+    trace: TraceLog | None = None
+    spans: SpanTracer | None = None
+    provenance: ProvenanceLog | None = None
 
 
 def _run_shard(
@@ -74,6 +97,7 @@ def _run_shard(
     shard_pairs: list[tuple[str, str]],
     policy: SamplePolicy | None,
     shard_index: int,
+    observe: bool = False,
 ) -> ShardResult:
     """Worker entry point: rebuild the world, measure one pair shard.
 
@@ -81,6 +105,10 @@ def _run_shard(
     The testbed factory must rebuild the *same* seeded world in every
     worker — descriptors are then re-selected by fingerprint, so the
     shard measures exactly the relays the parent asked about.
+
+    With ``observe`` the worker enables observability on its rebuilt
+    host and ships snapshots home instead of letting the live registry,
+    trace, spans, and provenance die with the process.
     """
     from repro.core.parallel import ParallelCampaign
 
@@ -93,6 +121,8 @@ def _run_shard(
             f"factory-built testbed lacks relays {missing[:3]}"
             f"{'...' if len(missing) > 3 else ''}"
         )
+    if observe:
+        testbed.measurement.enable_observability()
     descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
     campaign = ParallelCampaign(
         testbed.measurement,
@@ -105,6 +135,7 @@ def _run_shard(
     cells = sum(relay.cells_processed for relay in testbed.relays)
     cells += testbed.measurement.relay_w.cells_processed
     cells += testbed.measurement.relay_z.cells_processed
+    host = testbed.measurement
     return ShardResult(
         shard_index=shard_index,
         entries=list(report.matrix.measured_pairs()),
@@ -114,6 +145,10 @@ def _run_shard(
         cells_processed=cells,
         makespan_ms=report.makespan_ms,
         wall_s=time.perf_counter() - started,
+        metrics=host.metrics.snapshot() if observe else None,
+        trace=host.trace.snapshot() if observe else None,
+        spans=host.spans.records() if observe else None,
+        provenance=host.provenance.to_list() if observe else None,
     )
 
 
@@ -136,6 +171,7 @@ class ShardedCampaign:
         policy: SamplePolicy | None = None,
         workers: int = 4,
         pairs: Sequence[tuple[str, str]] | None = None,
+        observe: bool = False,
     ) -> None:
         if len(fingerprints) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -147,6 +183,9 @@ class ShardedCampaign:
         self.fingerprints = list(fingerprints)
         self.policy = policy
         self.workers = workers
+        #: Enable observability in every worker and merge the snapshots
+        #: into one registry/trace/span/provenance set on the report.
+        self.observe = observe
         if pairs is None:
             self.pairs = [
                 (a, b)
@@ -176,7 +215,7 @@ class ShardedCampaign:
         started = time.perf_counter()
         shards = self.shard_pairs()
         jobs = [
-            (self.factory, self.fingerprints, shard, self.policy, index)
+            (self.factory, self.fingerprints, shard, self.policy, index, self.observe)
             for index, shard in enumerate(shards)
         ]
         if self.workers <= 1 or len(jobs) <= 1:
@@ -192,6 +231,11 @@ class ShardedCampaign:
     def _merge(self, results: list[ShardResult]) -> ShardedReport:
         matrix = RttMatrix(self.fingerprints)
         report = ShardedReport(matrix=matrix, workers=max(1, self.workers))
+        if self.observe:
+            report.metrics = MetricsRegistry()
+            report.trace = TraceLog()
+            report.spans = SpanTracer()
+            report.provenance = ProvenanceLog()
         for result in sorted(results, key=lambda r: r.shard_index):
             for a, b, rtt in result.entries:
                 if matrix.has(a, b):
@@ -204,5 +248,29 @@ class ShardedCampaign:
             report.events_processed += result.events_processed
             report.cells_processed += result.cells_processed
             report.shards.append(result)
+            self._merge_observability(report, result)
         report.pairs_measured = matrix.num_measured
         return report
+
+    @staticmethod
+    def _merge_observability(report: ShardedReport, result: ShardResult) -> None:
+        """Fold one shard's observability snapshots into the report.
+
+        Counter-sum / gauge-max / histogram-bucket-sum for metrics;
+        trace events, spans, and provenance records are adopted with a
+        ``shard`` tag so per-worker attribution survives the merge.
+        """
+        if result.metrics is not None and report.metrics is not None:
+            report.metrics.merge(MetricsRegistry.from_snapshot(result.metrics))
+        if result.trace is not None and report.trace is not None:
+            for entry in result.trace.get("events", []):
+                entry = dict(entry)
+                time_ms = entry.pop("time_ms")
+                kind = entry.pop("kind")
+                entry.setdefault("shard", result.shard_index)
+                report.trace.record(time_ms, kind, **entry)
+            report.trace.dropped += int(result.trace.get("dropped", 0))
+        if result.spans is not None and report.spans is not None:
+            report.spans.merge(result.spans, shard=result.shard_index)
+        if result.provenance is not None and report.provenance is not None:
+            report.provenance.merge(result.provenance, shard=result.shard_index)

@@ -22,7 +22,15 @@ from dataclasses import dataclass, field
 
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import SamplePolicy, min_estimate
-from repro.obs import LEG_CACHE_HIT, LEG_CACHE_MISS, PAIR_MEASURED
+from repro.obs import (
+    CIRCUIT_BUILD_SPAN,
+    LEG_CACHE_HIT,
+    LEG_CACHE_MISS,
+    LEG_SPAN,
+    PAIR_MEASURED,
+    PAIR_SPAN,
+    PROBE_ROUND_SPAN,
+)
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import CircuitError, MeasurementError, StreamError
 from repro.util.units import Milliseconds
@@ -122,17 +130,20 @@ class TingMeasurer:
             raise MeasurementError("cannot measure the local helper relays")
 
         started = self.host.sim.now
-        if self.reuse_circuits and not (self.cache_legs and x_fp in self._leg_cache):
-            circuit_xy, circuit_x = self._measure_pair_and_leg_with_reuse(
-                x_fp, y_fp, policy
-            )
-            if self.cache_legs:
-                self._leg_cache[x_fp] = circuit_x
-                self.host.metrics.inc("ting.leg_cache_misses")
-        else:
-            circuit_xy = self._measure_circuit((w_fp, x_fp, y_fp, z_fp), policy)
-            circuit_x = self._measure_leg(x_fp, policy)
-        circuit_y = self._measure_leg(y_fp, policy)
+        with self.host.spans.span(PAIR_SPAN, x=x_fp, y=y_fp):
+            if self.reuse_circuits and not (
+                self.cache_legs and x_fp in self._leg_cache
+            ):
+                circuit_xy, circuit_x = self._measure_pair_and_leg_with_reuse(
+                    x_fp, y_fp, policy
+                )
+                if self.cache_legs:
+                    self._leg_cache[x_fp] = circuit_x
+                    self.host.metrics.inc("ting.leg_cache_misses")
+            else:
+                circuit_xy = self._measure_circuit((w_fp, x_fp, y_fp, z_fp), policy)
+                circuit_x = self._measure_leg(x_fp, policy)
+            circuit_y = self._measure_leg(y_fp, policy)
 
         estimate = (
             circuit_xy.min_ms - circuit_x.min_ms / 2.0 - circuit_y.min_ms / 2.0
@@ -168,6 +179,15 @@ class TingMeasurer:
         x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
         return self._measure_leg(x_fp, policy or self.policy)
 
+    def leg_is_cached(self, x: RelayDescriptor | str) -> bool:
+        """Whether ``R_Cx`` for this relay would come from the leg cache.
+
+        Provenance recorders ask *before* measuring so they can count
+        cache hits per pair without re-deriving cache policy.
+        """
+        x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
+        return self.cache_legs and x_fp in self._leg_cache
+
     def _measure_leg(self, x_fp: str, policy: SamplePolicy) -> CircuitMeasurement:
         if self.cache_legs and x_fp in self._leg_cache:
             self.host.metrics.inc("ting.leg_cache_hits")
@@ -175,11 +195,13 @@ class TingMeasurer:
                 self.host.trace.record(
                     self.host.sim.now, LEG_CACHE_HIT, relay=x_fp
                 )
+            # No span on a cache hit: nothing occupies simulated time.
             return self._leg_cache[x_fp]
-        measurement = self._measure_circuit(
-            (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
-            policy,
-        )
+        with self.host.spans.span(LEG_SPAN, relay=x_fp):
+            measurement = self._measure_circuit(
+                (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
+                policy,
+            )
         if self.cache_legs:
             self._leg_cache[x_fp] = measurement
             self.host.metrics.inc("ting.leg_cache_misses")
@@ -225,12 +247,13 @@ class TingMeasurer:
         controller = self.host.controller
         w_fp = self.host.relay_w.fingerprint
         z_fp = self.host.relay_z.fingerprint
-        try:
-            circuit = controller.build_circuit([w_fp, x_fp, y_fp, z_fp])
-        except CircuitError as exc:
-            raise MeasurementError(
-                f"could not build circuit {w_fp}->{x_fp}->{y_fp}->{z_fp}: {exc}"
-            ) from exc
+        with self.host.spans.span(CIRCUIT_BUILD_SPAN, hops=4):
+            try:
+                circuit = controller.build_circuit([w_fp, x_fp, y_fp, z_fp])
+            except CircuitError as exc:
+                raise MeasurementError(
+                    f"could not build circuit {w_fp}->{x_fp}->{y_fp}->{z_fp}: {exc}"
+                ) from exc
         self.circuits_built += 1
         try:
             circuit_xy = self._probe_circuit(circuit, policy)
@@ -263,12 +286,13 @@ class TingMeasurer:
             raise MeasurementError(
                 f"could not attach echo stream on reused circuit: {exc}"
             ) from exc
-        result = self.host.echo_client.probe(
-            stream,
-            samples=policy.samples,
-            interval_ms=policy.interval_ms,
-            timeout_ms=policy.timeout_ms,
-        )
+        with self.host.spans.span(PROBE_ROUND_SPAN, samples=policy.samples):
+            result = self.host.echo_client.probe(
+                stream,
+                samples=policy.samples,
+                interval_ms=policy.interval_ms,
+                timeout_ms=policy.timeout_ms,
+            )
         self.probes_sent += result.sent
         stream.close()
         return result.rtts_ms
@@ -277,12 +301,13 @@ class TingMeasurer:
         self, path: tuple[str, ...], policy: SamplePolicy
     ) -> CircuitMeasurement:
         controller = self.host.controller
-        try:
-            circuit = controller.build_circuit(list(path))
-        except CircuitError as exc:
-            raise MeasurementError(
-                f"could not build circuit {'->'.join(path)}: {exc}"
-            ) from exc
+        with self.host.spans.span(CIRCUIT_BUILD_SPAN, hops=len(path)):
+            try:
+                circuit = controller.build_circuit(list(path))
+            except CircuitError as exc:
+                raise MeasurementError(
+                    f"could not build circuit {'->'.join(path)}: {exc}"
+                ) from exc
         self.circuits_built += 1
         try:
             try:
@@ -293,12 +318,13 @@ class TingMeasurer:
                 raise MeasurementError(
                     f"could not attach echo stream on {'->'.join(path)}: {exc}"
                 ) from exc
-            result = self.host.echo_client.probe(
-                stream,
-                samples=policy.samples,
-                interval_ms=policy.interval_ms,
-                timeout_ms=policy.timeout_ms,
-            )
+            with self.host.spans.span(PROBE_ROUND_SPAN, samples=policy.samples):
+                result = self.host.echo_client.probe(
+                    stream,
+                    samples=policy.samples,
+                    interval_ms=policy.interval_ms,
+                    timeout_ms=policy.timeout_ms,
+                )
             self.probes_sent += result.sent
             stream.close()
         finally:

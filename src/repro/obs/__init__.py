@@ -1,18 +1,26 @@
 """repro.obs — lightweight observability for the measurement stack.
 
-Two primitives, both with zero-cost no-op defaults:
+Three primitives, all with zero-cost no-op defaults:
 
 * :class:`MetricsRegistry` — counters, gauges, and ms-bucketed
   histograms, aggregated by dotted name and exportable as JSON.
 * :class:`TraceLog` — a bounded structured log of typed events
   (circuit built/failed, probe lost, leg cache hit, retry round, heap
   compaction, ...).
+* :class:`SpanTracer` — hierarchical sim-time intervals (campaign →
+  pair → leg → circuit build → probe round) exportable as Chrome
+  trace-event JSON for Perfetto.
+
+All three are *mergeable*: shard workers snapshot their sinks and the
+parent folds them into one registry/log/tracer with counter-sum,
+gauge-max, histogram-bucket-sum, and shard-tagging semantics, so
+observability survives the fork boundary of ``ShardedCampaign``.
 
 Components (``Simulator``, ``OnionProxy``, ``Relay``, ``EchoClient``)
 each carry ``metrics``/``trace`` attributes defaulting to
 :data:`NULL_METRICS` / :data:`NULL_TRACE`; call
-``MeasurementHost.enable_observability()`` to wire one live registry and
-trace through an entire deployment.
+``MeasurementHost.enable_observability()`` to wire one live registry,
+trace, and span tracer through an entire deployment.
 """
 
 from repro.obs.registry import (
@@ -21,6 +29,17 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetricsRegistry,
+)
+from repro.obs.spans import (
+    CAMPAIGN_SPAN,
+    CIRCUIT_BUILD_SPAN,
+    LEG_SPAN,
+    NULL_SPANS,
+    NullSpanTracer,
+    PAIR_SPAN,
+    PROBE_ROUND_SPAN,
+    SpanHandle,
+    SpanTracer,
 )
 from repro.obs.trace import (
     CIRCUIT_BUILT,
@@ -47,12 +66,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_SPANS",
     "NULL_TRACE",
     "NullMetricsRegistry",
+    "NullSpanTracer",
     "NullTraceLog",
+    "SpanHandle",
+    "SpanTracer",
     "TraceEvent",
     "TraceLog",
     "categorize_failure",
+    "CAMPAIGN_SPAN",
+    "PAIR_SPAN",
+    "LEG_SPAN",
+    "CIRCUIT_BUILD_SPAN",
+    "PROBE_ROUND_SPAN",
     "CIRCUIT_BUILT",
     "CIRCUIT_FAILED",
     "STREAM_ATTACHED",

@@ -30,7 +30,13 @@ DEFAULT_BUCKET_EDGES_MS: tuple[float, ...] = (
 
 
 class Histogram:
-    """A fixed-bucket histogram over millisecond observations."""
+    """A fixed-bucket histogram over millisecond observations.
+
+    Histograms from different processes can be combined with
+    :meth:`merge` as long as they share bucket edges — shard workers
+    histogram into the default edges, so campaign-wide latency
+    distributions survive the fork boundary.
+    """
 
     __slots__ = ("edges", "bucket_counts", "count", "total", "min", "max")
 
@@ -107,6 +113,37 @@ class Histogram:
         histogram.bucket_counts[-1] = int(by_label.get("inf", 0))
         return histogram
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (bucket-sum semantics).
+
+        Associative and commutative up to float addition of ``total``,
+        so shard results can be merged in any order. Returns ``self``.
+        """
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{len(self.edges)} vs {len(other.edges)} buckets"
+            )
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def copy(self) -> "Histogram":
+        """An independent deep copy (merge must not alias bucket lists)."""
+        duplicate = Histogram(self.edges)
+        duplicate.bucket_counts = list(self.bucket_counts)
+        duplicate.count = self.count
+        duplicate.total = self.total
+        duplicate.min = self.min
+        duplicate.max = self.max
+        return duplicate
+
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.3f}ms)"
 
@@ -124,6 +161,8 @@ class MetricsRegistry:
     #: Whether writes are recorded; hot paths may branch on this to skip
     #: building event payloads when observability is off.
     enabled = True
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
@@ -189,10 +228,14 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "MetricsRegistry":
-        """Rebuild a registry from :meth:`to_json` output."""
-        data = json.loads(text)
-        registry = cls()
+    def from_snapshot(cls, data: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a live registry from :meth:`snapshot` output.
+
+        Always returns a plain :class:`MetricsRegistry` — snapshots carry
+        data, and data deserializes to a recording registry even when the
+        classmethod is reached through :class:`NullMetricsRegistry`.
+        """
+        registry = MetricsRegistry()
         for name, value in data.get("counters", {}).items():
             registry._counters[name] = int(value)
         for name, value in data.get("gauges", {}).items():
@@ -200,6 +243,45 @@ class MetricsRegistry:
         for name, hist_data in data.get("histograms", {}).items():
             registry._histograms[name] = Histogram.from_snapshot(hist_data)
         return registry
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_json` output."""
+        return cls.from_snapshot(json.loads(text))
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's metrics into this one. Returns self.
+
+        Shard-merge semantics, chosen so deterministic campaign counters
+        are invariant to how the work was partitioned:
+
+        * **counters sum** — ``pairs_attempted`` over four shards adds up
+          to the unsharded count;
+        * **gauges take the max** — peaks (``sim.heap_peak``,
+          ``campaign.peak_concurrency``) are the only gauges that
+          aggregate meaningfully across processes;
+        * **histograms bucket-sum** (see :meth:`Histogram.merge`).
+
+        The operation is associative and commutative (up to float
+        addition), so any merge tree over shard results yields the same
+        registry. ``other`` is not modified; adopted histograms are
+        copied, never aliased.
+        """
+        if not other.enabled:
+            return self
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in other._gauges.items():
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = histogram.copy()
+            else:
+                mine.merge(histogram)
+        return self
 
     def __repr__(self) -> str:
         return (
@@ -209,9 +291,25 @@ class MetricsRegistry:
 
 
 class NullMetricsRegistry(MetricsRegistry):
-    """A registry that records nothing: the zero-cost default."""
+    """A registry that records nothing: the zero-cost default.
+
+    Construction is allocation-free (no backing dicts exist at all), so
+    instantiating one in a hot path costs a bare object header. Reads
+    return the same zero/``None``/empty answers a fresh live registry
+    would; :meth:`snapshot` builds fresh dicts per call so no caller can
+    mutate state shared with other holders of :data:`NULL_METRICS`, and
+    :meth:`from_snapshot`/``from_json`` hand back a *live* registry (data
+    deserializes to data) without touching the null singleton.
+    """
 
     enabled = False
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        # Deliberately no super().__init__(): the null registry owns no
+        # storage, which is what makes it safe as a process-wide default.
+        pass
 
     def inc(self, name: str, amount: int = 1) -> None:
         pass
@@ -224,6 +322,28 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def observe(self, name: str, value_ms: float) -> None:
         pass
+
+    def reset(self) -> None:
+        pass
+
+    def merge(self, other: MetricsRegistry) -> "MetricsRegistry":
+        """Null sinks drop merged data exactly as they drop writes."""
+        return self
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def gauge(self, name: str) -> float | None:
+        return None
+
+    def histogram(self, name: str) -> Histogram | None:
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def __repr__(self) -> str:
+        return "NullMetricsRegistry()"
 
 
 #: The process-wide no-op registry; instrumented components default to it.

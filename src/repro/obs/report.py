@@ -1,0 +1,310 @@
+"""Run reports: fuse metrics, spans, provenance, and ground truth.
+
+A campaign's raw observability output is four separate artifacts — a
+merged :class:`~repro.obs.registry.MetricsRegistry`, a
+:class:`~repro.obs.spans.SpanTracer`, a
+:class:`~repro.core.dataset.ProvenanceLog`, and the
+:class:`~repro.core.dataset.RttMatrix` itself. :func:`build_report`
+digests them into one :class:`RunReport` that answers the operator
+questions directly: how accurate was the run (when ground truth
+exists), what failed and why, which pairs ate the makespan, and how
+evenly the shards were loaded. The report renders both as structured
+JSON (for dashboards and regression diffs) and as aligned text (for a
+terminal).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.dataset import ProvenanceLog, RttMatrix
+
+#: Format tag on the JSON form, bumped on breaking schema changes.
+REPORT_FORMAT = "ting-report/1"
+
+
+@dataclass
+class RunReport:
+    """A finished report: one JSON-ready dict plus renderers."""
+
+    data: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready payload (already plain data)."""
+        return self.data
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the report as JSON text."""
+        return json.dumps(self.data, indent=indent)
+
+    def render_text(self) -> str:
+        """Human-readable multi-section summary of the same payload."""
+        lines: list[str] = []
+        pairs = self.data["pairs"]
+        lines.append("== campaign ==")
+        lines.append(f"  relays                 {pairs['relays']}")
+        lines.append(
+            f"  pairs measured         {pairs['measured']}/{pairs['attempted']}"
+        )
+        if pairs.get("mean_rtt_ms") is not None:
+            lines.append(f"  mean RTT               {pairs['mean_rtt_ms']:.1f} ms")
+        if pairs.get("makespan_ms") is not None:
+            lines.append(
+                f"  simulated makespan     {pairs['makespan_ms'] / 60000:.1f} min"
+            )
+
+        accuracy = self.data.get("accuracy")
+        if accuracy is not None:
+            lines.append("== accuracy vs ground truth ==")
+            lines.append(f"  pairs compared         {accuracy['pairs_compared']}")
+            lines.append(
+                f"  within 10% of truth    {accuracy['within_10pct']:.1%}"
+            )
+            lines.append(
+                f"  median abs error       {accuracy['median_abs_error_ms']:.2f} ms"
+            )
+
+        failures = self.data["failures"]
+        lines.append("== failures ==")
+        if failures["total"] == 0:
+            lines.append("  none")
+        else:
+            for category, count in sorted(failures["by_category"].items()):
+                lines.append(f"  {category:<22} {count}")
+
+        slowest = self.data.get("slowest_pairs", [])
+        if slowest:
+            lines.append("== slowest pairs (simulated time) ==")
+            for entry in slowest:
+                rtt = (
+                    f"{entry['rtt_ms']:.1f} ms"
+                    if entry.get("rtt_ms") is not None
+                    else entry.get("status", "failed")
+                )
+                lines.append(
+                    f"  {entry['x'][:8]}..{entry['y'][:8]}  "
+                    f"{entry['duration_ms'] / 1000:.1f} s  ({rtt})"
+                )
+
+        balance = self.data.get("shard_balance")
+        if balance is not None:
+            lines.append("== shard balance ==")
+            for shard in balance["shards"]:
+                lines.append(
+                    f"  shard {shard['shard']}: {shard['pairs_attempted']} pairs, "
+                    f"{shard['makespan_ms'] / 60000:.1f} sim min, "
+                    f"{shard['wall_s']:.1f} s wall"
+                )
+            lines.append(
+                f"  makespan imbalance     {balance['makespan_imbalance']:.2f}x"
+            )
+
+        spans = self.data.get("spans")
+        if spans is not None:
+            lines.append("== spans ==")
+            for name, stats in sorted(spans["by_name"].items()):
+                lines.append(
+                    f"  {name:<22} {stats['count']:>5}  "
+                    f"mean {stats['mean_ms']:.1f} ms"
+                )
+
+        metrics = self.data.get("metrics")
+        if metrics is not None:
+            lines.append("== headline counters ==")
+            for name, value in sorted(metrics.items()):
+                lines.append(f"  {name:<28} {value}")
+
+        trace = self.data.get("trace")
+        if trace is not None:
+            lines.append("== trace ==")
+            lines.append(f"  events retained        {trace['events']}")
+            lines.append(f"  events dropped         {trace['dropped']}")
+        return "\n".join(lines)
+
+
+#: Counters surfaced in the report's ``metrics`` section; everything
+#: else stays available in the full snapshot the CLI can export.
+_HEADLINE_COUNTERS = (
+    "campaign.pairs_attempted",
+    "campaign.pairs_measured",
+    "tor.circuits_built",
+    "tor.circuits_failed",
+    "tor.streams_attached",
+    "echo.probes_sent",
+    "echo.probes_received",
+    "echo.probes_lost",
+    "ting.leg_cache_hits",
+    "ting.leg_cache_misses",
+    "trace.uncategorized",
+)
+
+
+def _accuracy_section(
+    matrix: RttMatrix, ground_truth: RttMatrix
+) -> dict[str, Any] | None:
+    """Accuracy vs an oracle matrix over the pairs both have."""
+    errors: list[float] = []
+    within = 0
+    for a, b, estimate in matrix.measured_pairs():
+        if a not in ground_truth or b not in ground_truth:
+            continue
+        if not ground_truth.has(a, b):
+            continue
+        truth = ground_truth.get(a, b)
+        errors.append(abs(estimate - truth))
+        if truth > 0 and abs(estimate - truth) / truth <= 0.10:
+            within += 1
+    if not errors:
+        return None
+    errors.sort()
+    mid = len(errors) // 2
+    median = (
+        errors[mid]
+        if len(errors) % 2
+        else (errors[mid - 1] + errors[mid]) / 2.0
+    )
+    return {
+        "pairs_compared": len(errors),
+        "within_10pct": within / len(errors),
+        "median_abs_error_ms": round(median, 3),
+    }
+
+
+def _slowest_pairs(
+    provenance: ProvenanceLog, top_n: int
+) -> list[dict[str, Any]]:
+    """The ``top_n`` pairs by simulated duration, slowest first."""
+    ranked = sorted(
+        provenance.records(), key=lambda r: r.duration_ms, reverse=True
+    )
+    return [
+        {
+            "x": record.x,
+            "y": record.y,
+            "status": record.status,
+            "duration_ms": round(record.duration_ms, 3),
+            "rtt_ms": record.rtt_ms,
+        }
+        for record in ranked[:top_n]
+    ]
+
+
+def _shard_balance(shards: Iterable[Any]) -> dict[str, Any] | None:
+    """Per-shard load plus the makespan imbalance ratio (max/min)."""
+    rows = [
+        {
+            "shard": shard.shard_index,
+            "pairs_attempted": shard.pairs_attempted,
+            "makespan_ms": round(shard.makespan_ms, 3),
+            "wall_s": round(shard.wall_s, 3),
+            "events_processed": shard.events_processed,
+        }
+        for shard in shards
+    ]
+    if not rows:
+        return None
+    makespans = [row["makespan_ms"] for row in rows]
+    slowest = max(makespans)
+    fastest = min(makespans)
+    return {
+        "shards": rows,
+        "makespan_imbalance": round(slowest / fastest, 3) if fastest else 0.0,
+    }
+
+
+def _span_section(spans: Any) -> dict[str, Any] | None:
+    """Per-span-name counts and mean simulated durations."""
+    records = spans.records() if hasattr(spans, "records") else list(spans)
+    if not records:
+        return None
+    by_name: dict[str, dict[str, Any]] = {}
+    for record in records:
+        stats = by_name.setdefault(
+            record["name"], {"count": 0, "total_ms": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_ms"] += record["dur_ms"]
+    for stats in by_name.values():
+        stats["mean_ms"] = round(stats["total_ms"] / stats["count"], 3)
+        stats["total_ms"] = round(stats["total_ms"], 3)
+    return {"total": len(records), "by_name": by_name}
+
+
+def build_report(
+    matrix: RttMatrix,
+    metrics: Any | None = None,
+    spans: Any | None = None,
+    provenance: ProvenanceLog | None = None,
+    trace: Any | None = None,
+    shards: Iterable[Any] | None = None,
+    ground_truth: RttMatrix | None = None,
+    pairs_attempted: int | None = None,
+    makespan_ms: float | None = None,
+    top_n: int = 5,
+) -> RunReport:
+    """Fuse a campaign's artifacts into one :class:`RunReport`.
+
+    Every input beyond the matrix is optional: the report includes the
+    sections it has data for and omits the rest, so the same builder
+    serves a bare ``measure`` run and a fully instrumented sharded
+    campaign. ``metrics`` accepts a live registry or a snapshot dict;
+    ``spans`` a tracer or raw record list; ``shards`` any iterable of
+    shard results with ``shard_index``/``pairs_attempted``/
+    ``makespan_ms``/``wall_s``/``events_processed`` attributes.
+    """
+    snapshot = (
+        metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    ) or {}
+    counters = snapshot.get("counters", {})
+
+    n = len(matrix.nodes)
+    attempted = pairs_attempted
+    if attempted is None:
+        attempted = counters.get("campaign.pairs_attempted") or n * (n - 1) // 2
+    pairs_section: dict[str, Any] = {
+        "relays": n,
+        "attempted": attempted,
+        "measured": matrix.num_measured,
+        "mean_rtt_ms": (
+            round(matrix.mean_rtt_ms(), 3) if matrix.num_measured else None
+        ),
+        "makespan_ms": makespan_ms,
+    }
+
+    by_category: dict[str, int] = {}
+    if provenance is not None:
+        by_category = provenance.failure_breakdown()
+    else:
+        prefix = "campaign.failures."
+        for name, value in counters.items():
+            if name.startswith(prefix) and value:
+                by_category[name[len(prefix):]] = value
+    failures_section = {
+        "total": sum(by_category.values()),
+        "by_category": by_category,
+    }
+
+    data: dict[str, Any] = {
+        "format": REPORT_FORMAT,
+        "pairs": pairs_section,
+        "failures": failures_section,
+    }
+    if ground_truth is not None:
+        data["accuracy"] = _accuracy_section(matrix, ground_truth)
+    if provenance is not None and len(provenance):
+        data["slowest_pairs"] = _slowest_pairs(provenance, top_n)
+    if shards is not None:
+        data["shard_balance"] = _shard_balance(shards)
+    if spans is not None:
+        section = _span_section(spans)
+        if section is not None:
+            data["spans"] = section
+    if snapshot:
+        data["metrics"] = {
+            name: counters.get(name, 0) for name in _HEADLINE_COUNTERS
+        }
+    if trace is not None:
+        data["trace"] = {"events": len(trace), "dropped": trace.dropped}
+    return RunReport(data=data)

@@ -1,0 +1,166 @@
+"""Cross-shard observability: merged metrics/traces/spans/provenance.
+
+PR 2 made the *matrix* invariant to the shard count; these tests pin
+the same property for the observability layer. Deterministic counters
+(pairs attempted/measured, leg cache hits) in the merged registry must
+be identical for workers in {1, 2, 4} and identical to an unsharded
+instrumented run, and every adopted trace event, span, and provenance
+record must say which shard produced it.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelCampaign
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import ShardedCampaign, _run_shard
+from repro.testbeds.livetor import LiveTorTestbed
+
+SEED = 3
+N_RELAYS = 14
+POLICY = SamplePolicy(samples=3, interval_ms=2.0)
+FACTORY = functools.partial(LiveTorTestbed.build, seed=SEED, n_relays=N_RELAYS)
+
+#: Counters that must not depend on how the pair list was partitioned.
+#: (ting.leg_cache_misses is deliberately absent: every worker measures
+#: its own legs, so misses scale with the worker count.)
+DETERMINISTIC_COUNTERS = (
+    "campaign.pairs_attempted",
+    "campaign.pairs_measured",
+    "ting.leg_cache_hits",
+)
+
+
+@pytest.fixture(scope="module")
+def fingerprints():
+    testbed = FACTORY()
+    descriptors = testbed.random_relays(5, testbed.streams.get("shard.sel"))
+    return [d.fingerprint for d in descriptors]
+
+
+def _observed_merge(fingerprints, workers):
+    """Run every shard inline with observability on, then merge."""
+    campaign = ShardedCampaign(
+        FACTORY, fingerprints, policy=POLICY, workers=workers, observe=True
+    )
+    shards = campaign.shard_pairs()
+    results = [
+        _run_shard(FACTORY, campaign.fingerprints, shard, POLICY, index, True)
+        for index, shard in enumerate(shards)
+    ]
+    return campaign._merge(results)
+
+
+@pytest.fixture(scope="module")
+def merged_by_workers(fingerprints):
+    return {workers: _observed_merge(fingerprints, workers) for workers in (1, 2, 4)}
+
+
+class TestMergedCounterInvariance:
+    def test_deterministic_counters_invariant_to_shard_count(
+        self, merged_by_workers
+    ):
+        values = {
+            workers: {
+                name: report.metrics.counter(name)
+                for name in DETERMINISTIC_COUNTERS
+            }
+            for workers, report in merged_by_workers.items()
+        }
+        assert values[1] == values[2] == values[4]
+        assert values[1]["campaign.pairs_attempted"] == 10
+        assert values[1]["campaign.pairs_measured"] == 10
+        # Every measured pair reuses both shared legs.
+        assert values[1]["ting.leg_cache_hits"] == 20
+
+    def test_matches_unsharded_instrumented_run(
+        self, fingerprints, merged_by_workers
+    ):
+        testbed = FACTORY()
+        registry = testbed.measurement.enable_observability()
+        by_fp = {r.fingerprint: r for r in testbed.relays}
+        descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
+        unsharded = ParallelCampaign(
+            testbed.measurement,
+            descriptors,
+            policy=POLICY,
+            isolation=testbed.task_isolation(),
+        ).run()
+        for workers, report in merged_by_workers.items():
+            assert np.array_equal(
+                report.matrix.as_array(), unsharded.matrix.as_array()
+            )
+            for name in DETERMINISTIC_COUNTERS:
+                assert report.metrics.counter(name) == registry.counter(name), (
+                    f"{name} differs at workers={workers}"
+                )
+
+    def test_matrix_still_bit_identical_when_observed(
+        self, fingerprints, merged_by_workers
+    ):
+        # Observability must not perturb the measurement itself.
+        plain = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=2
+        )
+        shards = plain.shard_pairs()
+        results = [
+            _run_shard(FACTORY, plain.fingerprints, shard, POLICY, index)
+            for index, shard in enumerate(shards)
+        ]
+        unobserved = plain._merge(results)
+        assert unobserved.metrics is None
+        for report in merged_by_workers.values():
+            assert np.array_equal(
+                report.matrix.as_array(), unobserved.matrix.as_array()
+            )
+
+
+class TestMergedArtifacts:
+    def test_trace_events_are_shard_tagged(self, merged_by_workers):
+        report = merged_by_workers[2]
+        shards_seen = {event.fields.get("shard") for event in report.trace}
+        assert shards_seen == {0, 1}
+        assert report.trace.dropped == 0
+
+    def test_spans_are_shard_tagged_and_cover_hierarchy(self, merged_by_workers):
+        report = merged_by_workers[2]
+        assert {r["shard"] for r in report.spans.records()} == {0, 1}
+        assert report.spans.count("campaign") == 2  # one per shard
+        assert report.spans.count("pair") == 10
+        assert report.spans.count("leg") > 0
+        assert report.spans.count("circuit_build") > 0
+        assert report.spans.count("probe_round") > 0
+
+    def test_provenance_merges_with_shard_attribution(self, merged_by_workers):
+        for workers, report in merged_by_workers.items():
+            assert len(report.provenance) == 10
+            assert {r.shard for r in report.provenance} == set(range(workers))
+            for record in report.provenance:
+                assert record.status == "measured"
+                assert record.leg_cache_hits == 2
+                assert record.samples_kept == POLICY.samples
+                assert record.residual_ms == pytest.approx(
+                    (record.leg_x_ms + record.leg_y_ms) / 2.0
+                )
+
+    def test_provenance_rtts_match_matrix(self, merged_by_workers):
+        report = merged_by_workers[4]
+        for record in report.provenance:
+            # Serialized provenance rounds floats to 6 decimals.
+            assert record.rtt_ms == pytest.approx(
+                report.matrix.get(record.x, record.y), abs=1e-6
+            )
+
+    def test_forked_pool_merges_same_counters(self, fingerprints):
+        # The real multiprocess path (fork) must agree with inline runs.
+        report = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=2, observe=True
+        ).run()
+        inline = _observed_merge(fingerprints, 2)
+        assert np.array_equal(
+            report.matrix.as_array(), inline.matrix.as_array()
+        )
+        for name in DETERMINISTIC_COUNTERS:
+            assert report.metrics.counter(name) == inline.metrics.counter(name)

@@ -1,0 +1,239 @@
+"""Tests for the fused run report and its CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.dataset import PairProvenance, ProvenanceLog, RttMatrix
+from repro.obs.report import REPORT_FORMAT, build_report
+
+
+def _matrix(values) -> RttMatrix:
+    nodes = sorted({n for pair in values for n in pair})
+    matrix = RttMatrix(nodes)
+    for (a, b), rtt in values.items():
+        matrix.set(a, b, rtt)
+    return matrix
+
+
+@pytest.fixture
+def fixture_inputs():
+    matrix = _matrix({("A", "B"): 10.0, ("A", "C"): 20.0, ("B", "C"): 30.0})
+    truth = _matrix({("A", "B"): 10.5, ("A", "C"): 20.0, ("B", "C"): 60.0})
+    provenance = ProvenanceLog()
+    provenance.add(
+        PairProvenance(
+            x="A", y="B", status="measured", rtt_ms=10.0,
+            samples_kept=10, duration_ms=2000.0, shard=0,
+        )
+    )
+    provenance.add(
+        PairProvenance(
+            x="A", y="C", status="measured", rtt_ms=20.0,
+            samples_kept=10, duration_ms=9000.0, shard=1,
+        )
+    )
+    provenance.add(
+        PairProvenance(
+            x="B", y="C", status="measured", rtt_ms=30.0,
+            samples_kept=8, duration_ms=4000.0, shard=0,
+        )
+    )
+    provenance.add(
+        PairProvenance(
+            x="C", y="D", status="failed", failure_category="timeout",
+            reason="probe timed out", duration_ms=15000.0, shard=1,
+        )
+    )
+    metrics = {
+        "counters": {
+            "campaign.pairs_attempted": 4,
+            "campaign.pairs_measured": 3,
+            "ting.leg_cache_hits": 6,
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    return matrix, truth, provenance, metrics
+
+
+class TestBuildReport:
+    def test_sections_and_accuracy(self, fixture_inputs):
+        matrix, truth, provenance, metrics = fixture_inputs
+        report = build_report(
+            matrix,
+            metrics=metrics,
+            provenance=provenance,
+            ground_truth=truth,
+        )
+        data = report.to_dict()
+        assert data["format"] == REPORT_FORMAT
+        assert data["pairs"]["attempted"] == 4
+        assert data["pairs"]["measured"] == 3
+        accuracy = data["accuracy"]
+        assert accuracy["pairs_compared"] == 3
+        # A-B within 5%, A-C exact, B-C off by 50%.
+        assert accuracy["within_10pct"] == pytest.approx(2 / 3)
+        assert accuracy["median_abs_error_ms"] == pytest.approx(0.5)
+        assert data["failures"] == {
+            "total": 1,
+            "by_category": {"timeout": 1},
+        }
+
+    def test_slowest_pairs_ranked_by_duration(self, fixture_inputs):
+        matrix, _, provenance, _ = fixture_inputs
+        report = build_report(matrix, provenance=provenance, top_n=2)
+        slowest = report.to_dict()["slowest_pairs"]
+        assert [e["duration_ms"] for e in slowest] == [15000.0, 9000.0]
+        assert slowest[0]["status"] == "failed"
+
+    def test_json_is_loadable_and_text_has_sections(self, fixture_inputs):
+        matrix, truth, provenance, metrics = fixture_inputs
+        report = build_report(
+            matrix, metrics=metrics, provenance=provenance, ground_truth=truth
+        )
+        assert json.loads(report.to_json())["format"] == REPORT_FORMAT
+        text = report.render_text()
+        for heading in (
+            "== campaign ==",
+            "== accuracy vs ground truth ==",
+            "== failures ==",
+            "== slowest pairs (simulated time) ==",
+            "== headline counters ==",
+        ):
+            assert heading in text
+
+    def test_golden_text_output(self):
+        matrix = _matrix({("A", "B"): 10.0})
+        provenance = ProvenanceLog()
+        provenance.add(
+            PairProvenance(
+                x="AAAAAAAAAA", y="BBBBBBBBBB", status="measured",
+                rtt_ms=10.0, duration_ms=2000.0,
+            )
+        )
+        report = build_report(
+            matrix, provenance=provenance, pairs_attempted=1
+        )
+        assert report.render_text() == "\n".join(
+            [
+                "== campaign ==",
+                "  relays                 2",
+                "  pairs measured         1/1",
+                "  mean RTT               10.0 ms",
+                "== failures ==",
+                "  none",
+                "== slowest pairs (simulated time) ==",
+                "  AAAAAAAA..BBBBBBBB  2.0 s  (10.0 ms)",
+            ]
+        )
+
+    def test_matrix_only_report(self):
+        matrix = _matrix({("A", "B"): 10.0})
+        data = build_report(matrix).to_dict()
+        assert data["pairs"]["measured"] == 1
+        assert data["failures"]["total"] == 0
+        assert "accuracy" not in data
+        assert "spans" not in data
+
+    def test_failures_fall_back_to_counters(self):
+        matrix = _matrix({("A", "B"): 10.0})
+        metrics = {
+            "counters": {
+                "campaign.pairs_attempted": 2,
+                "campaign.failures.timeout": 1,
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        data = build_report(matrix, metrics=metrics).to_dict()
+        assert data["failures"]["by_category"] == {"timeout": 1}
+
+    def test_shard_balance(self, fixture_inputs):
+        matrix, _, _, _ = fixture_inputs
+
+        class Shard:
+            def __init__(self, index, makespan):
+                self.shard_index = index
+                self.pairs_attempted = 2
+                self.makespan_ms = makespan
+                self.wall_s = 0.5
+                self.events_processed = 1000
+
+        data = build_report(
+            matrix, shards=[Shard(0, 60000.0), Shard(1, 90000.0)]
+        ).to_dict()
+        balance = data["shard_balance"]
+        assert balance["makespan_imbalance"] == pytest.approx(1.5)
+        assert [s["shard"] for s in balance["shards"]] == [0, 1]
+
+
+class TestReportCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        spans_path = tmp_path / "spans.json"
+        dataset_path = tmp_path / "dataset.json"
+        code = main(
+            [
+                "--seed", "3",
+                "report",
+                "--relays", "4",
+                "--network-size", "16",
+                "--samples", "3",
+                "--workers", "2",
+                "--json", str(json_path),
+                "--spans", str(spans_path),
+                "--output", str(dataset_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== campaign ==" in out
+        assert "== accuracy vs ground truth ==" in out
+        assert "== shard balance ==" in out
+
+        payload = json.loads(json_path.read_text())
+        assert payload["format"] == REPORT_FORMAT
+        assert payload["pairs"]["measured"] == 6
+        assert payload["metrics"]["campaign.pairs_measured"] == 6
+
+        # The span export must be a valid Chrome trace-event file:
+        # Perfetto's legacy JSON importer needs exactly these keys.
+        trace = json.loads(spans_path.read_text())
+        assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+        shards_seen = set()
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+            shards_seen.add(event["pid"])
+        assert shards_seen == {0, 1}
+
+        dataset = json.loads(dataset_path.read_text())
+        assert dataset["format"] == "ting-campaign/1"
+        assert len(dataset["provenance"]) == 6
+
+    def test_report_from_saved_dataset(self, tmp_path, capsys):
+        dataset_path = tmp_path / "dataset.json"
+        main(
+            [
+                "--seed", "3",
+                "report",
+                "--relays", "4",
+                "--network-size", "16",
+                "--samples", "3",
+                "--output", str(dataset_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["report", "--input", str(dataset_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== campaign ==" in out
+        assert "pairs measured         6/6" in out

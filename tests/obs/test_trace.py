@@ -61,11 +61,31 @@ class TestTraceLog:
             event.to_dict() for event in log
         ]
 
-    def test_to_json_is_valid_json_array(self):
+    def test_to_json_is_object_with_events_and_dropped(self):
         log = TraceLog()
         log.record(1.0, CIRCUIT_BUILT)
         parsed = json.loads(log.to_json())
-        assert parsed == [{"time_ms": 1.0, "kind": CIRCUIT_BUILT}]
+        assert parsed == {
+            "dropped": 0,
+            "events": [{"time_ms": 1.0, "kind": CIRCUIT_BUILT}],
+        }
+
+    def test_json_roundtrips_dropped_count(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record(float(i), CIRCUIT_BUILT)
+        assert log.dropped == 3
+        restored = TraceLog.from_json(log.to_json())
+        assert restored.dropped == 3
+        assert len(restored) == 2
+
+    def test_from_json_accepts_legacy_bare_array(self):
+        legacy = json.dumps([{"time_ms": 1.0, "kind": CIRCUIT_BUILT}])
+        restored = TraceLog.from_json(legacy)
+        assert restored.dropped == 0
+        assert [e.to_dict() for e in restored] == [
+            {"time_ms": 1.0, "kind": CIRCUIT_BUILT}
+        ]
 
     def test_event_to_dict_flattens_fields(self):
         event = TraceEvent(time_ms=3.0, kind="custom", fields={"x": "A"})
@@ -105,3 +125,61 @@ class TestCategorizeFailure:
     )
     def test_buckets_reason_strings(self, reason, category):
         assert categorize_failure(reason) == category
+
+    @pytest.mark.parametrize(
+        "reason",
+        [
+            "factory-built testbed lacks relays ['A']",
+            "shard 2 died before reporting",
+            "worker pool lost a process",
+        ],
+    )
+    def test_worker_level_failures_bucket_as_shard(self, reason):
+        assert categorize_failure(reason) == "shard"
+
+    def test_unknown_reason_counts_uncategorized(self):
+        from repro.obs import MetricsRegistry, NULL_METRICS
+
+        metrics = MetricsRegistry()
+        assert categorize_failure("gremlins in the datacenter", metrics) == "other"
+        assert metrics.counter("trace.uncategorized") == 1
+        # Known buckets never touch the counter.
+        categorize_failure("stream became closed", metrics)
+        assert metrics.counter("trace.uncategorized") == 1
+        # The null registry is accepted and stays silent.
+        assert categorize_failure("gremlins again", NULL_METRICS) == "other"
+
+
+class TestTraceLogMerge:
+    def test_merge_adopts_events_with_extra_fields(self):
+        parent = TraceLog()
+        worker = TraceLog()
+        worker.record(1.0, CIRCUIT_BUILT, circuit_id=4)
+        worker.record(2.0, PROBE_LOST)
+        parent.merge(worker, shard=3)
+        assert [e.to_dict() for e in parent] == [
+            {"time_ms": 1.0, "kind": CIRCUIT_BUILT, "circuit_id": 4, "shard": 3},
+            {"time_ms": 2.0, "kind": PROBE_LOST, "shard": 3},
+        ]
+
+    def test_merge_carries_dropped_counts(self):
+        parent = TraceLog()
+        worker = TraceLog(capacity=1)
+        worker.record(1.0, CIRCUIT_BUILT)
+        worker.record(2.0, CIRCUIT_BUILT)
+        assert worker.dropped == 1
+        parent.merge(worker)
+        assert parent.dropped == 1
+
+    def test_null_merge_discards(self):
+        worker = TraceLog()
+        worker.record(1.0, CIRCUIT_BUILT)
+        merged = NULL_TRACE.merge(worker)
+        assert merged is NULL_TRACE
+        assert len(NULL_TRACE) == 0
+
+    def test_null_snapshot_cannot_leak_shared_state(self):
+        snap = NULL_TRACE.snapshot()
+        snap["events"].append("garbage")
+        snap["dropped"] = 99
+        assert NULL_TRACE.snapshot() == {"dropped": 0, "events": []}
