@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.parallel import ParallelCampaign
-from repro.core.sampling import SamplePolicy
+from repro.core.sampling import AdaptiveSpec, SamplePolicy
 from repro.core.shard import ShardedCampaign
 from repro.core.ting import TingMeasurer
 from repro.netsim.engine import Simulator
@@ -144,6 +144,41 @@ def bench_campaign_parallel(
     return _entry(wall, events, _testbed_cells(testbed), events / wall)
 
 
+def bench_campaign_adaptive(
+    seed: int = 47, relays: int = 60, samples: int = 6
+) -> dict[str, float]:
+    """The concurrent campaign under convergence-triggered sampling.
+
+    Same world, relay selection, concurrency, and sample cap as
+    :func:`bench_campaign_parallel`, but probing stops per circuit as
+    soon as the running minimum plateaus (1 ms tolerance) instead of
+    always sending the fixed count — the bench-scale operating point of
+    the Section 4.4 adaptive engine (min 2 samples, patience 2, a
+    2-sample confirmation window). The wall-clock gap to
+    ``campaign_parallel`` is the probe volume the early stop avoided
+    simulating; legs run at the full cap (``SamplePolicy.for_leg``), so
+    the saving all comes from the C(n,2) pair circuits.
+    """
+    start = time.perf_counter()
+    testbed = LiveTorTestbed.build(seed=seed, n_relays=relays + 15)
+    selected = testbed.random_relays(relays, testbed.streams.get("bench.campaign"))
+    ParallelCampaign(
+        testbed.measurement,
+        selected,
+        policy=SamplePolicy(
+            samples=samples,
+            interval_ms=None,
+            adaptive=AdaptiveSpec(
+                absolute_ms=1.0, min_samples=2, patience=2, confirm_k=2
+            ),
+        ),
+        concurrency=16,
+    ).run()
+    wall = time.perf_counter() - start
+    events = testbed.sim.events_processed
+    return _entry(wall, events, _testbed_cells(testbed), events / wall)
+
+
 def bench_campaign_sharded(
     seed: int = 47, relays: int = 60, samples: int = 6, workers: int = 4
 ) -> dict[str, float]:
@@ -197,6 +232,12 @@ def run_bench(
         (
             "campaign_parallel",
             lambda: bench_campaign_parallel(
+                seed=seed, relays=relays, samples=samples
+            ),
+        ),
+        (
+            "campaign_adaptive",
+            lambda: bench_campaign_adaptive(
                 seed=seed, relays=relays, samples=samples
             ),
         ),

@@ -40,7 +40,7 @@ from repro.analysis.stats import fraction_within, spearman_rank_correlation
 from repro.apps.coverage import ResidentialClassifier, synthesize_archive
 from repro.apps.deanon import STRATEGIES, DeanonymizationSimulator
 from repro.apps.tiv import tiv_summary
-from repro.core.campaign import AllPairsCampaign
+from repro.core.campaign import AllPairsCampaign, ProbeBudget
 from repro.core.dataset import CampaignDataset, RttMatrix
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
@@ -48,6 +48,39 @@ from repro.core.shard import ShardedCampaign
 from repro.core.ting import TingMeasurer
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.testbeds.planetlab import PlanetLabTestbed
+
+
+#: ``--policy`` choices shared by measure/stats/report.
+POLICY_CHOICES = ("fixed", "adaptive-1ms", "adaptive-5pct")
+
+
+def resolve_policy(name: str, samples: int) -> SamplePolicy:
+    """Map a ``--policy`` choice to a :class:`SamplePolicy`.
+
+    ``fixed`` keeps the historical fixed-count behaviour bit for bit;
+    the adaptive choices treat ``--samples`` as the cap and stop early
+    on convergence (Section 4.4). ``min_samples`` is clamped to the cap
+    so small ``--samples`` values stay valid.
+    """
+    if name == "fixed":
+        return SamplePolicy(samples=samples)
+    if name == "adaptive-1ms":
+        return SamplePolicy.adaptive_1ms(
+            max_samples=samples, min_samples=min(10, samples)
+        )
+    if name == "adaptive-5pct":
+        return SamplePolicy.adaptive_5pct(
+            max_samples=samples, min_samples=min(10, samples)
+        )
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _add_policy_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--policy", choices=POLICY_CHOICES, default="fixed",
+        help="probe policy: fixed count, or convergence-triggered "
+             "early stopping at the 1 ms / 5%% tolerance "
+             "(--samples becomes the cap)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--relays", type=int, default=10)
     measure.add_argument("--network-size", type=int, default=60)
     measure.add_argument("--samples", type=int, default=50)
+    _add_policy_flag(measure)
+    measure.add_argument("--probe-budget", type=int, default=None,
+                         help="campaign-wide probe allowance; as it runs "
+                              "low, remaining pairs degrade to coarser "
+                              "tolerances and smaller caps")
     measure.add_argument("--output", type=Path, default=None)
 
     tiv = sub.add_parser("tiv", help="TIV analysis of a measured matrix")
@@ -104,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--network-size", type=int, default=40)
     stats.add_argument("--samples", type=int, default=20)
     stats.add_argument("--concurrency", type=int, default=4)
+    _add_policy_flag(stats)
+    stats.add_argument("--probe-budget", type=int, default=None,
+                       help="campaign-wide probe allowance (unsharded "
+                            "runs only)")
     stats.add_argument("--workers", type=int, default=0,
                        help="run the sharded multiprocess path with N "
                             "workers and report the merged metrics "
@@ -117,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--relays", type=int, default=8)
     report.add_argument("--network-size", type=int, default=40)
     report.add_argument("--samples", type=int, default=10)
+    _add_policy_flag(report)
     report.add_argument("--workers", type=int, default=2,
                         help="worker processes for the instrumented "
                              "sharded campaign")
@@ -167,16 +210,28 @@ def cmd_measure(args: argparse.Namespace) -> int:
     relays = testbed.random_relays(args.relays, rng)
     measurer = TingMeasurer(
         testbed.measurement,
-        policy=SamplePolicy(samples=args.samples),
+        policy=resolve_policy(args.policy, args.samples),
         cache_legs=True,
     )
-    print(f"Measuring all {args.relays * (args.relays - 1) // 2} pairs ...")
-    report = AllPairsCampaign(measurer, relays, rng=rng).run()
+    budget = (
+        ProbeBudget(total=args.probe_budget)
+        if args.probe_budget is not None
+        else None
+    )
+    print(f"Measuring all {args.relays * (args.relays - 1) // 2} pairs "
+          f"({args.policy} policy) ...")
+    report = AllPairsCampaign(measurer, relays, rng=rng, budget=budget).run()
     matrix = report.matrix
     print(f"  measured {report.pairs_measured} pairs, "
           f"{len(report.failures)} failures, "
           f"mean RTT {matrix.mean_rtt_ms():.1f} ms, "
           f"{report.duration_ms / 60000:.1f} simulated minutes")
+    if report.probes_saved:
+        print(f"  probes sent {report.probes_sent}, "
+              f"saved {report.probes_saved} by early stopping")
+    if budget is not None:
+        print(f"  probe budget: {budget.spent}/{budget.total} spent, "
+              f"{budget.degraded_tasks} pair(s) degraded")
     if args.output is not None:
         matrix.save(args.output)
         print(f"  matrix written to {args.output}")
@@ -274,7 +329,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """
     print(f"Building live-Tor-style network ({args.network_size} relays) ...")
     pairs = args.relays * (args.relays - 1) // 2
+    policy = resolve_policy(args.policy, args.samples)
     if args.workers >= 1:
+        if args.probe_budget is not None:
+            # A shared mutable budget cannot cross process boundaries —
+            # and splitting it would break shard invariance.
+            print("--probe-budget requires an unsharded run (--workers 0)",
+                  file=sys.stderr)
+            return 2
         factory = functools.partial(
             LiveTorTestbed.build, seed=args.seed, n_relays=args.network_size
         )
@@ -286,7 +348,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         sharded = ShardedCampaign(
             factory,
             [d.fingerprint for d in relays],
-            policy=SamplePolicy(samples=args.samples),
+            policy=policy,
             workers=args.workers,
             observe=True,
         ).run()
@@ -304,15 +366,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
         relays = testbed.random_relays(args.relays, rng)
         print(f"Measuring all {pairs} pairs "
               f"(concurrency {args.concurrency}, instrumented) ...")
+        budget = (
+            ProbeBudget(total=args.probe_budget)
+            if args.probe_budget is not None
+            else None
+        )
         report = ParallelCampaign(
             host,
             relays,
-            policy=SamplePolicy(samples=args.samples),
+            policy=policy,
             concurrency=args.concurrency,
+            budget=budget,
         ).run()
         print(f"  measured {report.pairs_measured}/{report.pairs_attempted} "
               f"pairs, {len(report.failures)} failures, "
               f"{report.makespan_ms / 60000:.1f} simulated minutes")
+        if budget is not None:
+            print(f"  probe budget: {budget.spent}/{budget.total} spent, "
+                  f"{budget.degraded_tasks} task(s) degraded")
 
     snapshot = registry.snapshot()
     counters = snapshot["counters"]
@@ -324,6 +395,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         "echo.probes_sent",
         "echo.probes_received",
         "echo.probes_lost",
+        "echo.early_stops",
+        "ting.probes_saved",
         "ting.leg_cache_hits",
         "ting.leg_cache_misses",
         "sim.heap_compactions",
@@ -389,7 +462,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     sharded = ShardedCampaign(
         factory,
         [d.fingerprint for d in relays],
-        policy=SamplePolicy(samples=args.samples),
+        policy=resolve_policy(args.policy, args.samples),
         workers=args.workers,
         observe=True,
     ).run()

@@ -17,11 +17,15 @@
 
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import (
+    AdaptiveSpec,
+    ConvergenceTracker,
     SamplePolicy,
+    debiased_min_estimate,
     min_estimate,
     convergence_profile,
     samples_to_within,
 )
+from repro.core.campaign import ProbeBudget
 from repro.core.ting import TingMeasurer, TingResult
 from repro.core.strawman import StrawmanMeasurer, StrawmanResult
 from repro.core.fwd_delay import ForwardingDelayEstimator, ForwardingDelayReport
@@ -31,7 +35,11 @@ from repro.core.parallel import ParallelCampaign, ParallelReport
 
 __all__ = [
     "MeasurementHost",
+    "AdaptiveSpec",
+    "ConvergenceTracker",
+    "ProbeBudget",
     "SamplePolicy",
+    "debiased_min_estimate",
     "min_estimate",
     "convergence_profile",
     "samples_to_within",

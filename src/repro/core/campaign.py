@@ -12,7 +12,7 @@ per-pair time series that Figures 9 and 10 summarize.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -23,6 +23,92 @@ from repro.obs import CAMPAIGN_SPAN, PAIR_FAILED, RETRY_ROUND, categorize_failur
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
+
+
+@dataclass
+class ProbeBudget:
+    """A campaign-wide cap on echo probes, spent task by task.
+
+    DiProber (arXiv:2211.16751) frames relay probing as an
+    estimation-budget problem; this is the campaign-level version of
+    that idea. Rather than aborting when probes run out, the budget
+    *degrades gracefully*: as the remaining fraction crosses 50% / 25% /
+    10%, :meth:`policy_for` hands out policies with a widened adaptive
+    tolerance (×2 / ×4 / ×8) and a shrunken sample cap (×½ / ×¼ / down
+    to ``min_samples``), trading accuracy for coverage so the matrix
+    still completes. Fixed policies degrade by sample count alone.
+
+    Campaigns call :meth:`policy_for` at each task launch and
+    :meth:`spend` with the probes a task actually sent, so early-stopped
+    runs stretch the budget further. Spend order makes degraded tasks
+    depend on campaign history — a budgeted campaign is deterministic,
+    but it is *not* shard-invariant (``ShardedCampaign`` therefore does
+    not take one).
+    """
+
+    total: int
+    spent: int = 0
+    #: Tasks launched with a degraded policy, for reporting.
+    degraded_tasks: int = 0
+
+    #: (remaining-fraction floor, tolerance factor, sample-cap factor).
+    #: The last tier's floor is below any reachable fraction so an
+    #: exhausted budget still resolves to the cheapest policy.
+    TIERS: tuple[tuple[float, float, float], ...] = (
+        (0.50, 1.0, 1.0),
+        (0.25, 2.0, 0.50),
+        (0.10, 4.0, 0.25),
+        (-1.0, 8.0, 0.0),
+    )
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise MeasurementError("probe budget must be >= 1")
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.spent)
+
+    @property
+    def remaining_fraction(self) -> float:
+        return self.remaining / self.total
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.total
+
+    def spend(self, probes: int) -> None:
+        """Record probes actually sent by one finished task."""
+        self.spent += probes
+
+    def policy_for(self, policy: SamplePolicy) -> SamplePolicy:
+        """The policy the next task should launch with, given what is
+        left. Above half budget the policy passes through untouched."""
+        fraction = self.remaining_fraction
+        tolerance_factor, cap_factor = 1.0, 1.0
+        for floor, tol, cap in self.TIERS:
+            if fraction > floor:
+                tolerance_factor, cap_factor = tol, cap
+                break
+        if tolerance_factor == 1.0 and cap_factor == 1.0:
+            return policy
+        self.degraded_tasks += 1
+        spec = policy.adaptive
+        if spec is None:
+            return replace(policy, samples=max(1, int(policy.samples * cap_factor)))
+        samples = max(spec.min_samples, int(policy.samples * cap_factor))
+        degraded = replace(
+            spec,
+            absolute_ms=(
+                None if spec.absolute_ms is None
+                else spec.absolute_ms * tolerance_factor
+            ),
+            relative=(
+                None if spec.relative is None
+                else spec.relative * tolerance_factor
+            ),
+        )
+        return replace(policy, samples=samples, adaptive=degraded)
 
 
 def _success_provenance(
@@ -39,6 +125,11 @@ def _success_provenance(
     min-filter.
     """
     circuits_probed = 1 + (0 if cached_x else 1) + (0 if cached_y else 1)
+    saved = result.circuit_xy.samples_saved
+    if not cached_x:
+        saved += result.circuit_x.samples_saved
+    if not cached_y:
+        saved += result.circuit_y.samples_saved
     return PairProvenance(
         x=result.x_fingerprint,
         y=result.y_fingerprint,
@@ -49,6 +140,8 @@ def _success_provenance(
         leg_y_ms=result.circuit_y.min_ms,
         samples_requested=result.policy.samples * circuits_probed,
         samples_kept=result.total_probes,
+        samples_saved=saved,
+        stop_reason=result.circuit_xy.stop_reason,
         leg_cache_hits=int(cached_x) + int(cached_y),
         retries=retries,
         duration_ms=result.duration_ms,
@@ -72,6 +165,9 @@ class CampaignReport:
     failures: list[tuple[str, str, str]] = field(default_factory=list)
     failures_total: int = 0
     duration_ms: Milliseconds = 0.0
+    #: Echo probes actually sent / avoided by early stopping, this run.
+    probes_sent: int = 0
+    probes_saved: int = 0
 
 
 class AllPairsCampaign:
@@ -86,6 +182,7 @@ class AllPairsCampaign:
         max_failures: int | None = None,
         retries: int = 0,
         retry_delay_ms: Milliseconds = 60_000.0,
+        budget: ProbeBudget | None = None,
     ) -> None:
         if len(relays) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -97,6 +194,8 @@ class AllPairsCampaign:
         self.measurer = measurer
         self.relays = list(relays)
         self.policy = policy or measurer.policy
+        #: Optional campaign-wide probe cap; see :class:`ProbeBudget`.
+        self.budget = budget
         self._rng = rng
         self.max_failures = max_failures
         #: Failed pairs are re-attempted up to ``retries`` extra rounds,
@@ -113,6 +212,8 @@ class AllPairsCampaign:
         report = CampaignReport(matrix=matrix)
         host = self.measurer.host
         started = host.sim.now
+        probes_sent_before = self.measurer.probes_sent
+        probes_saved_before = self.measurer.probes_saved
         self._attempts = {}
 
         pairs = [
@@ -168,6 +269,8 @@ class AllPairsCampaign:
                 )
 
         report.duration_ms = host.sim.now - started
+        report.probes_sent = self.measurer.probes_sent - probes_sent_before
+        report.probes_saved = self.measurer.probes_saved - probes_saved_before
         return report
 
     def _measure_round(
@@ -184,9 +287,19 @@ class AllPairsCampaign:
             self._attempts[key] = self._attempts.get(key, 0) + 1
             cached_x = self.measurer.leg_is_cached(a)
             cached_y = self.measurer.leg_is_cached(b)
+            # Budgeted campaigns re-resolve the policy at every launch so
+            # tolerance degrades as the remaining budget shrinks.
+            policy = (
+                self.policy
+                if self.budget is None
+                else self.budget.policy_for(self.policy)
+            )
+            sent_before = self.measurer.probes_sent
             try:
-                result = self.measurer.measure_pair(a, b, policy=self.policy)
+                result = self.measurer.measure_pair(a, b, policy=policy)
             except MeasurementError as exc:
+                if self.budget is not None:
+                    self.budget.spend(self.measurer.probes_sent - sent_before)
                 reason = str(exc)
                 report.failures.append((a.fingerprint, b.fingerprint, reason))
                 report.failures_total += 1
@@ -213,6 +326,8 @@ class AllPairsCampaign:
                         f"campaign aborted after {report.failures_total} failures"
                     ) from exc
                 continue
+            if self.budget is not None:
+                self.budget.spend(self.measurer.probes_sent - sent_before)
             matrix.set(a.fingerprint, b.fingerprint, result.rtt_clamped_ms)
             report.pairs_measured += 1
             if host.provenance is not None:

@@ -206,6 +206,11 @@ class PairProvenance:
     leg_y_ms: float | None = None
     samples_requested: int = 0
     samples_kept: int = 0
+    #: Probes the cap allowed but an adaptive early stop never sent.
+    samples_saved: int = 0
+    #: Why the probe round ended short of the cap ("converged",
+    #: "deadline", "stream_death"); ``None`` for a full fixed run.
+    stop_reason: str | None = None
     leg_cache_hits: int = 0
     retries: int = 0
     failure_category: str | None = None
@@ -238,6 +243,12 @@ class PairProvenance:
                 record[name] = round(float(value), 6)
         if self.residual_ms is not None:
             record["residual_ms"] = round(self.residual_ms, 6)
+        # Adaptive-only fields stay out of fixed-policy records so the
+        # historical provenance schema is byte-stable by default.
+        if self.samples_saved:
+            record["samples_saved"] = self.samples_saved
+        if self.stop_reason is not None:
+            record["stop_reason"] = self.stop_reason
         if self.failure_category is not None:
             record["failure_category"] = self.failure_category
         if self.reason is not None:
@@ -259,6 +270,8 @@ class PairProvenance:
             leg_y_ms=data.get("leg_y_ms"),
             samples_requested=int(data.get("samples_requested", 0)),
             samples_kept=int(data.get("samples_kept", 0)),
+            samples_saved=int(data.get("samples_saved", 0)),
+            stop_reason=data.get("stop_reason"),
             leg_cache_hits=int(data.get("leg_cache_hits", 0)),
             retries=int(data.get("retries", 0)),
             failure_category=data.get("failure_category"),

@@ -184,8 +184,11 @@ class MeasurementHost:
             "echo.probes_sent",
             "echo.probes_received",
             "echo.probes_lost",
+            "echo.early_stops",
+            "echo.probes_saved",
             "ting.leg_cache_hits",
             "ting.leg_cache_misses",
+            "ting.probes_saved",
             "sim.heap_compactions",
             "campaign.task_isolations",
         ):

@@ -31,9 +31,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.core.campaign import ProbeBudget
 from repro.core.dataset import PairProvenance, RttMatrix
 from repro.core.measurement_host import MeasurementHost
-from repro.core.sampling import SamplePolicy, min_estimate
+from repro.core.sampling import SamplePolicy, debiased_min_estimate
 from repro.obs import (
     CAMPAIGN_SPAN,
     CIRCUIT_BUILD_SPAN,
@@ -94,17 +95,28 @@ class ParallelReport:
     failures: list[tuple[str, str, str]] = field(default_factory=list)
     makespan_ms: Milliseconds = 0.0
     peak_concurrency: int = 0
+    #: Echo probes actually sent across every circuit (legs + pairs).
+    probes_sent: int = 0
+    #: Probes an adaptive policy's convergence rule avoided sending.
+    probes_saved: int = 0
+    #: Probe rounds that terminated on convergence rather than the cap.
+    early_stops: int = 0
 
 
 class _CircuitProbe:
-    """One async circuit measurement: build, attach, probe, close."""
+    """One async circuit measurement: build, attach, probe, close.
+
+    ``on_done`` receives the full ``EchoProbeResult`` (samples plus the
+    early-stop outcome) so campaigns can account saved probes; the
+    stream and circuit are closed on every path, success or error.
+    """
 
     def __init__(
         self,
         host: MeasurementHost,
         path: list[str],
         policy: SamplePolicy,
-        on_done: Callable[[list[float]], None],
+        on_done: Callable[..., None],
         on_error: Callable[[str], None],
         span_parent: SpanHandle | None = None,
     ) -> None:
@@ -113,6 +125,7 @@ class _CircuitProbe:
         self.on_done = on_done
         self.on_error = on_error
         self.circuit: Circuit | None = None
+        self._stream = None
         #: Open spans for the current phase; ``end()`` is idempotent, so
         #: error paths can close whatever happens to be open.
         self._span_parent = span_parent
@@ -149,8 +162,13 @@ class _CircuitProbe:
         self._finish_error(f"stream attach failed: {reason}")
 
     def _attached(self, stream) -> None:
+        self._stream = stream
+        spec = self.policy.adaptive
+        attrs = {"samples": self.policy.samples}
+        if spec is not None:
+            attrs["adaptive"] = spec.tolerance_label
         self._probe_span = self.host.spans.begin(
-            PROBE_ROUND_SPAN, parent=self._span_parent, samples=self.policy.samples
+            PROBE_ROUND_SPAN, parent=self._span_parent, **attrs
         )
         self.host.echo_client.probe_async(
             stream,
@@ -159,19 +177,27 @@ class _CircuitProbe:
             on_error=self._finish_error,
             interval_ms=self.policy.interval_ms,
             timeout_ms=self.policy.timeout_ms,
+            adaptive=spec,
         )
 
     def _probed(self, stream, result) -> None:
         if self._probe_span is not None:
             self._probe_span.end()
         stream.close()
+        self._stream = None
         self._close_circuit()
-        self.on_done(result.rtts_ms)
+        self.on_done(result)
 
     def _finish_error(self, reason: str) -> None:
         self._build_span.end()
         if self._probe_span is not None:
             self._probe_span.end()
+        # Zero-reply probe rounds land here with the stream still open;
+        # close it before the circuit so nothing lingers in
+        # ``circuit.streams`` (mirrors the TingMeasurer leak fix).
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
         self._close_circuit()
         self.on_error(reason)
 
@@ -192,6 +218,7 @@ class ParallelCampaign:
         concurrency: int = 8,
         pairs: Sequence[tuple[str, str]] | None = None,
         isolation: TaskIsolation | None = None,
+        budget: ProbeBudget | None = None,
     ) -> None:
         if len(relays) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -214,6 +241,12 @@ class ParallelCampaign:
         #: When set, tasks run serially with per-task RNG/connection
         #: isolation; ``concurrency`` is ignored.
         self.isolation = isolation
+        #: Optional campaign-wide probe cap. Each task launch re-resolves
+        #: its policy through the budget, so tolerance degrades as the
+        #: budget drains. Mutually honest with isolation (still
+        #: deterministic) but not shard-invariant — ShardedCampaign
+        #: never passes one.
+        self.budget = budget
 
         self._w = host.relay_w.fingerprint
         self._z = host.relay_z.fingerprint
@@ -295,7 +328,7 @@ class ParallelCampaign:
                     report.peak_concurrency, state["running"]
                 )
                 if task[0] == "leg":
-                    self._run_leg_task(task[1], task_finished)
+                    self._run_leg_task(task[1], report, task_finished)
                 else:
                     self._run_pair_task(task[1], task[2], matrix, report, task_finished)
 
@@ -343,7 +376,7 @@ class ParallelCampaign:
             self.isolation.begin(key)
             state["done"] = False
             if task[0] == "leg":
-                self._run_leg_task(task[1], finished)
+                self._run_leg_task(task[1], report, finished)
             else:
                 self._run_pair_task(task[1], task[2], matrix, report, finished)
             sim.run(max_events=200_000_000, stop_when=lambda: state["done"])
@@ -355,23 +388,55 @@ class ParallelCampaign:
 
     # ------------------------------------------------------------------
 
-    def _estimate(self, samples: list[float]) -> float:
-        """Min-filter the samples; quantize when running isolated.
+    def _launch_policy(self) -> SamplePolicy:
+        """The policy for the task being launched right now (budgeted
+        campaigns degrade it as the budget drains)."""
+        if self.budget is None:
+            return self.policy
+        return self.budget.policy_for(self.policy)
 
-        See :data:`ISOLATED_ESTIMATE_DECIMALS` — quantization erases the
-        sub-picosecond float noise that absolute event times inject, so
-        sharded and unsharded runs of the same task agree exactly.
+    def _account_probes(self, report: ParallelReport, result) -> None:
+        """Fold one probe round's cost into the report/budget/metrics."""
+        report.probes_sent += result.sent
+        if self.budget is not None:
+            self.budget.spend(result.sent)
+        if result.stopped_early:
+            report.early_stops += 1
+            report.probes_saved += result.samples_saved
+            self.host.metrics.inc("ting.probes_saved", result.samples_saved)
+
+    def _estimate(self, samples: list[float], policy: SamplePolicy) -> float:
+        """The circuit estimate for one probe round's samples.
+
+        Adaptive policies with a remaining-excess correction debias the
+        minimum (see :func:`debiased_min_estimate`); quantization when
+        running isolated erases the sub-picosecond float noise that
+        absolute event times inject (:data:`ISOLATED_ESTIMATE_DECIMALS`),
+        so sharded and unsharded runs of the same task agree exactly.
+        The correction itself depends only on the kept-sample count and
+        the lowest samples — both prefix properties — so it is quantized
+        along with the minimum.
         """
-        value = min_estimate(samples)
+        value = debiased_min_estimate(samples, policy)
         if self.isolation is not None:
             value = round(value, ISOLATED_ESTIMATE_DECIMALS)
         return value
 
-    def _run_leg_task(self, fingerprint: str, finished: Callable[[], None]) -> None:
+    def _run_leg_task(
+        self,
+        fingerprint: str,
+        report: ParallelReport,
+        finished: Callable[[], None],
+    ) -> None:
         leg_span = self.host.spans.begin(LEG_SPAN, relay=fingerprint)
+        # The leg result is shared by every pair touching this relay, so
+        # adaptive policies measure it at the full cap (for_leg); the
+        # budget-degraded cap still applies.
+        policy = self._launch_policy().for_leg()
 
-        def done(samples: list[float]) -> None:
-            self._legs[fingerprint] = self._estimate(samples)
+        def done(result) -> None:
+            self._legs[fingerprint] = self._estimate(result.rtts_ms, policy)
+            self._account_probes(report, result)
             # Each leg is measured exactly once and shared — the
             # campaign-level equivalent of a sequential cache miss.
             self.host.metrics.inc("ting.leg_cache_misses")
@@ -388,7 +453,7 @@ class ParallelCampaign:
         _CircuitProbe(
             self.host,
             [self._w, fingerprint, self._z],
-            self.policy,
+            policy,
             done,
             error,
             span_parent=leg_span,
@@ -416,15 +481,17 @@ class ParallelCampaign:
         metrics = self.host.metrics
         provenance = self.host.provenance
         pair_span = self.host.spans.begin(PAIR_SPAN, x=x_fp, y=y_fp)
+        policy = self._launch_policy()
 
-        def done(samples: list[float]) -> None:
-            cxy = self._estimate(samples)
-            kept = len(samples)
+        def done(result) -> None:
+            cxy = self._estimate(result.rtts_ms, policy)
+            self._account_probes(report, result)
             self._when_leg_ready(
-                x_fp, lambda: self._when_leg_ready(y_fp, lambda: combine(cxy, kept))
+                x_fp,
+                lambda: self._when_leg_ready(y_fp, lambda: combine(cxy, result)),
             )
 
-        def combine(cxy: float, kept: int) -> None:
+        def combine(cxy: float, probe_result) -> None:
             if x_fp in self._leg_failures or y_fp in self._leg_failures:
                 reason = self._leg_failures.get(x_fp) or self._leg_failures.get(y_fp)
                 fail(f"leg failed: {reason}")
@@ -456,8 +523,10 @@ class ParallelCampaign:
                         cxy_ms=cxy,
                         leg_x_ms=self._legs[x_fp],
                         leg_y_ms=self._legs[y_fp],
-                        samples_requested=self.policy.samples,
-                        samples_kept=kept,
+                        samples_requested=policy.samples,
+                        samples_kept=len(probe_result.rtts_ms),
+                        samples_saved=probe_result.samples_saved,
+                        stop_reason=probe_result.stop_reason,
                         # The shared per-relay legs are the concurrent
                         # campaign's cache: every pair reuses both.
                         leg_cache_hits=2,
@@ -497,7 +566,7 @@ class ParallelCampaign:
         _CircuitProbe(
             self.host,
             [self._w, x_fp, y_fp, self._z],
-            self.policy,
+            policy,
             done,
             error,
             span_parent=pair_span,

@@ -58,6 +58,9 @@ class ShardResult:
     cells_processed: int
     makespan_ms: Milliseconds
     wall_s: float
+    probes_sent: int = 0
+    probes_saved: int = 0
+    early_stops: int = 0
     metrics: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     spans: list[dict[str, Any]] | None = None
@@ -85,6 +88,9 @@ class ShardedReport:
     events_processed: int = 0
     cells_processed: int = 0
     wall_s: float = 0.0
+    probes_sent: int = 0
+    probes_saved: int = 0
+    early_stops: int = 0
     metrics: MetricsRegistry | None = None
     trace: TraceLog | None = None
     spans: SpanTracer | None = None
@@ -145,6 +151,9 @@ def _run_shard(
         cells_processed=cells,
         makespan_ms=report.makespan_ms,
         wall_s=time.perf_counter() - started,
+        probes_sent=report.probes_sent,
+        probes_saved=report.probes_saved,
+        early_stops=report.early_stops,
         metrics=host.metrics.snapshot() if observe else None,
         trace=host.trace.snapshot() if observe else None,
         spans=host.spans.records() if observe else None,
@@ -247,6 +256,9 @@ class ShardedCampaign:
             report.pairs_attempted += result.pairs_attempted
             report.events_processed += result.events_processed
             report.cells_processed += result.cells_processed
+            report.probes_sent += result.probes_sent
+            report.probes_saved += result.probes_saved
+            report.early_stops += result.early_stops
             report.shards.append(result)
             self._merge_observability(report, result)
         report.pairs_measured = matrix.num_measured

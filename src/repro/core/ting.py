@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.measurement_host import MeasurementHost
-from repro.core.sampling import SamplePolicy, min_estimate
+from repro.core.sampling import SamplePolicy, debiased_min_estimate, min_estimate
 from repro.obs import (
     CIRCUIT_BUILD_SPAN,
     LEG_CACHE_HIT,
@@ -38,10 +38,19 @@ from repro.util.units import Milliseconds
 
 @dataclass
 class CircuitMeasurement:
-    """Echo samples collected over one circuit."""
+    """Echo samples collected over one circuit.
+
+    ``stopped_early``/``samples_saved``/``stop_reason`` carry the echo
+    run's adaptive-stopping outcome (see
+    :class:`~repro.core.sampling.AdaptiveSpec`); fixed-policy runs leave
+    them at their defaults.
+    """
 
     path: tuple[str, ...]
     samples_ms: list[Milliseconds]
+    stopped_early: bool = False
+    samples_saved: int = 0
+    stop_reason: str | None = None
 
     @property
     def min_ms(self) -> Milliseconds:
@@ -78,6 +87,24 @@ class TingResult:
             + len(self.circuit_y.samples_ms)
         )
 
+    @property
+    def probes_saved(self) -> int:
+        """Probes the adaptive stopping rule avoided, all circuits."""
+        return (
+            self.circuit_xy.samples_saved
+            + self.circuit_x.samples_saved
+            + self.circuit_y.samples_saved
+        )
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether any of the three probe runs converged early."""
+        return (
+            self.circuit_xy.stopped_early
+            or self.circuit_x.stopped_early
+            or self.circuit_y.stopped_early
+        )
+
 
 class TingMeasurer:
     """Measures R(x, y) for arbitrary relay pairs from one host.
@@ -109,6 +136,8 @@ class TingMeasurer:
         self.circuits_built = 0
         self.circuits_reused = 0
         self.probes_sent = 0
+        #: Probes an adaptive policy's early stop avoided sending.
+        self.probes_saved = 0
 
     # ------------------------------------------------------------------
 
@@ -145,9 +174,10 @@ class TingMeasurer:
                 circuit_x = self._measure_leg(x_fp, policy)
             circuit_y = self._measure_leg(y_fp, policy)
 
-        estimate = (
-            circuit_xy.min_ms - circuit_x.min_ms / 2.0 - circuit_y.min_ms / 2.0
-        )
+        # Legs run at the full cap under adaptive policies (for_leg), so
+        # only the pair circuit carries the remaining-excess correction.
+        cxy = debiased_min_estimate(circuit_xy.samples_ms, policy)
+        estimate = cxy - circuit_x.min_ms / 2.0 - circuit_y.min_ms / 2.0
         metrics = self.host.metrics
         if metrics.enabled:
             metrics.inc("ting.pairs_measured")
@@ -200,7 +230,10 @@ class TingMeasurer:
         with self.host.spans.span(LEG_SPAN, relay=x_fp):
             measurement = self._measure_circuit(
                 (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
-                policy,
+                # Leg estimates are shared across pairs; adaptive
+                # policies run them at the full cap (see
+                # SamplePolicy.for_leg).
+                policy.for_leg(),
             )
         if self.cache_legs:
             self._leg_cache[x_fp] = measurement
@@ -256,7 +289,7 @@ class TingMeasurer:
                 ) from exc
         self.circuits_built += 1
         try:
-            circuit_xy = self._probe_circuit(circuit, policy)
+            probed_xy = self._probe_circuit(circuit, policy)
             # Keep (w, x); drop (y, z); splice z back on.
             try:
                 controller.truncate_circuit(circuit, to_hop=1)
@@ -266,17 +299,57 @@ class TingMeasurer:
                     f"circuit reuse surgery failed for {x_fp}: {exc}"
                 ) from exc
             self.circuits_reused += 1
-            circuit_x = self._probe_circuit(circuit, policy)
+            probed_x = self._probe_circuit(circuit, policy.for_leg())
         finally:
             controller.close_circuit(circuit)
         return (
             CircuitMeasurement(
-                path=(w_fp, x_fp, y_fp, z_fp), samples_ms=circuit_xy
+                path=(w_fp, x_fp, y_fp, z_fp),
+                samples_ms=probed_xy.rtts_ms,
+                stopped_early=probed_xy.stopped_early,
+                samples_saved=probed_xy.samples_saved,
+                stop_reason=probed_xy.stop_reason,
             ),
-            CircuitMeasurement(path=(w_fp, x_fp, z_fp), samples_ms=circuit_x),
+            CircuitMeasurement(
+                path=(w_fp, x_fp, z_fp),
+                samples_ms=probed_x.rtts_ms,
+                stopped_early=probed_x.stopped_early,
+                samples_saved=probed_x.samples_saved,
+                stop_reason=probed_x.stop_reason,
+            ),
         )
 
-    def _probe_circuit(self, circuit, policy: SamplePolicy) -> list[float]:
+    def _probe_stream(self, stream, policy: SamplePolicy):
+        """Run one echo probe round over an attached stream.
+
+        The stream is closed on every exit path: ``EchoClient.probe``
+        raises on zero-reply runs (deadline, stream death, circuit
+        teardown), and before this lived in a ``finally`` the failed
+        round leaked its stream into ``circuit.streams`` for the rest of
+        the circuit's life.
+        """
+        spec = policy.adaptive
+        attrs = {"samples": policy.samples}
+        if spec is not None:
+            attrs["adaptive"] = spec.tolerance_label
+        try:
+            with self.host.spans.span(PROBE_ROUND_SPAN, **attrs):
+                result = self.host.echo_client.probe(
+                    stream,
+                    samples=policy.samples,
+                    interval_ms=policy.interval_ms,
+                    timeout_ms=policy.timeout_ms,
+                    adaptive=spec,
+                )
+        finally:
+            stream.close()
+        self.probes_sent += result.sent
+        if result.samples_saved:
+            self.probes_saved += result.samples_saved
+            self.host.metrics.inc("ting.probes_saved", result.samples_saved)
+        return result
+
+    def _probe_circuit(self, circuit, policy: SamplePolicy):
         controller = self.host.controller
         try:
             stream = controller.open_stream(
@@ -286,16 +359,7 @@ class TingMeasurer:
             raise MeasurementError(
                 f"could not attach echo stream on reused circuit: {exc}"
             ) from exc
-        with self.host.spans.span(PROBE_ROUND_SPAN, samples=policy.samples):
-            result = self.host.echo_client.probe(
-                stream,
-                samples=policy.samples,
-                interval_ms=policy.interval_ms,
-                timeout_ms=policy.timeout_ms,
-            )
-        self.probes_sent += result.sent
-        stream.close()
-        return result.rtts_ms
+        return self._probe_stream(stream, policy)
 
     def _measure_circuit(
         self, path: tuple[str, ...], policy: SamplePolicy
@@ -318,15 +382,13 @@ class TingMeasurer:
                 raise MeasurementError(
                     f"could not attach echo stream on {'->'.join(path)}: {exc}"
                 ) from exc
-            with self.host.spans.span(PROBE_ROUND_SPAN, samples=policy.samples):
-                result = self.host.echo_client.probe(
-                    stream,
-                    samples=policy.samples,
-                    interval_ms=policy.interval_ms,
-                    timeout_ms=policy.timeout_ms,
-                )
-            self.probes_sent += result.sent
-            stream.close()
+            result = self._probe_stream(stream, policy)
         finally:
             controller.close_circuit(circuit)
-        return CircuitMeasurement(path=path, samples_ms=result.rtts_ms)
+        return CircuitMeasurement(
+            path=path,
+            samples_ms=result.rtts_ms,
+            stopped_early=result.stopped_early,
+            samples_saved=result.samples_saved,
+            stop_reason=result.stop_reason,
+        )

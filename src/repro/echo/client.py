@@ -27,11 +27,22 @@ DEFAULT_PROBE_TIMEOUT_MS: Milliseconds = 600_000.0
 
 @dataclass
 class EchoProbeResult:
-    """RTT samples from one echo run over one circuit."""
+    """RTT samples from one echo run over one circuit.
+
+    ``stopped_early`` is set when an adaptive policy's convergence rule
+    terminated the run before the sample cap; ``samples_saved`` is then
+    the number of probes the cap allowed but the run never sent.
+    ``stop_reason`` records why a run ended short of the cap
+    (``"converged"``, ``"deadline"``, ``"stream_death"``); it stays
+    ``None`` for a full fixed-count run.
+    """
 
     rtts_ms: list[Milliseconds] = field(default_factory=list)
     sent: int = 0
     received: int = 0
+    stopped_early: bool = False
+    samples_saved: int = 0
+    stop_reason: str | None = None
 
     @property
     def min_rtt_ms(self) -> Milliseconds:
@@ -62,6 +73,7 @@ class EchoClient:
         samples: int,
         interval_ms: Milliseconds | None = 5.0,
         timeout_ms: Milliseconds = DEFAULT_PROBE_TIMEOUT_MS,
+        adaptive=None,
     ) -> EchoProbeResult:
         """Send ``samples`` probes and return the collected RTTs.
 
@@ -71,6 +83,11 @@ class EchoClient:
         ``interval_ms=None`` the client runs **ping-pong**: each probe is
         sent only after the previous reply returns — the paper's serial
         measurement loop, whose wall-clock cost is ~samples x RTT.
+
+        ``adaptive`` (an :class:`~repro.core.sampling.AdaptiveSpec`)
+        turns ``samples`` into a cap: the run ends as soon as the
+        running minimum plateaus, reporting ``stopped_early`` and
+        ``samples_saved`` on the result.
 
         This synchronous form drives the simulator until done; use
         :meth:`probe_async` from orchestration code that runs several
@@ -84,6 +101,7 @@ class EchoClient:
             on_error=future.reject,
             interval_ms=interval_ms,
             timeout_ms=timeout_ms,
+            adaptive=adaptive,
         )
         return future.wait()
 
@@ -95,6 +113,7 @@ class EchoClient:
         on_error: "callable",
         interval_ms: Milliseconds | None = 5.0,
         timeout_ms: Milliseconds = DEFAULT_PROBE_TIMEOUT_MS,
+        adaptive=None,
     ) -> None:
         """Callback form of :meth:`probe`: schedules the probe run and
         returns immediately; ``on_done(EchoProbeResult)`` or
@@ -113,6 +132,9 @@ class EchoClient:
         pingpong = interval_ms is None
         state = {"finished": False}
         metrics = self.metrics
+        # O(1)-per-reply convergence check; None keeps the fixed-count
+        # path untouched (and bit-for-bit identical).
+        tracker = adaptive.make_tracker() if adaptive is not None else None
 
         def account_finished() -> None:
             if not metrics.enabled:
@@ -144,6 +166,11 @@ class EchoClient:
                 on_error(reason)
 
         def reply_arrived(payload: bytes) -> None:
+            if state["finished"]:
+                # A reply landing after the run resolved (early stop or
+                # deadline with probes still in flight) must not mutate
+                # the already-delivered result.
+                return
             if len(payload) != _PROBE.size:
                 return
             seq, _ = _PROBE.unpack(payload)
@@ -158,6 +185,14 @@ class EchoClient:
                 metrics.observe("echo.rtt_ms", rtt)
             if result.received >= samples:
                 finish_ok()
+            elif tracker is not None and tracker.update(rtt):
+                result.stopped_early = True
+                result.stop_reason = "converged"
+                result.samples_saved = samples - result.sent
+                if metrics.enabled:
+                    metrics.inc("echo.early_stops")
+                    metrics.inc("echo.probes_saved", result.samples_saved)
+                finish_ok()
             elif pingpong and result.sent < samples:
                 self.sim.schedule(0.0, send_next, result.sent)
 
@@ -171,6 +206,7 @@ class EchoClient:
                 # rather than discarding collected samples (a minimum
                 # over a shortened run is still a valid estimate).
                 if result.rtts_ms:
+                    result.stop_reason = "stream_death"
                     finish_ok()
                 else:
                     finish_error(f"stream became {stream.state}")
@@ -189,6 +225,7 @@ class EchoClient:
         def deadline_hit() -> None:
             # Accept partial results if we got anything; else a failure.
             if result.rtts_ms:
+                result.stop_reason = "deadline"
                 finish_ok()
             else:
                 finish_error("echo probe deadline with zero replies")

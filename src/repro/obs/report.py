@@ -74,6 +74,19 @@ class RunReport:
             for category, count in sorted(failures["by_category"].items()):
                 lines.append(f"  {category:<22} {count}")
 
+        cost = self.data.get("cost")
+        if cost is not None:
+            lines.append("== probe cost ==")
+            lines.append(f"  probes sent            {cost['probes_sent']}")
+            lines.append(
+                f"  probes saved           {cost['probes_saved']} "
+                f"({cost['saved_fraction']:.1%} of the fixed-cap cost)"
+            )
+            lines.append(
+                f"  early stops            {cost['early_stops']} "
+                f"({cost['early_stop_rate']:.1%} of probe runs)"
+            )
+
         slowest = self.data.get("slowest_pairs", [])
         if slowest:
             lines.append("== slowest pairs (simulated time) ==")
@@ -135,6 +148,8 @@ _HEADLINE_COUNTERS = (
     "echo.probes_sent",
     "echo.probes_received",
     "echo.probes_lost",
+    "echo.early_stops",
+    "ting.probes_saved",
     "ting.leg_cache_hits",
     "ting.leg_cache_misses",
     "trace.uncategorized",
@@ -291,6 +306,21 @@ def build_report(
         "pairs": pairs_section,
         "failures": failures_section,
     }
+    sent = counters.get("echo.probes_sent", 0)
+    if sent:
+        # The adaptive-engine ledger: what the campaign paid in probes
+        # and what early stopping clawed back. runs = one echo stream
+        # per probed circuit, the natural early-stop denominator.
+        saved = counters.get("ting.probes_saved", 0)
+        stops = counters.get("echo.early_stops", 0)
+        runs = counters.get("tor.streams_attached", 0)
+        data["cost"] = {
+            "probes_sent": sent,
+            "probes_saved": saved,
+            "saved_fraction": round(saved / (sent + saved), 4) if saved else 0.0,
+            "early_stops": stops,
+            "early_stop_rate": round(stops / runs, 4) if runs else 0.0,
+        }
     if ground_truth is not None:
         data["accuracy"] = _accuracy_section(matrix, ground_truth)
     if provenance is not None and len(provenance):

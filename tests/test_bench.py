@@ -137,6 +137,7 @@ class TestBenchCommand:
         report = bench.load_report(Path("BENCH_ting.json"))
         workloads = [k for k in report if not k.startswith("_")]
         assert sorted(workloads) == [
+            "campaign_adaptive",
             "campaign_parallel",
             "campaign_sharded",
             "cell_crypto",

@@ -61,6 +61,62 @@ class TestCommands:
         assert matrix.is_complete
         assert len(matrix) == 4
 
+    def test_measure_adaptive_policy_reports_savings(self, capsys):
+        code = main(
+            [
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "40",
+                "--policy", "adaptive-1ms",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive-1ms policy" in out
+        assert "saved" in out
+
+    def test_measure_probe_budget_reported(self, capsys):
+        code = main(
+            [
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "15",
+                "--probe-budget", "10000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "probe budget: " in out
+
+    def test_stats_rejects_budget_with_workers(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--relays", "4",
+                "--workers", "2",
+                "--probe-budget", "100",
+            ]
+        )
+        assert code == 2
+        assert "unsharded" in capsys.readouterr().err
+
+    def test_resolve_policy_choices(self):
+        from repro.cli import resolve_policy
+
+        fixed = resolve_policy("fixed", 50)
+        assert fixed.adaptive is None and fixed.samples == 50
+        for name in ("adaptive-1ms", "adaptive-5pct"):
+            policy = resolve_policy(name, 50)
+            assert policy.adaptive is not None
+            assert policy.samples == 50
+            assert policy.interval_ms is None
+        # Small caps clamp min_samples instead of raising.
+        assert resolve_policy("adaptive-1ms", 5).adaptive.min_samples == 5
+        with pytest.raises(ValueError):
+            resolve_policy("bogus", 50)
+
     def test_tiv_reads_matrix(self, small_matrix_file, capsys):
         code = main(["tiv", str(small_matrix_file)])
         out = capsys.readouterr().out
