@@ -21,7 +21,7 @@ import pytest
 from _config import scaled
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
-from repro.obs import NULL_METRICS, NULL_SPANS, NULL_TRACE
+from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_SPANS, NULL_TRACE
 from repro.testbeds.livetor import LiveTorTestbed
 
 #: Null observability must cost less than this fraction of campaign wall.
@@ -128,5 +128,86 @@ def test_null_observability_overhead_guard(report):
         f"{per_check_s * 1e9:.0f} ns = {null_s * 1000:.2f} ms "
         f"against a {campaign_s * 1000:.0f} ms campaign "
         f"({fraction:.2%} of wall)"
+    )
+    assert fraction < OVERHEAD_CEILING
+
+
+@pytest.mark.benchguard
+def test_null_event_bus_overhead_guard(report):
+    """Every ``NULL_EVENTS`` call a campaign makes must sum to <2%.
+
+    The live-telemetry emit points (engine batch ticks, relay
+    saturation, probe rounds, pair lifecycle) default to the
+    :data:`NULL_EVENTS` singleton. Same methodology as the registry
+    guard: count the emits one live run actually produces, time the
+    null ops in a tight loop, assert the product stays lost in the
+    campaign's own wall time.
+    """
+    n_relays = scaled(8, minimum=6)
+    policy = SamplePolicy(samples=scaled(30, minimum=10), interval_ms=3.0)
+
+    def build():
+        testbed = LiveTorTestbed.build(
+            seed=7, n_relays=scaled(60, minimum=20)
+        )
+        rng = testbed.streams.get("bench.obs")
+        relays = testbed.random_relays(n_relays, rng)
+        return testbed, relays
+
+    # Count the emit sites one real campaign hits, from a live run.
+    testbed, relays = build()
+    bus = testbed.measurement.enable_events()
+    ParallelCampaign(
+        testbed.measurement,
+        relays,
+        policy=policy,
+        isolation=testbed.task_isolation(),
+    ).run()
+    emitted = bus.emitted
+    # Guarded sites (``events.enabled`` branches in the engine, relay,
+    # and budget hot paths) fire far more often than emits — the batch
+    # tick checks once per 4096 simulator events, saturation once per
+    # cell backlog check. Bound them generously by the emit count plus
+    # the batch ticks one run performs.
+    batch_ticks = testbed.sim.events_processed // testbed.sim.BATCH_EVENTS + 1
+
+    n = 200_000
+
+    def time_loop(op) -> float:
+        start = time.perf_counter()
+        for _ in range(n):
+            op()
+        return time.perf_counter() - start
+
+    per_emit_s = _best_of(
+        3, lambda: time_loop(lambda: NULL_EVENTS.info("campaign", "pair", x=1))
+    ) / n
+
+    def enabled_check():
+        if NULL_EVENTS.enabled:
+            raise AssertionError
+
+    per_check_s = _best_of(3, lambda: time_loop(enabled_check)) / n
+
+    def time_campaign() -> float:
+        testbed, relays = build()
+        start = time.perf_counter()
+        ParallelCampaign(
+            testbed.measurement,
+            relays,
+            policy=policy,
+            isolation=testbed.task_isolation(),
+        ).run()
+        return time.perf_counter() - start
+
+    campaign_s = _best_of(2, time_campaign)
+    # Headroom x2 for emit sites this model misses.
+    null_s = 2 * (per_emit_s * emitted + per_check_s * (emitted + batch_ticks))
+    fraction = null_s / campaign_s
+    report(
+        f"null events: {emitted} emits x {per_emit_s * 1e9:.0f} ns + "
+        f"{emitted + batch_ticks} checks x {per_check_s * 1e9:.0f} ns = "
+        f"{null_s * 1000:.2f} ms against a {campaign_s * 1000:.0f} ms "
+        f"campaign ({fraction:.2%} of wall)"
     )
     assert fraction < OVERHEAD_CEILING

@@ -27,7 +27,49 @@ if [[ "$fast" == "1" ]]; then
 fi
 
 echo "== hot-path benchguards =="
+# Includes the null-observability and null-event-bus overhead guards:
+# the always-on telemetry call sites must stay under 2% of campaign wall.
 python -m pytest benchmarks -m benchguard -x -q
+
+echo "== watchdog smoke test =="
+# A deliberately wedged shard worker must trip the stall watchdog and
+# fail the campaign within its deadline — never hang CI. The outer
+# `timeout` is the backstop: if the watchdog regresses into a hang,
+# this step dies loudly instead of stalling the pipeline.
+timeout 120 python - <<'PY'
+import functools, sys, tempfile, time
+from pathlib import Path
+
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import CampaignTelemetry, ShardedCampaign
+from repro.obs import categorize_failure
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.util.errors import MeasurementError
+
+factory = functools.partial(LiveTorTestbed.build, seed=3, n_relays=14)
+testbed = factory()
+fps = [d.fingerprint for d in testbed.random_relays(5, testbed.streams.get("shard.sel"))]
+dump = Path(tempfile.mkdtemp()) / "postmortem.json"
+telemetry = CampaignTelemetry(
+    heartbeat_s=0.1, stall_timeout_s=2.0,
+    postmortem_path=dump, drill_hang_after={1: 1},
+)
+campaign = ShardedCampaign(
+    factory, fps, policy=SamplePolicy(samples=3, interval_ms=2.0),
+    workers=2, telemetry=telemetry,
+)
+started = time.monotonic()
+try:
+    campaign.run()
+except MeasurementError as exc:
+    elapsed = time.monotonic() - started
+    assert "shard 1 stalled" in str(exc), exc
+    assert categorize_failure(str(exc)) == "stall", exc
+    assert dump.exists(), "no flight-recorder post-mortem written"
+    print(f"watchdog tripped in {elapsed:.1f}s: {exc}")
+else:
+    sys.exit("hung worker did not trip the watchdog")
+PY
 
 echo "== bench regression check =="
 # Compares fresh timings against the committed baseline; writes the

@@ -24,6 +24,13 @@ Commands mirror how the paper's tool was used operationally:
   breakdown, slowest pairs, shard balance, span summary; optionally
   exporting report JSON, a Perfetto-loadable span trace, and the
   matrix+provenance dataset.
+* ``tail`` — render an ``--events`` JSONL stream as console lines,
+  with severity/category filters and an optional ``--follow`` mode.
+
+Output conventions: machine-readable results (reports, metric
+listings, ``tail`` lines) go to **stdout**; human-facing progress
+chatter goes to **stderr** and is silenced by the global ``--quiet``
+flag — so ``repro report --quiet > report.txt`` stays clean.
 """
 
 from __future__ import annotations
@@ -32,7 +39,9 @@ import argparse
 import functools
 import json
 import sys
+import time
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -44,14 +53,97 @@ from repro.core.campaign import AllPairsCampaign, ProbeBudget
 from repro.core.dataset import CampaignDataset, RttMatrix
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
-from repro.core.shard import ShardedCampaign
+from repro.core.shard import CampaignTelemetry, ShardedCampaign
 from repro.core.ting import TingMeasurer
+from repro.obs import (
+    Event,
+    JsonlSink,
+    ProgressTracker,
+    format_event,
+    severity_level,
+)
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.testbeds.planetlab import PlanetLabTestbed
 
 
 #: ``--policy`` choices shared by measure/stats/report.
 POLICY_CHOICES = ("fixed", "adaptive-1ms", "adaptive-5pct")
+
+#: ``--min-severity`` choices for ``tail``.
+SEVERITY_CHOICES = ("debug", "info", "warning", "error")
+
+
+def _status(args: argparse.Namespace) -> Callable[..., None]:
+    """The human-facing progress channel: stderr, silenced by ``--quiet``.
+
+    Every command routes its progress chatter through this, keeping
+    stdout reserved for machine-readable output (reports, metric
+    listings, ``tail`` lines) so pipelines stay clean.
+    """
+    if getattr(args, "quiet", False):
+        return lambda message="": None
+    return lambda message="": print(message, file=sys.stderr)
+
+
+def _write_json_artifact(
+    path: Path, text: str, label: str, status: Callable[..., None]
+) -> None:
+    """Write one JSON artifact and announce it on the status channel.
+
+    The single output-writing path shared by ``stats`` and ``report``
+    (snapshot, report JSON) so the write-then-announce idiom cannot
+    drift between commands.
+    """
+    path.write_text(text)
+    status(f"{label} written to {path}")
+
+
+def _progress_sink(
+    tracker: ProgressTracker, stream=None
+) -> Callable[[Event], None]:
+    """An event-bus sink driving a live one-line progress display.
+
+    Tracks an unsharded campaign as shard 0 with absolute totals — the
+    same idempotent contract the forked workers' heartbeats use. The
+    line redraws in place (``\\r``) on every pair completion.
+    """
+    out = stream if stream is not None else sys.stderr
+    state = {"done": 0, "failed": 0, "sent": 0, "saved": 0}
+
+    def sink(event: Event) -> None:
+        if event.kind == "pair_measured" and event.category in ("ting", "campaign"):
+            state["done"] += 1
+        elif event.kind == "pair_failed" and event.category == "campaign":
+            state["done"] += 1
+            state["failed"] += 1
+        elif event.category == "probe" and event.kind in (
+            "round_finished", "round_failed"
+        ):
+            state["sent"] += int(event.fields.get("sent", 0))
+            state["saved"] += int(event.fields.get("saved", 0))
+            return  # probes tick silently; the line redraws per pair
+        else:
+            return
+        tracker.update_shard(
+            0,
+            pairs_done=state["done"],
+            pairs_failed=state["failed"],
+            probes_sent=state["sent"],
+            probes_saved=state["saved"],
+        )
+        print(f"\r  {tracker.render()}", end="", file=out, flush=True)
+
+    return sink
+
+
+def _render_heartbeat_progress(stream=None) -> Callable[[ProgressTracker], None]:
+    """An ``on_progress`` callback for sharded runs: redraw per heartbeat."""
+    out = stream if stream is not None else sys.stderr
+
+    def render(tracker: ProgressTracker) -> None:
+        print(f"\r  {tracker.render()}", end="", file=out, flush=True)
+
+    return render
 
 
 def resolve_policy(name: str, samples: int) -> SamplePolicy:
@@ -90,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Ting (IMC'15) reproduction toolkit",
     )
     parser.add_argument("--seed", type=int, default=2015, help="root RNG seed")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="silence progress chatter on stderr "
+                             "(machine output on stdout is unaffected)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     validate = sub.add_parser("validate", help="ground-truth accuracy check")
@@ -105,6 +200,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign-wide probe allowance; as it runs "
                               "low, remaining pairs degrade to coarser "
                               "tolerances and smaller caps")
+    measure.add_argument("--progress", action="store_true",
+                         help="live progress line on stderr (pairs done, "
+                              "probe totals, EWMA rate, ETA)")
+    measure.add_argument("--events", type=Path, default=None,
+                         help="stream campaign telemetry events to this "
+                              "JSONL file (read it with 'repro tail')")
     measure.add_argument("--output", type=Path, default=None)
 
     tiv = sub.add_parser("tiv", help="TIV analysis of a measured matrix")
@@ -177,13 +278,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "JSON (open in ui.perfetto.dev)")
     report.add_argument("--output", type=Path, default=None,
                         help="write the matrix+provenance dataset as JSON")
+    report.add_argument("--progress", action="store_true",
+                        help="live progress line on stderr, fed by worker "
+                             "heartbeats streamed across the fork boundary")
+    report.add_argument("--events", type=Path, default=None,
+                        help="stream worker telemetry events to this JSONL "
+                             "file (read it with 'repro tail')")
+    report.add_argument("--worker-timeout", type=float, default=None,
+                        help="fail the campaign if a shard worker has not "
+                             "finished after this many wall seconds")
+
+    tail = sub.add_parser(
+        "tail", help="render an --events JSONL stream as console lines"
+    )
+    tail.add_argument("events", type=Path, help="events JSONL file to read")
+    tail.add_argument("--min-severity", choices=SEVERITY_CHOICES,
+                      default="debug", help="hide events below this severity")
+    tail.add_argument("--category", default=None,
+                      help="only events in this category (e.g. campaign)")
+    tail.add_argument("--kind", default=None,
+                      help="only events of this kind (e.g. pair_measured)")
+    tail.add_argument("--follow", "-f", action="store_true",
+                      help="keep reading as the file grows (Ctrl-C to stop)")
 
     return parser
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """``validate``: Figure 3-style accuracy check vs ping."""
-    print(f"Building {args.relays}-relay ground-truth testbed (seed {args.seed}) ...")
+    status = _status(args)
+    status(f"Building {args.relays}-relay ground-truth testbed (seed {args.seed}) ...")
     testbed = PlanetLabTestbed.build(seed=args.seed, n_relays=args.relays)
     measurer = TingMeasurer(
         testbed.measurement, policy=SamplePolicy(samples=args.samples)
@@ -193,18 +317,19 @@ def cmd_validate(args: argparse.Namespace) -> int:
     for index, (a, b) in enumerate(pairs):
         estimates.append(measurer.measure_pair(a, b).rtt_ms)
         pings.append(testbed.ping_ground_truth(a, b))
-        print(f"  [{index + 1}/{len(pairs)}] {a.nickname}-{b.nickname}: "
-              f"ting={estimates[-1]:.1f} ms ping={pings[-1]:.1f} ms")
+        status(f"  [{index + 1}/{len(pairs)}] {a.nickname}-{b.nickname}: "
+               f"ting={estimates[-1]:.1f} ms ping={pings[-1]:.1f} ms")
     within = fraction_within(estimates, pings, 0.10)
     rho = spearman_rank_correlation(estimates, pings)
-    print(f"\nwithin 10% of ping: {within:.1%} (paper: 91%)")
+    print(f"within 10% of ping: {within:.1%} (paper: 91%)")
     print(f"Spearman rank correlation: {rho:.4f} (paper: 0.997)")
     return 0
 
 
 def cmd_measure(args: argparse.Namespace) -> int:
     """``measure``: run an all-pairs Ting campaign."""
-    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    status = _status(args)
+    status(f"Building live-Tor-style network ({args.network_size} relays) ...")
     testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
     rng = testbed.streams.get("cli.selection")
     relays = testbed.random_relays(args.relays, rng)
@@ -218,23 +343,39 @@ def cmd_measure(args: argparse.Namespace) -> int:
         if args.probe_budget is not None
         else None
     )
-    print(f"Measuring all {args.relays * (args.relays - 1) // 2} pairs "
-          f"({args.policy} policy) ...")
-    report = AllPairsCampaign(measurer, relays, rng=rng, budget=budget).run()
+    pairs = args.relays * (args.relays - 1) // 2
+    jsonl = None
+    if args.progress or args.events is not None:
+        bus = testbed.measurement.enable_events()
+        if args.events is not None:
+            jsonl = JsonlSink(args.events)
+            bus.add_sink(jsonl)
+        if args.progress and not args.quiet:
+            bus.add_sink(_progress_sink(ProgressTracker(pairs)))
+    status(f"Measuring all {pairs} pairs ({args.policy} policy) ...")
+    try:
+        report = AllPairsCampaign(measurer, relays, rng=rng, budget=budget).run()
+    finally:
+        if args.progress and not args.quiet:
+            print(file=sys.stderr)  # end the \r progress line
+        if jsonl is not None:
+            jsonl.close()
     matrix = report.matrix
-    print(f"  measured {report.pairs_measured} pairs, "
-          f"{len(report.failures)} failures, "
-          f"mean RTT {matrix.mean_rtt_ms():.1f} ms, "
-          f"{report.duration_ms / 60000:.1f} simulated minutes")
+    status(f"  measured {report.pairs_measured} pairs, "
+           f"{len(report.failures)} failures, "
+           f"mean RTT {matrix.mean_rtt_ms():.1f} ms, "
+           f"{report.duration_ms / 60000:.1f} simulated minutes")
     if report.probes_saved:
-        print(f"  probes sent {report.probes_sent}, "
-              f"saved {report.probes_saved} by early stopping")
+        status(f"  probes sent {report.probes_sent}, "
+               f"saved {report.probes_saved} by early stopping")
     if budget is not None:
-        print(f"  probe budget: {budget.spent}/{budget.total} spent, "
-              f"{budget.degraded_tasks} pair(s) degraded")
+        status(f"  probe budget: {budget.spent}/{budget.total} spent, "
+               f"{budget.degraded_tasks} pair(s) degraded")
+    if args.events is not None:
+        status(f"  events written to {args.events}")
     if args.output is not None:
         matrix.save(args.output)
-        print(f"  matrix written to {args.output}")
+        status(f"  matrix written to {args.output}")
     return 0
 
 
@@ -289,18 +430,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """``bench``: time the hot-path workloads, write/check the report."""
     from repro import bench as bench_mod
 
+    status = _status(args)
     if args.check and not args.baseline.exists():
         # Fail before spending minutes on workloads nothing will judge.
         print(f"baseline {args.baseline} not found", file=sys.stderr)
         return 2
-    print(f"Running bench workloads (relays={args.relays}, "
-          f"samples={args.samples}, workers={args.workers}) ...")
+    status(f"Running bench workloads (relays={args.relays}, "
+           f"samples={args.samples}, workers={args.workers}) ...")
     report = bench_mod.run_bench(
         seed=args.seed,
         relays=args.relays,
         samples=args.samples,
         workers=args.workers,
-        progress=print,
+        progress=status,
     )
     if args.check:
         baseline = bench_mod.load_report(args.baseline)
@@ -310,11 +452,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
             return 1
-        print(f"\nno regressions vs {args.baseline} "
-              f"(threshold {bench_mod.REGRESSION_FACTOR:g}x)")
+        status(f"\nno regressions vs {args.baseline} "
+               f"(threshold {bench_mod.REGRESSION_FACTOR:g}x)")
         return 0
     bench_mod.save_report(report, args.output)
-    print(f"\nbench report written to {args.output}")
+    status(f"\nbench report written to {args.output}")
     return 0
 
 
@@ -327,7 +469,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     match the single-process run exactly, which is the property the
     shard-invariance tests pin down.
     """
-    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    status = _status(args)
+    status(f"Building live-Tor-style network ({args.network_size} relays) ...")
     pairs = args.relays * (args.relays - 1) // 2
     policy = resolve_policy(args.policy, args.samples)
     if args.workers >= 1:
@@ -343,8 +486,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         testbed = factory()
         rng = testbed.streams.get("cli.selection")
         relays = testbed.random_relays(args.relays, rng)
-        print(f"Measuring all {pairs} pairs "
-              f"({args.workers} workers, instrumented) ...")
+        status(f"Measuring all {pairs} pairs "
+               f"({args.workers} workers, instrumented) ...")
         sharded = ShardedCampaign(
             factory,
             [d.fingerprint for d in relays],
@@ -354,9 +497,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         ).run()
         registry = sharded.metrics
         trace = sharded.trace
-        print(f"  measured {sharded.pairs_measured}/{sharded.pairs_attempted} "
-              f"pairs, {len(sharded.failures)} failures, "
-              f"merged from {len(sharded.shards)} shard(s)")
+        status(f"  measured {sharded.pairs_measured}/{sharded.pairs_attempted} "
+               f"pairs, {len(sharded.failures)} failures, "
+               f"merged from {len(sharded.shards)} shard(s)")
     else:
         testbed = LiveTorTestbed.build(seed=args.seed, n_relays=args.network_size)
         host = testbed.measurement
@@ -364,8 +507,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         trace = host.trace
         rng = testbed.streams.get("cli.selection")
         relays = testbed.random_relays(args.relays, rng)
-        print(f"Measuring all {pairs} pairs "
-              f"(concurrency {args.concurrency}, instrumented) ...")
+        status(f"Measuring all {pairs} pairs "
+               f"(concurrency {args.concurrency}, instrumented) ...")
         budget = (
             ProbeBudget(total=args.probe_budget)
             if args.probe_budget is not None
@@ -378,12 +521,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             budget=budget,
         ).run()
-        print(f"  measured {report.pairs_measured}/{report.pairs_attempted} "
-              f"pairs, {len(report.failures)} failures, "
-              f"{report.makespan_ms / 60000:.1f} simulated minutes")
+        status(f"  measured {report.pairs_measured}/{report.pairs_attempted} "
+               f"pairs, {len(report.failures)} failures, "
+               f"{report.makespan_ms / 60000:.1f} simulated minutes")
         if budget is not None:
-            print(f"  probe budget: {budget.spent}/{budget.total} spent, "
-                  f"{budget.degraded_tasks} task(s) degraded")
+            status(f"  probe budget: {budget.spent}/{budget.total} spent, "
+                   f"{budget.degraded_tasks} task(s) degraded")
 
     snapshot = registry.snapshot()
     counters = snapshot["counters"]
@@ -418,8 +561,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"  {'trace events retained':<24} {len(trace)}")
 
     if args.output is not None:
-        args.output.write_text(json.dumps(snapshot, indent=2))
-        print(f"  metrics snapshot written to {args.output}")
+        _write_json_artifact(
+            args.output, json.dumps(snapshot, indent=2),
+            "  metrics snapshot", status,
+        )
     return 0
 
 
@@ -434,6 +579,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     """
     from repro.obs.report import build_report
 
+    status = _status(args)
     if args.input is not None:
         dataset = CampaignDataset.load(args.input)
         report = build_report(
@@ -445,11 +591,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         print(report.render_text())
         if args.json_out is not None:
-            args.json_out.write_text(report.to_json())
-            print(f"\nreport JSON written to {args.json_out}")
+            _write_json_artifact(
+                args.json_out, report.to_json(), "\nreport JSON", status
+            )
         return 0
 
-    print(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    status(f"Building live-Tor-style network ({args.network_size} relays) ...")
     factory = functools.partial(
         LiveTorTestbed.build, seed=args.seed, n_relays=args.network_size
     )
@@ -457,15 +604,37 @@ def cmd_report(args: argparse.Namespace) -> int:
     rng = testbed.streams.get("cli.selection")
     relays = testbed.random_relays(args.relays, rng)
     pairs = args.relays * (args.relays - 1) // 2
-    print(f"Measuring all {pairs} pairs "
-          f"({max(1, args.workers)} worker(s), instrumented) ...")
-    sharded = ShardedCampaign(
-        factory,
-        [d.fingerprint for d in relays],
-        policy=resolve_policy(args.policy, args.samples),
-        workers=args.workers,
-        observe=True,
-    ).run()
+    status(f"Measuring all {pairs} pairs "
+           f"({max(1, args.workers)} worker(s), instrumented) ...")
+    telemetry = None
+    jsonl = None
+    if args.progress or args.events is not None:
+        telemetry = CampaignTelemetry()
+        if args.progress and not args.quiet:
+            telemetry.on_progress = _render_heartbeat_progress()
+        if args.events is not None:
+            from repro.obs import EventBus
+
+            jsonl = JsonlSink(args.events)
+            telemetry.bus = EventBus(capacity=4096)
+            telemetry.bus.add_sink(jsonl)
+    try:
+        sharded = ShardedCampaign(
+            factory,
+            [d.fingerprint for d in relays],
+            policy=resolve_policy(args.policy, args.samples),
+            workers=args.workers,
+            observe=True,
+            telemetry=telemetry,
+            worker_timeout_s=args.worker_timeout,
+        ).run()
+    finally:
+        if args.progress and not args.quiet:
+            print(file=sys.stderr)  # end the \r progress line
+        if jsonl is not None:
+            jsonl.close()
+    if args.events is not None:
+        status(f"events written to {args.events}")
 
     ground_truth = None
     if not args.no_ground_truth:
@@ -487,15 +656,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         pairs_attempted=sharded.pairs_attempted,
         top_n=args.top,
     )
-    print()
     print(report.render_text())
     if args.json_out is not None:
-        args.json_out.write_text(report.to_json())
-        print(f"\nreport JSON written to {args.json_out}")
+        _write_json_artifact(
+            args.json_out, report.to_json(), "\nreport JSON", status
+        )
     if args.spans is not None:
         sharded.spans.save(args.spans)
-        print(f"span trace written to {args.spans} "
-              "(open in ui.perfetto.dev)")
+        status(f"span trace written to {args.spans} "
+               "(open in ui.perfetto.dev)")
     if args.output is not None:
         CampaignDataset(
             matrix=sharded.matrix,
@@ -509,7 +678,61 @@ def cmd_report(args: argparse.Namespace) -> int:
                 "pairs_attempted": sharded.pairs_attempted,
             },
         ).save(args.output)
-        print(f"campaign dataset written to {args.output}")
+        status(f"campaign dataset written to {args.output}")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """``tail``: render an events JSONL stream as console lines.
+
+    The after-the-fact (or, with ``--follow``, live) view of a
+    ``--events`` file, formatted identically to the console sink so an
+    operator sees the same lines either way. Output goes to stdout —
+    it *is* the machine/pipeline output of this command.
+    """
+    if not args.events.exists():
+        print(f"events file {args.events} not found", file=sys.stderr)
+        return 2
+    min_severity = severity_level(args.min_severity)
+
+    def emit(line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"skipping malformed line: {line[:60]}", file=sys.stderr)
+            return
+        if int(record.get("severity", 0)) < min_severity:
+            return
+        if args.category is not None and record.get("category") != args.category:
+            return
+        if args.kind is not None and record.get("kind") != args.kind:
+            return
+        print(format_event(record))
+
+    try:
+        with args.events.open(encoding="utf-8") as fh:
+            for line in fh:
+                emit(line)
+            if args.follow:
+                try:
+                    while True:
+                        line = fh.readline()
+                        if line:
+                            emit(line)
+                        else:
+                            time.sleep(0.2)
+                except KeyboardInterrupt:
+                    pass
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe: a clean exit, not
+        # an error. Point stdout at devnull so interpreter shutdown does
+        # not trip over the dead descriptor.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -522,6 +745,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "stats": cmd_stats,
     "report": cmd_report,
+    "tail": cmd_tail,
 }
 
 

@@ -19,7 +19,14 @@ import numpy as np
 from repro.core.dataset import PairProvenance, RttMatrix
 from repro.core.sampling import SamplePolicy
 from repro.core.ting import TingMeasurer, TingResult
-from repro.obs import CAMPAIGN_SPAN, PAIR_FAILED, RETRY_ROUND, categorize_failure
+from repro.obs import (
+    CAMPAIGN_SPAN,
+    NULL_EVENTS,
+    PAIR_FAILED,
+    RETRY_ROUND,
+    EventBus,
+    categorize_failure,
+)
 from repro.tor.directory import RelayDescriptor
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
@@ -50,6 +57,9 @@ class ProbeBudget:
     spent: int = 0
     #: Tasks launched with a degraded policy, for reporting.
     degraded_tasks: int = 0
+    #: Live telemetry channel; campaigns wire their host's bus in so
+    #: tier transitions surface as ``campaign``/``budget_degraded``.
+    events: EventBus = field(default=NULL_EVENTS, repr=False, compare=False)
 
     #: (remaining-fraction floor, tolerance factor, sample-cap factor).
     #: The last tier's floor is below any reachable fraction so an
@@ -64,6 +74,8 @@ class ProbeBudget:
     def __post_init__(self) -> None:
         if self.total < 1:
             raise MeasurementError("probe budget must be >= 1")
+        # The tier the previous launch resolved to; transitions emit.
+        self._last_tier = 0
 
     @property
     def remaining(self) -> int:
@@ -85,11 +97,22 @@ class ProbeBudget:
         """The policy the next task should launch with, given what is
         left. Above half budget the policy passes through untouched."""
         fraction = self.remaining_fraction
-        tolerance_factor, cap_factor = 1.0, 1.0
-        for floor, tol, cap in self.TIERS:
+        tier, tolerance_factor, cap_factor = 0, 1.0, 1.0
+        for index, (floor, tol, cap) in enumerate(self.TIERS):
             if fraction > floor:
-                tolerance_factor, cap_factor = tol, cap
+                tier, tolerance_factor, cap_factor = index, tol, cap
                 break
+        if tier != self._last_tier:
+            self._last_tier = tier
+            if self.events.enabled:
+                self.events.warning(
+                    "campaign",
+                    "budget_degraded",
+                    tier=tier,
+                    remaining_fraction=round(fraction, 4),
+                    tolerance_factor=tolerance_factor,
+                    cap_factor=cap_factor,
+                )
         if tolerance_factor == 1.0 and cap_factor == 1.0:
             return policy
         self.degraded_tasks += 1
@@ -225,6 +248,17 @@ class AllPairsCampaign:
             order = self._rng.permutation(len(pairs))
             pairs = [pairs[i] for i in order]
 
+        events = host.events
+        if events.enabled:
+            events.info(
+                "shard",
+                "campaign_started",
+                relays=len(self.relays),
+                pairs=len(pairs),
+            )
+        if self.budget is not None:
+            self.budget.events = events
+
         with host.spans.span(
             CAMPAIGN_SPAN, relays=len(self.relays), pairs=len(pairs)
         ):
@@ -238,6 +272,13 @@ class AllPairsCampaign:
                     host.trace.record(
                         sim.now,
                         RETRY_ROUND,
+                        round=round_index + 1,
+                        pending_pairs=len(failed),
+                    )
+                if events.enabled:
+                    events.warning(
+                        "campaign",
+                        "retry_round",
                         round=round_index + 1,
                         pending_pairs=len(failed),
                     )
@@ -271,6 +312,14 @@ class AllPairsCampaign:
         report.duration_ms = host.sim.now - started
         report.probes_sent = self.measurer.probes_sent - probes_sent_before
         report.probes_saved = self.measurer.probes_saved - probes_saved_before
+        if events.enabled:
+            events.info(
+                "shard",
+                "campaign_finished",
+                measured=report.pairs_measured,
+                failed=len(report.failures),
+                duration_ms=round(report.duration_ms, 3),
+            )
         return report
 
     def _measure_round(
@@ -310,6 +359,14 @@ class AllPairsCampaign:
                     host.trace.record(
                         host.sim.now,
                         PAIR_FAILED,
+                        x=a.fingerprint,
+                        y=b.fingerprint,
+                        reason=reason,
+                    )
+                if host.events.enabled:
+                    host.events.warning(
+                        "campaign",
+                        "pair_failed",
                         x=a.fingerprint,
                         y=b.fingerprint,
                         reason=reason,

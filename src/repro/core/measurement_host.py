@@ -19,9 +19,11 @@ from repro.echo.client import EchoClient
 from repro.echo.server import DEFAULT_ECHO_PORT, EchoServer
 from repro.netsim.engine import Simulator
 from repro.obs import (
+    NULL_EVENTS,
     NULL_METRICS,
     NULL_SPANS,
     NULL_TRACE,
+    EventBus,
     MetricsRegistry,
     SpanTracer,
     TraceLog,
@@ -56,6 +58,9 @@ class MeasurementHost:
     metrics: MetricsRegistry = NULL_METRICS
     trace: TraceLog = NULL_TRACE
     spans: SpanTracer = NULL_SPANS
+    #: Live telemetry bus; a no-op until :meth:`enable_events` (or
+    #: :meth:`enable_observability`) wires a live one through the stack.
+    events: EventBus = NULL_EVENTS
     #: Per-pair provenance; ``None`` until observability is enabled.
     provenance: ProvenanceLog | None = None
 
@@ -147,6 +152,7 @@ class MeasurementHost:
         metrics: MetricsRegistry | None = None,
         trace: TraceLog | None = None,
         spans: SpanTracer | None = None,
+        events: EventBus | None = None,
     ) -> MetricsRegistry:
         """Wire one live registry and trace log through the whole stack.
 
@@ -154,9 +160,11 @@ class MeasurementHost:
         the two helper relays (w, z); measurers and campaigns built on
         this host pick the sinks up via ``host.metrics`` / ``host.trace``.
         Also installs a :class:`SpanTracer` ticking on the simulated
-        clock and a fresh :class:`ProvenanceLog`, so instrumented
-        campaigns record interval and per-pair data without further
-        setup. Returns the registry so callers can snapshot it.
+        clock, a fresh :class:`ProvenanceLog`, and a live
+        :class:`EventBus` (via :meth:`enable_events`), so instrumented
+        campaigns record interval, per-pair, and live-telemetry data
+        without further setup. Returns the registry so callers can
+        snapshot it.
         """
         registry = metrics if metrics is not None else MetricsRegistry()
         log = trace if trace is not None else TraceLog()
@@ -166,6 +174,8 @@ class MeasurementHost:
             clock=lambda: self.sim.now
         )
         self.provenance = ProvenanceLog()
+        if events is not None or not self.events.enabled:
+            self.enable_events(events)
         self.sim.metrics = registry
         self.sim.trace = log
         self.proxy.metrics = registry
@@ -194,6 +204,23 @@ class MeasurementHost:
         ):
             registry.inc(name, 0)
         return registry
+
+    def enable_events(self, bus: EventBus | None = None) -> EventBus:
+        """Wire one live :class:`EventBus` through the whole stack.
+
+        Independent of :meth:`enable_observability` — live telemetry
+        (heartbeats, the flight recorder, streamed worker events) works
+        without paying for metrics/trace/span recording, which is how
+        ``ShardedCampaign`` keeps its telemetry path cheap when
+        ``observe=False``. Returns the bus so callers can attach sinks.
+        """
+        live = bus if bus is not None else EventBus(clock=lambda: self.sim.now)
+        self.events = live
+        self.sim.events = live
+        self.echo_client.events = live
+        self.relay_w.events = live
+        self.relay_z.events = live
+        return live
 
     def refresh_consensus(self, consensus: Consensus) -> None:
         """Install a new network consensus, keeping w and z hard-coded."""

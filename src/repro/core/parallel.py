@@ -279,6 +279,16 @@ class ParallelCampaign:
         started = self.host.sim.now
         leg_fps, pair_tasks = self._task_lists()
 
+        events = self.host.events
+        if events.enabled:
+            events.info(
+                "shard",
+                "campaign_started",
+                relays=len(self.relays),
+                pairs=len(pair_tasks),
+            )
+        if self.budget is not None:
+            self.budget.events = events
         campaign_span = self.host.spans.begin(
             CAMPAIGN_SPAN, relays=len(self.relays), pairs=len(pair_tasks)
         )
@@ -300,6 +310,14 @@ class ParallelCampaign:
             metrics.set_gauge("campaign.makespan_ms", report.makespan_ms)
             metrics.max_gauge(
                 "campaign.peak_concurrency", report.peak_concurrency
+            )
+        if events.enabled:
+            events.info(
+                "shard",
+                "campaign_finished",
+                measured=report.pairs_measured,
+                failed=len(report.failures),
+                makespan_ms=round(report.makespan_ms, 3),
             )
         return report
 
@@ -428,6 +446,9 @@ class ParallelCampaign:
         report: ParallelReport,
         finished: Callable[[], None],
     ) -> None:
+        events = self.host.events
+        if events.enabled:
+            events.debug("leg", "started", relay=fingerprint)
         leg_span = self.host.spans.begin(LEG_SPAN, relay=fingerprint)
         # The leg result is shared by every pair touching this relay, so
         # adaptive policies measure it at the full cap (for_leg); the
@@ -441,12 +462,21 @@ class ParallelCampaign:
             # campaign-level equivalent of a sequential cache miss.
             self.host.metrics.inc("ting.leg_cache_misses")
             leg_span.end()
+            if events.enabled:
+                events.debug(
+                    "leg",
+                    "finished",
+                    relay=fingerprint,
+                    rtt_ms=self._legs[fingerprint],
+                )
             self._notify_leg(fingerprint)
             finished()
 
         def error(reason: str) -> None:
             self._leg_failures[fingerprint] = reason
             leg_span.end()
+            if events.enabled:
+                events.warning("leg", "failed", relay=fingerprint, reason=reason)
             self._notify_leg(fingerprint)
             finished()
 
@@ -480,6 +510,11 @@ class ParallelCampaign:
         started = self.host.sim.now
         metrics = self.host.metrics
         provenance = self.host.provenance
+        events = self.host.events
+        if events.enabled:
+            # One per pair, regardless of which worker runs it: the
+            # ``campaign`` category is the shard-invariant event stream.
+            events.info("campaign", "pair_started", x=x_fp, y=y_fp)
         pair_span = self.host.spans.begin(PAIR_SPAN, x=x_fp, y=y_fp)
         policy = self._launch_policy()
 
@@ -533,6 +568,15 @@ class ParallelCampaign:
                         duration_ms=self.host.sim.now - started,
                     )
                 )
+            if events.enabled:
+                events.info(
+                    "campaign",
+                    "pair_measured",
+                    x=x_fp,
+                    y=y_fp,
+                    rtt_ms=max(0.0, estimate),
+                    duration_ms=round(self.host.sim.now - started, 3),
+                )
             pair_span.end()
             finished()
 
@@ -556,6 +600,10 @@ class ParallelCampaign:
             if self.host.trace.enabled:
                 self.host.trace.record(
                     self.host.sim.now, PAIR_FAILED, x=x_fp, y=y_fp, reason=reason
+                )
+            if events.enabled:
+                events.warning(
+                    "campaign", "pair_failed", x=x_fp, y=y_fp, reason=reason
                 )
             pair_span.end()
             finished()

@@ -24,20 +24,293 @@ LiveTorTestbed.build, seed=..., n_relays=...)`` works as-is. Set
 ``workers=0`` (or run on a platform without fork) to execute every shard
 inline in the parent process, which is also how the invariance tests
 compare shard counts deterministically.
+
+Live telemetry
+--------------
+
+Pass a :class:`CampaignTelemetry` and every worker attaches a streaming
+sink to its rebuilt host's :class:`~repro.obs.events.EventBus`: events
+at or above ``stream_min_severity`` cross the fork boundary over one
+message queue, along with rate-limited **heartbeats** carrying absolute
+progress totals and the worker's in-flight pair or leg. The parent keeps
+a per-shard :class:`~repro.obs.events.FlightRecorder`, feeds a
+:class:`~repro.obs.events.ProgressTracker`, and arms a **stall
+watchdog**: a shard silent past ``stall_timeout_s`` trips it, which
+dumps every shard's flight-recorder ring (plus the stuck shard's
+in-flight task) to a post-mortem JSON artifact and fails the campaign
+with a categorized :class:`~repro.util.errors.MeasurementError` instead
+of hanging forever. The engine's per-batch hook pumps heartbeats from
+inside long simulator runs, so one slow pair is not mistaken for a hang.
+
+Independently of telemetry, ``worker_timeout_s`` bounds the whole run:
+a worker the OS killed is noticed via its exit code within a grace
+period, and a worker still grinding past the deadline fails the
+campaign with the shard index — both work with ``observe=False``.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty
 from typing import Any, Callable, Sequence
 
 from repro.core.dataset import ProvenanceLog, RttMatrix
 from repro.core.sampling import SamplePolicy
-from repro.obs import MetricsRegistry, SpanTracer, TraceLog
+from repro.obs import (
+    INFO,
+    Event,
+    EventBus,
+    FlightRecorder,
+    MetricsRegistry,
+    ProgressTracker,
+    SpanTracer,
+    TraceLog,
+)
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
+
+
+@dataclass
+class CampaignTelemetry:
+    """Configuration for live streaming telemetry across the fork boundary.
+
+    ``bus`` is the parent-side event bus fed by worker streams (one is
+    created when omitted); attach sinks to it *before* ``run()`` to see
+    events live. ``progress`` likewise defaults to a fresh
+    :class:`~repro.obs.events.ProgressTracker` sized to the pair list,
+    and ``on_progress`` is invoked (with the tracker) after every
+    heartbeat — the CLI's streaming status line hangs off it.
+
+    ``stall_timeout_s`` arms the watchdog (``None`` disables): a shard
+    that produces neither events nor heartbeats for that long is
+    declared stalled. Size it to comfortably exceed worker startup (the
+    testbed rebuild emits nothing). ``drill_hang_after`` is fault
+    injection for drills and tests: ``{shard: n}`` wedges that worker
+    forever at its *n*-th pair start, after a forced heartbeat naming
+    the in-flight pair — forked workers only.
+    """
+
+    bus: EventBus | None = None
+    progress: ProgressTracker | None = None
+    on_progress: Callable[[ProgressTracker], None] | None = None
+    heartbeat_s: float = 1.0
+    stall_timeout_s: float | None = 30.0
+    postmortem_path: Path | None = None
+    stream_min_severity: int = INFO
+    ring_capacity: int = 512
+    drill_hang_after: dict[int, int] = field(default_factory=dict)
+
+
+class _WorkerTelemetry:
+    """Worker-side sink: streams events and heartbeats to the parent.
+
+    Attached to the worker's event bus inside :func:`_run_shard`. Every
+    emitted event updates local progress counters (pair lifecycle from
+    ``campaign`` events, probe totals from ``probe`` rounds, the
+    in-flight label from pair/leg starts), rides the fork-boundary
+    channel when at or above ``min_severity``, and gives the heartbeat
+    pump a chance to fire. The simulator's per-batch hook calls
+    :meth:`beat` too, so a worker grinding through one long simulator
+    run still proves liveness between events.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[tuple], None],
+        shard: int,
+        heartbeat_s: float,
+        min_severity: int,
+        hang_after: int = 0,
+        wall: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.send = send
+        self.shard = shard
+        self.heartbeat_s = heartbeat_s
+        self.min_severity = min_severity
+        #: Fault-injection drill: wedge forever at the Nth pair start
+        #: (0 disables).
+        self.hang_after = hang_after
+        self._wall = wall
+        self._last_beat = float("-inf")
+        self.pairs_total = 0
+        self.pairs_done = 0
+        self.pairs_failed = 0
+        self.probes_sent = 0
+        self.probes_saved = 0
+        self.in_flight: str | None = None
+        self._pair_starts = 0
+
+    def __call__(self, event: Event) -> None:
+        category, kind = event.category, event.kind
+        hang = False
+        if category == "campaign":
+            if kind == "pair_started":
+                self._pair_starts += 1
+                x, y = event.fields.get("x"), event.fields.get("y")
+                self.in_flight = f"pair {x}:{y}"
+                hang = self._pair_starts == self.hang_after
+            elif kind == "pair_measured":
+                self.pairs_done += 1
+                self.in_flight = None
+            elif kind == "pair_failed":
+                self.pairs_done += 1
+                self.pairs_failed += 1
+                self.in_flight = None
+        elif category == "leg":
+            if kind == "started":
+                self.in_flight = f"leg {event.fields.get('relay')}"
+            else:  # finished / failed
+                self.in_flight = None
+        elif category == "probe":
+            if kind == "round_finished":
+                self.probes_sent += int(event.fields.get("sent", 0))
+                self.probes_saved += int(event.fields.get("saved", 0))
+            elif kind == "round_failed":
+                self.probes_sent += int(event.fields.get("sent", 0))
+        if event.severity >= self.min_severity:
+            self.send(("event", self.shard, event.to_dict()))
+        self.beat(force=hang)
+        if hang:
+            self._hang()
+
+    def beat(self, force: bool = False) -> None:
+        """Send a heartbeat if ``heartbeat_s`` elapsed (or forced)."""
+        now = self._wall()
+        if not force and now - self._last_beat < self.heartbeat_s:
+            return
+        self._last_beat = now
+        self.send(
+            (
+                "hb",
+                self.shard,
+                {
+                    "pairs_done": self.pairs_done,
+                    "pairs_failed": self.pairs_failed,
+                    "pairs_total": self.pairs_total,
+                    "probes_sent": self.probes_sent,
+                    "probes_saved": self.probes_saved,
+                    "in_flight": self.in_flight,
+                },
+            )
+        )
+
+    def _hang(self) -> None:
+        # The drill: a forced heartbeat just named the in-flight pair;
+        # now wedge so the parent's watchdog must notice the silence.
+        while True:
+            time.sleep(3600)
+
+
+class _ShardMonitor:
+    """Parent-side telemetry state: what the watchdog knows per shard.
+
+    Streamed events land in a per-shard flight recorder *and* the
+    parent bus (so sinks attached there see the whole campaign live);
+    heartbeats update ``last_seen``, the progress tracker, and the
+    in-flight labels the post-mortem names. The parent keeps its own
+    recorders because a hung child's memory — including its local ring —
+    is unreachable; what was streamed before the silence is all the
+    forensics there is.
+    """
+
+    def __init__(
+        self,
+        telemetry: CampaignTelemetry,
+        pairs_total: int,
+        wall: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.telemetry = telemetry
+        self.bus = telemetry.bus if telemetry.bus is not None else EventBus(
+            capacity=4096
+        )
+        self.progress = (
+            telemetry.progress
+            if telemetry.progress is not None
+            else ProgressTracker(pairs_total)
+        )
+        self._wall = wall
+        self.recorders: dict[int, FlightRecorder] = {}
+        self.last_seen: dict[int, float] = {}
+        self.heartbeats: dict[int, dict[str, Any]] = {}
+
+    def register(self, shard: int) -> None:
+        """Start the liveness clock for one shard (at spawn time)."""
+        self.last_seen[shard] = self._wall()
+        self.recorders[shard] = FlightRecorder(
+            capacity=self.telemetry.ring_capacity
+        )
+
+    def handle(self, msg: tuple) -> None:
+        """Absorb one worker message (``hb`` or ``event``)."""
+        kind, shard = msg[0], msg[1]
+        self.last_seen[shard] = self._wall()
+        if kind == "hb":
+            payload = msg[2]
+            self.heartbeats[shard] = payload
+            self.progress.update_shard(
+                shard,
+                pairs_done=payload.get("pairs_done", 0),
+                pairs_failed=payload.get("pairs_failed", 0),
+                probes_sent=payload.get("probes_sent", 0),
+                probes_saved=payload.get("probes_saved", 0),
+                in_flight=payload.get("in_flight"),
+            )
+            if self.telemetry.on_progress is not None:
+                self.telemetry.on_progress(self.progress)
+        elif kind == "event":
+            record = msg[2]
+            recorder = self.recorders.get(shard)
+            if recorder is not None:
+                recorder.append(record)
+            self.bus.ingest(record)
+
+    def stalled(self, pending: set[int], now: float) -> list[tuple[int, float]]:
+        """Pending shards silent past the deadline, worst first."""
+        deadline = self.telemetry.stall_timeout_s
+        if deadline is None:
+            return []
+        ages = [(now - self.last_seen.get(s, now), s) for s in pending]
+        return [(s, age) for age, s in sorted(ages, reverse=True) if age > deadline]
+
+    def stall_error(self, shard: int, age: float) -> MeasurementError:
+        """Dump the post-mortem and build the categorized failure."""
+        in_flight = (self.heartbeats.get(shard) or {}).get("in_flight")
+        reason = (
+            f"shard {shard} stalled: no heartbeat for {age:.1f}s "
+            f"(deadline {self.telemetry.stall_timeout_s:.1f}s"
+            + (f", in flight: {in_flight}" if in_flight else "")
+            + ")"
+        )
+        self.bus.error(
+            "shard", "watchdog_tripped",
+            stalled_shard=shard, age_s=round(age, 2), in_flight=in_flight,
+        )
+        path = self.write_postmortem(shard, reason)
+        return MeasurementError(f"{reason}; flight recorder dumped to {path}")
+
+    def write_postmortem(self, shard: int, reason: str) -> Path:
+        """Write the flight-recorder dump for a tripped watchdog."""
+        path = self.telemetry.postmortem_path
+        if path is None:
+            path = Path("ting_postmortem.json")
+        doc = {
+            "reason": reason,
+            "category": "stall",
+            "stuck_shard": shard,
+            "in_flight": (self.heartbeats.get(shard) or {}).get("in_flight"),
+            "heartbeats": {str(s): hb for s, hb in sorted(self.heartbeats.items())},
+            "progress": self.progress.snapshot(),
+            "rings": {
+                str(s): recorder.dump()
+                for s, recorder in sorted(self.recorders.items())
+            },
+        }
+        path.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+        return path
 
 
 @dataclass
@@ -46,8 +319,9 @@ class ShardResult:
 
     The observability payloads are snapshots, not live objects — a
     metrics dict (:meth:`MetricsRegistry.snapshot`), a trace dict
-    (:meth:`TraceLog.snapshot`), span record dicts, and provenance
-    dicts. ``None`` means the shard ran without observability.
+    (:meth:`TraceLog.snapshot`), span record dicts, provenance dicts,
+    and an event-bus dict (:meth:`EventBus.snapshot`). ``None`` means
+    the shard ran without observability.
     """
 
     shard_index: int
@@ -65,6 +339,7 @@ class ShardResult:
     trace: dict[str, Any] | None = None
     spans: list[dict[str, Any]] | None = None
     provenance: list[dict[str, Any]] | None = None
+    events: dict[str, Any] | None = None
 
 
 @dataclass
@@ -72,11 +347,15 @@ class ShardedReport:
     """Outcome of a sharded campaign, merged across all workers.
 
     When the campaign ran with ``observe=True``, ``metrics``/``trace``/
-    ``spans``/``provenance`` hold the *merged* observability state:
-    counters summed, gauges maxed, histogram buckets summed, and every
-    trace event, span, and provenance record tagged with the shard that
-    produced it. Deterministic counters in the merged registry are
-    invariant to the worker count.
+    ``spans``/``provenance``/``events`` hold the *merged* observability
+    state: counters summed, gauges maxed, histogram buckets summed, and
+    every trace event, span, provenance record, and bus event tagged
+    with the shard that produced it. Deterministic counters in the
+    merged registry are invariant to the worker count.
+
+    When the campaign ran with a :class:`CampaignTelemetry`, ``stream``
+    is the parent-side bus fed live across the fork boundary and
+    ``progress`` the final state of the progress tracker.
     """
 
     matrix: RttMatrix
@@ -95,6 +374,9 @@ class ShardedReport:
     trace: TraceLog | None = None
     spans: SpanTracer | None = None
     provenance: ProvenanceLog | None = None
+    events: EventBus | None = None
+    stream: EventBus | None = None
+    progress: ProgressTracker | None = None
 
 
 def _run_shard(
@@ -104,20 +386,30 @@ def _run_shard(
     policy: SamplePolicy | None,
     shard_index: int,
     observe: bool = False,
+    telemetry: _WorkerTelemetry | None = None,
 ) -> ShardResult:
     """Worker entry point: rebuild the world, measure one pair shard.
 
-    Module-level (not a closure) so the fork/spawn pool can pickle it.
+    Module-level (not a closure) so the fork context can inherit it.
     The testbed factory must rebuild the *same* seeded world in every
     worker — descriptors are then re-selected by fingerprint, so the
     shard measures exactly the relays the parent asked about.
 
     With ``observe`` the worker enables observability on its rebuilt
     host and ships snapshots home instead of letting the live registry,
-    trace, spans, and provenance die with the process.
+    trace, spans, provenance, and event ring die with the process.
+
+    With ``telemetry`` (a :class:`_WorkerTelemetry` whose ``send`` is
+    already bound to the parent's channel) the worker wires a live
+    event bus regardless of ``observe``, attaches the streaming sink,
+    and pumps heartbeats from the simulator's per-batch hook.
     """
     from repro.core.parallel import ParallelCampaign
 
+    if telemetry is not None:
+        # Birth heartbeat before the (silent) testbed rebuild, so the
+        # liveness clock starts at spawn rather than first measurement.
+        telemetry.beat(force=True)
     started = time.perf_counter()
     testbed = factory()
     by_fp = {relay.fingerprint: relay for relay in testbed.relays}
@@ -127,8 +419,17 @@ def _run_shard(
             f"factory-built testbed lacks relays {missing[:3]}"
             f"{'...' if len(missing) > 3 else ''}"
         )
+    host = testbed.measurement
     if observe:
-        testbed.measurement.enable_observability()
+        host.enable_observability()
+    if telemetry is not None:
+        bus = host.events if host.events.enabled else host.enable_events()
+        bus.shard = shard_index
+        telemetry.pairs_total = len(shard_pairs)
+        bus.add_sink(telemetry)
+        testbed.sim.on_batch = telemetry.beat
+    elif observe:
+        host.events.shard = shard_index
     descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
     campaign = ParallelCampaign(
         testbed.measurement,
@@ -141,7 +442,9 @@ def _run_shard(
     cells = sum(relay.cells_processed for relay in testbed.relays)
     cells += testbed.measurement.relay_w.cells_processed
     cells += testbed.measurement.relay_z.cells_processed
-    host = testbed.measurement
+    if telemetry is not None:
+        # Final forced beat so the parent's tracker lands on 100%.
+        telemetry.beat(force=True)
     return ShardResult(
         shard_index=shard_index,
         entries=list(report.matrix.measured_pairs()),
@@ -158,7 +461,29 @@ def _run_shard(
         trace=host.trace.snapshot() if observe else None,
         spans=host.spans.records() if observe else None,
         provenance=host.provenance.to_list() if observe else None,
+        events=host.events.snapshot() if observe else None,
     )
+
+
+def _shard_entry(
+    channel: Any,
+    job: tuple,
+    telemetry: _WorkerTelemetry | None,
+) -> None:
+    """Forked-process target: run one shard, ship the outcome home.
+
+    Exceptions cross the fork boundary as ``("error", shard, reason)``
+    messages — the parent re-raises them as one MeasurementError, which
+    is how a worker that cannot rebuild its testbed fails the campaign
+    instead of hanging it.
+    """
+    shard_index = job[4]
+    try:
+        result = _run_shard(*job, telemetry=telemetry)
+    except BaseException as exc:  # noqa: BLE001 — serialized for the parent
+        channel.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+    else:
+        channel.put(("result", shard_index, result))
 
 
 class ShardedCampaign:
@@ -171,7 +496,19 @@ class ShardedCampaign:
     names the relay subset to measure (order fixes the matrix's node
     order). ``pairs`` optionally restricts the campaign to a pair
     subset; by default all C(n,2) pairs are measured.
+
+    ``telemetry`` opts into live streaming (heartbeats, watchdog,
+    progress — see :class:`CampaignTelemetry`); ``worker_timeout_s``
+    bounds forked-worker wall time independently of telemetry, so an
+    OS-killed or runaway worker fails the campaign with its shard index
+    instead of blocking ``run()`` forever.
     """
+
+    #: Parent poll cadence: how often liveness/deadline checks run.
+    _POLL_S = 0.05
+    #: How long a dead worker's queued messages get to drain before the
+    #: parent declares it died without a result.
+    _DEATH_GRACE_S = 1.0
 
     def __init__(
         self,
@@ -181,6 +518,8 @@ class ShardedCampaign:
         workers: int = 4,
         pairs: Sequence[tuple[str, str]] | None = None,
         observe: bool = False,
+        telemetry: CampaignTelemetry | None = None,
+        worker_timeout_s: float | None = None,
     ) -> None:
         if len(fingerprints) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -188,13 +527,17 @@ class ShardedCampaign:
             raise MeasurementError("duplicate fingerprints in campaign set")
         if workers < 0:
             raise MeasurementError("workers must be >= 0")
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise MeasurementError("worker_timeout_s must be positive")
         self.factory = factory
         self.fingerprints = list(fingerprints)
         self.policy = policy
         self.workers = workers
         #: Enable observability in every worker and merge the snapshots
-        #: into one registry/trace/span/provenance set on the report.
+        #: into one registry/trace/span/provenance/event set on the report.
         self.observe = observe
+        self.telemetry = telemetry
+        self.worker_timeout_s = worker_timeout_s
         if pairs is None:
             self.pairs = [
                 (a, b)
@@ -228,14 +571,153 @@ class ShardedCampaign:
             for index, shard in enumerate(shards)
         ]
         if self.workers <= 1 or len(jobs) <= 1:
-            results = [_run_shard(*job) for job in jobs]
+            if self.telemetry is not None and self.telemetry.drill_hang_after:
+                raise MeasurementError(
+                    "drill_hang_after requires forked workers (workers >= 2); "
+                    "an inline drill would wedge the parent process"
+                )
+            results, monitor = self._run_inline(jobs)
         else:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=len(jobs)) as pool:
-                results = pool.starmap(_run_shard, jobs)
+            results, monitor = self._run_forked(jobs)
         report = self._merge(results)
+        if monitor is not None:
+            report.stream = monitor.bus
+            report.progress = monitor.progress
         report.wall_s = time.perf_counter() - started
         return report
+
+    def _worker_telemetry(
+        self, shard: int, send: Callable[[tuple], None]
+    ) -> _WorkerTelemetry:
+        telemetry = self.telemetry
+        return _WorkerTelemetry(
+            send=send,
+            shard=shard,
+            heartbeat_s=telemetry.heartbeat_s,
+            min_severity=telemetry.stream_min_severity,
+            hang_after=telemetry.drill_hang_after.get(shard, 0),
+        )
+
+    def _run_inline(
+        self, jobs: list[tuple]
+    ) -> tuple[list[ShardResult], _ShardMonitor | None]:
+        """Run every shard in-process, streaming straight to the monitor.
+
+        The same :class:`_WorkerTelemetry` sink runs with ``send`` bound
+        directly to the monitor's handler, so streamed event counts and
+        progress totals are produced by the identical code path as the
+        forked mode — the worker-count-invariance tests rely on that.
+        """
+        monitor = (
+            _ShardMonitor(self.telemetry, len(self.pairs))
+            if self.telemetry is not None
+            else None
+        )
+        results = []
+        for job in jobs:
+            telemetry = None
+            if monitor is not None:
+                monitor.register(job[4])
+                telemetry = self._worker_telemetry(job[4], monitor.handle)
+            results.append(_run_shard(*job, telemetry=telemetry))
+        return results, monitor
+
+    def _run_forked(
+        self, jobs: list[tuple]
+    ) -> tuple[list[ShardResult], _ShardMonitor | None]:
+        """Fork one worker per shard; poll one queue for everything.
+
+        The single channel carries four message kinds — ``hb``,
+        ``event``, ``result``, ``error`` — so ordering per worker is
+        preserved and the parent's poll loop doubles as the liveness
+        clock: every ``queue.get`` timeout is a chance to notice a dead
+        worker, a blown deadline, or a stalled heartbeat.
+        """
+        ctx = multiprocessing.get_context("fork")
+        channel = ctx.Queue()
+        monitor = (
+            _ShardMonitor(self.telemetry, len(self.pairs))
+            if self.telemetry is not None
+            else None
+        )
+        procs: dict[int, Any] = {}
+        for job in jobs:
+            shard = job[4]
+            telemetry = None
+            if monitor is not None:
+                monitor.register(shard)
+                telemetry = self._worker_telemetry(shard, channel.put)
+            procs[shard] = ctx.Process(
+                target=_shard_entry, args=(channel, job, telemetry), daemon=True
+            )
+        started = time.monotonic()
+        for proc in procs.values():
+            proc.start()
+        pending = set(procs)
+        results: dict[int, ShardResult] = {}
+        dead_since: dict[int, float] = {}
+        try:
+            while pending:
+                try:
+                    msg = channel.get(timeout=self._POLL_S)
+                except Empty:
+                    msg = None
+                if msg is not None:
+                    kind, shard = msg[0], msg[1]
+                    if kind == "result":
+                        results[shard] = msg[2]
+                        pending.discard(shard)
+                    elif kind == "error":
+                        raise MeasurementError(
+                            f"shard {shard} worker failed: {msg[2]}"
+                        )
+                    elif monitor is not None:
+                        monitor.handle(msg)
+                now = time.monotonic()
+                # A worker the OS killed never sends anything again:
+                # notice the corpse (after a short drain grace for any
+                # queued result) instead of waiting out the deadline.
+                for shard in sorted(pending):
+                    if procs[shard].is_alive():
+                        dead_since.pop(shard, None)
+                    elif now - dead_since.setdefault(shard, now) > self._DEATH_GRACE_S:
+                        raise MeasurementError(
+                            f"shard {shard} worker died without a result "
+                            f"(exit code {procs[shard].exitcode})"
+                        )
+                if (
+                    self.worker_timeout_s is not None
+                    and now - started > self.worker_timeout_s
+                ):
+                    shard = min(pending)
+                    raise MeasurementError(
+                        f"shard {shard} worker exceeded the "
+                        f"{self.worker_timeout_s:.1f}s deadline "
+                        f"({len(pending)} shard(s) unfinished)"
+                    )
+                if monitor is not None:
+                    stalled = monitor.stalled(pending, now)
+                    if stalled:
+                        raise monitor.stall_error(*stalled[0])
+            # Results are in; drain trailing heartbeats/events so the
+            # final progress totals and stream counts are complete.
+            while True:
+                try:
+                    msg = channel.get_nowait()
+                except Empty:
+                    break
+                if monitor is not None and msg[0] in ("hb", "event"):
+                    monitor.handle(msg)
+            for proc in procs.values():
+                proc.join(timeout=5.0)
+        finally:
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs.values():
+                proc.join(timeout=1.0)
+            channel.close()
+        return [results[shard] for shard in sorted(results)], monitor
 
     def _merge(self, results: list[ShardResult]) -> ShardedReport:
         matrix = RttMatrix(self.fingerprints)
@@ -245,6 +727,7 @@ class ShardedCampaign:
             report.trace = TraceLog()
             report.spans = SpanTracer()
             report.provenance = ProvenanceLog()
+            report.events = EventBus(capacity=4096)
         for result in sorted(results, key=lambda r: r.shard_index):
             for a, b, rtt in result.entries:
                 if matrix.has(a, b):
@@ -269,8 +752,9 @@ class ShardedCampaign:
         """Fold one shard's observability snapshots into the report.
 
         Counter-sum / gauge-max / histogram-bucket-sum for metrics;
-        trace events, spans, and provenance records are adopted with a
-        ``shard`` tag so per-worker attribution survives the merge.
+        trace events, spans, provenance records, and event-bus rings are
+        adopted with a ``shard`` tag so per-worker attribution survives
+        the merge. Event counts sum per ``(category, severity)``.
         """
         if result.metrics is not None and report.metrics is not None:
             report.metrics.merge(MetricsRegistry.from_snapshot(result.metrics))
@@ -286,3 +770,5 @@ class ShardedCampaign:
             report.spans.merge(result.spans, shard=result.shard_index)
         if result.provenance is not None and report.provenance is not None:
             report.provenance.merge(result.provenance, shard=result.shard_index)
+        if result.events is not None and report.events is not None:
+            report.events.merge_snapshot(result.events, shard=result.shard_index)

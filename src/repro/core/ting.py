@@ -159,6 +159,9 @@ class TingMeasurer:
             raise MeasurementError("cannot measure the local helper relays")
 
         started = self.host.sim.now
+        events = self.host.events
+        if events.enabled:
+            events.info("ting", "pair_started", x=x_fp, y=y_fp)
         with self.host.spans.span(PAIR_SPAN, x=x_fp, y=y_fp):
             if self.reuse_circuits and not (
                 self.cache_legs and x_fp in self._leg_cache
@@ -190,6 +193,15 @@ class TingMeasurer:
                 y=y_fp,
                 rtt_ms=estimate,
                 duration_ms=self.host.sim.now - started,
+            )
+        if events.enabled:
+            events.info(
+                "ting",
+                "pair_measured",
+                x=x_fp,
+                y=y_fp,
+                rtt_ms=round(max(0.0, estimate), 6),
+                duration_ms=round(self.host.sim.now - started, 3),
             )
         return TingResult(
             x_fingerprint=x_fp,

@@ -12,7 +12,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.netsim.engine import Simulator
-from repro.obs import NULL_METRICS, NULL_TRACE, PROBE_LOST, PROBE_SENT
+from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACE, PROBE_LOST, PROBE_SENT
 from repro.tor.client import TorStream
 from repro.tor.control import SimFuture
 from repro.util.errors import MeasurementError
@@ -66,6 +66,7 @@ class EchoClient:
         #: Observability sinks; no-ops unless a live registry is wired in.
         self.metrics = NULL_METRICS
         self.trace = NULL_TRACE
+        self.events = NULL_EVENTS
 
     def probe(
         self,
@@ -132,6 +133,14 @@ class EchoClient:
         pingpong = interval_ms is None
         state = {"finished": False}
         metrics = self.metrics
+        events = self.events
+        if events.enabled:
+            events.debug(
+                "probe",
+                "round_started",
+                samples=samples,
+                adaptive=adaptive is not None,
+            )
         # O(1)-per-reply convergence check; None keeps the fixed-count
         # path untouched (and bit-for-bit identical).
         tracker = adaptive.make_tracker() if adaptive is not None else None
@@ -156,6 +165,15 @@ class EchoClient:
                 state["finished"] = True
                 deadline.cancel()
                 account_finished()
+                if events.enabled:
+                    events.debug(
+                        "probe",
+                        "round_finished",
+                        sent=result.sent,
+                        received=result.received,
+                        saved=result.samples_saved,
+                        stop_reason=result.stop_reason,
+                    )
                 on_done(result)
 
         def finish_error(reason: str) -> None:
@@ -163,6 +181,13 @@ class EchoClient:
                 state["finished"] = True
                 deadline.cancel()
                 account_finished()
+                if events.enabled:
+                    events.warning(
+                        "probe",
+                        "round_failed",
+                        sent=result.sent,
+                        reason=reason,
+                    )
                 on_error(reason)
 
         def reply_arrived(payload: bytes) -> None:

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable
 
-from repro.obs import HEAP_COMPACTION, NULL_METRICS, NULL_TRACE
+from repro.obs import HEAP_COMPACTION, NULL_EVENTS, NULL_METRICS, NULL_TRACE
 from repro.util.errors import SimulationError
 from repro.util.units import Milliseconds
 
@@ -96,6 +97,16 @@ class Simulator:
     #: the heap is left alone (re-heapifying tiny heaps buys nothing).
     COMPACTION_MIN_CANCELLED = 64
 
+    #: Events processed between batch-bookkeeping ticks. A tick reads
+    #: the wall clock once (stall detection) and pumps ``on_batch``
+    #: (worker heartbeats), so the hot loop pays one integer decrement
+    #: per event rather than a syscall.
+    BATCH_EVENTS = 4096
+
+    #: Wall seconds one batch may take before an ``engine`` /
+    #: ``event_loop_stall`` warning event fires.
+    STALL_THRESHOLD_S = 1.0
+
     def __init__(self) -> None:
         self._now: Milliseconds = 0.0
         self._heap: list[_Event] = []
@@ -112,6 +123,14 @@ class Simulator:
         #: (see ``MeasurementHost.enable_observability``).
         self.metrics = NULL_METRICS
         self.trace = NULL_TRACE
+        self.events = NULL_EVENTS
+        #: Called every :data:`BATCH_EVENTS` processed events while the
+        #: loop runs — how shard workers pump heartbeats from *inside*
+        #: a long simulation, not just between tasks.
+        self.on_batch: Callable[[], None] | None = None
+        self.stall_threshold_s = self.STALL_THRESHOLD_S
+        self._batch_left = self.BATCH_EVENTS
+        self._batch_wall: float | None = None
 
     @property
     def now(self) -> Milliseconds:
@@ -213,6 +232,36 @@ class Simulator:
             self.trace.record(
                 self._now, HEAP_COMPACTION, purged=purged, live=len(self._heap)
             )
+        if self.events.enabled:
+            self.events.info(
+                "engine", "heap_compaction", purged=purged, live=len(self._heap)
+            )
+
+    def _batch_tick(self) -> None:
+        """Per-batch bookkeeping: stall detection plus the batch hook.
+
+        Compares one wall-clock read per :data:`BATCH_EVENTS` events
+        against the previous tick; a batch that took longer than
+        ``stall_threshold_s`` means the *host* is struggling (swap, CPU
+        starvation, a pathological callback) even though simulated time
+        is marching — exactly the situation a silent worker hides.
+        """
+        self._batch_left = self.BATCH_EVENTS
+        now_wall = time.perf_counter()
+        last_wall = self._batch_wall
+        self._batch_wall = now_wall
+        if last_wall is not None and self.events.enabled:
+            elapsed = now_wall - last_wall
+            if elapsed > self.stall_threshold_s:
+                self.events.warning(
+                    "engine",
+                    "event_loop_stall",
+                    batch_wall_s=round(elapsed, 3),
+                    batch_events=self.BATCH_EVENTS,
+                    pending=len(self._heap),
+                )
+        if self.on_batch is not None:
+            self.on_batch()
 
     def run(
         self,
@@ -230,6 +279,9 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        # Wall time spent *between* run() calls must not read as a
+        # stall; the first batch tick of each run just baselines.
+        self._batch_wall = None
         try:
             processed = 0
             while self._heap:
@@ -249,6 +301,9 @@ class Simulator:
                 event.callback(*event.args)
                 self._events_processed += 1
                 processed += 1
+                self._batch_left -= 1
+                if not self._batch_left:
+                    self._batch_tick()
                 if stop_when is not None and stop_when():
                     break
             if until is not None and self._now < until:

@@ -10,8 +10,11 @@ Three primitives, all with zero-cost no-op defaults:
 * :class:`SpanTracer` — hierarchical sim-time intervals (campaign →
   pair → leg → circuit build → probe round) exportable as Chrome
   trace-event JSON for Perfetto.
+* :class:`EventBus` — live severity-leveled events stamped with sim-
+  and wall-time, backed by a bounded :class:`FlightRecorder` ring and
+  fanned out to sinks (JSONL, console, the shard progress queue).
 
-All three are *mergeable*: shard workers snapshot their sinks and the
+All of these are *mergeable*: shard workers snapshot their sinks and the
 parent folds them into one registry/log/tracer with counter-sum,
 gauge-max, histogram-bucket-sum, and shard-tagging semantics, so
 observability survives the fork boundary of ``ShardedCampaign``.
@@ -23,6 +26,24 @@ each carry ``metrics``/``trace`` attributes defaulting to
 trace, and span tracer through an entire deployment.
 """
 
+from repro.obs.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    NULL_EVENTS,
+    WARNING,
+    ConsoleSink,
+    Event,
+    EventBus,
+    FlightRecorder,
+    JsonlSink,
+    NullEventBus,
+    ProgressTracker,
+    event_from_dict,
+    format_event,
+    severity_level,
+    severity_name,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKET_EDGES_MS,
     Histogram,
@@ -62,6 +83,22 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "ConsoleSink",
+    "Event",
+    "EventBus",
+    "FlightRecorder",
+    "JsonlSink",
+    "NULL_EVENTS",
+    "NullEventBus",
+    "ProgressTracker",
+    "event_from_dict",
+    "format_event",
+    "severity_level",
+    "severity_name",
     "DEFAULT_BUCKET_EDGES_MS",
     "Histogram",
     "MetricsRegistry",

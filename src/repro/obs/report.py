@@ -321,6 +321,33 @@ def build_report(
             "early_stops": stops,
             "early_stop_rate": round(stops / runs, 4) if runs else 0.0,
         }
+    elif provenance is not None and len(provenance):
+        # No live counters (a re-report of a saved dataset): rebuild the
+        # ledger from per-pair provenance. ``samples_saved`` and
+        # ``stop_reason`` round-trip through CampaignDataset, so an
+        # adaptive campaign's savings survive save/load; the sent total
+        # covers pair rounds only (leg rounds leave no sample counts),
+        # hence the explicit source tag.
+        records = provenance.records()
+        saved = sum(r.samples_saved for r in records)
+        if saved:
+            measured = [r for r in records if r.status == "measured"]
+            stops = sum(1 for r in records if r.stop_reason == "converged")
+            sent = sum(
+                max(0, r.samples_requested - r.samples_saved) for r in measured
+            )
+            data["cost"] = {
+                "probes_sent": sent,
+                "probes_saved": saved,
+                "saved_fraction": (
+                    round(saved / (sent + saved), 4) if sent + saved else 0.0
+                ),
+                "early_stops": stops,
+                "early_stop_rate": (
+                    round(stops / len(measured), 4) if measured else 0.0
+                ),
+                "source": "provenance",
+            }
     if ground_truth is not None:
         data["accuracy"] = _accuracy_section(matrix, ground_truth)
     if provenance is not None and len(provenance):

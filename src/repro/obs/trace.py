@@ -222,6 +222,10 @@ def categorize_failure(reason: str, metrics: "MetricsRegistry | None" = None) ->
     alarm on instead of silently vanishing into the catch-all.
     """
     lowered = reason.lower()
+    # Watchdog trips mention the shard too — match stall keywords first
+    # so a wedged worker is not misfiled under generic worker failures.
+    if "stalled" in lowered or "watchdog" in lowered or "heartbeat" in lowered:
+        return "stall"
     if "shard" in lowered or "worker" in lowered or "factory-built" in lowered:
         return "shard"
     if "leg failed" in lowered:

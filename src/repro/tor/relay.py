@@ -23,7 +23,7 @@ import numpy as np
 from repro.netsim.engine import Simulator
 from repro.netsim.policies import TrafficClass
 from repro.netsim.topology import Host, Topology
-from repro.obs import NULL_METRICS
+from repro.obs import DEBUG, NULL_EVENTS, NULL_METRICS, WARNING
 from repro.netsim.transport import NetworkFabric, StreamConnection
 from repro.tor.cells import (
     Cell,
@@ -180,6 +180,14 @@ class _CircuitEntry:
 class Relay:
     """One Tor relay process bound to a simulated host."""
 
+    #: Service-queue backlog (ms of waiting cells) at or above which a
+    #: ``relay``/``queue_saturated`` warning event fires.
+    QUEUE_SATURATION_MS = 50.0
+
+    #: Minimum simulated time between saturation events per relay — a
+    #: saturated queue would otherwise emit once per arriving cell.
+    SATURATION_COOLDOWN_MS = 1000.0
+
     def __init__(
         self,
         sim: Simulator,
@@ -218,8 +226,11 @@ class Relay:
             nickname, host.address, or_port
         )
         self.cells_processed = 0
-        #: Observability sink; a no-op unless a live registry is wired in.
+        #: Observability sinks; no-ops unless live ones are wired in.
         self.metrics = NULL_METRICS
+        self.events = NULL_EVENTS
+        # Sim time of the last queue-saturation event, for rate limiting.
+        self._last_saturation_ms = -float("inf")
 
         # Outbound OR connections keyed by "address:port"; each entry is
         # (conn, established, pending cells queued while connecting).
@@ -312,6 +323,21 @@ class Relay:
             # Real queueing: this cell also has to wait for the relay's
             # forwarding capacity, shared with every other circuit.
             ready_at = max(ready_at, self.service_queue.admit(self.sim.now))
+            events = self.events
+            if events.enabled:
+                backlog = ready_at - self.sim.now
+                if (
+                    backlog >= self.QUEUE_SATURATION_MS
+                    and self.sim.now - self._last_saturation_ms
+                    >= self.SATURATION_COOLDOWN_MS
+                ):
+                    self._last_saturation_ms = self.sim.now
+                    events.warning(
+                        "relay",
+                        "queue_saturated",
+                        relay=self.nickname,
+                        backlog_ms=round(backlog, 3),
+                    )
         self._queue_head[id(conn)] = ready_at
         self.sim.schedule_at(ready_at, self._process_cell, conn, cell)
 
@@ -587,6 +613,18 @@ class Relay:
         if entry.torn_down:
             return
         entry.torn_down = True
+        events = self.events
+        if events.enabled:
+            # Orderly teardowns (a DESTROY from the path, a shutdown)
+            # are routine; anything else is a protocol-level surprise.
+            routine = reason in ("torn down", "relay shutdown")
+            events.emit(
+                DEBUG if routine else WARNING,
+                "relay",
+                "circuit_teardown",
+                relay=self.nickname,
+                reason=reason,
+            )
         for exit_conn in entry.exit_streams.values():
             exit_conn.close()
         entry.exit_streams.clear()

@@ -1,0 +1,257 @@
+"""Live telemetry across the fork boundary: streaming, watchdog, deadlines.
+
+The acceptance bar for the telemetry layer: instrumented campaigns
+produce the same matrix, the same streamed campaign-event counts, and
+the same final progress totals whatever the worker count; a wedged
+worker trips the stall watchdog within its deadline and leaves a
+flight-recorder post-mortem naming the stuck shard and in-flight pair;
+an OS-killed worker or a blown per-worker deadline fails ``run()``
+with the shard index instead of hanging it forever.
+
+The fork-context workers inherit the parent's memory, so
+monkeypatching ``_run_shard`` in this process changes what the *forked
+children* execute — that is how the dead-worker and runaway-worker
+faults are injected without any cooperation from the worker code.
+"""
+
+import functools
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.core.shard as shard_mod
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import CampaignTelemetry, ShardedCampaign
+from repro.obs import INFO, EventBus, categorize_failure
+from repro.testbeds.livetor import LiveTorTestbed
+from repro.util.errors import MeasurementError
+
+SEED = 3
+N_RELAYS = 14
+POLICY = SamplePolicy(samples=3, interval_ms=2.0)
+FACTORY = functools.partial(LiveTorTestbed.build, seed=SEED, n_relays=N_RELAYS)
+
+#: Generous CI bound: every fault below must fail well under this.
+FAIL_FAST_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def fingerprints():
+    testbed = FACTORY()
+    descriptors = testbed.random_relays(5, testbed.streams.get("shard.sel"))
+    return [d.fingerprint for d in descriptors]
+
+
+def _campaign(fingerprints, workers, **kwargs):
+    return ShardedCampaign(
+        FACTORY, fingerprints, policy=POLICY, workers=workers, **kwargs
+    )
+
+
+def _run_instrumented(fingerprints, workers):
+    telemetry = CampaignTelemetry(heartbeat_s=0.05, stall_timeout_s=30.0)
+    report = _campaign(fingerprints, workers, telemetry=telemetry).run()
+    assert report.stream is telemetry.bus or telemetry.bus is None
+    return report
+
+
+class TestWorkerCountInvariance:
+    """Event counts and progress must not depend on the shard layout."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, fingerprints):
+        return {w: _run_instrumented(fingerprints, w) for w in (1, 2, 4)}
+
+    def test_matrix_identical(self, reports):
+        base = reports[1].matrix.as_array()
+        for workers in (2, 4):
+            assert np.array_equal(base, reports[workers].matrix.as_array())
+
+    def test_campaign_event_counts_identical(self, reports):
+        def campaign_counts(report):
+            return sorted(
+                (key, count)
+                for key, count in report.stream.counts().items()
+                if key[0] == "campaign"
+            )
+
+        base = campaign_counts(reports[1])
+        assert base, "instrumented run streamed no campaign events"
+        for workers in (2, 4):
+            assert campaign_counts(reports[workers]) == base
+
+    def test_progress_totals_identical(self, reports):
+        base = (reports[1].progress.pairs_done, reports[1].progress.pairs_failed)
+        assert base[0] == reports[1].matrix.num_measured
+        for workers in (2, 4):
+            progress = reports[workers].progress
+            assert (progress.pairs_done, progress.pairs_failed) == base
+
+    def test_streamed_probe_totals_match_merged_report(self, reports):
+        # Probe counts are *not* worker-count invariant (leg caching is
+        # per-shard), but for any given layout the streamed totals must
+        # agree with what the merged shard results report.
+        for report in reports.values():
+            assert report.progress.probes_sent == report.probes_sent
+            assert report.progress.probes_saved == report.probes_saved
+            assert report.progress.probes_sent > 0
+
+    def test_progress_reaches_completion(self, reports):
+        for report in reports.values():
+            assert report.progress.pairs_done == report.progress.pairs_total
+            assert report.progress.in_flight() == {}
+
+
+class TestStallWatchdog:
+    def test_hung_worker_trips_watchdog_with_postmortem(
+        self, fingerprints, tmp_path
+    ):
+        dump = tmp_path / "postmortem.json"
+        telemetry = CampaignTelemetry(
+            heartbeat_s=0.1,
+            stall_timeout_s=2.0,
+            postmortem_path=dump,
+            drill_hang_after={1: 1},
+        )
+        campaign = _campaign(fingerprints, 2, telemetry=telemetry)
+        started = time.monotonic()
+        with pytest.raises(MeasurementError) as excinfo:
+            campaign.run()
+        elapsed = time.monotonic() - started
+        assert elapsed < FAIL_FAST_S
+
+        message = str(excinfo.value)
+        assert "shard 1 stalled" in message
+        assert "flight recorder dumped to" in message
+        assert categorize_failure(message) == "stall"
+
+        doc = json.loads(dump.read_text())
+        assert doc["category"] == "stall"
+        assert doc["stuck_shard"] == 1
+        # The drill's forced heartbeat named the wedged pair before the
+        # silence began; the post-mortem must surface it.
+        assert doc["in_flight"].startswith("pair ")
+        assert set(doc["rings"]) == {"0", "1"}
+        assert doc["rings"]["1"]["events"], "stuck shard streamed nothing"
+        assert "heartbeats" in doc and "1" in doc["heartbeats"]
+
+    def test_watchdog_event_lands_on_stream(self, fingerprints, tmp_path):
+        bus = EventBus(capacity=1024)
+        telemetry = CampaignTelemetry(
+            bus=bus,
+            heartbeat_s=0.1,
+            stall_timeout_s=2.0,
+            postmortem_path=tmp_path / "pm.json",
+            drill_hang_after={0: 1},
+        )
+        campaign = _campaign(fingerprints, 2, telemetry=telemetry)
+        with pytest.raises(MeasurementError):
+            campaign.run()
+        tripped = bus.events(kind="watchdog_tripped")
+        assert len(tripped) == 1
+        assert tripped[0]["stalled_shard"] == 0
+
+    def test_inline_drill_refuses_to_wedge_parent(self, fingerprints):
+        telemetry = CampaignTelemetry(drill_hang_after={0: 1})
+        campaign = _campaign(fingerprints, 1, telemetry=telemetry)
+        with pytest.raises(MeasurementError, match="forked workers"):
+            campaign.run()
+
+
+class TestWorkerFaults:
+    """Dead and runaway workers: no telemetry required to fail fast."""
+
+    def test_dead_worker_fails_campaign(self, fingerprints, monkeypatch):
+        real = shard_mod._run_shard
+
+        def killer(*args, **kwargs):
+            if args[4] == 1:
+                os._exit(9)  # simulate the OOM killer: no cleanup, no message
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shard_mod, "_run_shard", killer)
+        campaign = _campaign(fingerprints, 2)
+        started = time.monotonic()
+        with pytest.raises(MeasurementError) as excinfo:
+            campaign.run()
+        assert time.monotonic() - started < FAIL_FAST_S
+        message = str(excinfo.value)
+        assert "shard 1 worker died without a result" in message
+        assert "exit code 9" in message
+        assert categorize_failure(message) == "shard"
+
+    def test_worker_timeout_fails_campaign(self, fingerprints, monkeypatch):
+        real = shard_mod._run_shard
+
+        def sleeper(*args, **kwargs):
+            if args[4] == 1:
+                time.sleep(600.0)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shard_mod, "_run_shard", sleeper)
+        campaign = _campaign(fingerprints, 2, worker_timeout_s=2.0)
+        started = time.monotonic()
+        with pytest.raises(MeasurementError) as excinfo:
+            campaign.run()
+        assert time.monotonic() - started < FAIL_FAST_S
+        message = str(excinfo.value)
+        assert "shard 1 worker exceeded the 2.0s deadline" in message
+        assert categorize_failure(message) == "shard"
+
+    def test_worker_timeout_must_be_positive(self, fingerprints):
+        with pytest.raises(MeasurementError):
+            _campaign(fingerprints, 2, worker_timeout_s=0.0)
+
+    def test_generous_timeout_does_not_fire(self, fingerprints):
+        report = _campaign(fingerprints, 2, worker_timeout_s=300.0).run()
+        assert report.matrix.is_complete
+
+
+class TestStreamingDetail:
+    def test_stream_events_carry_shard_tags(self, fingerprints):
+        report = _run_instrumented(fingerprints, 2)
+        shards = {record["shard"] for record in report.stream.events()}
+        assert shards == {0, 1}
+
+    def test_min_severity_filters_stream(self, fingerprints):
+        telemetry = CampaignTelemetry(
+            heartbeat_s=0.05, stream_min_severity=INFO
+        )
+        report = _campaign(fingerprints, 2, telemetry=telemetry).run()
+        assert all(
+            record["severity"] >= INFO for record in report.stream.events()
+        )
+
+    def test_on_progress_callback_fires(self, fingerprints):
+        snapshots = []
+        telemetry = CampaignTelemetry(
+            heartbeat_s=0.05,
+            on_progress=lambda tracker: snapshots.append(tracker.pairs_done),
+        )
+        _campaign(fingerprints, 2, telemetry=telemetry).run()
+        assert snapshots, "no heartbeat ever reached the progress callback"
+        assert snapshots[-1] == len(fingerprints) * (len(fingerprints) - 1) // 2
+
+    def test_telemetry_composes_with_observe(self, fingerprints):
+        telemetry = CampaignTelemetry(heartbeat_s=0.05)
+        report = _campaign(
+            fingerprints, 2, observe=True, telemetry=telemetry
+        ).run()
+        # Both planes populated: merged worker snapshots and the live
+        # stream, with matching campaign-pair counts.
+        assert report.events is not None and report.events.emitted > 0
+        assert report.stream is not None
+        merged = {
+            key: count
+            for key, count in report.events.counts().items()
+            if key[0] == "campaign"
+        }
+        streamed = {
+            key: count
+            for key, count in report.stream.counts().items()
+            if key[0] == "campaign"
+        }
+        assert merged == streamed

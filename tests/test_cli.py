@@ -71,10 +71,10 @@ class TestCommands:
                 "--policy", "adaptive-1ms",
             ]
         )
-        out = capsys.readouterr().out
+        err = capsys.readouterr().err
         assert code == 0
-        assert "adaptive-1ms policy" in out
-        assert "saved" in out
+        assert "adaptive-1ms policy" in err
+        assert "saved" in err
 
     def test_measure_probe_budget_reported(self, capsys):
         code = main(
@@ -86,9 +86,9 @@ class TestCommands:
                 "--probe-budget", "10000",
             ]
         )
-        out = capsys.readouterr().out
+        err = capsys.readouterr().err
         assert code == 0
-        assert "probe budget: " in out
+        assert "probe budget: " in err
 
     def test_stats_rejects_budget_with_workers(self, capsys):
         code = main(
@@ -176,7 +176,190 @@ class TestCommands:
 
     def test_seed_changes_validate_world(self, capsys):
         main(["--seed", "1", "validate", "--relays", "4", "--samples", "10"])
-        first = capsys.readouterr().out
+        first = capsys.readouterr()
         main(["--seed", "2", "validate", "--relays", "4", "--samples", "10"])
-        second = capsys.readouterr().out
-        assert first != second
+        second = capsys.readouterr()
+        # Per-pair progress (stderr) and the accuracy results (stdout)
+        # both reflect the seeded world.
+        assert first.err != second.err
+        assert first.out != second.out
+
+
+class TestQuiet:
+    def test_quiet_silences_progress_but_not_results(self, capsys):
+        code = main(
+            ["--quiet", "validate", "--relays", "4", "--samples", "10"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""
+        # The measured results are output, not progress chatter.
+        assert "within 10% of ping" in captured.out
+
+    def test_quiet_measure_emits_nothing(self, capsys):
+        code = main(
+            [
+                "--quiet",
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "10",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""
+        assert captured.out == ""
+
+
+class TestLiveTelemetryFlags:
+    def test_measure_progress_draws_status_line(self, capsys):
+        code = main(
+            [
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "10",
+                "--progress",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "pairs 6/6" in err
+
+    def test_measure_events_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "measure",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "10",
+                "--events", str(events),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in events.read_text().splitlines()
+        ]
+        assert records
+        kinds = {(r["category"], r["kind"]) for r in records}
+        assert ("ting", "pair_measured") in kinds
+        assert ("probe", "round_finished") in kinds
+
+    def test_report_streams_events_and_progress(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "report",
+                "--relays", "4",
+                "--network-size", "20",
+                "--samples", "5",
+                "--workers", "2",
+                "--no-ground-truth",
+                "--progress",
+                "--events", str(events),
+                "--worker-timeout", "300",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "pairs " in captured.err
+        assert "== campaign ==" in captured.out
+        records = [
+            json.loads(line) for line in events.read_text().splitlines()
+        ]
+        shards = {r["shard"] for r in records}
+        assert shards == {0, 1}
+
+
+class TestTail:
+    @pytest.fixture
+    def events_file(self, tmp_path):
+        from repro.obs import EventBus, JsonlSink
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlSink(path) as sink:
+            bus.add_sink(sink)
+            bus.debug("probe", "round_started", pair="A:B")
+            bus.info("campaign", "pair_measured", x="A", y="B", rtt_ms=12.5)
+            bus.warning("relay", "queue_saturated", backlog_ms=61.0)
+        return path
+
+    def test_tail_renders_all_lines(self, events_file, capsys):
+        code = main(["tail", str(events_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign.pair_measured" in out
+        assert "probe.round_started" in out
+        assert "relay.queue_saturated" in out
+
+    def test_tail_min_severity_filter(self, events_file, capsys):
+        code = main(["tail", str(events_file), "--min-severity", "warning"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "relay.queue_saturated" in out
+        assert "pair_measured" not in out
+
+    def test_tail_category_and_kind_filters(self, events_file, capsys):
+        main(["tail", str(events_file), "--category", "campaign"])
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1 and "campaign.pair_measured" in out
+        main(["tail", str(events_file), "--kind", "round_started"])
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1 and "probe.round_started" in out
+
+    def test_tail_missing_file_fails(self, tmp_path, capsys):
+        code = main(["tail", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_tail_skips_malformed_lines(self, events_file, capsys):
+        with events_file.open("a") as handle:
+            handle.write("this is not json\n")
+        code = main(["tail", str(events_file)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipping malformed line" in captured.err
+        assert "relay.queue_saturated" in captured.out
+
+
+class TestDatasetRoundTrip:
+    def test_adaptive_provenance_survives_save_load_report(
+        self, tmp_path, capsys
+    ):
+        from repro.core.dataset import CampaignDataset
+
+        dataset_path = tmp_path / "ds.json"
+        code = main(
+            [
+                "report",
+                "--relays", "4",
+                "--network-size", "40",
+                "--samples", "50",
+                "--policy", "adaptive-1ms",
+                "--workers", "2",
+                "--no-ground-truth",
+                "--output", str(dataset_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+        dataset = CampaignDataset.load(dataset_path)
+        records = dataset.provenance.records()
+        assert records
+        # The adaptive-policy provenance fields must survive the trip.
+        assert any(r.samples_saved > 0 for r in records)
+        assert any(r.stop_reason == "converged" for r in records)
+
+        code = main(["report", "--input", str(dataset_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "probe cost" in out
+        assert "saved" in out
