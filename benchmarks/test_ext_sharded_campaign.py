@@ -69,6 +69,10 @@ def test_ext_sharded_campaign(report):
     # (c) same coverage either way.
     assert sharded.matrix.is_complete
     assert sharded.pairs_measured == single.pairs_measured
+    # The leg phase measured every relay exactly once, campaign-wide;
+    # no worker rebuilt a leg the phase had already paid for.
+    assert sharded.legs_measured == n_relays
+    assert all(s.legs_measured == 0 for s in sharded.shards)
     # (a) per-process event load drops by ~the shard count; task
     # isolation may add a modest constant overhead, hence the slack.
     assert peak_shard_events * (workers - 1) < single_events

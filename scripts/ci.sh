@@ -31,11 +31,23 @@ echo "== hot-path benchguards =="
 # the always-on telemetry call sites must stay under 2% of campaign wall.
 python -m pytest benchmarks -m benchguard -x -q
 
+echo "== work-stealing chaos test =="
+# The forked stealing path under an injected straggler: the merged
+# matrix must be bit-identical to a healthy run, the fast worker must
+# absorb the slow worker's share, and the leg phase must keep total
+# leg builds pinned at n. Runs inside tier-1 too; gated explicitly so
+# a future tier split cannot silently drop it.
+python -m pytest tests/core/test_shard_steal.py -x -q
+
 echo "== watchdog smoke test =="
 # A deliberately wedged shard worker must trip the stall watchdog and
-# fail the campaign within its deadline — never hang CI. The outer
-# `timeout` is the backstop: if the watchdog regresses into a hang,
-# this step dies loudly instead of stalling the pipeline.
+# fail the campaign within its deadline — never hang CI. Shard 0 is
+# the wedged one with single-pair chunks: under work stealing worker 0
+# always claims a chunk (worker 1 would have to drain the whole queue
+# before worker 0's first get returns), so the drill fires
+# deterministically. The outer `timeout` is the backstop: if the
+# watchdog regresses into a hang, this step dies loudly instead of
+# stalling the pipeline.
 timeout 120 python - <<'PY'
 import functools, sys, tempfile, time
 from pathlib import Path
@@ -52,18 +64,18 @@ fps = [d.fingerprint for d in testbed.random_relays(5, testbed.streams.get("shar
 dump = Path(tempfile.mkdtemp()) / "postmortem.json"
 telemetry = CampaignTelemetry(
     heartbeat_s=0.1, stall_timeout_s=2.0,
-    postmortem_path=dump, drill_hang_after={1: 1},
+    postmortem_path=dump, drill_hang_after={0: 1},
 )
 campaign = ShardedCampaign(
     factory, fps, policy=SamplePolicy(samples=3, interval_ms=2.0),
-    workers=2, telemetry=telemetry,
+    workers=2, telemetry=telemetry, steal_chunk_pairs=1,
 )
 started = time.monotonic()
 try:
     campaign.run()
 except MeasurementError as exc:
     elapsed = time.monotonic() - started
-    assert "shard 1 stalled" in str(exc), exc
+    assert "shard 0 stalled" in str(exc), exc
     assert categorize_failure(str(exc)) == "stall", exc
     assert dump.exists(), "no flight-recorder post-mortem written"
     print(f"watchdog tripped in {elapsed:.1f}s: {exc}")
@@ -72,8 +84,11 @@ else:
 PY
 
 echo "== bench regression check =="
-# Compares fresh timings against the committed baseline; writes the
-# fresh report to a scratch file so the baseline stays untouched.
+# Compares fresh timings against the committed baseline AND enforces
+# the cross-workload invariant (campaign_sharded must hold at least
+# CROSS_WORKLOAD_MARGIN of campaign_parallel's throughput — the
+# duplicated-leg-work guard). Writes the fresh report to a scratch
+# file so the baseline stays untouched.
 python -m repro.cli bench --check --output /tmp/BENCH_ting.ci.json
 
 echo "== CI green =="

@@ -447,13 +447,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.check:
         baseline = bench_mod.load_report(args.baseline)
         problems = bench_mod.check_regressions(report, baseline)
+        problems += bench_mod.check_cross_workload(report)
         if problems:
             print("\nperformance regressions detected:", file=sys.stderr)
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
             return 1
         status(f"\nno regressions vs {args.baseline} "
-               f"(threshold {bench_mod.REGRESSION_FACTOR:g}x)")
+               f"(threshold {bench_mod.REGRESSION_FACTOR:g}x; sharded >= "
+               f"{bench_mod.CROSS_WORKLOAD_MARGIN:g}x parallel throughput)")
         return 0
     bench_mod.save_report(report, args.output)
     status(f"\nbench report written to {args.output}")
@@ -540,6 +542,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         "echo.probes_lost",
         "echo.early_stops",
         "ting.probes_saved",
+        "ting.leg_cache_lookups",
         "ting.leg_cache_hits",
         "ting.leg_cache_misses",
         "sim.heap_compactions",

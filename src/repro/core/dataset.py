@@ -281,22 +281,94 @@ class PairProvenance:
         )
 
 
+@dataclass(slots=True)
+class LegProvenance:
+    """Why one relay's shared leg estimate ``R_Cx`` is what it is.
+
+    One record per leg circuit actually built. ``shard`` is ``None``
+    when the leg was measured by the campaign-wide leg phase (the
+    normal case for shard engine v2: legs belong to the campaign, not
+    to any worker); it carries a worker index only when a worker had to
+    measure a leg itself.
+    """
+
+    relay: str
+    rtt_ms: float | None = None
+    samples_requested: int = 0
+    samples_kept: int = 0
+    samples_saved: int = 0
+    stop_reason: str | None = None
+    duration_ms: float = 0.0
+    shard: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready view; ``None`` fields are omitted for compactness."""
+        record: dict[str, Any] = {
+            "relay": self.relay,
+            "samples_requested": self.samples_requested,
+            "samples_kept": self.samples_kept,
+            "duration_ms": round(self.duration_ms, 6),
+        }
+        if self.rtt_ms is not None:
+            record["rtt_ms"] = round(float(self.rtt_ms), 6)
+        if self.samples_saved:
+            record["samples_saved"] = self.samples_saved
+        if self.stop_reason is not None:
+            record["stop_reason"] = self.stop_reason
+        if self.shard is not None:
+            record["shard"] = self.shard
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LegProvenance":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            relay=data["relay"],
+            rtt_ms=data.get("rtt_ms"),
+            samples_requested=int(data.get("samples_requested", 0)),
+            samples_kept=int(data.get("samples_kept", 0)),
+            samples_saved=int(data.get("samples_saved", 0)),
+            stop_reason=data.get("stop_reason"),
+            duration_ms=float(data.get("duration_ms", 0.0)),
+            shard=data.get("shard"),
+        )
+
+
 class ProvenanceLog:
-    """An append-only collection of :class:`PairProvenance` records.
+    """An append-only collection of :class:`PairProvenance` records,
+    plus the campaign's :class:`LegProvenance` records.
 
     Shard workers each build one; the parent folds them together with
     :meth:`merge`, retagging adopted records with the worker index so a
-    fused log still says which process measured what.
+    fused log still says which process measured what. Leg records are
+    kept separately from pair records — ``len(log)`` and iteration stay
+    pair-only, so the historical per-pair schema is unchanged.
     """
 
-    __slots__ = ("_records",)
+    __slots__ = ("_records", "_legs")
 
     def __init__(self) -> None:
         self._records: list[PairProvenance] = []
+        self._legs: list[LegProvenance] = []
 
     def add(self, record: PairProvenance) -> None:
         """Append one pair's provenance."""
         self._records.append(record)
+
+    def add_leg(self, record: LegProvenance) -> None:
+        """Append one leg circuit's provenance."""
+        self._legs.append(record)
+
+    def legs(self) -> list[LegProvenance]:
+        """All leg records, in insertion order."""
+        return list(self._legs)
+
+    def leg_for(self, relay: str) -> LegProvenance | None:
+        """The leg record for one relay, or ``None``."""
+        for record in self._legs:
+            if record.relay == relay:
+                return record
+        return None
 
     def records(self) -> list[PairProvenance]:
         """All records, in insertion order."""
@@ -318,9 +390,14 @@ class ProvenanceLog:
 
         ``shard`` retags the adopted records with the worker that
         produced them; records that already carry a shard keep it.
+        Leg records from another :class:`ProvenanceLog` are adopted too,
+        but keep their own shard field untouched — a ``None`` there
+        means "measured by the campaign-wide leg phase", which is an
+        attribution, not a gap to fill.
         """
         if isinstance(other, ProvenanceLog):
             adopted = [PairProvenance.from_dict(r.to_dict()) for r in other._records]
+            self.merge_legs(other.legs_to_list())
         else:
             adopted = [PairProvenance.from_dict(r) for r in other]
         for record in adopted:
@@ -329,16 +406,43 @@ class ProvenanceLog:
             self._records.append(record)
         return self
 
+    def merge_legs(
+        self,
+        legs: "list[dict[str, Any]]",
+        shard: int | None = None,
+    ) -> "ProvenanceLog":
+        """Adopt serialized leg records. Returns self.
+
+        ``shard`` retags legs a *worker* had to measure itself; leg-phase
+        records pass ``shard=None`` and keep their phase attribution.
+        """
+        for entry in legs:
+            record = LegProvenance.from_dict(entry)
+            if shard is not None and record.shard is None:
+                record.shard = shard
+            self._legs.append(record)
+        return self
+
     def to_list(self) -> list[dict[str, Any]]:
-        """JSON-ready list of every record."""
+        """JSON-ready list of every pair record."""
         return [record.to_dict() for record in self._records]
 
+    def legs_to_list(self) -> list[dict[str, Any]]:
+        """JSON-ready list of every leg record."""
+        return [record.to_dict() for record in self._legs]
+
     @classmethod
-    def from_list(cls, data: list[dict[str, Any]]) -> "ProvenanceLog":
-        """Rebuild a log from :meth:`to_list` output."""
+    def from_list(
+        cls,
+        data: list[dict[str, Any]],
+        legs: list[dict[str, Any]] | None = None,
+    ) -> "ProvenanceLog":
+        """Rebuild a log from :meth:`to_list` (+ :meth:`legs_to_list`) output."""
         log = cls()
         for entry in data:
             log._records.append(PairProvenance.from_dict(entry))
+        for entry in legs or []:
+            log._legs.append(LegProvenance.from_dict(entry))
         return log
 
     def by_status(self, status: str) -> list[PairProvenance]:
@@ -394,6 +498,11 @@ class CampaignDataset:
             "matrix": json.loads(self.matrix.to_json()),
             "provenance": self.provenance.to_list(),
         }
+        # Leg provenance is additive: datasets without it (pre-v2
+        # campaigns) serialize byte-identically to the historical schema.
+        legs = self.provenance.legs_to_list()
+        if legs:
+            payload["legs"] = legs
         return json.dumps(payload, indent=indent)
 
     @classmethod
@@ -405,7 +514,9 @@ class CampaignDataset:
                 f"unknown dataset format {payload.get('format')!r}"
             )
         matrix = RttMatrix.from_json(json.dumps(payload["matrix"]))
-        provenance = ProvenanceLog.from_list(payload.get("provenance", []))
+        provenance = ProvenanceLog.from_list(
+            payload.get("provenance", []), legs=payload.get("legs")
+        )
         return cls(matrix=matrix, provenance=provenance, meta=payload.get("meta", {}))
 
     def save(self, path: str | Path) -> None:

@@ -196,6 +196,7 @@ class MeasurementHost:
             "echo.probes_lost",
             "echo.early_stops",
             "echo.probes_saved",
+            "ting.leg_cache_lookups",
             "ting.leg_cache_hits",
             "ting.leg_cache_misses",
             "ting.probes_saved",

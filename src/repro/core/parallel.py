@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.core.campaign import ProbeBudget
-from repro.core.dataset import PairProvenance, RttMatrix
+from repro.core.dataset import LegProvenance, PairProvenance, RttMatrix
 from repro.core.measurement_host import MeasurementHost
 from repro.core.sampling import SamplePolicy, debiased_min_estimate
 from repro.obs import (
@@ -101,6 +101,11 @@ class ParallelReport:
     probes_saved: int = 0
     #: Probe rounds that terminated on convergence rather than the cap.
     early_stops: int = 0
+    #: Leg circuits this campaign actually built (attempted), as opposed
+    #: to legs satisfied by pre-warmed estimates. Ting's decomposition
+    #: needs exactly n of these per campaign, however the pair work is
+    #: distributed — shard workers running behind a leg phase assert 0.
+    legs_measured: int = 0
 
 
 class _CircuitProbe:
@@ -219,6 +224,9 @@ class ParallelCampaign:
         pairs: Sequence[tuple[str, str]] | None = None,
         isolation: TaskIsolation | None = None,
         budget: ProbeBudget | None = None,
+        legs: Sequence[str] | None = None,
+        leg_estimates: dict[str, float] | None = None,
+        leg_failures: dict[str, str] | None = None,
     ) -> None:
         if len(relays) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -227,17 +235,27 @@ class ParallelCampaign:
             raise MeasurementError("duplicate relays in campaign set")
         if concurrency < 1:
             raise MeasurementError("concurrency must be >= 1")
+        known = set(fingerprints)
         if pairs is not None:
-            known = set(fingerprints)
             for a, b in pairs:
                 if a == b or a not in known or b not in known:
                     raise MeasurementError(f"invalid campaign pair ({a}, {b})")
+        for name, mapping in (("legs", legs), ("leg_estimates", leg_estimates),
+                              ("leg_failures", leg_failures)):
+            for fp in mapping or ():
+                if fp not in known:
+                    raise MeasurementError(f"unknown relay {fp!r} in {name}")
         self.host = host
         self.relays = list(relays)
         self.policy = policy or SamplePolicy.high_accuracy()
         self.concurrency = concurrency
         #: Explicit pair subset (a shard); ``None`` means all C(n,2).
         self.pairs = list(pairs) if pairs is not None else None
+        #: Explicit leg task list. ``None`` derives legs from the pair
+        #: scope (every touched relay); a sharded campaign's leg phase
+        #: passes all fingerprints with ``pairs=[]``, and its workers
+        #: pass ``legs=[]`` because the phase pre-warmed everything.
+        self.legs = list(legs) if legs is not None else None
         #: When set, tasks run serially with per-task RNG/connection
         #: isolation; ``concurrency`` is ignored.
         self.isolation = isolation
@@ -251,25 +269,50 @@ class ParallelCampaign:
         self._w = host.relay_w.fingerprint
         self._z = host.relay_z.fingerprint
         # Leg results shared across pairs: fingerprint -> min RTT.
-        self._legs: dict[str, float] = {}
+        # Pre-warmed estimates (a sharded campaign's leg phase) are
+        # read-only inputs: tasks for them are never scheduled.
+        self._legs: dict[str, float] = dict(leg_estimates or {})
         self._leg_waiters: dict[str, list[Callable[[], None]]] = {}
-        self._leg_failures: dict[str, str] = {}
+        self._leg_failures: dict[str, str] = dict(leg_failures or {})
 
     # ------------------------------------------------------------------
+
+    @property
+    def leg_estimates(self) -> dict[str, float]:
+        """Every known leg estimate (pre-warmed and measured), by relay."""
+        return dict(self._legs)
+
+    @property
+    def leg_failures(self) -> dict[str, str]:
+        """Every known leg failure reason, by relay."""
+        return dict(self._leg_failures)
 
     def _task_lists(self) -> tuple[list[str], list[tuple[str, str]]]:
         """Leg fingerprints and pair tasks for this campaign's scope."""
         if self.pairs is not None:
             pair_tasks = list(self.pairs)
-            needed = {fp for pair in pair_tasks for fp in pair}
-            leg_fps = [r.fingerprint for r in self.relays if r.fingerprint in needed]
+            if self.legs is not None:
+                wanted = set(self.legs)
+            else:
+                wanted = {fp for pair in pair_tasks for fp in pair}
         else:
             pair_tasks = [
                 (a.fingerprint, b.fingerprint)
                 for i, a in enumerate(self.relays)
                 for b in self.relays[i + 1 :]
             ]
-            leg_fps = [r.fingerprint for r in self.relays]
+            wanted = (
+                set(self.legs)
+                if self.legs is not None
+                else {r.fingerprint for r in self.relays}
+            )
+        leg_fps = [
+            r.fingerprint
+            for r in self.relays
+            if r.fingerprint in wanted
+            and r.fingerprint not in self._legs
+            and r.fingerprint not in self._leg_failures
+        ]
         return leg_fps, pair_tasks
 
     def run(self) -> ParallelReport:
@@ -379,16 +422,31 @@ class ParallelCampaign:
         connection close) crosses a task boundary. Together these make
         every task's samples a pure function of ``(root seed, task key)``.
         """
-        sim = self.host.sim
         report.peak_concurrency = 1
+        tasks: list[tuple[str, ...]] = [("leg", fp) for fp in leg_fps] + [
+            ("pair", a, b) for a, b in pair_tasks
+        ]
+        self._execute_isolated(tasks, matrix, report)
+
+    def _execute_isolated(
+        self,
+        tasks: list[tuple[str, ...]],
+        matrix: RttMatrix,
+        report: ParallelReport,
+    ) -> None:
+        """Run a task list serially under per-task isolation.
+
+        Task keys (``leg:<fp>`` / ``pair:<a>:<b>``) are what the
+        isolation recipe reseeds from, so a task produces bit-identical
+        samples whether it runs here as part of a full campaign, inside
+        one :meth:`run_pairs` chunk on a shard worker, or alone.
+        """
+        sim = self.host.sim
         state = {"done": False}
 
         def finished() -> None:
             state["done"] = True
 
-        tasks: list[tuple[str, ...]] = [("leg", fp) for fp in leg_fps] + [
-            ("pair", a, b) for a, b in pair_tasks
-        ]
         for task in tasks:
             key = ":".join(task)
             self.isolation.begin(key)
@@ -403,6 +461,49 @@ class ParallelCampaign:
             # Drain teardown traffic before the next task's reset/reseed.
             sim.run(max_events=10_000_000)
             self.host.metrics.inc("campaign.task_isolations")
+
+    def run_pairs(self, pairs: Sequence[tuple[str, str]]) -> ParallelReport:
+        """Measure one pair chunk incrementally, under task isolation.
+
+        The work-stealing dispatch in
+        :class:`~repro.core.shard.ShardedCampaign` calls this once per
+        stolen chunk: leg estimates accumulated so far (pre-warmed by
+        the campaign's leg phase, or measured by an earlier chunk) are
+        reused, and any relay still missing both an estimate and a
+        failure gets a leg task prepended — so the chunk is
+        self-sufficient even without a leg phase. Returns a per-chunk
+        report whose matrix holds only this chunk's entries;
+        ``legs_measured`` says how many leg circuits the chunk had to
+        build itself (zero when fully pre-warmed).
+        """
+        if self.isolation is None:
+            raise MeasurementError("run_pairs requires task isolation")
+        known = {r.fingerprint for r in self.relays}
+        for a, b in pairs:
+            if a == b or a not in known or b not in known:
+                raise MeasurementError(f"invalid campaign pair ({a}, {b})")
+        matrix = RttMatrix([r.fingerprint for r in self.relays])
+        report = ParallelReport(matrix=matrix, peak_concurrency=1)
+        started = self.host.sim.now
+        needed = [
+            fp
+            for fp in dict.fromkeys(fp for pair in pairs for fp in pair)
+            if fp not in self._legs and fp not in self._leg_failures
+        ]
+        tasks: list[tuple[str, ...]] = [("leg", fp) for fp in needed] + [
+            ("pair", a, b) for a, b in pairs
+        ]
+        self._execute_isolated(tasks, matrix, report)
+        report.pairs_attempted = len(pairs)
+        report.pairs_measured = matrix.num_measured
+        report.makespan_ms = self.host.sim.now - started
+        metrics = self.host.metrics
+        if metrics.enabled:
+            # Chunk counts sum to exactly what one unsharded run would
+            # record — the merged-counter invariance rests on this.
+            metrics.inc("campaign.pairs_attempted", report.pairs_attempted)
+            metrics.inc("campaign.pairs_measured", report.pairs_measured)
+        return report
 
     # ------------------------------------------------------------------
 
@@ -447,6 +548,7 @@ class ParallelCampaign:
         finished: Callable[[], None],
     ) -> None:
         events = self.host.events
+        started = self.host.sim.now
         if events.enabled:
             events.debug("leg", "started", relay=fingerprint)
         leg_span = self.host.spans.begin(LEG_SPAN, relay=fingerprint)
@@ -458,8 +560,10 @@ class ParallelCampaign:
         def done(result) -> None:
             self._legs[fingerprint] = self._estimate(result.rtts_ms, policy)
             self._account_probes(report, result)
+            report.legs_measured += 1
             # Each leg is measured exactly once and shared — the
             # campaign-level equivalent of a sequential cache miss.
+            self.host.metrics.inc("ting.leg_cache_lookups")
             self.host.metrics.inc("ting.leg_cache_misses")
             leg_span.end()
             if events.enabled:
@@ -469,11 +573,24 @@ class ParallelCampaign:
                     relay=fingerprint,
                     rtt_ms=self._legs[fingerprint],
                 )
+            if self.host.provenance is not None:
+                self.host.provenance.add_leg(
+                    LegProvenance(
+                        relay=fingerprint,
+                        rtt_ms=self._legs[fingerprint],
+                        samples_requested=policy.samples,
+                        samples_kept=len(result.rtts_ms),
+                        samples_saved=result.samples_saved,
+                        stop_reason=result.stop_reason,
+                        duration_ms=self.host.sim.now - started,
+                    )
+                )
             self._notify_leg(fingerprint)
             finished()
 
         def error(reason: str) -> None:
             self._leg_failures[fingerprint] = reason
+            report.legs_measured += 1
             leg_span.end()
             if events.enabled:
                 events.warning("leg", "failed", relay=fingerprint, reason=reason)
@@ -535,6 +652,7 @@ class ParallelCampaign:
             matrix.set(x_fp, y_fp, max(0.0, estimate))
             if metrics.enabled:
                 # Both legs came from the shared per-relay measurements.
+                metrics.inc("ting.leg_cache_lookups", 2)
                 metrics.inc("ting.leg_cache_hits", 2)
                 metrics.observe(
                     "campaign.pair_duration_ms", self.host.sim.now - started

@@ -1,48 +1,80 @@
-"""Sharded all-pairs campaigns across worker processes.
+"""Sharded all-pairs campaigns: leg phase + work-stealing workers.
 
 A single :class:`~repro.core.parallel.ParallelCampaign` is bound to one
 Python process; an all-pairs matrix over hundreds of relays is hours of
-single-core event processing. The measurements themselves are
-embarrassingly parallel, so :class:`ShardedCampaign` splits the C(n,2)
-pair list round-robin across worker processes. Each worker rebuilds the
-*identical* seeded testbed from a picklable factory, runs a
-:class:`~repro.core.parallel.ParallelCampaign` restricted to its pair
-shard, and ships its measured entries back; the parent merges them into
-one :class:`~repro.core.dataset.RttMatrix`.
+single-core event processing. The pair measurements are embarrassingly
+parallel, so :class:`ShardedCampaign` spreads them across forked worker
+processes — but naively sharding the *whole* campaign duplicates work:
+each of W workers would rebuild the leg circuit R_Cx for every relay its
+pair shard touches, measuring most legs W times and burning O(W·n) leg
+circuits where the Ting decomposition needs exactly n.
 
-The merged matrix is **invariant to the shard count**: every worker runs
-its tasks under :class:`~repro.core.parallel.TaskIsolation`, which makes
-each task's samples a pure function of ``(root seed, task key)`` — so it
-cannot matter which process a task landed in or which tasks ran before
-it. ``ShardedCampaign(workers=1)`` therefore produces bit-for-bit the
-same matrix as ``workers=4``, and the same as an unsharded
-``ParallelCampaign`` running with the same isolation recipe.
+Version 2 of the engine splits the campaign into two phases:
 
-Workers are forked (``multiprocessing`` fork context) so the factory and
-policy only need to be picklable — ``functools.partial(
-LiveTorTestbed.build, seed=..., n_relays=...)`` works as-is. Set
-``workers=0`` (or run on a platform without fork) to execute every shard
-inline in the parent process, which is also how the invariance tests
-compare shard counts deterministically.
+1. **Leg phase** (parent process, before any fork). One
+   :class:`~repro.core.parallel.ParallelCampaign` with ``pairs=[]`` and
+   ``legs=<all fingerprints>`` measures every relay's R_Cx exactly once,
+   under the same task isolation as everything else. The resulting
+   estimate cache (and any leg failures) ships to every worker read-only
+   — via fork copy-on-write, never re-pickled — and leg provenance is
+   attributed to the phase itself (``shard=None`` / :data:`LEG_PHASE`),
+   not to whichever worker would have rebuilt it first.
+
+2. **Pair phase** (work stealing). The pair list is cut into contiguous
+   chunks of ``steal_chunk_pairs`` and preloaded onto one shared task
+   queue, followed by one ``None`` sentinel per worker. Workers *steal*
+   chunks as they finish rather than receiving a static round-robin
+   stripe, so a slow worker (noisy neighbour, unlucky relay cluster)
+   holds at most one chunk hostage instead of 1/W of the campaign.
+   Each finished chunk's entries ship home immediately as a ``chunk``
+   message — batched incremental results instead of one big end-of-life
+   pickle — and the worker's final :class:`ShardResult` carries only the
+   totals.
+
+Workers assert the leg phase did its job: with ``leg_phase=True`` a
+worker that has to build *any* leg circuit raises, because every miss is
+exactly the duplicated-work bug this engine exists to kill. Set
+``leg_phase=False`` to get the old measure-on-demand behaviour (an
+ablation knob; counters then scale with W again).
+
+The merged matrix is **invariant to the worker count**: every task runs
+under :class:`~repro.core.parallel.TaskIsolation`, which makes each
+task's samples a pure function of ``(root seed, task key)`` — so it
+cannot matter which process a chunk landed in, which worker stole it, or
+what ran before it. ``workers=1``, ``workers=4``, and an unsharded
+``ParallelCampaign`` with the same isolation recipe produce bit-for-bit
+the same matrix; with the leg phase on, the deterministic *counters*
+(leg builds, cache hits/misses/lookups, probes, task isolations) are
+worker-count invariant too.
+
+``force_inline=True`` runs the same worker loop (same chunking, same
+telemetry sinks, same assertions) in-process with a deterministic chunk
+deal — how the invariance tests compare worker counts without fork
+nondeterminism, and the fallback for platforms without fork.
 
 Live telemetry
 --------------
 
-Pass a :class:`CampaignTelemetry` and every worker attaches a streaming
-sink to its rebuilt host's :class:`~repro.obs.events.EventBus`: events
-at or above ``stream_min_severity`` cross the fork boundary over one
-message queue, along with rate-limited **heartbeats** carrying absolute
-progress totals and the worker's in-flight pair or leg. The parent keeps
-a per-shard :class:`~repro.obs.events.FlightRecorder`, feeds a
-:class:`~repro.obs.events.ProgressTracker`, and arms a **stall
-watchdog**: a shard silent past ``stall_timeout_s`` trips it, which
-dumps every shard's flight-recorder ring (plus the stuck shard's
-in-flight task) to a post-mortem JSON artifact and fails the campaign
-with a categorized :class:`~repro.util.errors.MeasurementError` instead
-of hanging forever. The engine's per-batch hook pumps heartbeats from
-inside long simulator runs, so one slow pair is not mistaken for a hang.
+Pass a :class:`CampaignTelemetry` and the leg phase plus every worker
+attach a streaming sink to the host's
+:class:`~repro.obs.events.EventBus`: events at or above
+``stream_min_severity`` cross the fork boundary over one message queue,
+along with rate-limited **heartbeats** carrying absolute progress totals
+(``pairs_done``, ``pairs_total`` = pairs claimed so far under stealing)
+and the in-flight pair or leg. The parent keeps a per-shard
+:class:`~repro.obs.events.FlightRecorder` (the leg phase records under
+shard ``-1``), feeds a :class:`~repro.obs.events.ProgressTracker`, and
+arms a **stall watchdog**: a shard silent past ``stall_timeout_s`` trips
+it, which dumps every shard's flight-recorder ring (plus the stuck
+shard's in-flight task) to a post-mortem JSON artifact and fails the
+campaign with a categorized
+:class:`~repro.util.errors.MeasurementError` instead of hanging forever.
+The engine's per-batch hook pumps heartbeats from inside long simulator
+runs, so one slow pair is not mistaken for a hang — and because workers
+steal, a genuinely slow worker just claims fewer chunks instead of
+stalling the campaign.
 
-Independently of telemetry, ``worker_timeout_s`` bounds the whole run:
+Independently of telemetry, ``worker_timeout_s`` bounds the pair phase:
 a worker the OS killed is noticed via its exit code within a grace
 period, and a worker still grinding past the deadline fails the
 campaign with the shard index — both work with ``observe=False``.
@@ -52,6 +84,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -73,6 +106,20 @@ from repro.obs import (
 from repro.util.errors import MeasurementError
 from repro.util.units import Milliseconds
 
+#: Sentinel shard index for the campaign-wide leg phase: its telemetry,
+#: flight-recorder ring, and merged observability records are attributed
+#: to shard ``-1`` (leg *provenance* keeps ``shard=None`` — the phase
+#: belongs to the campaign, not to any shard).
+LEG_PHASE = -1
+
+
+def _schedulable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
 
 @dataclass
 class CampaignTelemetry:
@@ -87,11 +134,15 @@ class CampaignTelemetry:
 
     ``stall_timeout_s`` arms the watchdog (``None`` disables): a shard
     that produces neither events nor heartbeats for that long is
-    declared stalled. Size it to comfortably exceed worker startup (the
-    testbed rebuild emits nothing). ``drill_hang_after`` is fault
-    injection for drills and tests: ``{shard: n}`` wedges that worker
-    forever at its *n*-th pair start, after a forced heartbeat naming
-    the in-flight pair — forked workers only.
+    declared stalled. Size it to comfortably exceed worker startup.
+    Fault injection for drills and tests: ``drill_hang_after``
+    (``{shard: n}``) wedges that worker forever at its *n*-th pair
+    start, after a forced heartbeat naming the in-flight pair — forked
+    workers only; ``drill_slow_ms`` (``{shard: ms}``) sleeps that many
+    wall milliseconds at every pair start, turning one worker into a
+    straggler without wedging it — legal inline too, and the chaos tests
+    use it to prove stealing rebalances around slow workers without
+    tripping the watchdog.
     """
 
     bus: EventBus | None = None
@@ -103,19 +154,25 @@ class CampaignTelemetry:
     stream_min_severity: int = INFO
     ring_capacity: int = 512
     drill_hang_after: dict[int, int] = field(default_factory=dict)
+    drill_slow_ms: dict[int, float] = field(default_factory=dict)
 
 
 class _WorkerTelemetry:
     """Worker-side sink: streams events and heartbeats to the parent.
 
-    Attached to the worker's event bus inside :func:`_run_shard`. Every
-    emitted event updates local progress counters (pair lifecycle from
-    ``campaign`` events, probe totals from ``probe`` rounds, the
+    Attached to the worker's event bus inside :func:`_run_worker` (and
+    to the parent host's bus during the leg phase, as shard ``-1``).
+    Every emitted event updates local progress counters (pair lifecycle
+    from ``campaign`` events, probe totals from ``probe`` rounds, the
     in-flight label from pair/leg starts), rides the fork-boundary
     channel when at or above ``min_severity``, and gives the heartbeat
     pump a chance to fire. The simulator's per-batch hook calls
     :meth:`beat` too, so a worker grinding through one long simulator
     run still proves liveness between events.
+
+    ``pairs_total`` is the number of pairs this worker has *claimed* so
+    far — under work stealing it grows chunk by chunk, and heartbeats
+    carry the running value so the parent can attribute load.
     """
 
     def __init__(
@@ -125,6 +182,7 @@ class _WorkerTelemetry:
         heartbeat_s: float,
         min_severity: int,
         hang_after: int = 0,
+        slow_ms: float = 0.0,
         wall: Callable[[], float] = time.monotonic,
     ) -> None:
         self.send = send
@@ -134,6 +192,9 @@ class _WorkerTelemetry:
         #: Fault-injection drill: wedge forever at the Nth pair start
         #: (0 disables).
         self.hang_after = hang_after
+        #: Fault-injection drill: sleep this many wall milliseconds at
+        #: every pair start (0 disables) — a straggler, not a corpse.
+        self.slow_ms = slow_ms
         self._wall = wall
         self._last_beat = float("-inf")
         self.pairs_total = 0
@@ -153,6 +214,8 @@ class _WorkerTelemetry:
                 x, y = event.fields.get("x"), event.fields.get("y")
                 self.in_flight = f"pair {x}:{y}"
                 hang = self._pair_starts == self.hang_after
+                if self.slow_ms:
+                    time.sleep(self.slow_ms / 1000.0)
             elif kind == "pair_measured":
                 self.pairs_done += 1
                 self.in_flight = None
@@ -210,11 +273,12 @@ class _ShardMonitor:
 
     Streamed events land in a per-shard flight recorder *and* the
     parent bus (so sinks attached there see the whole campaign live);
-    heartbeats update ``last_seen``, the progress tracker, and the
-    in-flight labels the post-mortem names. The parent keeps its own
-    recorders because a hung child's memory — including its local ring —
-    is unreachable; what was streamed before the silence is all the
-    forensics there is.
+    heartbeats update ``last_seen``, the progress tracker (including
+    per-shard claimed totals under work stealing), and the in-flight
+    labels the post-mortem names. Any other message kind (``chunk``)
+    counts as liveness only. The parent keeps its own recorders because
+    a hung child's memory — including its local ring — is unreachable;
+    what was streamed before the silence is all the forensics there is.
     """
 
     def __init__(
@@ -245,7 +309,7 @@ class _ShardMonitor:
         )
 
     def handle(self, msg: tuple) -> None:
-        """Absorb one worker message (``hb`` or ``event``)."""
+        """Absorb one worker message (``hb``, ``event``, or liveness)."""
         kind, shard = msg[0], msg[1]
         self.last_seen[shard] = self._wall()
         if kind == "hb":
@@ -255,6 +319,7 @@ class _ShardMonitor:
                 shard,
                 pairs_done=payload.get("pairs_done", 0),
                 pairs_failed=payload.get("pairs_failed", 0),
+                pairs_total=payload.get("pairs_total", 0),
                 probes_sent=payload.get("probes_sent", 0),
                 probes_saved=payload.get("probes_saved", 0),
                 in_flight=payload.get("in_flight"),
@@ -317,11 +382,20 @@ class _ShardMonitor:
 class ShardResult:
     """What one worker ships back to the parent: plain picklable data.
 
+    Under work stealing the matrix *entries* arrive incrementally as
+    per-chunk messages; the parent folds them back into ``entries`` (in
+    chunk order) before merging, so by merge time this looks the same as
+    v1's one-shot result. ``chunks`` counts how many chunks the worker
+    stole; ``legs_measured`` how many leg circuits it had to build
+    itself (always 0 when the leg phase ran). The leg phase's own
+    artifacts ride a ShardResult with ``shard_index=LEG_PHASE``.
+
     The observability payloads are snapshots, not live objects — a
     metrics dict (:meth:`MetricsRegistry.snapshot`), a trace dict
-    (:meth:`TraceLog.snapshot`), span record dicts, provenance dicts,
-    and an event-bus dict (:meth:`EventBus.snapshot`). ``None`` means
-    the shard ran without observability.
+    (:meth:`TraceLog.snapshot`), span record dicts, pair-provenance
+    dicts, leg-provenance dicts, and an event-bus dict
+    (:meth:`EventBus.snapshot`). ``None`` means the shard ran without
+    observability.
     """
 
     shard_index: int
@@ -335,10 +409,13 @@ class ShardResult:
     probes_sent: int = 0
     probes_saved: int = 0
     early_stops: int = 0
+    legs_measured: int = 0
+    chunks: int = 0
     metrics: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     spans: list[dict[str, Any]] | None = None
     provenance: list[dict[str, Any]] | None = None
+    legs: list[dict[str, Any]] | None = None
     events: dict[str, Any] | None = None
 
 
@@ -346,12 +423,21 @@ class ShardResult:
 class ShardedReport:
     """Outcome of a sharded campaign, merged across all workers.
 
+    ``leg_phase`` is the campaign-wide leg phase's result (``None``
+    when ``leg_phase=False``); ``shards`` holds only the pair workers.
+    ``legs_measured`` sums leg circuit builds across the leg phase and
+    every worker — with the leg phase on it equals *n* exactly,
+    regardless of the worker count (the duplicated-work regression
+    guard).
+
     When the campaign ran with ``observe=True``, ``metrics``/``trace``/
     ``spans``/``provenance``/``events`` hold the *merged* observability
     state: counters summed, gauges maxed, histogram buckets summed, and
     every trace event, span, provenance record, and bus event tagged
-    with the shard that produced it. Deterministic counters in the
-    merged registry are invariant to the worker count.
+    with the shard that produced it (``-1`` = leg phase; leg provenance
+    records keep ``shard=None`` — the phase belongs to the campaign).
+    Deterministic counters in the merged registry are invariant to the
+    worker count.
 
     When the campaign ran with a :class:`CampaignTelemetry`, ``stream``
     is the parent-side bus fed live across the fork boundary and
@@ -363,6 +449,7 @@ class ShardedReport:
     pairs_measured: int = 0
     failures: list[tuple[str, str, str]] = field(default_factory=list)
     shards: list[ShardResult] = field(default_factory=list)
+    leg_phase: ShardResult | None = None
     workers: int = 1
     events_processed: int = 0
     cells_processed: int = 0
@@ -370,6 +457,7 @@ class ShardedReport:
     probes_sent: int = 0
     probes_saved: int = 0
     early_stops: int = 0
+    legs_measured: int = 0
     metrics: MetricsRegistry | None = None
     trace: TraceLog | None = None
     spans: SpanTracer | None = None
@@ -379,123 +467,237 @@ class ShardedReport:
     progress: ProgressTracker | None = None
 
 
-def _run_shard(
-    factory: Callable[[], object],
-    fingerprints: list[str],
-    shard_pairs: list[tuple[str, str]],
-    policy: SamplePolicy | None,
-    shard_index: int,
-    observe: bool = False,
+def _testbed_cells(testbed: Any) -> int:
+    """Total relay cells processed (network relays + local w and z)."""
+    cells = sum(relay.cells_processed for relay in testbed.relays)
+    cells += testbed.measurement.relay_w.cells_processed
+    cells += testbed.measurement.relay_z.cells_processed
+    return cells
+
+
+@dataclass
+class _WorkerJob:
+    """Everything one pair worker needs, inherited over fork (not
+    pickled): the parent-built testbed, the relay order, and the leg
+    phase's read-only estimate/failure caches."""
+
+    testbed: Any
+    fingerprints: list[str]
+    policy: SamplePolicy | None
+    shard_index: int
+    observe: bool
+    leg_estimates: dict[str, float]
+    leg_failures: dict[str, str]
+    #: When True every relay is covered by the leg caches and a chunk
+    #: that builds any leg circuit raises — the duplicated-work guard.
+    assert_prewarmed: bool
+
+
+def _run_worker(
+    job: _WorkerJob,
+    next_task: Callable[[], Any],
+    send_chunk: Callable[[tuple], None],
     telemetry: _WorkerTelemetry | None = None,
 ) -> ShardResult:
-    """Worker entry point: rebuild the world, measure one pair shard.
+    """Worker loop: steal pair chunks until the sentinel, ship each home.
 
-    Module-level (not a closure) so the fork context can inherit it.
-    The testbed factory must rebuild the *same* seeded world in every
-    worker — descriptors are then re-selected by fingerprint, so the
-    shard measures exactly the relays the parent asked about.
+    Module-level (not a closure) so the fork context inherits it and
+    tests can monkeypatch it. ``next_task`` yields ``(chunk_id, pairs)``
+    tuples and finally ``None`` — a blocking ``Queue.get`` in forked
+    mode, a deterministic iterator in inline mode. Each finished chunk's
+    entries leave immediately via ``send_chunk`` (kind ``"chunk"``); the
+    returned :class:`ShardResult` carries only totals and snapshots.
 
-    With ``observe`` the worker enables observability on its rebuilt
-    host and ships snapshots home instead of letting the live registry,
-    trace, spans, provenance, and event ring die with the process.
+    With ``job.observe`` the worker enables fresh observability on the
+    inherited host and ships snapshots home; the event bus is cleared
+    first so an inline emulation (shared host) and a forked child
+    (inherited parent bus) both start from an empty ring.
 
     With ``telemetry`` (a :class:`_WorkerTelemetry` whose ``send`` is
     already bound to the parent's channel) the worker wires a live
     event bus regardless of ``observe``, attaches the streaming sink,
-    and pumps heartbeats from the simulator's per-batch hook.
+    and pumps heartbeats from the simulator's per-batch hook. A forced
+    beat at every chunk claim publishes the stolen total.
     """
     from repro.core.parallel import ParallelCampaign
 
     if telemetry is not None:
-        # Birth heartbeat before the (silent) testbed rebuild, so the
-        # liveness clock starts at spawn rather than first measurement.
+        # Birth heartbeat: the liveness clock starts at spawn, not at
+        # the first measurement.
         telemetry.beat(force=True)
     started = time.perf_counter()
-    testbed = factory()
-    by_fp = {relay.fingerprint: relay for relay in testbed.relays}
-    missing = [fp for fp in fingerprints if fp not in by_fp]
-    if missing:
-        raise MeasurementError(
-            f"factory-built testbed lacks relays {missing[:3]}"
-            f"{'...' if len(missing) > 3 else ''}"
-        )
+    testbed = job.testbed
     host = testbed.measurement
-    if observe:
+    if job.observe:
         host.enable_observability()
+    if host.events.enabled:
+        host.events.clear()
+    events_start = testbed.sim.events_processed
+    cells_start = _testbed_cells(testbed)
+    makespan_start = testbed.sim.now
+    bus = None
     if telemetry is not None:
         bus = host.events if host.events.enabled else host.enable_events()
-        bus.shard = shard_index
-        telemetry.pairs_total = len(shard_pairs)
+        bus.shard = job.shard_index
         bus.add_sink(telemetry)
         testbed.sim.on_batch = telemetry.beat
-    elif observe:
-        host.events.shard = shard_index
-    descriptors = [by_fp[fp].descriptor() for fp in fingerprints]
+    elif job.observe:
+        host.events.shard = job.shard_index
+    by_fp = {relay.fingerprint: relay for relay in testbed.relays}
+    descriptors = [by_fp[fp].descriptor() for fp in job.fingerprints]
     campaign = ParallelCampaign(
-        testbed.measurement,
+        host,
         descriptors,
-        policy=policy,
-        pairs=shard_pairs,
+        policy=job.policy,
+        pairs=[],
+        legs=[],
         isolation=testbed.task_isolation(),
+        leg_estimates=job.leg_estimates,
+        leg_failures=job.leg_failures,
     )
-    report = campaign.run()
-    cells = sum(relay.cells_processed for relay in testbed.relays)
-    cells += testbed.measurement.relay_w.cells_processed
-    cells += testbed.measurement.relay_z.cells_processed
-    if telemetry is not None:
-        # Final forced beat so the parent's tracker lands on 100%.
-        telemetry.beat(force=True)
+    totals = {
+        "pairs_attempted": 0,
+        "probes_sent": 0,
+        "probes_saved": 0,
+        "early_stops": 0,
+        "legs_measured": 0,
+        "chunks": 0,
+    }
+    try:
+        if host.events.enabled:
+            host.events.info("shard", "worker_started", worker=job.shard_index)
+        while True:
+            task = next_task()
+            if task is None:
+                break
+            chunk_id, chunk_pairs = task
+            if telemetry is not None:
+                # Claim heartbeat: the stolen total moves *before* the
+                # chunk runs, so the parent can attribute load live.
+                telemetry.pairs_total += len(chunk_pairs)
+                telemetry.beat(force=True)
+            chunk = campaign.run_pairs(chunk_pairs)
+            if job.assert_prewarmed and chunk.legs_measured:
+                raise MeasurementError(
+                    f"shard {job.shard_index} chunk {chunk_id} rebuilt "
+                    f"{chunk.legs_measured} leg circuit(s) the leg phase "
+                    "should have pre-warmed"
+                )
+            totals["pairs_attempted"] += chunk.pairs_attempted
+            totals["probes_sent"] += chunk.probes_sent
+            totals["probes_saved"] += chunk.probes_saved
+            totals["early_stops"] += chunk.early_stops
+            totals["legs_measured"] += chunk.legs_measured
+            totals["chunks"] += 1
+            send_chunk(
+                (
+                    "chunk",
+                    job.shard_index,
+                    {
+                        "chunk": chunk_id,
+                        "entries": list(chunk.matrix.measured_pairs()),
+                        "failures": list(chunk.failures),
+                        "pairs_attempted": chunk.pairs_attempted,
+                        "legs_measured": chunk.legs_measured,
+                    },
+                )
+            )
+        if host.events.enabled:
+            host.events.info(
+                "shard",
+                "worker_finished",
+                worker=job.shard_index,
+                chunks=totals["chunks"],
+                pairs=totals["pairs_attempted"],
+            )
+        if telemetry is not None:
+            # Final forced beat so the parent's tracker lands on 100%.
+            telemetry.beat(force=True)
+    finally:
+        if telemetry is not None and bus is not None:
+            bus.remove_sink(telemetry)
+            testbed.sim.on_batch = None
     return ShardResult(
-        shard_index=shard_index,
-        entries=list(report.matrix.measured_pairs()),
-        failures=list(report.failures),
-        pairs_attempted=report.pairs_attempted,
-        events_processed=testbed.sim.events_processed,
-        cells_processed=cells,
-        makespan_ms=report.makespan_ms,
+        shard_index=job.shard_index,
+        entries=[],
+        failures=[],
+        pairs_attempted=totals["pairs_attempted"],
+        events_processed=testbed.sim.events_processed - events_start,
+        cells_processed=_testbed_cells(testbed) - cells_start,
+        makespan_ms=testbed.sim.now - makespan_start,
         wall_s=time.perf_counter() - started,
-        probes_sent=report.probes_sent,
-        probes_saved=report.probes_saved,
-        early_stops=report.early_stops,
-        metrics=host.metrics.snapshot() if observe else None,
-        trace=host.trace.snapshot() if observe else None,
-        spans=host.spans.records() if observe else None,
-        provenance=host.provenance.to_list() if observe else None,
-        events=host.events.snapshot() if observe else None,
+        probes_sent=totals["probes_sent"],
+        probes_saved=totals["probes_saved"],
+        early_stops=totals["early_stops"],
+        legs_measured=totals["legs_measured"],
+        chunks=totals["chunks"],
+        metrics=host.metrics.snapshot() if job.observe else None,
+        trace=host.trace.snapshot() if job.observe else None,
+        spans=host.spans.records() if job.observe else None,
+        provenance=host.provenance.to_list() if job.observe else None,
+        legs=host.provenance.legs_to_list() if job.observe else None,
+        events=host.events.snapshot() if job.observe else None,
     )
 
 
-def _shard_entry(
+def _worker_entry(
     channel: Any,
-    job: tuple,
+    tasks: Any,
+    job: _WorkerJob,
     telemetry: _WorkerTelemetry | None,
 ) -> None:
-    """Forked-process target: run one shard, ship the outcome home.
+    """Forked-process target: steal chunks until empty, ship the outcome.
 
     Exceptions cross the fork boundary as ``("error", shard, reason)``
     messages — the parent re-raises them as one MeasurementError, which
-    is how a worker that cannot rebuild its testbed fails the campaign
-    instead of hanging it.
+    is how a worker that trips the pre-warm assertion (or anything else)
+    fails the campaign instead of hanging it.
     """
-    shard_index = job[4]
     try:
-        result = _run_shard(*job, telemetry=telemetry)
+        result = _run_worker(
+            job, next_task=tasks.get, send_chunk=channel.put, telemetry=telemetry
+        )
     except BaseException as exc:  # noqa: BLE001 — serialized for the parent
-        channel.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+        channel.put(("error", job.shard_index, f"{type(exc).__name__}: {exc}"))
     else:
-        channel.put(("result", shard_index, result))
+        channel.put(("result", job.shard_index, result))
+
+
+def _absorb_chunks(result: ShardResult, payloads: list[dict]) -> None:
+    """Fold a worker's streamed chunk payloads back into its result.
+
+    Chunks are re-sorted by chunk id so the entry order is deterministic
+    regardless of steal order; the values themselves are steal-order
+    independent already (task isolation).
+    """
+    for payload in sorted(payloads, key=lambda p: p["chunk"]):
+        result.entries.extend(tuple(entry) for entry in payload["entries"])
+        result.failures.extend(tuple(item) for item in payload["failures"])
 
 
 class ShardedCampaign:
-    """All-pairs Ting campaign partitioned across worker processes.
+    """All-pairs Ting campaign: one leg phase, then work-stealing workers.
 
-    ``factory`` is any zero-argument picklable callable returning a
-    testbed with ``relays``, ``measurement``, ``sim``, and
-    ``task_isolation()`` — in practice ``functools.partial(
-    LiveTorTestbed.build, seed=..., n_relays=...)``. ``fingerprints``
-    names the relay subset to measure (order fixes the matrix's node
-    order). ``pairs`` optionally restricts the campaign to a pair
-    subset; by default all C(n,2) pairs are measured.
+    ``factory`` is any zero-argument callable returning a testbed with
+    ``relays``, ``measurement``, ``sim``, and ``task_isolation()`` — in
+    practice ``functools.partial(LiveTorTestbed.build, seed=...,
+    n_relays=...)``. The factory runs **once, in the parent**; forked
+    workers inherit the built testbed copy-on-write (v1 rebuilt the
+    world per worker). ``fingerprints`` names the relay subset to
+    measure (order fixes the matrix's node order). ``pairs`` optionally
+    restricts the campaign to a pair subset; by default all C(n,2)
+    pairs are measured.
+
+    ``steal_chunk_pairs`` sets the work-stealing granularity: smaller
+    chunks balance better but cross the fork boundary more often.
+    ``leg_phase=False`` disables the shared leg phase (workers measure
+    legs on demand — the v1 behaviour, kept as an ablation knob).
+    ``force_inline=True`` emulates the worker loop in-process with a
+    deterministic chunk deal — the invariance tests' comparison mode
+    and the no-fork fallback. ``clamp_to_cpus=True`` caps the *forked*
+    worker count at the schedulable CPU count (forking past the core
+    count is pure overhead; stealing makes the cap result-invariant),
+    collapsing to the inline emulation when only one CPU is available.
 
     ``telemetry`` opts into live streaming (heartbeats, watchdog,
     progress — see :class:`CampaignTelemetry`); ``worker_timeout_s``
@@ -520,6 +722,10 @@ class ShardedCampaign:
         observe: bool = False,
         telemetry: CampaignTelemetry | None = None,
         worker_timeout_s: float | None = None,
+        steal_chunk_pairs: int = 8,
+        leg_phase: bool = True,
+        force_inline: bool = False,
+        clamp_to_cpus: bool = False,
     ) -> None:
         if len(fingerprints) < 2:
             raise MeasurementError("need at least two relays for a campaign")
@@ -529,6 +735,8 @@ class ShardedCampaign:
             raise MeasurementError("workers must be >= 0")
         if worker_timeout_s is not None and worker_timeout_s <= 0:
             raise MeasurementError("worker_timeout_s must be positive")
+        if steal_chunk_pairs < 1:
+            raise MeasurementError("steal_chunk_pairs must be >= 1")
         self.factory = factory
         self.fingerprints = list(fingerprints)
         self.policy = policy
@@ -538,6 +746,19 @@ class ShardedCampaign:
         self.observe = observe
         self.telemetry = telemetry
         self.worker_timeout_s = worker_timeout_s
+        self.steal_chunk_pairs = steal_chunk_pairs
+        #: Measure every relay's leg once, campaign-wide, before pair
+        #: fan-out. ``False`` = v1 measure-on-demand (duplicates work).
+        self.leg_phase = leg_phase
+        #: Emulate the worker loop in-process (deterministic chunk deal)
+        #: even when ``workers > 1``.
+        self.force_inline = force_inline
+        #: Cap *forked* workers at the schedulable CPU count. On a box
+        #: with fewer cores than ``workers``, extra forks only add
+        #: copy-on-write and timesharing overhead; work stealing makes
+        #: the cap result-invariant. A cap of 1 falls back to the
+        #: inline emulation (still ``workers`` logical shards).
+        self.clamp_to_cpus = clamp_to_cpus
         if pairs is None:
             self.pairs = [
                 (a, b)
@@ -551,40 +772,69 @@ class ShardedCampaign:
                     raise MeasurementError(f"invalid campaign pair ({a}, {b})")
             self.pairs = list(pairs)
 
-    def shard_pairs(self) -> list[list[tuple[str, str]]]:
-        """Round-robin partition of the pair list, one shard per worker.
+    def pair_chunks(self) -> list[tuple[int, list[tuple[str, str]]]]:
+        """The pair list cut into ``steal_chunk_pairs``-sized chunks.
 
-        Round-robin (``pairs[i::n]``) balances the work better than
-        contiguous chunks: expensive relays (slow forwarding models)
-        cluster in the pair list, and striping spreads them out.
+        Contiguous chunks (not round-robin stripes): work stealing makes
+        static balance irrelevant, and contiguous ids keep the merged
+        entry order equal to the pair-list order.
         """
-        n_shards = max(1, self.workers)
-        shards = [self.pairs[i::n_shards] for i in range(n_shards)]
-        return [shard for shard in shards if shard]
+        size = self.steal_chunk_pairs
+        return [
+            (start // size, self.pairs[start : start + size])
+            for start in range(0, len(self.pairs), size)
+        ]
 
     def run(self) -> ShardedReport:
-        """Measure every pair; merge the per-shard results."""
+        """Leg phase, then steal every pair chunk; merge the results."""
         started = time.perf_counter()
-        shards = self.shard_pairs()
-        jobs = [
-            (self.factory, self.fingerprints, shard, self.policy, index, self.observe)
-            for index, shard in enumerate(shards)
-        ]
-        if self.workers <= 1 or len(jobs) <= 1:
-            if self.telemetry is not None and self.telemetry.drill_hang_after:
-                raise MeasurementError(
-                    "drill_hang_after requires forked workers (workers >= 2); "
-                    "an inline drill would wedge the parent process"
-                )
-            results, monitor = self._run_inline(jobs)
+        chunks = self.pair_chunks()
+        fork_workers = min(self.workers, max(1, len(chunks)))
+        if self.clamp_to_cpus:
+            fork_workers = min(fork_workers, _schedulable_cpus())
+        inline = self.workers <= 1 or self.force_inline or fork_workers <= 1
+        if inline and self.telemetry is not None and self.telemetry.drill_hang_after:
+            raise MeasurementError(
+                "drill_hang_after requires forked workers (workers >= 2); "
+                "an inline drill would wedge the parent process"
+            )
+        monitor = (
+            _ShardMonitor(self.telemetry, len(self.pairs))
+            if self.telemetry is not None
+            else None
+        )
+        testbed = self.factory()
+        by_fp = {relay.fingerprint: relay for relay in testbed.relays}
+        missing = [fp for fp in self.fingerprints if fp not in by_fp]
+        if missing:
+            raise MeasurementError(
+                f"factory-built testbed lacks relays {missing[:3]}"
+                f"{'...' if len(missing) > 3 else ''}"
+            )
+        leg_result = None
+        leg_estimates: dict[str, float] = {}
+        leg_failures: dict[str, str] = {}
+        if self.leg_phase:
+            leg_result, leg_estimates, leg_failures = self._run_leg_phase(
+                testbed, monitor
+            )
+        if inline:
+            results = self._run_inline(
+                testbed, chunks, monitor, leg_estimates, leg_failures
+            )
         else:
-            results, monitor = self._run_forked(jobs)
-        report = self._merge(results)
+            results = self._run_forked(
+                testbed, chunks, monitor, leg_estimates, leg_failures,
+                fork_workers,
+            )
+        report = self._merge(results, leg_result)
         if monitor is not None:
             report.stream = monitor.bus
             report.progress = monitor.progress
         report.wall_s = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------------------
 
     def _worker_telemetry(
         self, shard: int, send: Callable[[tuple], None]
@@ -596,65 +846,187 @@ class ShardedCampaign:
             heartbeat_s=telemetry.heartbeat_s,
             min_severity=telemetry.stream_min_severity,
             hang_after=telemetry.drill_hang_after.get(shard, 0),
+            slow_ms=telemetry.drill_slow_ms.get(shard, 0.0),
         )
+
+    def _worker_job(
+        self,
+        testbed: Any,
+        shard_index: int,
+        leg_estimates: dict[str, float],
+        leg_failures: dict[str, str],
+    ) -> _WorkerJob:
+        prewarmed = self.leg_phase and all(
+            fp in leg_estimates or fp in leg_failures for fp in self.fingerprints
+        )
+        return _WorkerJob(
+            testbed=testbed,
+            fingerprints=self.fingerprints,
+            policy=self.policy,
+            shard_index=shard_index,
+            observe=self.observe,
+            leg_estimates=leg_estimates,
+            leg_failures=leg_failures,
+            assert_prewarmed=prewarmed,
+        )
+
+    def _run_leg_phase(
+        self, testbed: Any, monitor: _ShardMonitor | None
+    ) -> tuple[ShardResult, dict[str, float], dict[str, str]]:
+        """Measure every relay's leg circuit once, in the parent.
+
+        Runs a pairs-free :class:`~repro.core.parallel.ParallelCampaign`
+        over all fingerprints under task isolation — so each leg task's
+        samples are bit-identical to what any worker (or an unsharded
+        campaign) would have measured for the same root seed. Telemetry
+        and observability artifacts are attributed to shard
+        :data:`LEG_PHASE`; leg provenance keeps ``shard=None``.
+        """
+        from repro.core.parallel import ParallelCampaign
+
+        host = testbed.measurement
+        started = time.perf_counter()
+        telemetry = None
+        if monitor is not None:
+            monitor.register(LEG_PHASE)
+            telemetry = self._worker_telemetry(LEG_PHASE, monitor.handle)
+            telemetry.beat(force=True)
+        if self.observe:
+            host.enable_observability()
+        bus = None
+        if telemetry is not None:
+            bus = host.events if host.events.enabled else host.enable_events()
+            bus.shard = LEG_PHASE
+            bus.add_sink(telemetry)
+            testbed.sim.on_batch = telemetry.beat
+        elif self.observe:
+            host.events.shard = LEG_PHASE
+        events_start = testbed.sim.events_processed
+        cells_start = _testbed_cells(testbed)
+        by_fp = {relay.fingerprint: relay for relay in testbed.relays}
+        descriptors = [by_fp[fp].descriptor() for fp in self.fingerprints]
+        campaign = ParallelCampaign(
+            host,
+            descriptors,
+            policy=self.policy,
+            pairs=[],
+            legs=self.fingerprints,
+            isolation=testbed.task_isolation(),
+        )
+        try:
+            report = campaign.run()
+            if telemetry is not None:
+                telemetry.beat(force=True)
+        finally:
+            if telemetry is not None and bus is not None:
+                bus.remove_sink(telemetry)
+                testbed.sim.on_batch = None
+        result = ShardResult(
+            shard_index=LEG_PHASE,
+            entries=[],
+            failures=[],
+            pairs_attempted=0,
+            events_processed=testbed.sim.events_processed - events_start,
+            cells_processed=_testbed_cells(testbed) - cells_start,
+            makespan_ms=report.makespan_ms,
+            wall_s=time.perf_counter() - started,
+            probes_sent=report.probes_sent,
+            probes_saved=report.probes_saved,
+            early_stops=report.early_stops,
+            legs_measured=report.legs_measured,
+            metrics=host.metrics.snapshot() if self.observe else None,
+            trace=host.trace.snapshot() if self.observe else None,
+            spans=host.spans.records() if self.observe else None,
+            provenance=host.provenance.to_list() if self.observe else None,
+            legs=host.provenance.legs_to_list() if self.observe else None,
+            events=host.events.snapshot() if self.observe else None,
+        )
+        return result, campaign.leg_estimates, campaign.leg_failures
 
     def _run_inline(
-        self, jobs: list[tuple]
-    ) -> tuple[list[ShardResult], _ShardMonitor | None]:
-        """Run every shard in-process, streaming straight to the monitor.
+        self,
+        testbed: Any,
+        chunks: list[tuple[int, list[tuple[str, str]]]],
+        monitor: _ShardMonitor | None,
+        leg_estimates: dict[str, float],
+        leg_failures: dict[str, str],
+    ) -> list[ShardResult]:
+        """Emulate the worker loop in-process, one worker at a time.
 
-        The same :class:`_WorkerTelemetry` sink runs with ``send`` bound
-        directly to the monitor's handler, so streamed event counts and
-        progress totals are produced by the identical code path as the
-        forked mode — the worker-count-invariance tests rely on that.
+        Worker *i* gets the deterministic chunk deal ``chunks[i::W]`` —
+        the steal order a perfectly fair race would produce — and runs
+        the *identical* :func:`_run_worker` code path on the shared
+        testbed, streaming straight to the monitor. Task isolation makes
+        the shared-host reuse safe; the worker-count-invariance tests
+        rely on this mode to compare worker counts deterministically.
         """
-        monitor = (
-            _ShardMonitor(self.telemetry, len(self.pairs))
-            if self.telemetry is not None
-            else None
-        )
-        results = []
-        for job in jobs:
+        n_workers = max(1, min(max(1, self.workers), max(1, len(chunks))))
+        results: list[ShardResult] = []
+        for index in range(n_workers):
+            deal = list(chunks[index::n_workers]) + [None]
+            queue = iter(deal)
+            payloads: list[dict] = []
             telemetry = None
             if monitor is not None:
-                monitor.register(job[4])
-                telemetry = self._worker_telemetry(job[4], monitor.handle)
-            results.append(_run_shard(*job, telemetry=telemetry))
-        return results, monitor
+                monitor.register(index)
+                telemetry = self._worker_telemetry(index, monitor.handle)
+            job = self._worker_job(testbed, index, leg_estimates, leg_failures)
+            result = _run_worker(
+                job,
+                next_task=lambda it=queue: next(it),
+                send_chunk=lambda msg, sink=payloads: sink.append(msg[2]),
+                telemetry=telemetry,
+            )
+            _absorb_chunks(result, payloads)
+            results.append(result)
+        return results
 
     def _run_forked(
-        self, jobs: list[tuple]
-    ) -> tuple[list[ShardResult], _ShardMonitor | None]:
-        """Fork one worker per shard; poll one queue for everything.
+        self,
+        testbed: Any,
+        chunks: list[tuple[int, list[tuple[str, str]]]],
+        monitor: _ShardMonitor | None,
+        leg_estimates: dict[str, float],
+        leg_failures: dict[str, str],
+        n_workers: int,
+    ) -> list[ShardResult]:
+        """Fork the workers; they steal chunks off one shared queue.
 
-        The single channel carries four message kinds — ``hb``,
-        ``event``, ``result``, ``error`` — so ordering per worker is
-        preserved and the parent's poll loop doubles as the liveness
-        clock: every ``queue.get`` timeout is a chance to notice a dead
-        worker, a blown deadline, or a stalled heartbeat.
+        The task queue is preloaded with every chunk plus one ``None``
+        sentinel per worker, so a fast worker simply claims more chunks
+        and every worker sees exactly one sentinel. The single result
+        channel carries five message kinds — ``hb``, ``event``,
+        ``chunk``, ``result``, ``error`` — and per-producer FIFO order
+        guarantees a worker's chunks all arrive before its result. The
+        parent's poll loop doubles as the liveness clock: every
+        ``queue.get`` timeout is a chance to notice a dead worker, a
+        blown deadline, or a stalled heartbeat.
         """
         ctx = multiprocessing.get_context("fork")
         channel = ctx.Queue()
-        monitor = (
-            _ShardMonitor(self.telemetry, len(self.pairs))
-            if self.telemetry is not None
-            else None
-        )
+        tasks = ctx.Queue()
+        for chunk in chunks:
+            tasks.put(chunk)
+        for _ in range(n_workers):
+            tasks.put(None)
         procs: dict[int, Any] = {}
-        for job in jobs:
-            shard = job[4]
+        for index in range(n_workers):
             telemetry = None
             if monitor is not None:
-                monitor.register(shard)
-                telemetry = self._worker_telemetry(shard, channel.put)
-            procs[shard] = ctx.Process(
-                target=_shard_entry, args=(channel, job, telemetry), daemon=True
+                monitor.register(index)
+                telemetry = self._worker_telemetry(index, channel.put)
+            job = self._worker_job(testbed, index, leg_estimates, leg_failures)
+            procs[index] = ctx.Process(
+                target=_worker_entry,
+                args=(channel, tasks, job, telemetry),
+                daemon=True,
             )
         started = time.monotonic()
         for proc in procs.values():
             proc.start()
         pending = set(procs)
         results: dict[int, ShardResult] = {}
+        chunk_payloads: dict[int, list[dict]] = {index: [] for index in procs}
         dead_since: dict[int, float] = {}
         try:
             while pending:
@@ -671,6 +1043,10 @@ class ShardedCampaign:
                         raise MeasurementError(
                             f"shard {shard} worker failed: {msg[2]}"
                         )
+                    elif kind == "chunk":
+                        chunk_payloads[shard].append(msg[2])
+                        if monitor is not None:
+                            monitor.handle(msg)  # liveness only
                     elif monitor is not None:
                         monitor.handle(msg)
                 now = time.monotonic()
@@ -706,7 +1082,9 @@ class ShardedCampaign:
                     msg = channel.get_nowait()
                 except Empty:
                     break
-                if monitor is not None and msg[0] in ("hb", "event"):
+                if msg[0] == "chunk":
+                    chunk_payloads[msg[1]].append(msg[2])
+                elif monitor is not None and msg[0] in ("hb", "event"):
                     monitor.handle(msg)
             for proc in procs.values():
                 proc.join(timeout=5.0)
@@ -716,10 +1094,16 @@ class ShardedCampaign:
                     proc.terminate()
             for proc in procs.values():
                 proc.join(timeout=1.0)
+            tasks.cancel_join_thread()
+            tasks.close()
             channel.close()
-        return [results[shard] for shard in sorted(results)], monitor
+        for index, result in results.items():
+            _absorb_chunks(result, chunk_payloads.get(index, []))
+        return [results[shard] for shard in sorted(results)]
 
-    def _merge(self, results: list[ShardResult]) -> ShardedReport:
+    def _merge(
+        self, results: list[ShardResult], leg_result: ShardResult | None = None
+    ) -> ShardedReport:
         matrix = RttMatrix(self.fingerprints)
         report = ShardedReport(matrix=matrix, workers=max(1, self.workers))
         if self.observe:
@@ -728,7 +1112,10 @@ class ShardedCampaign:
             report.spans = SpanTracer()
             report.provenance = ProvenanceLog()
             report.events = EventBus(capacity=4096)
-        for result in sorted(results, key=lambda r: r.shard_index):
+        ordered = ([] if leg_result is None else [leg_result]) + sorted(
+            results, key=lambda r: r.shard_index
+        )
+        for result in ordered:
             for a, b, rtt in result.entries:
                 if matrix.has(a, b):
                     raise MeasurementError(
@@ -742,7 +1129,11 @@ class ShardedCampaign:
             report.probes_sent += result.probes_sent
             report.probes_saved += result.probes_saved
             report.early_stops += result.early_stops
-            report.shards.append(result)
+            report.legs_measured += result.legs_measured
+            if result.shard_index == LEG_PHASE:
+                report.leg_phase = result
+            else:
+                report.shards.append(result)
             self._merge_observability(report, result)
         report.pairs_measured = matrix.num_measured
         return report
@@ -752,9 +1143,13 @@ class ShardedCampaign:
         """Fold one shard's observability snapshots into the report.
 
         Counter-sum / gauge-max / histogram-bucket-sum for metrics;
-        trace events, spans, provenance records, and event-bus rings are
-        adopted with a ``shard`` tag so per-worker attribution survives
-        the merge. Event counts sum per ``(category, severity)``.
+        trace events, spans, pair-provenance records, and event-bus
+        rings are adopted with a ``shard`` tag (``-1`` = leg phase) so
+        attribution survives the merge. Leg-provenance records from the
+        leg phase keep ``shard=None`` — the phase belongs to the
+        campaign; legs a worker measured itself (``leg_phase=False``)
+        are tagged with that worker. Event counts sum per
+        ``(category, severity)``.
         """
         if result.metrics is not None and report.metrics is not None:
             report.metrics.merge(MetricsRegistry.from_snapshot(result.metrics))
@@ -770,5 +1165,12 @@ class ShardedCampaign:
             report.spans.merge(result.spans, shard=result.shard_index)
         if result.provenance is not None and report.provenance is not None:
             report.provenance.merge(result.provenance, shard=result.shard_index)
+        if result.legs is not None and report.provenance is not None:
+            report.provenance.merge_legs(
+                result.legs,
+                shard=None
+                if result.shard_index == LEG_PHASE
+                else result.shard_index,
+            )
         if result.events is not None and report.events is not None:
             report.events.merge_snapshot(result.events, shard=result.shard_index)

@@ -163,15 +163,21 @@ class TingMeasurer:
         if events.enabled:
             events.info("ting", "pair_started", x=x_fp, y=y_fp)
         with self.host.spans.span(PAIR_SPAN, x=x_fp, y=y_fp):
-            if self.reuse_circuits and not (
-                self.cache_legs and x_fp in self._leg_cache
-            ):
-                circuit_xy, circuit_x = self._measure_pair_and_leg_with_reuse(
-                    x_fp, y_fp, policy
-                )
-                if self.cache_legs:
-                    self._leg_cache[x_fp] = circuit_x
-                    self.host.metrics.inc("ting.leg_cache_misses")
+            if self.reuse_circuits:
+                # The x-leg cache consult happens here (accounted like
+                # any other lookup); a miss is satisfied by carving C_x
+                # out of the pair circuit instead of a fresh build.
+                cached_x = self._leg_cache_lookup(x_fp)
+                if cached_x is None:
+                    circuit_xy, circuit_x = self._measure_pair_and_leg_with_reuse(
+                        x_fp, y_fp, policy
+                    )
+                    self._leg_cache_store(x_fp, circuit_x)
+                else:
+                    circuit_xy = self._measure_circuit(
+                        (w_fp, x_fp, y_fp, z_fp), policy
+                    )
+                    circuit_x = cached_x
             else:
                 circuit_xy = self._measure_circuit((w_fp, x_fp, y_fp, z_fp), policy)
                 circuit_x = self._measure_leg(x_fp, policy)
@@ -230,15 +236,45 @@ class TingMeasurer:
         x_fp = x.fingerprint if isinstance(x, RelayDescriptor) else x
         return self.cache_legs and x_fp in self._leg_cache
 
-    def _measure_leg(self, x_fp: str, policy: SamplePolicy) -> CircuitMeasurement:
-        if self.cache_legs and x_fp in self._leg_cache:
-            self.host.metrics.inc("ting.leg_cache_hits")
+    def _leg_cache_lookup(self, x_fp: str) -> CircuitMeasurement | None:
+        """Consult the shared leg cache — the *single* accounting point.
+
+        Every call with caching enabled is exactly one lookup, counted
+        as either a hit or a miss, so ``ting.leg_cache_lookups ==
+        ting.leg_cache_hits + ting.leg_cache_misses`` holds whichever
+        measurement path (fresh build or circuit-reuse surgery) ends up
+        satisfying a miss. With caching disabled nothing is counted:
+        there is no cache to consult.
+        """
+        if not self.cache_legs:
+            return None
+        metrics = self.host.metrics
+        metrics.inc("ting.leg_cache_lookups")
+        cached = self._leg_cache.get(x_fp)
+        if cached is not None:
+            metrics.inc("ting.leg_cache_hits")
             if self.host.trace.enabled:
                 self.host.trace.record(
                     self.host.sim.now, LEG_CACHE_HIT, relay=x_fp
                 )
+            return cached
+        metrics.inc("ting.leg_cache_misses")
+        if self.host.trace.enabled:
+            self.host.trace.record(
+                self.host.sim.now, LEG_CACHE_MISS, relay=x_fp
+            )
+        return None
+
+    def _leg_cache_store(self, x_fp: str, measurement: CircuitMeasurement) -> None:
+        """Fill the cache after a miss; the miss was counted at lookup."""
+        if self.cache_legs:
+            self._leg_cache[x_fp] = measurement
+
+    def _measure_leg(self, x_fp: str, policy: SamplePolicy) -> CircuitMeasurement:
+        cached = self._leg_cache_lookup(x_fp)
+        if cached is not None:
             # No span on a cache hit: nothing occupies simulated time.
-            return self._leg_cache[x_fp]
+            return cached
         with self.host.spans.span(LEG_SPAN, relay=x_fp):
             measurement = self._measure_circuit(
                 (self.host.relay_w.fingerprint, x_fp, self.host.relay_z.fingerprint),
@@ -247,13 +283,7 @@ class TingMeasurer:
                 # SamplePolicy.for_leg).
                 policy.for_leg(),
             )
-        if self.cache_legs:
-            self._leg_cache[x_fp] = measurement
-            self.host.metrics.inc("ting.leg_cache_misses")
-            if self.host.trace.enabled:
-                self.host.trace.record(
-                    self.host.sim.now, LEG_CACHE_MISS, relay=x_fp
-                )
+        self._leg_cache_store(x_fp, measurement)
         return measurement
 
     def measure_pair_circuit(

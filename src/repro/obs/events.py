@@ -529,6 +529,14 @@ class ProgressTracker:
     across shards. The pair-completion rate is an exponentially weighted
     moving average over wall time, so the ETA adapts when a slow shard
     drags the tail of a campaign.
+
+    Work-stealing dispatch makes a shard's *claimed* total
+    (``pairs_total`` in its heartbeat) grow mid-run as it takes chunks
+    off the shared queue — so per-shard totals are informational only,
+    and the ETA is always computed from the campaign-wide remaining
+    count: ``(pairs_total - pairs_done) / rate``. A shard racing ahead
+    raises the global rate; it never shrinks another shard's share of
+    the denominator.
     """
 
     def __init__(
@@ -558,14 +566,22 @@ class ProgressTracker:
         probes_sent: int = 0,
         probes_saved: int = 0,
         in_flight: str | None = None,
+        pairs_total: int = 0,
     ) -> None:
-        """Absorb one shard's absolute progress totals."""
+        """Absorb one shard's absolute progress totals.
+
+        ``pairs_total`` is the shard's claimed share so far — it grows
+        as a work-stealing worker takes chunks, and is *not* part of the
+        ETA denominator (the campaign-wide total is fixed at
+        construction).
+        """
         self._shards[shard] = {
             "pairs_done": pairs_done,
             "pairs_failed": pairs_failed,
             "probes_sent": probes_sent,
             "probes_saved": probes_saved,
             "in_flight": in_flight,
+            "pairs_total": pairs_total,
         }
         done = self.pairs_done
         now = self._clock()
@@ -624,6 +640,13 @@ class ProgressTracker:
             if state["in_flight"]
         }
 
+    def shard_progress(self) -> dict[int, tuple[int, int]]:
+        """Per-shard ``(done, claimed_total)`` — the steal balance view."""
+        return {
+            shard: (state["pairs_done"], state.get("pairs_total", 0))
+            for shard, state in sorted(self._shards.items())
+        }
+
     def snapshot(self) -> dict[str, Any]:
         """A JSON-ready view of the current progress state."""
         return {
@@ -636,6 +659,10 @@ class ProgressTracker:
             "eta_s": self.eta_s,
             "elapsed_s": self.elapsed_s,
             "in_flight": {str(k): v for k, v in self.in_flight().items()},
+            "shards": {
+                str(shard): {"pairs_done": done, "pairs_total": total}
+                for shard, (done, total) in self.shard_progress().items()
+            },
         }
 
     def render(self) -> str:

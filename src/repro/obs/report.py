@@ -150,6 +150,7 @@ _HEADLINE_COUNTERS = (
     "echo.probes_lost",
     "echo.early_stops",
     "ting.probes_saved",
+    "ting.leg_cache_lookups",
     "ting.leg_cache_hits",
     "ting.leg_cache_misses",
     "trace.uncategorized",

@@ -23,7 +23,7 @@ from repro.core.sampling import (
     debiased_min_estimate,
     samples_to_within,
 )
-from repro.core.shard import ShardedCampaign, _run_shard
+from repro.core.shard import ShardedCampaign
 from repro.core.ting import TingMeasurer
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.util.errors import MeasurementError
@@ -342,15 +342,12 @@ class TestAdaptiveCampaignProperties:
         saved = {}
         for workers in (1, 2, 4):
             campaign = ShardedCampaign(
-                FACTORY, fingerprints, policy=policy, workers=workers
+                FACTORY, fingerprints, policy=policy, workers=workers,
+                force_inline=True, steal_chunk_pairs=3,
             )
-            # Inline shard execution: partitioning is what is under
-            # test, not the process pool (same idiom as test_shard.py).
-            results = [
-                _run_shard(FACTORY, campaign.fingerprints, shard, policy, i)
-                for i, shard in enumerate(campaign.shard_pairs())
-            ]
-            report = campaign._merge(results)
+            # Inline worker emulation: dispatch is what is under test,
+            # not the process pool (same idiom as test_shard.py).
+            report = campaign.run()
             assert report.matrix.is_complete
             arrays[workers] = report.matrix.as_array()
             saved[workers] = report.probes_saved

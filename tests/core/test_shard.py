@@ -3,10 +3,12 @@
 The whole point of :class:`~repro.core.shard.ShardedCampaign` is that
 splitting the pair list across worker processes is *invisible* in the
 data: the merged matrix must be bit-for-bit identical whatever the
-shard count, and identical to an unsharded isolated campaign with the
-same seed. These tests run every shard layout inline (workers=1 forces
-in-process execution) so the comparison is exact and CI-stable; the
-multiprocess path itself is exercised by ``repro bench`` and the
+worker count, and identical to an unsharded isolated campaign with the
+same seed. These tests run every worker layout inline
+(``force_inline=True`` emulates the work-stealing loop with a
+deterministic chunk deal) so the comparison is exact and CI-stable; the
+forked work-stealing path itself is exercised by
+``tests/core/test_shard_steal.py``, ``repro bench``, and the
 benchmarks.
 """
 
@@ -17,7 +19,7 @@ import pytest
 
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
-from repro.core.shard import ShardedCampaign, ShardResult, _run_shard
+from repro.core.shard import LEG_PHASE, ShardedCampaign, ShardResult
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.util.errors import MeasurementError
 
@@ -34,26 +36,28 @@ def fingerprints():
     return [d.fingerprint for d in descriptors]
 
 
-def _merged_matrix(fingerprints, workers):
+def _run_sharded(fingerprints, workers, **kwargs):
+    # ``force_inline`` emulates the stealing worker loop in-process
+    # regardless of ``workers``, so the invariance comparison is free of
+    # fork/platform effects: the dispatch is what is under test, not the
+    # process pool.
     campaign = ShardedCampaign(
-        FACTORY, fingerprints, policy=POLICY, workers=workers
+        FACTORY,
+        fingerprints,
+        policy=POLICY,
+        workers=workers,
+        force_inline=True,
+        steal_chunk_pairs=kwargs.pop("steal_chunk_pairs", 3),
+        **kwargs,
     )
-    # Run each shard inline regardless of ``workers`` so the invariance
-    # comparison is free of fork/platform effects: partitioning is what
-    # is under test, not the process pool.
-    shards = campaign.shard_pairs()
-    results = [
-        _run_shard(FACTORY, campaign.fingerprints, shard, POLICY, index)
-        for index, shard in enumerate(shards)
-    ]
-    return campaign._merge(results)
+    return campaign.run()
 
 
 class TestShardInvariance:
-    def test_matrix_invariant_to_shard_count(self, fingerprints):
+    def test_matrix_invariant_to_worker_count(self, fingerprints):
         arrays = {}
         for workers in (1, 2, 4):
-            report = _merged_matrix(fingerprints, workers)
+            report = _run_sharded(fingerprints, workers)
             assert report.matrix.is_complete
             assert report.failures == []
             arrays[workers] = report.matrix.as_array()
@@ -61,7 +65,7 @@ class TestShardInvariance:
         assert np.array_equal(arrays[1], arrays[4])
 
     def test_matches_unsharded_isolated_campaign(self, fingerprints):
-        sharded = _merged_matrix(fingerprints, 4)
+        sharded = _run_sharded(fingerprints, 4)
 
         testbed = FACTORY()
         by_fp = {r.fingerprint: r for r in testbed.relays}
@@ -75,6 +79,14 @@ class TestShardInvariance:
         assert np.array_equal(
             sharded.matrix.as_array(), unsharded.matrix.as_array()
         )
+
+    def test_matrix_invariant_to_chunk_size(self, fingerprints):
+        baseline = _run_sharded(fingerprints, 2).matrix.as_array()
+        for chunk in (1, 5, 100):
+            report = _run_sharded(
+                fingerprints, 2, steal_chunk_pairs=chunk
+            )
+            assert np.array_equal(report.matrix.as_array(), baseline)
 
     def test_isolated_task_results_ignore_task_order(self, fingerprints):
         # The property the invariance rests on: a pair measured alone
@@ -102,23 +114,59 @@ class TestShardInvariance:
         assert alone.matrix.get(*pair) == full.matrix.get(*pair)
 
 
-class TestShardPartitioning:
-    def test_round_robin_covers_all_pairs_exactly_once(self, fingerprints):
-        campaign = ShardedCampaign(
-            FACTORY, fingerprints, policy=POLICY, workers=3
-        )
-        shards = campaign.shard_pairs()
-        flattened = [pair for shard in shards for pair in shard]
-        assert sorted(flattened) == sorted(campaign.pairs)
-        assert len(shards) <= 3
+class TestLegPhase:
+    def test_leg_builds_equal_n_for_every_worker_count(self, fingerprints):
+        # The duplicated-work regression: v1 rebuilt legs per worker, so
+        # total leg builds scaled with W. The leg phase pins it at n.
+        n = len(fingerprints)
+        for workers in (1, 2, 4):
+            report = _run_sharded(fingerprints, workers)
+            assert report.legs_measured == n
+            assert report.leg_phase is not None
+            assert report.leg_phase.shard_index == LEG_PHASE
+            assert report.leg_phase.legs_measured == n
+            assert all(s.legs_measured == 0 for s in report.shards)
 
-    def test_more_workers_than_pairs(self, fingerprints):
+    def test_ablation_duplicates_leg_work(self, fingerprints):
+        # ``leg_phase=False`` restores measure-on-demand: every worker
+        # rebuilds the legs its chunks touch, so total builds exceed n
+        # once the pair load spreads over multiple workers — the bug
+        # class this engine exists to kill, kept honest as a knob.
+        report = _run_sharded(fingerprints, 4, leg_phase=False)
+        assert report.leg_phase is None
+        assert report.legs_measured > len(fingerprints)
+        assert report.matrix.is_complete
+
+    def test_ablation_matrix_still_invariant(self, fingerprints):
+        with_phase = _run_sharded(fingerprints, 2).matrix.as_array()
+        without = _run_sharded(
+            fingerprints, 2, leg_phase=False
+        ).matrix.as_array()
+        assert np.array_equal(with_phase, without)
+
+
+class TestChunkPartitioning:
+    def test_chunks_cover_all_pairs_exactly_once(self, fingerprints):
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=3,
+            steal_chunk_pairs=4,
+        )
+        chunks = campaign.pair_chunks()
+        flattened = [pair for _, chunk in chunks for pair in chunk]
+        assert flattened == campaign.pairs
+        assert [cid for cid, _ in chunks] == list(range(len(chunks)))
+        assert all(len(chunk) <= 4 for _, chunk in chunks)
+
+    def test_more_workers_than_chunks(self, fingerprints):
         pairs = [(fingerprints[0], fingerprints[1])]
         campaign = ShardedCampaign(
             FACTORY, fingerprints, policy=POLICY, workers=8, pairs=pairs
         )
-        shards = campaign.shard_pairs()
-        assert shards == [pairs]
+        assert campaign.pair_chunks() == [(0, pairs)]
+        report = campaign.run()
+        # One chunk cannot feed eight workers: the run collapses inline.
+        assert len(report.shards) == 1
+        assert report.pairs_measured == 1
 
     def test_duplicate_entries_across_shards_rejected(self, fingerprints):
         campaign = ShardedCampaign(
@@ -141,6 +189,51 @@ class TestShardPartitioning:
         with pytest.raises(MeasurementError):
             campaign._merge(clashing)
 
+    def test_clamp_to_cpus_collapses_to_inline_on_one_core(
+        self, fingerprints, monkeypatch
+    ):
+        import repro.core.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod, "_schedulable_cpus", lambda: 1)
+
+        def no_fork(*args, **kwargs):
+            raise AssertionError("clamped run must not fork")
+
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=4,
+            clamp_to_cpus=True, steal_chunk_pairs=1,
+        )
+        monkeypatch.setattr(campaign, "_run_forked", no_fork)
+        report = campaign.run()
+        # Inline emulation keeps the full logical worker fleet.
+        assert len(report.shards) == 4
+        assert report.matrix.is_complete
+
+    def test_clamp_to_cpus_caps_forked_worker_count(
+        self, fingerprints, monkeypatch
+    ):
+        import repro.core.shard as shard_mod
+
+        monkeypatch.setattr(shard_mod, "_schedulable_cpus", lambda: 2)
+        campaign = ShardedCampaign(
+            FACTORY, fingerprints, policy=POLICY, workers=4,
+            clamp_to_cpus=True, steal_chunk_pairs=1,
+        )
+        seen = {}
+        real_forked = campaign._run_forked
+
+        def spy(testbed, chunks, monitor, leg_estimates, leg_failures, n):
+            seen["n_workers"] = n
+            return real_forked(
+                testbed, chunks, monitor, leg_estimates, leg_failures, n
+            )
+
+        monkeypatch.setattr(campaign, "_run_forked", spy)
+        report = campaign.run()
+        assert seen["n_workers"] == 2
+        assert len(report.shards) == 2
+        assert report.matrix.is_complete
+
     def test_validates_inputs(self, fingerprints):
         with pytest.raises(MeasurementError):
             ShardedCampaign(FACTORY, fingerprints[:1])
@@ -149,10 +242,15 @@ class TestShardPartitioning:
         with pytest.raises(MeasurementError):
             ShardedCampaign(FACTORY, fingerprints, workers=-1)
         with pytest.raises(MeasurementError):
+            ShardedCampaign(FACTORY, fingerprints, steal_chunk_pairs=0)
+        with pytest.raises(MeasurementError):
             ShardedCampaign(
                 FACTORY, fingerprints, pairs=[(fingerprints[0], "unknown")]
             )
 
-    def test_worker_rejects_unknown_fingerprint(self, fingerprints):
-        with pytest.raises(MeasurementError):
-            _run_shard(FACTORY, ["missing-fp"] + fingerprints, [], POLICY, 0)
+    def test_rejects_unknown_fingerprint_before_dispatch(self, fingerprints):
+        campaign = ShardedCampaign(
+            FACTORY, ["missing-fp"] + fingerprints, policy=POLICY, workers=1
+        )
+        with pytest.raises(MeasurementError, match="lacks relays"):
+            campaign.run()

@@ -2,10 +2,15 @@
 
 PR 2 made the *matrix* invariant to the shard count; these tests pin
 the same property for the observability layer. Deterministic counters
-(pairs attempted/measured, leg cache hits) in the merged registry must
-be identical for workers in {1, 2, 4} and identical to an unsharded
-instrumented run, and every adopted trace event, span, and provenance
-record must say which shard produced it.
+in the merged registry must be identical for workers in {1, 2, 4} and
+identical to an unsharded instrumented run, and every adopted trace
+event, span, and provenance record must say which shard produced it
+(``-1`` = the campaign-wide leg phase).
+
+With the shared leg phase, ``ting.leg_cache_misses`` joined the
+invariant set: exactly one miss per relay, campaign-wide, no matter how
+many workers steal pairs — the observable form of the duplicated-work
+fix.
 """
 
 import functools
@@ -15,7 +20,7 @@ import pytest
 
 from repro.core.parallel import ParallelCampaign
 from repro.core.sampling import SamplePolicy
-from repro.core.shard import ShardedCampaign, _run_shard
+from repro.core.shard import LEG_PHASE, ShardedCampaign
 from repro.testbeds.livetor import LiveTorTestbed
 
 SEED = 3
@@ -23,13 +28,18 @@ N_RELAYS = 14
 POLICY = SamplePolicy(samples=3, interval_ms=2.0)
 FACTORY = functools.partial(LiveTorTestbed.build, seed=SEED, n_relays=N_RELAYS)
 
-#: Counters that must not depend on how the pair list was partitioned.
-#: (ting.leg_cache_misses is deliberately absent: every worker measures
-#: its own legs, so misses scale with the worker count.)
+#: Counters that must not depend on how the pair list was partitioned,
+#: which worker stole which chunk, or how many workers ran. The leg
+#: phase made the whole cache-accounting triple invariant (v1 measured
+#: legs per worker, so misses scaled with the worker count).
 DETERMINISTIC_COUNTERS = (
     "campaign.pairs_attempted",
     "campaign.pairs_measured",
+    "campaign.task_isolations",
+    "ting.leg_cache_lookups",
     "ting.leg_cache_hits",
+    "ting.leg_cache_misses",
+    "echo.probes_sent",
 )
 
 
@@ -41,16 +51,17 @@ def fingerprints():
 
 
 def _observed_merge(fingerprints, workers):
-    """Run every shard inline with observability on, then merge."""
+    """Run the stealing worker loop inline with observability on."""
     campaign = ShardedCampaign(
-        FACTORY, fingerprints, policy=POLICY, workers=workers, observe=True
+        FACTORY,
+        fingerprints,
+        policy=POLICY,
+        workers=workers,
+        observe=True,
+        force_inline=True,
+        steal_chunk_pairs=2,
     )
-    shards = campaign.shard_pairs()
-    results = [
-        _run_shard(FACTORY, campaign.fingerprints, shard, POLICY, index, True)
-        for index, shard in enumerate(shards)
-    ]
-    return campaign._merge(results)
+    return campaign.run()
 
 
 @pytest.fixture(scope="module")
@@ -59,7 +70,7 @@ def merged_by_workers(fingerprints):
 
 
 class TestMergedCounterInvariance:
-    def test_deterministic_counters_invariant_to_shard_count(
+    def test_deterministic_counters_invariant_to_worker_count(
         self, merged_by_workers
     ):
         values = {
@@ -72,8 +83,22 @@ class TestMergedCounterInvariance:
         assert values[1] == values[2] == values[4]
         assert values[1]["campaign.pairs_attempted"] == 10
         assert values[1]["campaign.pairs_measured"] == 10
-        # Every measured pair reuses both shared legs.
+        # Every measured pair reuses both shared legs; every relay
+        # misses exactly once — in the leg phase, nowhere else.
         assert values[1]["ting.leg_cache_hits"] == 20
+        assert values[1]["ting.leg_cache_misses"] == 5
+        assert values[1]["ting.leg_cache_lookups"] == 25
+        # One isolation context per task: 5 legs + 10 pairs.
+        assert values[1]["campaign.task_isolations"] == 15
+
+    def test_cache_accounting_identity(self, merged_by_workers):
+        # hits + misses == lookups, with no third bucket to hide in.
+        for report in merged_by_workers.values():
+            assert report.metrics.counter(
+                "ting.leg_cache_lookups"
+            ) == report.metrics.counter(
+                "ting.leg_cache_hits"
+            ) + report.metrics.counter("ting.leg_cache_misses")
 
     def test_matches_unsharded_instrumented_run(
         self, fingerprints, merged_by_workers
@@ -101,15 +126,14 @@ class TestMergedCounterInvariance:
         self, fingerprints, merged_by_workers
     ):
         # Observability must not perturb the measurement itself.
-        plain = ShardedCampaign(
-            FACTORY, fingerprints, policy=POLICY, workers=2
-        )
-        shards = plain.shard_pairs()
-        results = [
-            _run_shard(FACTORY, plain.fingerprints, shard, POLICY, index)
-            for index, shard in enumerate(shards)
-        ]
-        unobserved = plain._merge(results)
+        unobserved = ShardedCampaign(
+            FACTORY,
+            fingerprints,
+            policy=POLICY,
+            workers=2,
+            force_inline=True,
+            steal_chunk_pairs=2,
+        ).run()
         assert unobserved.metrics is None
         for report in merged_by_workers.values():
             assert np.array_equal(
@@ -121,17 +145,23 @@ class TestMergedArtifacts:
     def test_trace_events_are_shard_tagged(self, merged_by_workers):
         report = merged_by_workers[2]
         shards_seen = {event.fields.get("shard") for event in report.trace}
-        assert shards_seen == {0, 1}
+        assert shards_seen == {LEG_PHASE, 0, 1}
         assert report.trace.dropped == 0
 
     def test_spans_are_shard_tagged_and_cover_hierarchy(self, merged_by_workers):
         report = merged_by_workers[2]
-        assert {r["shard"] for r in report.spans.records()} == {0, 1}
-        assert report.spans.count("campaign") == 2  # one per shard
+        assert {r["shard"] for r in report.spans.records()} == {LEG_PHASE, 0, 1}
+        # Exactly one campaign span — the leg phase's. Workers run pair
+        # chunks, not campaigns, so the count no longer scales with W.
+        assert report.spans.count("campaign") == 1
         assert report.spans.count("pair") == 10
-        assert report.spans.count("leg") > 0
+        assert report.spans.count("leg") == 5
         assert report.spans.count("circuit_build") > 0
         assert report.spans.count("probe_round") > 0
+        leg_shards = {
+            r["shard"] for r in report.spans.records() if r["name"] == "leg"
+        }
+        assert leg_shards == {LEG_PHASE}
 
     def test_provenance_merges_with_shard_attribution(self, merged_by_workers):
         for workers, report in merged_by_workers.items():
@@ -145,6 +175,32 @@ class TestMergedArtifacts:
                     (record.leg_x_ms + record.leg_y_ms) / 2.0
                 )
 
+    def test_leg_provenance_belongs_to_the_campaign(self, merged_by_workers):
+        for report in merged_by_workers.values():
+            legs = report.provenance.legs()
+            assert len(legs) == 5
+            # The leg phase is campaign-wide: no shard owns a leg.
+            assert {record.shard for record in legs} == {None}
+            assert all(record.rtt_ms is not None for record in legs)
+            assert all(
+                record.samples_kept == POLICY.samples for record in legs
+            )
+            by_relay = {record.relay: record for record in legs}
+            assert set(by_relay) == set(
+                record.x for record in report.provenance
+            ) | set(record.y for record in report.provenance)
+
+    def test_leg_provenance_consistent_with_pair_records(self, merged_by_workers):
+        report = merged_by_workers[2]
+        by_relay = {record.relay: record for record in report.provenance.legs()}
+        for record in report.provenance:
+            assert record.leg_x_ms == pytest.approx(
+                by_relay[record.x].rtt_ms, abs=1e-6
+            )
+            assert record.leg_y_ms == pytest.approx(
+                by_relay[record.y].rtt_ms, abs=1e-6
+            )
+
     def test_provenance_rtts_match_matrix(self, merged_by_workers):
         report = merged_by_workers[4]
         for record in report.provenance:
@@ -154,9 +210,15 @@ class TestMergedArtifacts:
             )
 
     def test_forked_pool_merges_same_counters(self, fingerprints):
-        # The real multiprocess path (fork) must agree with inline runs.
+        # The real multiprocess path (fork + work stealing) must agree
+        # with the deterministic inline emulation.
         report = ShardedCampaign(
-            FACTORY, fingerprints, policy=POLICY, workers=2, observe=True
+            FACTORY,
+            fingerprints,
+            policy=POLICY,
+            workers=2,
+            observe=True,
+            steal_chunk_pairs=2,
         ).run()
         inline = _observed_merge(fingerprints, 2)
         assert np.array_equal(
@@ -164,3 +226,4 @@ class TestMergedArtifacts:
         )
         for name in DETERMINISTIC_COUNTERS:
             assert report.metrics.counter(name) == inline.metrics.counter(name)
+        assert report.legs_measured == inline.legs_measured == 5

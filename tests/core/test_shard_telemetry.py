@@ -9,9 +9,12 @@ an OS-killed worker or a blown per-worker deadline fails ``run()``
 with the shard index instead of hanging it forever.
 
 The fork-context workers inherit the parent's memory, so
-monkeypatching ``_run_shard`` in this process changes what the *forked
+monkeypatching ``_run_worker`` in this process changes what the *forked
 children* execute — that is how the dead-worker and runaway-worker
 faults are injected without any cooperation from the worker code.
+
+The leg phase reports as shard ``-1``: it heartbeats, streams, and gets
+its own flight-recorder ring like any worker.
 """
 
 import functools
@@ -24,7 +27,7 @@ import pytest
 
 import repro.core.shard as shard_mod
 from repro.core.sampling import SamplePolicy
-from repro.core.shard import CampaignTelemetry, ShardedCampaign
+from repro.core.shard import LEG_PHASE, CampaignTelemetry, ShardedCampaign
 from repro.obs import INFO, EventBus, categorize_failure
 from repro.testbeds.livetor import LiveTorTestbed
 from repro.util.errors import MeasurementError
@@ -59,7 +62,7 @@ def _run_instrumented(fingerprints, workers):
 
 
 class TestWorkerCountInvariance:
-    """Event counts and progress must not depend on the shard layout."""
+    """Event counts and progress must not depend on the worker layout."""
 
     @pytest.fixture(scope="class")
     def reports(self, fingerprints):
@@ -90,19 +93,35 @@ class TestWorkerCountInvariance:
             progress = reports[workers].progress
             assert (progress.pairs_done, progress.pairs_failed) == base
 
-    def test_streamed_probe_totals_match_merged_report(self, reports):
-        # Probe counts are *not* worker-count invariant (leg caching is
-        # per-shard), but for any given layout the streamed totals must
-        # agree with what the merged shard results report.
+    def test_probe_totals_invariant_and_match_merged_report(self, reports):
+        # With the campaign-wide leg phase, probe totals joined the
+        # invariant set (v1 re-measured legs per shard, so they scaled
+        # with the worker count) — and for any layout the streamed
+        # totals must agree with what the merged results report.
+        base = reports[1].progress.probes_sent
+        assert base > 0
         for report in reports.values():
+            assert report.progress.probes_sent == base
             assert report.progress.probes_sent == report.probes_sent
             assert report.progress.probes_saved == report.probes_saved
-            assert report.progress.probes_sent > 0
 
     def test_progress_reaches_completion(self, reports):
         for report in reports.values():
             assert report.progress.pairs_done == report.progress.pairs_total
             assert report.progress.in_flight() == {}
+
+    def test_stolen_pair_claims_sum_to_total(self, reports):
+        # Heartbeats carry absolute claimed totals per shard; under
+        # stealing the per-shard splits differ by layout, but the
+        # claimed sum always covers the whole pair list. The leg phase
+        # (shard -1) claims no pairs.
+        for report in reports.values():
+            claims = report.progress.shard_progress()
+            pair_shards = {s: c for s, c in claims.items() if s != LEG_PHASE}
+            assert sum(total for _, total in pair_shards.values()) == 10
+            assert sum(done for done, _ in pair_shards.values()) == 10
+            if LEG_PHASE in claims:
+                assert claims[LEG_PHASE] == (0, 0)
 
 
 class TestStallWatchdog:
@@ -114,9 +133,13 @@ class TestStallWatchdog:
             heartbeat_s=0.1,
             stall_timeout_s=2.0,
             postmortem_path=dump,
-            drill_hang_after={1: 1},
+            drill_hang_after={0: 1},
         )
-        campaign = _campaign(fingerprints, 2, telemetry=telemetry)
+        # Worker 0 wedges at its first stolen pair; small chunks keep
+        # plenty of work queued so worker 1 just keeps stealing.
+        campaign = _campaign(
+            fingerprints, 2, telemetry=telemetry, steal_chunk_pairs=1
+        )
         started = time.monotonic()
         with pytest.raises(MeasurementError) as excinfo:
             campaign.run()
@@ -124,19 +147,20 @@ class TestStallWatchdog:
         assert elapsed < FAIL_FAST_S
 
         message = str(excinfo.value)
-        assert "shard 1 stalled" in message
+        assert "shard 0 stalled" in message
         assert "flight recorder dumped to" in message
         assert categorize_failure(message) == "stall"
 
         doc = json.loads(dump.read_text())
         assert doc["category"] == "stall"
-        assert doc["stuck_shard"] == 1
+        assert doc["stuck_shard"] == 0
         # The drill's forced heartbeat named the wedged pair before the
         # silence began; the post-mortem must surface it.
         assert doc["in_flight"].startswith("pair ")
-        assert set(doc["rings"]) == {"0", "1"}
-        assert doc["rings"]["1"]["events"], "stuck shard streamed nothing"
-        assert "heartbeats" in doc and "1" in doc["heartbeats"]
+        # The leg phase has a ring of its own, as shard -1.
+        assert set(doc["rings"]) == {"-1", "0", "1"}
+        assert doc["rings"]["0"]["events"], "stuck shard streamed nothing"
+        assert "heartbeats" in doc and "0" in doc["heartbeats"]
 
     def test_watchdog_event_lands_on_stream(self, fingerprints, tmp_path):
         bus = EventBus(capacity=1024)
@@ -147,7 +171,9 @@ class TestStallWatchdog:
             postmortem_path=tmp_path / "pm.json",
             drill_hang_after={0: 1},
         )
-        campaign = _campaign(fingerprints, 2, telemetry=telemetry)
+        campaign = _campaign(
+            fingerprints, 2, telemetry=telemetry, steal_chunk_pairs=1
+        )
         with pytest.raises(MeasurementError):
             campaign.run()
         tripped = bus.events(kind="watchdog_tripped")
@@ -165,14 +191,14 @@ class TestWorkerFaults:
     """Dead and runaway workers: no telemetry required to fail fast."""
 
     def test_dead_worker_fails_campaign(self, fingerprints, monkeypatch):
-        real = shard_mod._run_shard
+        real = shard_mod._run_worker
 
         def killer(*args, **kwargs):
-            if args[4] == 1:
+            if args[0].shard_index == 1:
                 os._exit(9)  # simulate the OOM killer: no cleanup, no message
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(shard_mod, "_run_shard", killer)
+        monkeypatch.setattr(shard_mod, "_run_worker", killer)
         campaign = _campaign(fingerprints, 2)
         started = time.monotonic()
         with pytest.raises(MeasurementError) as excinfo:
@@ -184,14 +210,14 @@ class TestWorkerFaults:
         assert categorize_failure(message) == "shard"
 
     def test_worker_timeout_fails_campaign(self, fingerprints, monkeypatch):
-        real = shard_mod._run_shard
+        real = shard_mod._run_worker
 
         def sleeper(*args, **kwargs):
-            if args[4] == 1:
+            if args[0].shard_index == 1:
                 time.sleep(600.0)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(shard_mod, "_run_shard", sleeper)
+        monkeypatch.setattr(shard_mod, "_run_worker", sleeper)
         campaign = _campaign(fingerprints, 2, worker_timeout_s=2.0)
         started = time.monotonic()
         with pytest.raises(MeasurementError) as excinfo:
@@ -200,6 +226,25 @@ class TestWorkerFaults:
         message = str(excinfo.value)
         assert "shard 1 worker exceeded the 2.0s deadline" in message
         assert categorize_failure(message) == "shard"
+
+    def test_worker_prewarm_assertion_fails_campaign(
+        self, fingerprints, monkeypatch
+    ):
+        # Sabotage the leg cache a worker receives: the zero-miss
+        # assertion must catch the duplicated work and fail the run.
+        real = shard_mod._run_worker
+
+        def saboteur(*args, **kwargs):
+            job = args[0]
+            if job.shard_index == 1:
+                job.leg_estimates = {}
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shard_mod, "_run_worker", saboteur)
+        campaign = _campaign(fingerprints, 2, steal_chunk_pairs=1)
+        with pytest.raises(MeasurementError) as excinfo:
+            campaign.run()
+        assert "leg phase should have pre-warmed" in str(excinfo.value)
 
     def test_worker_timeout_must_be_positive(self, fingerprints):
         with pytest.raises(MeasurementError):
@@ -214,7 +259,8 @@ class TestStreamingDetail:
     def test_stream_events_carry_shard_tags(self, fingerprints):
         report = _run_instrumented(fingerprints, 2)
         shards = {record["shard"] for record in report.stream.events()}
-        assert shards == {0, 1}
+        assert LEG_PHASE in shards
+        assert {0, 1} <= shards
 
     def test_min_severity_filters_stream(self, fingerprints):
         telemetry = CampaignTelemetry(

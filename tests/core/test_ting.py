@@ -175,3 +175,29 @@ class TestCircuitReuse:
         reuse.measure_pair(relays[0].descriptor(), relays[2].descriptor())
         assert reuse.circuits_reused == 1
         assert reuse.circuits_built == built_first + 2
+
+    @pytest.mark.parametrize("reuse_circuits", [False, True])
+    def test_leg_cache_accounting_identity(self, mini_world, reuse_circuits):
+        # Whichever path satisfies a miss (fresh build or circuit-reuse
+        # surgery), every consult is exactly one lookup counted as a hit
+        # or a miss — no third bucket.
+        host = mini_world.measurement
+        host.enable_observability()
+        measurer = TingMeasurer(
+            host,
+            policy=FAST,
+            reuse_circuits=reuse_circuits,
+            cache_legs=True,
+        )
+        relays = mini_world.relays
+        measurer.measure_pair(relays[0].descriptor(), relays[1].descriptor())
+        measurer.measure_pair(relays[0].descriptor(), relays[2].descriptor())
+        lookups = host.metrics.counter("ting.leg_cache_lookups")
+        hits = host.metrics.counter("ting.leg_cache_hits")
+        misses = host.metrics.counter("ting.leg_cache_misses")
+        assert lookups == hits + misses
+        # Two pairs consult x and y legs once each; relay 0's second
+        # appearance is the lone hit.
+        assert lookups == 4
+        assert hits == 1
+        assert misses == 3

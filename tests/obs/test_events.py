@@ -321,3 +321,39 @@ class TestProgressTracker:
             ProgressTracker(pairs_total=-1)
         with pytest.raises(ValueError):
             ProgressTracker(pairs_total=1, alpha=0.0)
+
+    def test_eta_uses_global_remaining_under_skewed_shards(self):
+        # Straggler-blindness regression: one fast shard must not make
+        # the ETA pretend the slow shard's backlog is nearly done. The
+        # ETA divides the *global* remaining count by the global rate,
+        # so the skew shows up as a longer ETA, not a shorter one.
+        now = [0.0]
+        tracker = ProgressTracker(pairs_total=100, clock=lambda: now[0])
+        now[0] = 1.0
+        tracker.update_shard(0, pairs_done=5, pairs_total=50)    # fast
+        now[0] = 2.0
+        tracker.update_shard(0, pairs_done=10, pairs_total=50)   # 5 pairs/s
+        tracker.update_shard(1, pairs_done=0, pairs_total=50)    # straggler
+        assert tracker.pairs_done == 10
+        assert tracker.rate_pairs_per_s == pytest.approx(5.0)
+        # 90 remaining at 5/s — the straggler's 50 untouched pairs are
+        # in the 90, not hidden behind the fast shard's 20% lead.
+        assert tracker.eta_s == pytest.approx(18.0)
+
+    def test_shard_progress_reports_claimed_totals(self):
+        tracker = ProgressTracker(pairs_total=10, clock=lambda: 0.0)
+        tracker.update_shard(0, pairs_done=3, pairs_total=6)
+        tracker.update_shard(1, pairs_done=1, pairs_total=2)
+        assert tracker.shard_progress() == {0: (3, 6), 1: (1, 2)}
+        # Re-delivered absolute totals stay idempotent for claims too.
+        tracker.update_shard(1, pairs_done=1, pairs_total=2)
+        assert tracker.shard_progress()[1] == (1, 2)
+
+    def test_snapshot_carries_per_shard_claims(self):
+        tracker = ProgressTracker(pairs_total=10, clock=lambda: 0.0)
+        tracker.update_shard(0, pairs_done=2, pairs_total=4)
+        snapshot = tracker.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["shards"] == {
+            "0": {"pairs_done": 2, "pairs_total": 4}
+        }

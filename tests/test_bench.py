@@ -83,12 +83,46 @@ class TestCheckRegressions:
         assert bench.load_report(path) == report
 
 
+class TestCheckCrossWorkload:
+    """The sharded-vs-parallel throughput guard inside one report."""
+
+    def test_sharded_at_or_above_parallel_passes(self):
+        report = _fake_report(campaign_parallel=2.0, campaign_sharded=1.5)
+        assert bench.check_cross_workload(report) == []
+
+    def test_sharded_within_margin_passes(self):
+        # Equal walls -> equal throughput -> ratio 1.0 >= margin.
+        report = _fake_report(campaign_parallel=2.0, campaign_sharded=2.0)
+        assert bench.check_cross_workload(report) == []
+
+    def test_sharded_below_margin_flagged(self):
+        # Sharded at half the parallel throughput — the v1 duplicated
+        # leg-work signature — must be flagged.
+        report = _fake_report(campaign_parallel=1.0, campaign_sharded=2.0)
+        problems = bench.check_cross_workload(report)
+        assert len(problems) == 1
+        assert "campaign_sharded" in problems[0]
+        assert "losing" in problems[0]
+
+    def test_margin_is_honoured(self):
+        report = _fake_report(campaign_parallel=1.0, campaign_sharded=1.2)
+        assert bench.check_cross_workload(report, margin=0.5) == []
+        assert len(bench.check_cross_workload(report, margin=0.95)) == 1
+
+    def test_missing_workload_flagged(self):
+        for present in ("campaign_parallel", "campaign_sharded"):
+            report = _fake_report(**{present: 1.0})
+            problems = bench.check_cross_workload(report)
+            assert len(problems) == 1
+            assert "missing" in problems[0]
+
+
 class TestBenchCommand:
     @pytest.fixture
     def tiny_report(self, monkeypatch):
         """Replace the real workloads with an instant fake run."""
         report = _fake_report(
-            cell_crypto=0.1, campaign_parallel=0.2, campaign_sharded=0.3
+            cell_crypto=0.1, campaign_parallel=0.3, campaign_sharded=0.2
         )
 
         def fake_run_bench(**kwargs):
@@ -125,6 +159,22 @@ class TestBenchCommand:
         err = capsys.readouterr().err
         assert "regression" in err
 
+    def test_check_fails_when_sharding_loses_to_parallel(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # Walls match the baseline exactly — only the cross-workload
+        # invariant is violated, and it alone must fail the check.
+        report = _fake_report(
+            cell_crypto=0.1, campaign_parallel=0.1, campaign_sharded=1.0
+        )
+        monkeypatch.setattr(bench, "run_bench", lambda **kwargs: dict(report))
+        baseline = tmp_path / "BENCH_ting.json"
+        bench.save_report(dict(report), baseline)
+        code = main(["bench", "--check", "--baseline", str(baseline)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "losing to the single process" in err
+
     def test_check_missing_baseline_is_an_error(self, tiny_report, tmp_path):
         code = main(
             ["bench", "--check", "--baseline", str(tmp_path / "absent.json")]
@@ -149,3 +199,14 @@ class TestBenchCommand:
                 sorted(bench.WORKLOAD_KEYS)
             )
             assert report[name]["wall_s"] > 0
+
+    def test_committed_baseline_sharding_beats_parallel(self):
+        # The acceptance bar for shard engine v2: the committed baseline
+        # must show the sharded campaign at or above the single-process
+        # campaign's throughput — not merely within the runtime margin.
+        report = bench.load_report(Path("BENCH_ting.json"))
+        assert (
+            report["campaign_sharded"]["throughput"]
+            >= report["campaign_parallel"]["throughput"]
+        )
+        assert bench.check_cross_workload(report) == []
