@@ -83,6 +83,61 @@ else:
     sys.exit("hung worker did not trip the watchdog")
 PY
 
+echo "== planner campaign smoke test =="
+# Full-network-scale gate for the budgeted planner path: a ~300-relay
+# target set, a cold-start budgeted campaign folded into a dataset,
+# then a second planner pass over the now-stale dataset that must (a)
+# produce a non-empty refresh plan, (b) actually update matrix entries
+# via absorb, and (c) keep the whole round trip under a hard wall
+# ceiling — the "1,000-relay campaigns in minutes" scale proof at CI
+# size. The outer `timeout` is the backstop against hangs.
+timeout 300 python - <<'PY'
+import functools, time
+
+from repro.core.dataset import CampaignDataset, RttMatrix
+from repro.core.planner import CampaignPlanner
+from repro.core.sampling import SamplePolicy
+from repro.core.shard import ShardedCampaign
+from repro.testbeds.livetor import LiveTorTestbed
+
+WALL_CEILING_S = 180.0
+started = time.monotonic()
+
+factory = functools.partial(LiveTorTestbed.build, seed=11, n_relays=320)
+testbed = factory()
+fps = [d.fingerprint
+       for d in testbed.random_relays(300, testbed.streams.get("ci.plan"))]
+policy = SamplePolicy(samples=3, interval_ms=2.0)
+
+# Round 1: cold start — every pair is a coverage candidate.
+plan = CampaignPlanner(fps, seed=11).plan(budget_pairs=400)
+assert len(plan.pairs) == 400, f"cold-start plan={len(plan.pairs)}"
+report = ShardedCampaign(
+    factory, fps, policy=policy, workers=4,
+    pairs=plan.pairs, observe=True, clamp_to_cpus=True,
+).run()
+dataset = CampaignDataset(matrix=RttMatrix(fps))
+absorbed = dataset.absorb(report.matrix, provenance=report.provenance)
+assert absorbed > 0, "cold-start campaign absorbed nothing"
+
+# Round 2: the dataset is now stale history — the planner must find a
+# non-empty refresh (unmeasured pairs still dominate at this budget)
+# and absorbing the rerun must touch entries again.
+replan = CampaignPlanner(fps, dataset=dataset, seed=12).plan(budget_pairs=200)
+assert len(replan.pairs) > 0, "refresh plan is empty"
+rerun = ShardedCampaign(
+    factory, fps, policy=policy, workers=4,
+    pairs=replan.pairs, observe=True, clamp_to_cpus=True,
+).run()
+refreshed = dataset.absorb(rerun.matrix, provenance=rerun.provenance)
+assert refreshed > 0, "refresh absorbed nothing"
+
+elapsed = time.monotonic() - started
+assert elapsed < WALL_CEILING_S, f"planner smoke took {elapsed:.0f}s"
+print(f"planner smoke: {absorbed} cold + {refreshed} refreshed entries "
+      f"over {len(fps)} relays in {elapsed:.1f}s")
+PY
+
 echo "== bench regression check =="
 # Compares fresh timings against the committed baseline AND enforces
 # the cross-workload invariant (campaign_sharded must hold at least

@@ -168,8 +168,8 @@ def relative_errors(
     truth: RttMatrix | np.ndarray,
 ) -> np.ndarray:
     """Per-pair |predicted - true| / true for two aligned matrices."""
-    pred = predictions.as_array() if isinstance(predictions, RttMatrix) else np.asarray(predictions)
-    true = truth.as_array() if isinstance(truth, RttMatrix) else np.asarray(truth)
+    pred = predictions.matrix if isinstance(predictions, RttMatrix) else np.asarray(predictions)
+    true = truth.matrix if isinstance(truth, RttMatrix) else np.asarray(truth)
     if pred.shape != true.shape:
         raise MeasurementError("matrices differ in shape")
     n = pred.shape[0]
@@ -188,7 +188,7 @@ def embedding_tiv_floor(truth: RttMatrix | np.ndarray) -> float:
     shrink is error no embedding can avoid. Returns the largest such
     mandatory relative error over all triangles.
     """
-    true = truth.as_array() if isinstance(truth, RttMatrix) else np.asarray(truth)
+    true = truth.matrix if isinstance(truth, RttMatrix) else np.asarray(truth)
     n = true.shape[0]
     worst = 0.0
     for a in range(n):

@@ -83,7 +83,8 @@ class DeanonymizationSimulator:
         if isinstance(matrix, RttMatrix):
             if not matrix.is_complete:
                 raise MeasurementError("deanonymization needs a complete matrix")
-            self._rtt = matrix.as_array()
+            # Read-only view: the simulator only indexes into the matrix.
+            self._rtt = matrix.matrix
         else:
             self._rtt = np.asarray(matrix, dtype=float)
         n = self._rtt.shape[0]

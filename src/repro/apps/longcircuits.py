@@ -27,7 +27,8 @@ def _as_matrix(matrix: RttMatrix | np.ndarray) -> np.ndarray:
     if isinstance(matrix, RttMatrix):
         if not matrix.is_complete:
             raise MeasurementError("circuit analysis needs a complete matrix")
-        return matrix.as_array()
+        # Read-only view, not a copy: circuit sampling never writes back.
+        return matrix.matrix
     arr = np.asarray(matrix, dtype=float)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise ConfigurationError("need a square RTT matrix")

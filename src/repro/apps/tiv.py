@@ -50,7 +50,9 @@ def _matrix_and_nodes(matrix: RttMatrix | np.ndarray) -> tuple[np.ndarray, list[
     if isinstance(matrix, RttMatrix):
         if not matrix.is_complete:
             raise MeasurementError("TIV analysis needs a complete matrix")
-        return matrix.as_array(), list(matrix.nodes)
+        # Zero-copy: the analysis only reads, so the read-only view is
+        # enough — no O(n^2) copy per call at full-network scale.
+        return matrix.matrix, list(matrix.nodes)
     arr = np.asarray(matrix, dtype=float)
     n = arr.shape[0]
     if arr.ndim != 2 or arr.shape != (n, n):

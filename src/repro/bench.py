@@ -2,10 +2,16 @@
 
 ``repro bench`` times the pipeline's hot paths end to end — cell
 crypto, the event engine, a single Ting pair, a concurrent all-pairs
-campaign, and the sharded multiprocess campaign — and writes a
+campaign, the sharded multiprocess campaign, and a planner-budgeted
+campaign at full-network relay scale (1,000 relays) — and writes a
 schema-stable JSON report (``BENCH_ting.json``)::
 
     {workload: {wall_s, events_processed, cells_processed, throughput}}
+
+Campaign-scale workloads additionally carry ``pairs_measured`` and
+``pair_cost_ms`` (wall per attempted pair); ``--check`` pins the
+full-network workload's per-pair cost to :data:`PAIR_COST_CEILING_MS`
+via :func:`check_pair_cost`.
 
 The committed report is the performance baseline for this machine
 class; ``repro bench --check`` re-runs the workloads and exits nonzero
@@ -35,6 +41,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.parallel import ParallelCampaign
+from repro.core.planner import CampaignPlanner
 from repro.core.sampling import AdaptiveSpec, SamplePolicy
 from repro.core.shard import ShardedCampaign
 from repro.core.ting import TingMeasurer
@@ -57,6 +64,18 @@ CROSS_WORKLOAD_MARGIN = 0.75
 
 #: Keys every workload entry carries, in schema order.
 WORKLOAD_KEYS = ("wall_s", "events_processed", "cells_processed", "throughput")
+
+#: Extra keys campaign-scale workloads may carry on top of
+#: :data:`WORKLOAD_KEYS` (``--check`` and the schema tests allow them).
+OPTIONAL_WORKLOAD_KEYS = ("pairs_measured", "pair_cost_ms")
+
+#: ``--check`` fails when ``campaign_fullnet``'s per-pair wall cost
+#: exceeds this. Calibration: one isolated pair task (samples=4) costs
+#: ~10 ms of simulation on this machine class and the amortized leg
+#: phase adds ~2 ms/pair at a 3,000-pair budget; 40 ms absorbs loaded-CI
+#: jitter while still catching any return of per-pair Python-object or
+#: per-worker duplicated work (which showed up as 2-5x per-pair cost).
+PAIR_COST_CEILING_MS = 40.0
 
 #: Fixed cell-body size for the crypto workload (the Tor relay-cell
 #: payload the acceptance criteria are phrased in terms of).
@@ -220,12 +239,65 @@ def bench_campaign_sharded(
         clamp_to_cpus=True,
     )
     report = campaign.run()
-    return _entry(
+    entry = _entry(
         report.wall_s,
         report.events_processed,
         report.cells_processed,
         report.events_processed / report.wall_s,
     )
+    entry["pairs_measured"] = int(report.pairs_measured)
+    entry["pair_cost_ms"] = round(
+        report.wall_s * 1000.0 / max(1, report.pairs_attempted), 3
+    )
+    return entry
+
+
+def bench_campaign_fullnet(
+    seed: int = 47,
+    relays: int = 1000,
+    budget_pairs: int = 3000,
+    samples: int = 4,
+    workers: int = 4,
+) -> dict[str, float]:
+    """A planner-budgeted sharded campaign at full-network relay scale.
+
+    This is the scale proof for the columnar stack: ≥1,000 relays (the
+    paper's network is ~6,500; pre-columnar benches topped out at 60),
+    with the pair list produced by :class:`CampaignPlanner` instead of
+    all-pairs enumeration — a cold-start plan, so the budget buys the
+    highest-coverage pairs. The leg phase only pre-warms relays the
+    planned pairs touch, and ``pair_cost_ms`` (wall per attempted pair,
+    leg phase amortized in) is the number ``--check`` pins: it is flat
+    in n for the budgeted campaign, so a per-pair Python-object tax
+    creeping back shows up here first.
+    """
+    import functools
+
+    build = functools.partial(LiveTorTestbed.build, seed=seed, n_relays=relays + 15)
+    testbed = build()
+    selected = testbed.random_relays(relays, testbed.streams.get("bench.campaign"))
+    fingerprints = [d.fingerprint for d in selected]
+    plan = CampaignPlanner(fingerprints, seed=seed).plan(budget_pairs=budget_pairs)
+    campaign = ShardedCampaign(
+        build,
+        fingerprints,
+        policy=SamplePolicy(samples=samples, interval_ms=2.0),
+        workers=workers,
+        pairs=plan.pairs,
+        clamp_to_cpus=True,
+    )
+    report = campaign.run()
+    entry = _entry(
+        report.wall_s,
+        report.events_processed,
+        report.cells_processed,
+        report.events_processed / report.wall_s,
+    )
+    entry["pairs_measured"] = int(report.pairs_measured)
+    entry["pair_cost_ms"] = round(
+        report.wall_s * 1000.0 / max(1, report.pairs_attempted), 3
+    )
+    return entry
 
 
 # --- harness -----------------------------------------------------------
@@ -272,6 +344,10 @@ def run_bench(
             lambda: bench_campaign_sharded(
                 seed=seed, relays=relays, samples=samples, workers=workers
             ),
+        ),
+        (
+            "campaign_fullnet",
+            lambda: bench_campaign_fullnet(seed=seed, workers=workers),
         ),
     ]
     for name, workload in workloads:
@@ -348,6 +424,35 @@ def check_cross_workload(
             f"campaign_sharded: throughput {sharded['throughput']:,.0f}/s < "
             f"{margin:g}x campaign_parallel ({parallel['throughput']:,.0f}/s) "
             "— sharding is losing to the single process again"
+        )
+    return problems
+
+
+def check_pair_cost(
+    report: dict[str, dict[str, float]],
+    ceiling_ms: float = PAIR_COST_CEILING_MS,
+) -> list[str]:
+    """Absolute per-pair cost ceiling for the full-network workload.
+
+    ``campaign_fullnet`` measures a fixed pair budget, so its wall time
+    *is* its per-pair cost — a machine-class constant, unlike the
+    all-pairs workloads whose wall scales O(n²). A report without the
+    workload passes (``check_regressions`` already flags workload-set
+    drift against the baseline); a fullnet entry without the metric, or
+    over the ceiling, fails.
+    """
+    problems: list[str] = []
+    entry = report.get("campaign_fullnet")
+    if entry is None:
+        return problems
+    cost = entry.get("pair_cost_ms")
+    if cost is None:
+        problems.append("campaign_fullnet: entry lacks pair_cost_ms")
+    elif cost > ceiling_ms:
+        problems.append(
+            f"campaign_fullnet: per-pair cost {cost:.2f} ms > ceiling "
+            f"{ceiling_ms:g} ms — the budgeted campaign is paying "
+            "per-pair overhead again"
         )
     return problems
 

@@ -26,6 +26,11 @@ Commands mirror how the paper's tool was used operationally:
   matrix+provenance dataset.
 * ``tail`` — render an ``--events`` JSONL stream as console lines,
   with severity/category filters and an optional ``--follow`` mode.
+* ``plan`` — score every pair of a relay set against an existing
+  campaign dataset (coverage, staleness, predicted-vs-measured
+  disagreement) and emit a prioritized, budgeted pair list; with
+  ``--run``, measure the planned pairs as a sharded campaign and fold
+  the results back into the dataset (incremental refresh).
 
 Output conventions: machine-readable results (reports, metric
 listings, ``tail`` lines) go to **stdout**; human-facing progress
@@ -52,6 +57,7 @@ from repro.apps.tiv import tiv_summary
 from repro.core.campaign import AllPairsCampaign, ProbeBudget
 from repro.core.dataset import CampaignDataset, RttMatrix
 from repro.core.parallel import ParallelCampaign
+from repro.core.planner import CampaignPlanner
 from repro.core.sampling import SamplePolicy
 from repro.core.shard import CampaignTelemetry, ShardedCampaign
 from repro.core.ting import TingMeasurer
@@ -288,6 +294,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fail the campaign if a shard worker has not "
                              "finished after this many wall seconds")
 
+    plan = sub.add_parser(
+        "plan", help="prioritized, budgeted pair plan (optional refresh run)"
+    )
+    plan.add_argument("--relays", type=int, default=60)
+    plan.add_argument("--network-size", type=int, default=100)
+    plan.add_argument("--budget", type=int, default=None,
+                      help="max pairs to plan (default: every pair with a "
+                           "positive score)")
+    plan.add_argument("--input", type=Path, default=None,
+                      help="existing campaign dataset to refresh "
+                           "(JSON or .npz; format auto-detected)")
+    plan.add_argument("--predict", action="store_true",
+                      help="train a Vivaldi coordinate model on the dataset "
+                           "and steer the plan toward predicted-vs-measured "
+                           "disagreement")
+    plan.add_argument("--top", type=int, default=10,
+                      help="planned pairs to print")
+    plan.add_argument("--json", type=Path, default=None, dest="json_out",
+                      help="write the plan (summary + scored pair list) as "
+                           "JSON")
+    plan.add_argument("--run", action="store_true",
+                      help="measure the planned pairs as a sharded campaign "
+                           "and fold the results into the dataset")
+    plan.add_argument("--samples", type=int, default=6)
+    plan.add_argument("--workers", type=int, default=2,
+                      help="worker processes for --run")
+    plan.add_argument("--output", type=Path, default=None,
+                      help="write the refreshed dataset here "
+                           "(.npz suffix = binary format)")
+    _add_policy_flag(plan)
+
     tail = sub.add_parser(
         "tail", help="render an --events JSONL stream as console lines"
     )
@@ -448,6 +485,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline = bench_mod.load_report(args.baseline)
         problems = bench_mod.check_regressions(report, baseline)
         problems += bench_mod.check_cross_workload(report)
+        problems += bench_mod.check_pair_cost(report)
         if problems:
             print("\nperformance regressions detected:", file=sys.stderr)
             for problem in problems:
@@ -685,6 +723,122 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``plan``: score pairs, cut to a budget, optionally run the refresh.
+
+    The planner reads an existing dataset (``--input``) as the standing
+    measurement history: unmeasured pairs score as coverage, previously
+    failed pairs as retries, old measurements by provenance age, and —
+    with ``--predict`` — pairs where a Vivaldi coordinate model trained
+    on the dataset disagrees most with the measured values. Without
+    ``--input`` every pair is a cold-start coverage candidate. ``--run``
+    measures the planned pairs with the sharded engine and folds matrix
+    entries + provenance back into the dataset (``--output`` to save;
+    ``.npz`` selects the binary format).
+    """
+    status = _status(args)
+    status(f"Building live-Tor-style network ({args.network_size} relays) ...")
+    factory = functools.partial(
+        LiveTorTestbed.build, seed=args.seed, n_relays=args.network_size
+    )
+    testbed = factory()
+    rng = testbed.streams.get("cli.selection")
+    relays = testbed.random_relays(args.relays, rng)
+    fingerprints = [d.fingerprint for d in relays]
+
+    dataset = None
+    if args.input is not None:
+        dataset = CampaignDataset.load(args.input)
+        status(f"loaded dataset: {dataset.matrix.num_measured} measured "
+               f"pairs, {len(dataset.provenance)} provenance records")
+
+    predicted = None
+    if args.predict:
+        if dataset is None or dataset.matrix.num_measured < 1:
+            print("--predict needs --input with measured pairs",
+                  file=sys.stderr)
+            return 2
+        from repro.apps.coordinates import VivaldiSystem
+
+        samples = list(dataset.matrix.measured_pairs())
+        system = VivaldiSystem(
+            dataset.matrix.nodes, testbed.streams.get("cli.vivaldi")
+        )
+        system.train(samples, rounds=10)
+        predicted = system.predict_matrix()
+        status(f"Vivaldi model trained on {len(samples)} pairs "
+               f"(mean error {system.mean_error():.3f})")
+
+    planner = CampaignPlanner(
+        fingerprints, dataset=dataset, predicted=predicted, seed=args.seed
+    )
+    plan = planner.plan(budget_pairs=args.budget)
+    summary = plan.summary()
+    print(f"plan: {summary['planned']} of {summary['candidates']} candidate "
+          f"pairs (budget {summary['budget'] or 'none'})")
+    print(f"  unmeasured={summary['unmeasured']} failed={summary['failed']} "
+          f"with_history={summary['with_history']} "
+          f"with_predictions={summary['with_predictions']}")
+    for (a, b), score in list(zip(plan.pairs, plan.scores))[: args.top]:
+        print(f"  {score:8.4f}  {a[:16]} - {b[:16]}")
+    if args.json_out is not None:
+        _write_json_artifact(
+            args.json_out,
+            json.dumps(
+                {
+                    "summary": summary,
+                    "pairs": [
+                        [a, b, round(float(s), 6)]
+                        for (a, b), s in zip(plan.pairs, plan.scores)
+                    ],
+                },
+                indent=2,
+            ),
+            "\nplan JSON",
+            status,
+        )
+
+    if not args.run:
+        return 0
+    if not plan.pairs:
+        print("nothing to refresh: every pair is fresh under the plan")
+        return 0
+
+    status(f"Measuring {len(plan.pairs)} planned pairs "
+           f"({max(1, args.workers)} worker(s)) ...")
+    sharded = ShardedCampaign(
+        factory,
+        fingerprints,
+        policy=resolve_policy(args.policy, args.samples),
+        workers=args.workers,
+        pairs=plan.pairs,
+        observe=True,
+    ).run()
+    if dataset is None:
+        dataset = CampaignDataset(matrix=RttMatrix(fingerprints))
+    updated = dataset.absorb(
+        sharded.matrix,
+        provenance=sharded.provenance,
+        meta={
+            "seed": args.seed,
+            "network_size": args.network_size,
+            "relays": args.relays,
+            "samples": args.samples,
+            "workers": args.workers,
+            "planned_pairs": len(plan.pairs),
+            "pairs_attempted": sharded.pairs_attempted,
+        },
+    )
+    print(f"refreshed {updated} pair entries "
+          f"({sharded.pairs_measured} measured, "
+          f"{len(sharded.failures)} failed); dataset now "
+          f"{dataset.matrix.num_measured}/{dataset.matrix.num_measured + dataset.matrix.missing_count} measured")
+    if args.output is not None:
+        dataset.save(args.output)
+        status(f"refreshed dataset written to {args.output}")
+    return 0
+
+
 def cmd_tail(args: argparse.Namespace) -> int:
     """``tail``: render an events JSONL stream as console lines.
 
@@ -748,6 +902,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "stats": cmd_stats,
     "report": cmd_report,
+    "plan": cmd_plan,
     "tail": cmd_tail,
 }
 

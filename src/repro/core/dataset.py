@@ -12,16 +12,29 @@ campaigns also emit one :class:`PairProvenance` record per pair — how
 many probe samples were taken and survived, which legs came from cache,
 how many retries it took, the residual ``½R_Cx + ½R_Cy`` terms Eq. 4
 subtracted, and (on failure) the categorized reason.
+
+At full-network scale (1,000+ relays, ~500k pairs per campaign) a list
+of per-pair Python objects is the dominant memory and serialization
+cost, so :class:`ProvenanceLog` stores records column-wise: flat numpy
+arrays per field, with node identifiers and category strings interned
+into small side tables. :class:`PairProvenance` / :class:`LegProvenance`
+stay as plain value objects — the log materializes them on demand — so
+the public API is unchanged while merges become array concatenation and
+the fork-boundary snapshot becomes a handful of buffers.
+
 :class:`CampaignDataset` persists matrix + provenance + run metadata as
-one JSON document, which downstream consumers of all-pairs Tor latency
-data (multi-hop overlay routing, latency-graph circuit construction)
-need to audit what they are building on.
+one document: JSON for small/debug datasets, or a deterministic ``.npz``
+container (matrix + provenance columns + a meta JSON sidecar entry) for
+large ones, with format auto-detection on load.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import math
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -43,6 +56,29 @@ class RttMatrix:
         n = len(nodes)
         self._matrix = np.full((n, n), np.nan)
         np.fill_diagonal(self._matrix, 0.0)
+        self._num_measured = 0
+        self._view = self._matrix.view()
+        self._view.flags.writeable = False
+
+    @classmethod
+    def from_array(cls, nodes: list[str], values: np.ndarray) -> "RttMatrix":
+        """Adopt an ``n×n`` float array (NaN where unmeasured)."""
+        matrix = cls(nodes)
+        n = len(matrix.nodes)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (n, n):
+            raise MeasurementError(
+                f"matrix shape {values.shape} does not match {n} nodes"
+            )
+        matrix._matrix[:, :] = values
+        np.fill_diagonal(matrix._matrix, 0.0)
+        matrix._recount()
+        return matrix
+
+    def _recount(self) -> None:
+        n = len(self.nodes)
+        missing = int(np.isnan(self._matrix).sum()) // 2
+        self._num_measured = n * (n - 1) // 2 - missing
 
     # ------------------------------------------------------------------
 
@@ -66,6 +102,8 @@ class RttMatrix:
         i, j = self.index_of(a), self.index_of(b)
         if i == j:
             raise MeasurementError("diagonal entries are fixed at zero")
+        if math.isnan(self._matrix[i, j]):
+            self._num_measured += 1
         self._matrix[i, j] = rtt_ms
         self._matrix[j, i] = rtt_ms
 
@@ -90,35 +128,55 @@ class RttMatrix:
 
     def measured_pairs(self) -> Iterator[tuple[str, str, Milliseconds]]:
         """All measured unordered pairs with their RTTs."""
-        for a, b in self.pairs():
-            i, j = self._index[a], self._index[b]
-            value = self._matrix[i, j]
-            if not math.isnan(value):
-                yield (a, b, float(value))
+        n = len(self.nodes)
+        iu, ju = np.triu_indices(n, k=1)
+        values = self._matrix[iu, ju]
+        keep = ~np.isnan(values)
+        for i, j, value in zip(iu[keep], ju[keep], values[keep]):
+            yield (self.nodes[i], self.nodes[j], float(value))
 
     @property
     def is_complete(self) -> bool:
-        """Whether every off-diagonal pair has been measured."""
-        return not np.isnan(self._matrix).any()
+        """Whether every off-diagonal pair has been measured. O(1)."""
+        return self._num_measured == len(self.nodes) * (len(self.nodes) - 1) // 2
 
     @property
     def num_measured(self) -> int:
-        """Count of measured (off-diagonal) pairs."""
+        """Count of measured (off-diagonal) pairs. O(1) — maintained
+        incrementally by :meth:`set` instead of re-scanning for NaNs."""
+        return self._num_measured
+
+    @property
+    def missing_count(self) -> int:
+        """Count of unmeasured (off-diagonal) pairs. O(1)."""
         n = len(self.nodes)
-        missing = int(np.isnan(self._matrix).sum()) // 2
-        return n * (n - 1) // 2 - missing
+        return n * (n - 1) // 2 - self._num_measured
 
     def mean_rtt_ms(self) -> Milliseconds:
         """μ — the population mean RTT Algorithm 1 uses to approximate
         the unknown source-to-entry leg."""
-        values = [rtt for _, _, rtt in self.measured_pairs()]
-        if not values:
+        values = self.values()
+        if values.size == 0:
             raise MeasurementError("matrix has no measurements")
         return float(np.mean(values))
 
     def values(self) -> np.ndarray:
         """All measured RTTs as a flat array (one entry per pair)."""
-        return np.array([rtt for _, _, rtt in self.measured_pairs()])
+        n = len(self.nodes)
+        iu, ju = np.triu_indices(n, k=1)
+        upper = self._matrix[iu, ju]
+        return upper[~np.isnan(upper)]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A **read-only view** of the underlying ``n×n`` array (NaN
+        where unmeasured). No copy — safe for hot readers; callers that
+        want to mutate must use :meth:`copy_matrix`."""
+        return self._view
+
+    def copy_matrix(self) -> np.ndarray:
+        """A mutable copy of the underlying matrix."""
+        return self._matrix.copy()
 
     def as_array(self) -> np.ndarray:
         """A copy of the underlying matrix (NaN where unmeasured)."""
@@ -132,6 +190,20 @@ class RttMatrix:
                 if self.has(a, b):
                     sub.set(a, b, self.get(a, b))
         return sub
+
+    def content_hash(self) -> str:
+        """SHA-256 over nodes + values rounded to the serialization
+        precision (6 decimals), so JSON and npz round-trips of the same
+        matrix hash identically."""
+        digest = hashlib.sha256()
+        for node in self.nodes:
+            digest.update(node.encode("utf-8"))
+            digest.update(b"\x00")
+        rounded = np.round(self._matrix, 6)
+        # Normalize NaN payloads so the hash only sees "missing".
+        rounded = np.nan_to_num(rounded, nan=-1.0)
+        digest.update(np.ascontiguousarray(rounded).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -156,11 +228,13 @@ class RttMatrix:
         n = len(matrix.nodes)
         if len(rows) != n or any(len(row) != n for row in rows):
             raise MeasurementError("malformed RTT matrix JSON")
-        for i in range(n):
-            for j in range(n):
-                value = rows[i][j]
-                matrix._matrix[i, j] = np.nan if value is None else float(value)
+        values = np.array(
+            [[np.nan if v is None else float(v) for v in row] for row in rows],
+            dtype=float,
+        ).reshape(n, n)
+        matrix._matrix[:, :] = values
         np.fill_diagonal(matrix._matrix, 0.0)
+        matrix._recount()
         return matrix
 
     def save(self, path: str | Path) -> None:
@@ -195,6 +269,10 @@ class PairProvenance:
     residual one-way-circuit RTTs Eq. 4 subtracts (``residual_ms`` is the
     ``½R_Cx + ½R_Cy`` term itself). Failed pairs carry the categorized
     reason instead of an estimate.
+
+    Value object only: :class:`ProvenanceLog` stores these column-wise
+    and materializes records on demand, so mutating a returned record
+    does not write back into the log.
     """
 
     x: str
@@ -334,52 +412,292 @@ class LegProvenance:
         )
 
 
+# ----------------------------------------------------------------------
+# Columnar storage
+
+
+#: ``shard`` column sentinel for "no shard recorded". ``-1`` is a real
+#: shard value (the leg-phase sentinel), so the int32 minimum is used.
+_NO_SHARD = int(np.iinfo(np.int32).min)
+
+#: Intern-table sentinel for "category is None".
+_NO_CAT = -1
+
+_PAIR_SPEC: tuple[tuple[str, type], ...] = (
+    ("x", np.int32),
+    ("y", np.int32),
+    ("status", np.int16),
+    ("rtt_ms", np.float64),
+    ("cxy_ms", np.float64),
+    ("leg_x_ms", np.float64),
+    ("leg_y_ms", np.float64),
+    ("samples_requested", np.int32),
+    ("samples_kept", np.int32),
+    ("samples_saved", np.int32),
+    ("stop_reason", np.int16),
+    ("leg_cache_hits", np.int32),
+    ("retries", np.int32),
+    ("failure_category", np.int16),
+    ("duration_ms", np.float64),
+    ("shard", np.int32),
+)
+
+_LEG_SPEC: tuple[tuple[str, type], ...] = (
+    ("relay", np.int32),
+    ("rtt_ms", np.float64),
+    ("samples_requested", np.int32),
+    ("samples_kept", np.int32),
+    ("samples_saved", np.int32),
+    ("stop_reason", np.int16),
+    ("duration_ms", np.float64),
+    ("shard", np.int32),
+)
+
+
+class _ColumnBlock:
+    """Capacity-doubling struct-of-arrays storage for one record kind."""
+
+    __slots__ = ("_spec", "_cols", "_n")
+
+    def __init__(self, spec: tuple[tuple[str, type], ...], capacity: int = 16) -> None:
+        self._spec = spec
+        self._n = 0
+        self._cols = {name: np.empty(capacity, dtype=dt) for name, dt in spec}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _reserve(self, extra: int) -> None:
+        capacity = self._cols[self._spec[0][0]].shape[0]
+        if self._n + extra <= capacity:
+            return
+        new_capacity = max(capacity * 2, self._n + extra)
+        for name, arr in self._cols.items():
+            grown = np.empty(new_capacity, dtype=arr.dtype)
+            grown[: self._n] = arr[: self._n]
+            self._cols[name] = grown
+
+    def append(self, values: dict[str, Any]) -> int:
+        """Append one row; returns its index."""
+        self._reserve(1)
+        i = self._n
+        for name, value in values.items():
+            self._cols[name][i] = value
+        self._n += 1
+        return i
+
+    def extend(self, cols: dict[str, np.ndarray]) -> None:
+        """Bulk-append trimmed column arrays (all the same length)."""
+        count = int(cols[self._spec[0][0]].shape[0])
+        if count == 0:
+            return
+        self._reserve(count)
+        for name, _ in self._spec:
+            self._cols[name][self._n : self._n + count] = cols[name][:count]
+        self._n += count
+
+    def column(self, name: str) -> np.ndarray:
+        """Trimmed read view of one column (do not mutate)."""
+        return self._cols[name][: self._n]
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Trimmed copies of every column — a picklable flat payload."""
+        return {name: self._cols[name][: self._n].copy() for name, _ in self._spec}
+
+
+def _f(value: float | None) -> float:
+    return math.nan if value is None else float(value)
+
+
+def _opt_float(value: float) -> float | None:
+    return None if math.isnan(value) else float(value)
+
+
 class ProvenanceLog:
     """An append-only collection of :class:`PairProvenance` records,
     plus the campaign's :class:`LegProvenance` records.
 
+    Storage is struct-of-arrays: one flat numpy column per field, with
+    node identifiers and category strings (status / stop reason /
+    failure category) interned into shared side tables, and free-text
+    failure reasons kept in a sparse ``{row: text}`` dict. ``records()``
+    / iteration / ``get`` materialize lightweight value objects on
+    demand; a 500k-pair campaign is a handful of arrays, not 500k dicts.
+
     Shard workers each build one; the parent folds them together with
-    :meth:`merge`, retagging adopted records with the worker index so a
-    fused log still says which process measured what. Leg records are
-    kept separately from pair records — ``len(log)`` and iteration stay
-    pair-only, so the historical per-pair schema is unchanged.
+    :meth:`merge` (array concatenation + intern remap), retagging
+    adopted records with the worker index so a fused log still says
+    which process measured what. Leg records are kept separately from
+    pair records — ``len(log)`` and iteration stay pair-only, so the
+    historical per-pair schema is unchanged.
     """
 
-    __slots__ = ("_records", "_legs")
+    __slots__ = (
+        "_names",
+        "_name_ids",
+        "_cats",
+        "_cat_ids",
+        "_pairs",
+        "_legs",
+        "_reasons",
+        "_row_cache",
+    )
 
     def __init__(self) -> None:
-        self._records: list[PairProvenance] = []
-        self._legs: list[LegProvenance] = []
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
+        self._cats: list[str] = []
+        self._cat_ids: dict[str, int] = {}
+        self._pairs = _ColumnBlock(_PAIR_SPEC)
+        self._legs = _ColumnBlock(_LEG_SPEC)
+        self._reasons: dict[int, str] = {}
+        #: Memoized materialized rows, so repeated ``get``/``records``
+        #: calls hand back the *same* value object for the same row.
+        self._row_cache: dict[int, PairProvenance] = {}
+
+    # -- interning ------------------------------------------------------
+
+    def _intern_name(self, name: str) -> int:
+        code = self._name_ids.get(name)
+        if code is None:
+            code = len(self._names)
+            self._names.append(name)
+            self._name_ids[name] = code
+        return code
+
+    def _intern_cat(self, category: str | None) -> int:
+        if category is None:
+            return _NO_CAT
+        code = self._cat_ids.get(category)
+        if code is None:
+            code = len(self._cats)
+            self._cats.append(category)
+            self._cat_ids[category] = code
+        return code
+
+    def _cat_at(self, code: int) -> str | None:
+        return None if code < 0 else self._cats[code]
+
+    # -- appends --------------------------------------------------------
 
     def add(self, record: PairProvenance) -> None:
         """Append one pair's provenance."""
-        self._records.append(record)
+        row = self._pairs.append(
+            {
+                "x": self._intern_name(record.x),
+                "y": self._intern_name(record.y),
+                "status": self._intern_cat(record.status),
+                "rtt_ms": _f(record.rtt_ms),
+                "cxy_ms": _f(record.cxy_ms),
+                "leg_x_ms": _f(record.leg_x_ms),
+                "leg_y_ms": _f(record.leg_y_ms),
+                "samples_requested": record.samples_requested,
+                "samples_kept": record.samples_kept,
+                "samples_saved": record.samples_saved,
+                "stop_reason": self._intern_cat(record.stop_reason),
+                "leg_cache_hits": record.leg_cache_hits,
+                "retries": record.retries,
+                "failure_category": self._intern_cat(record.failure_category),
+                "duration_ms": float(record.duration_ms),
+                "shard": _NO_SHARD if record.shard is None else record.shard,
+            }
+        )
+        if record.reason is not None:
+            self._reasons[row] = record.reason
 
     def add_leg(self, record: LegProvenance) -> None:
         """Append one leg circuit's provenance."""
-        self._legs.append(record)
+        self._legs.append(
+            {
+                "relay": self._intern_name(record.relay),
+                "rtt_ms": _f(record.rtt_ms),
+                "samples_requested": record.samples_requested,
+                "samples_kept": record.samples_kept,
+                "samples_saved": record.samples_saved,
+                "stop_reason": self._intern_cat(record.stop_reason),
+                "duration_ms": float(record.duration_ms),
+                "shard": _NO_SHARD if record.shard is None else record.shard,
+            }
+        )
+
+    # -- materialization ------------------------------------------------
+
+    def _pair_at(self, row: int) -> PairProvenance:
+        cached = self._row_cache.get(row)
+        if cached is None:
+            cached = self._row_cache[row] = self._materialize_pair(row)
+        return cached
+
+    def _materialize_pair(self, row: int) -> PairProvenance:
+        cols = self._pairs._cols
+        shard = int(cols["shard"][row])
+        return PairProvenance(
+            x=self._names[cols["x"][row]],
+            y=self._names[cols["y"][row]],
+            status=self._cats[cols["status"][row]],
+            rtt_ms=_opt_float(cols["rtt_ms"][row]),
+            cxy_ms=_opt_float(cols["cxy_ms"][row]),
+            leg_x_ms=_opt_float(cols["leg_x_ms"][row]),
+            leg_y_ms=_opt_float(cols["leg_y_ms"][row]),
+            samples_requested=int(cols["samples_requested"][row]),
+            samples_kept=int(cols["samples_kept"][row]),
+            samples_saved=int(cols["samples_saved"][row]),
+            stop_reason=self._cat_at(int(cols["stop_reason"][row])),
+            leg_cache_hits=int(cols["leg_cache_hits"][row]),
+            retries=int(cols["retries"][row]),
+            failure_category=self._cat_at(int(cols["failure_category"][row])),
+            reason=self._reasons.get(row),
+            duration_ms=float(cols["duration_ms"][row]),
+            shard=None if shard == _NO_SHARD else shard,
+        )
+
+    def _leg_at(self, row: int) -> LegProvenance:
+        cols = self._legs._cols
+        shard = int(cols["shard"][row])
+        return LegProvenance(
+            relay=self._names[cols["relay"][row]],
+            rtt_ms=_opt_float(cols["rtt_ms"][row]),
+            samples_requested=int(cols["samples_requested"][row]),
+            samples_kept=int(cols["samples_kept"][row]),
+            samples_saved=int(cols["samples_saved"][row]),
+            stop_reason=self._cat_at(int(cols["stop_reason"][row])),
+            duration_ms=float(cols["duration_ms"][row]),
+            shard=None if shard == _NO_SHARD else shard,
+        )
 
     def legs(self) -> list[LegProvenance]:
         """All leg records, in insertion order."""
-        return list(self._legs)
+        return [self._leg_at(i) for i in range(len(self._legs))]
 
     def leg_for(self, relay: str) -> LegProvenance | None:
         """The leg record for one relay, or ``None``."""
-        for record in self._legs:
-            if record.relay == relay:
-                return record
-        return None
+        code = self._name_ids.get(relay)
+        if code is None:
+            return None
+        matches = np.flatnonzero(self._legs.column("relay") == code)
+        if matches.size == 0:
+            return None
+        return self._leg_at(int(matches[0]))
 
     def records(self) -> list[PairProvenance]:
-        """All records, in insertion order."""
-        return list(self._records)
+        """All records, in insertion order (materialized on demand)."""
+        return [self._pair_at(i) for i in range(len(self._pairs))]
 
     def get(self, x: str, y: str) -> PairProvenance | None:
         """The record for an unordered pair, or ``None``."""
-        for record in self._records:
-            if {record.x, record.y} == {x, y}:
-                return record
-        return None
+        cx = self._name_ids.get(x)
+        cy = self._name_ids.get(y)
+        if cx is None or cy is None:
+            return None
+        xs = self._pairs.column("x")
+        ys = self._pairs.column("y")
+        mask = ((xs == cx) & (ys == cy)) | ((xs == cy) & (ys == cx))
+        matches = np.flatnonzero(mask)
+        if matches.size == 0:
+            return None
+        return self._pair_at(int(matches[0]))
+
+    # -- merge / snapshot ----------------------------------------------
 
     def merge(
         self,
@@ -396,14 +714,13 @@ class ProvenanceLog:
         attribution, not a gap to fill.
         """
         if isinstance(other, ProvenanceLog):
-            adopted = [PairProvenance.from_dict(r.to_dict()) for r in other._records]
-            self.merge_legs(other.legs_to_list())
+            self.merge_snapshot(other.snapshot(), shard=shard, leg_shard=None)
         else:
-            adopted = [PairProvenance.from_dict(r) for r in other]
-        for record in adopted:
-            if shard is not None and record.shard is None:
-                record.shard = shard
-            self._records.append(record)
+            for entry in other:
+                record = PairProvenance.from_dict(entry)
+                if shard is not None and record.shard is None:
+                    record.shard = shard
+                self.add(record)
         return self
 
     def merge_legs(
@@ -420,16 +737,92 @@ class ProvenanceLog:
             record = LegProvenance.from_dict(entry)
             if shard is not None and record.shard is None:
                 record.shard = shard
-            self._legs.append(record)
+            self.add_leg(record)
         return self
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole log as a handful of flat buffers.
+
+        This is what crosses the fork boundary: intern tables, the pair
+        and leg column arrays, and the sparse reason texts. Rebuild with
+        :meth:`merge_snapshot` (into an existing log) or
+        :meth:`from_snapshot` (fresh).
+        """
+        return {
+            "names": list(self._names),
+            "cats": list(self._cats),
+            "pairs": self._pairs.snapshot(),
+            "legs": self._legs.snapshot(),
+            "reasons": dict(self._reasons),
+        }
+
+    def merge_snapshot(
+        self,
+        snap: dict[str, Any],
+        shard: int | None = None,
+        leg_shard: int | None = None,
+    ) -> "ProvenanceLog":
+        """Adopt a :meth:`snapshot` payload by array concatenation.
+
+        ``shard`` retags adopted *pair* rows whose shard is unset;
+        ``leg_shard`` does the same for leg rows (normally ``None``:
+        leg-phase attribution is kept). Returns self.
+        """
+        name_map = np.array(
+            [self._intern_name(n) for n in snap["names"]], dtype=np.int32
+        )
+        cat_map = np.array(
+            [self._intern_cat(c) for c in snap["cats"]], dtype=np.int16
+        )
+
+        def remap_cat(col: np.ndarray) -> np.ndarray:
+            if cat_map.size == 0:
+                return col.copy()
+            return np.where(
+                col >= 0, cat_map[np.maximum(col, 0)], np.int16(_NO_CAT)
+            ).astype(np.int16)
+
+        def retag(col: np.ndarray, tag: int | None) -> np.ndarray:
+            if tag is None:
+                return col
+            return np.where(col == _NO_SHARD, np.int32(tag), col).astype(np.int32)
+
+        pair_cols = dict(snap["pairs"])
+        if name_map.size:
+            pair_cols["x"] = name_map[pair_cols["x"]]
+            pair_cols["y"] = name_map[pair_cols["y"]]
+        for cat_col in ("status", "stop_reason", "failure_category"):
+            pair_cols[cat_col] = remap_cat(pair_cols[cat_col])
+        pair_cols["shard"] = retag(pair_cols["shard"], shard)
+        base_row = len(self._pairs)
+        self._pairs.extend(pair_cols)
+        for row, text in snap.get("reasons", {}).items():
+            self._reasons[base_row + int(row)] = text
+
+        leg_cols = dict(snap["legs"])
+        if name_map.size and leg_cols["relay"].shape[0]:
+            leg_cols["relay"] = name_map[leg_cols["relay"]]
+        leg_cols["stop_reason"] = remap_cat(leg_cols["stop_reason"])
+        leg_cols["shard"] = retag(leg_cols["shard"], leg_shard)
+        self._legs.extend(leg_cols)
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "ProvenanceLog":
+        """Rebuild a log from :meth:`snapshot` output."""
+        return cls().merge_snapshot(snap)
+
+    # -- serialization --------------------------------------------------
 
     def to_list(self) -> list[dict[str, Any]]:
         """JSON-ready list of every pair record."""
-        return [record.to_dict() for record in self._records]
+        # Bypass the row cache: bulk serialization of a 500k-row log
+        # should not pin 500k value objects in memory afterwards.
+        return [self._materialize_pair(i).to_dict() for i in range(len(self._pairs))]
 
     def legs_to_list(self) -> list[dict[str, Any]]:
         """JSON-ready list of every leg record."""
-        return [record.to_dict() for record in self._legs]
+        return [self._leg_at(i).to_dict() for i in range(len(self._legs))]
 
     @classmethod
     def from_list(
@@ -440,33 +833,73 @@ class ProvenanceLog:
         """Rebuild a log from :meth:`to_list` (+ :meth:`legs_to_list`) output."""
         log = cls()
         for entry in data:
-            log._records.append(PairProvenance.from_dict(entry))
+            log.add(PairProvenance.from_dict(entry))
         for entry in legs or []:
-            log._legs.append(LegProvenance.from_dict(entry))
+            log.add_leg(LegProvenance.from_dict(entry))
         return log
+
+    # -- queries --------------------------------------------------------
 
     def by_status(self, status: str) -> list[PairProvenance]:
         """Records with the given status (``measured``/``failed``)."""
-        return [record for record in self._records if record.status == status]
+        code = self._cat_ids.get(status)
+        if code is None:
+            return []
+        rows = np.flatnonzero(self._pairs.column("status") == code)
+        return [self._pair_at(int(i)) for i in rows]
 
     def failure_breakdown(self) -> dict[str, int]:
         """Failed-pair counts keyed by failure category."""
+        failed_code = self._cat_ids.get("failed")
+        if failed_code is None:
+            return {}
+        status = self._pairs.column("status")
+        category = self._pairs.column("failure_category")
         breakdown: dict[str, int] = {}
-        for record in self._records:
-            if record.status == "failed":
-                category = record.failure_category or "other"
-                breakdown[category] = breakdown.get(category, 0) + 1
+        # Preserve first-encounter key order among failed records.
+        for code in category[status == failed_code]:
+            name = self._cat_at(int(code)) or "other"
+            breakdown[name] = breakdown.get(name, 0) + 1
         return breakdown
 
+    def last_row_for_pairs(self) -> dict[tuple[int, int], int]:
+        """Latest log row per unordered pair, keyed by *name-table*
+        index pairs (smaller code first). Insertion order is the only
+        clock the log has, so the planner uses these row numbers as a
+        staleness proxy: lower row → older measurement."""
+        xs = self._pairs.column("x")
+        ys = self._pairs.column("y")
+        lo = np.minimum(xs, ys)
+        hi = np.maximum(xs, ys)
+        latest: dict[tuple[int, int], int] = {}
+        for row, (a, b) in enumerate(zip(lo.tolist(), hi.tolist())):
+            latest[(a, b)] = row
+        return latest
+
+    def name_table(self) -> list[str]:
+        """The interned node-identifier table (index = column code)."""
+        return list(self._names)
+
+    def status_codes(self) -> tuple[np.ndarray, dict[str, int]]:
+        """The raw status column plus the category→code mapping, for
+        vectorized consumers (planner scoring)."""
+        return self._pairs.column("status"), dict(self._cat_ids)
+
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._pairs)
 
     def __iter__(self) -> Iterator[PairProvenance]:
-        return iter(self._records)
+        for i in range(len(self._pairs)):
+            yield self._pair_at(i)
 
     def __repr__(self) -> str:
-        failed = len(self.by_status("failed"))
-        return f"ProvenanceLog({len(self._records)} records, {failed} failed)"
+        failed_code = self._cat_ids.get("failed")
+        failed = (
+            0
+            if failed_code is None
+            else int((self._pairs.column("status") == failed_code).sum())
+        )
+        return f"ProvenanceLog({len(self._pairs)} records, {failed} failed)"
 
 
 # ----------------------------------------------------------------------
@@ -474,6 +907,33 @@ class ProvenanceLog:
 
 
 DATASET_FORMAT = "ting-campaign/1"
+DATASET_NPZ_FORMAT = "ting-campaign-npz/1"
+
+#: Every zip archive (hence every npz) starts with a local-file header.
+_NPZ_MAGIC = b"PK\x03\x04"
+
+
+def _str_array(values: list[str]) -> np.ndarray:
+    if not values:
+        return np.empty(0, dtype="<U1")
+    return np.array(values, dtype=np.str_)
+
+
+def _write_npz(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """A deterministic ``np.savez``: identical input arrays produce
+    byte-identical files. ``np.savez`` itself stamps each zip entry with
+    the current time, so two saves of the same dataset differ; here every
+    entry gets the zip epoch (1980-01-01) and no compression, and entry
+    order is the caller's dict order. Still readable by ``np.load``."""
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, arr in arrays.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.ascontiguousarray(arr), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(name + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            archive.writestr(info, buffer.getvalue())
 
 
 @dataclass(slots=True)
@@ -484,6 +944,12 @@ class CampaignDataset:
     answers "how do you know?" — which downstream consumers of
     all-pairs latency data (overlay routing, latency-aware circuit
     construction) need before they build on it.
+
+    Two on-disk formats: the historical JSON document (kept for small /
+    debug datasets and external tooling), and a binary ``.npz`` container
+    holding the float64 matrix, the provenance columns, and the metadata
+    as an embedded JSON entry — no O(n²) Python-float round-trip.
+    :meth:`load` auto-detects which one it is reading.
     """
 
     matrix: RttMatrix
@@ -519,14 +985,135 @@ class CampaignDataset:
         )
         return cls(matrix=matrix, provenance=provenance, meta=payload.get("meta", {}))
 
-    def save(self, path: str | Path) -> None:
-        """Write the dataset as JSON to ``path``."""
-        Path(path).write_text(self.to_json())
+    # -- binary format --------------------------------------------------
+
+    def _to_arrays(self) -> dict[str, np.ndarray]:
+        header = json.dumps({"format": DATASET_NPZ_FORMAT, "meta": self.meta})
+        prov = self.provenance
+        reasons = prov._reasons
+        arrays: dict[str, np.ndarray] = {
+            "header": np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+            "nodes": _str_array(self.matrix.nodes),
+            "matrix": self.matrix.copy_matrix(),
+            "prov_names": _str_array(prov._names),
+            "prov_cats": _str_array(prov._cats),
+        }
+        for name, _ in _PAIR_SPEC:
+            arrays[f"pair_{name}"] = prov._pairs.column(name).copy()
+        for name, _ in _LEG_SPEC:
+            arrays[f"leg_{name}"] = prov._legs.column(name).copy()
+        arrays["reason_rows"] = np.array(sorted(reasons), dtype=np.int64)
+        arrays["reason_text"] = _str_array([reasons[k] for k in sorted(reasons)])
+        return arrays
+
+    @classmethod
+    def _from_arrays(cls, data: Any) -> "CampaignDataset":
+        header = json.loads(bytes(np.asarray(data["header"]).tobytes()).decode("utf-8"))
+        if header.get("format") != DATASET_NPZ_FORMAT:
+            raise MeasurementError(
+                f"unknown dataset format {header.get('format')!r}"
+            )
+        nodes = [str(n) for n in data["nodes"]]
+        matrix = RttMatrix.from_array(nodes, data["matrix"])
+        snap = {
+            "names": [str(n) for n in data["prov_names"]],
+            "cats": [str(c) for c in data["prov_cats"]],
+            "pairs": {name: data[f"pair_{name}"] for name, _ in _PAIR_SPEC},
+            "legs": {name: data[f"leg_{name}"] for name, _ in _LEG_SPEC},
+            "reasons": {
+                int(row): str(text)
+                for row, text in zip(data["reason_rows"], data["reason_text"])
+            },
+        }
+        return cls(
+            matrix=matrix,
+            provenance=ProvenanceLog.from_snapshot(snap),
+            meta=header.get("meta", {}),
+        )
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: str | Path, format: str = "auto") -> None:
+        """Write the dataset to ``path``.
+
+        ``format`` is ``"json"``, ``"npz"``, or ``"auto"`` (npz when the
+        suffix is ``.npz``, JSON otherwise — preserving the historical
+        default for every pre-existing call site).
+        """
+        path = Path(path)
+        if format == "auto":
+            format = "npz" if path.suffix == ".npz" else "json"
+        if format == "json":
+            path.write_text(self.to_json())
+        elif format == "npz":
+            _write_npz(path, self._to_arrays())
+        else:
+            raise MeasurementError(f"unknown dataset save format {format!r}")
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignDataset":
-        """Read a dataset previously written by :meth:`save`."""
-        return cls.from_json(Path(path).read_text())
+        """Read a dataset previously written by :meth:`save`, sniffing
+        the on-disk format (JSON document vs npz container)."""
+        path = Path(path)
+        with open(path, "rb") as handle:
+            magic = handle.read(4)
+        if magic == _NPZ_MAGIC:
+            with np.load(path, allow_pickle=False) as data:
+                return cls._from_arrays(data)
+        return cls.from_json(path.read_text())
+
+    # -- incremental refresh -------------------------------------------
+
+    def absorb(
+        self,
+        matrix: RttMatrix,
+        provenance: ProvenanceLog | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> int:
+        """Fold a refresh campaign's results into this dataset.
+
+        Measured entries in ``matrix`` overwrite (or fill) the dataset's
+        entries; new nodes grow the dataset matrix; ``provenance``
+        records are appended (shard attribution kept), so the log stays
+        the dataset's full measurement history in insertion order —
+        which is exactly what planner staleness scoring reads. Returns
+        the number of pair entries written.
+        """
+        new_nodes = [n for n in matrix.nodes if n not in self.matrix._index]
+        if new_nodes:
+            grown = RttMatrix(self.matrix.nodes + new_nodes)
+            old_n = len(self.matrix.nodes)
+            grown._matrix[:old_n, :old_n] = self.matrix._matrix
+            grown._recount()
+            self.matrix = grown
+
+        incoming = matrix._matrix
+        n = len(matrix.nodes)
+        target = self.matrix._matrix
+        if matrix.nodes == self.matrix.nodes:
+            # Aligned node sets: one vectorized overwrite.
+            mask = ~np.isnan(incoming)
+            np.fill_diagonal(mask, False)
+            target[mask] = incoming[mask]
+            self.matrix._recount()
+            updated = int(mask.sum()) // 2
+        else:
+            iu, ju = np.triu_indices(n, k=1)
+            values = incoming[iu, ju]
+            keep = ~np.isnan(values)
+            rows = np.array([self.matrix._index[node] for node in matrix.nodes])
+            updated = 0
+            for i, j, value in zip(rows[iu[keep]], rows[ju[keep]], values[keep]):
+                if math.isnan(target[i, j]):
+                    self.matrix._num_measured += 1
+                target[i, j] = value
+                target[j, i] = value
+                updated += 1
+        if provenance is not None:
+            self.provenance.merge(provenance)
+        if meta:
+            self.meta.update(meta)
+        return updated
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,288 @@
+"""Budgeted campaign planning: measure the most valuable pairs first.
+
+At full-network scale the paper's all-pairs sweep stops being a
+realistic unit of work — ~6,500 relays is ~21M pairs — and Section 4.6
+says it does not need to be: Ting estimates are stable over at least a
+week, so a standing dataset only needs *incremental* refresh. The
+related work points the same way (ShorTor consumes a pair matrix it
+refreshes continuously; Imani et al. only need the latency-relevant
+slice), so instead of ``itertools.combinations`` a campaign should run
+from a **prioritized, budgeted pair list**.
+
+:class:`CampaignPlanner` scores every unordered pair of the target
+relay set against an existing :class:`~repro.core.dataset.CampaignDataset`
+(or nothing, for a cold start) along three axes:
+
+* **coverage** — the pair has no measured entry at all (or its last
+  attempt failed); missing data beats everything else.
+* **staleness** — how long ago the pair was last measured, read from
+  the provenance log's insertion order (the only clock the log has:
+  lower row → older measurement), rank-normalized to [0, 1].
+* **disagreement** — |predicted − measured| / measured against a
+  coordinate-model estimate (``apps/coordinates``' Vivaldi predictions),
+  so measurement effort is steered to where the model is most wrong —
+  the active-learning loop the roadmap sketches.
+
+The weighted sum plus a tiny seeded jitter (deterministic tie-breaking
+that still spreads equal-score pairs instead of always favouring low
+indices) is sorted descending and cut to the budget. The resulting
+:class:`CampaignPlan` feeds straight into
+``ShardedCampaign(pairs=plan.pairs)``'s work-stealing chunk queue, and
+the refreshed results fold back with ``CampaignDataset.absorb``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, RttMatrix
+from repro.util.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class PlannerWeights:
+    """Relative priority of the scoring axes (each axis is in [0, 1])."""
+
+    #: Pair has no measured matrix entry.
+    coverage: float = 1.0
+    #: Pair's most recent provenance record says "failed" (retry value).
+    failure: float = 0.6
+    #: Age of the last measurement, rank-normalized over the dataset.
+    staleness: float = 0.3
+    #: Predicted-vs-measured relative disagreement, clipped to [0, 1].
+    disagreement: float = 0.8
+
+
+@dataclass
+class CampaignPlan:
+    """An ordered, budgeted pair list plus the scoring that produced it."""
+
+    #: Pairs in descending priority, cut to the budget.
+    pairs: list[tuple[str, str]]
+    #: Score per planned pair (aligned with :attr:`pairs`).
+    scores: np.ndarray
+    #: How many candidate pairs were scored before the cut.
+    candidates: int
+    #: The requested budget (``None`` = unbudgeted).
+    budget: int | None
+    #: Candidate counts per scoring axis, for reporting.
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready description of the plan."""
+        return {
+            "planned": len(self.pairs),
+            "candidates": self.candidates,
+            "budget": self.budget,
+            "score_max": round(float(self.scores[0]), 6) if len(self.pairs) else None,
+            "score_min": round(float(self.scores[-1]), 6) if len(self.pairs) else None,
+            **{k: int(v) for k, v in self.breakdown.items()},
+        }
+
+
+class CampaignPlanner:
+    """Produce a prioritized, budgeted pair list for a relay set.
+
+    ``dataset`` is the standing measurement history to refresh (``None``
+    plans a cold-start sweep where every pair is pure coverage).
+    ``predicted`` supplies model estimates for disagreement scoring —
+    an :class:`RttMatrix` or an ``n×n`` array aligned with
+    ``fingerprints`` (e.g. ``VivaldiSystem.predict_matrix()``).
+
+    Planning is fully deterministic: the same fingerprints, dataset,
+    predictions, weights, and seed produce the identical pair order.
+    """
+
+    def __init__(
+        self,
+        fingerprints: list[str],
+        dataset: CampaignDataset | None = None,
+        predicted: "RttMatrix | np.ndarray | None" = None,
+        weights: PlannerWeights | None = None,
+        seed: int = 0,
+        jitter: float = 1e-6,
+    ) -> None:
+        if len(fingerprints) != len(set(fingerprints)):
+            raise MeasurementError("planner fingerprints must be unique")
+        self.fingerprints = list(fingerprints)
+        self.dataset = dataset
+        self.weights = weights if weights is not None else PlannerWeights()
+        self.seed = seed
+        self.jitter = jitter
+        self._predicted = self._align_predictions(predicted)
+
+    # ------------------------------------------------------------------
+
+    def _align_predictions(
+        self, predicted: "RttMatrix | np.ndarray | None"
+    ) -> np.ndarray | None:
+        if predicted is None:
+            return None
+        n = len(self.fingerprints)
+        if isinstance(predicted, RttMatrix):
+            # Align by name; relays the model has not seen stay NaN.
+            aligned = np.full((n, n), np.nan)
+            known = [
+                (i, predicted.index_of(fp))
+                for i, fp in enumerate(self.fingerprints)
+                if fp in predicted
+            ]
+            if known:
+                ours = np.array([i for i, _ in known])
+                theirs = np.array([j for _, j in known])
+                aligned[np.ix_(ours, ours)] = predicted.matrix[np.ix_(theirs, theirs)]
+            return aligned
+        predicted = np.asarray(predicted, dtype=float)
+        if predicted.shape != (n, n):
+            raise MeasurementError(
+                f"prediction matrix shape {predicted.shape} does not match "
+                f"{n} fingerprints"
+            )
+        return predicted
+
+    def _measured_values(
+        self, iu: np.ndarray, ju: np.ndarray
+    ) -> np.ndarray:
+        """Last known RTT per candidate pair (NaN where unmeasured)."""
+        n = len(self.fingerprints)
+        values = np.full(iu.shape, np.nan)
+        if self.dataset is None:
+            return values
+        matrix = self.dataset.matrix
+        known = [
+            (i, matrix.index_of(fp))
+            for i, fp in enumerate(self.fingerprints)
+            if fp in matrix
+        ]
+        if not known:
+            return values
+        row_map = np.full(n, -1, dtype=np.int64)
+        for i, j in known:
+            row_map[i] = j
+        mi, mj = row_map[iu], row_map[ju]
+        mapped = (mi >= 0) & (mj >= 0)
+        values[mapped] = matrix.matrix[mi[mapped], mj[mapped]]
+        return values
+
+    def _provenance_features(
+        self, iu: np.ndarray, ju: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate (staleness, failed) read from the provenance log.
+
+        Staleness is the rank-normalized age of each pair's *latest*
+        record: the oldest refreshable pair scores 1.0, the newest 0.0.
+        Pairs with a measured matrix entry but no provenance at all
+        (matrix-only datasets) are treated as fully stale — age unknown.
+        ``failed`` marks pairs whose latest record is a failure.
+        """
+        staleness = np.full(iu.shape, np.nan)
+        failed = np.zeros(iu.shape, dtype=bool)
+        if self.dataset is None or len(self.dataset.provenance) == 0:
+            return staleness, failed
+        log = self.dataset.provenance
+        names = log.name_table()
+        fp_index = {fp: i for i, fp in enumerate(self.fingerprints)}
+        # name-table code -> our fingerprint index (-1 = not a target)
+        code_map = np.array([fp_index.get(nm, -1) for nm in names], dtype=np.int64)
+        status_col, cat_ids = log.status_codes()
+        failed_code = cat_ids.get("failed", -2)
+
+        n = len(self.fingerprints)
+        latest_row = np.full(iu.shape, -1, dtype=np.int64)
+        # Candidate pair -> flat slot for O(1) lookup.
+        slot = np.full(n * n, -1, dtype=np.int64)
+        slot[iu * n + ju] = np.arange(iu.shape[0])
+        for (a, b), row in log.last_row_for_pairs().items():
+            ia, ib = int(code_map[a]), int(code_map[b])
+            if ia < 0 or ib < 0:
+                continue
+            lo, hi = (ia, ib) if ia < ib else (ib, ia)
+            s = slot[lo * n + hi]
+            if s >= 0:
+                latest_row[s] = row
+        seen = latest_row >= 0
+        if seen.any():
+            rows = latest_row[seen].astype(float)
+            lo, hi = float(rows.min()), float(rows.max())
+            span = (hi - lo) or 1.0
+            staleness[seen] = (hi - rows) / span
+            failed[seen] = status_col[latest_row[seen]] == failed_code
+        return staleness, failed
+
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        budget_pairs: int | None = None,
+        min_score: float = 0.0,
+    ) -> CampaignPlan:
+        """Score every candidate pair and cut to the budget.
+
+        Pairs whose base score is not above ``min_score`` are dropped
+        even under a generous budget — a fully fresh, well-predicted
+        pair is not worth a probe. ``budget_pairs=None`` keeps every
+        pair that clears ``min_score``.
+        """
+        w = self.weights
+        n = len(self.fingerprints)
+        iu, ju = np.triu_indices(n, k=1)
+        measured = self._measured_values(iu, ju)
+        unmeasured = np.isnan(measured)
+        staleness, failed = self._provenance_features(iu, ju)
+
+        score = w.coverage * unmeasured.astype(float)
+        score += w.failure * failed.astype(float)
+        # Measured pairs with no provenance history: age unknown, treat
+        # as fully stale so matrix-only datasets still refresh.
+        stale_term = np.where(np.isnan(staleness), 1.0, staleness)
+        stale_term[unmeasured] = 0.0
+        score += w.staleness * stale_term
+
+        disagreement_n = 0
+        if self._predicted is not None:
+            pred = self._predicted[iu, ju]
+            comparable = ~unmeasured & ~np.isnan(pred)
+            rel = np.zeros(iu.shape)
+            denom = np.maximum(measured[comparable], 1e-9)
+            rel[comparable] = np.clip(
+                np.abs(pred[comparable] - measured[comparable]) / denom, 0.0, 1.0
+            )
+            score += w.disagreement * rel
+            disagreement_n = int(comparable.sum())
+
+        eligible = score > min_score
+        # Deterministic tie-breaking that still spreads equal-score
+        # pairs: a tiny seeded jitter, far below any weight step.
+        rng = np.random.default_rng(self.seed)
+        ranked = score + self.jitter * rng.random(score.shape)
+        order = np.argsort(-ranked, kind="stable")
+        order = order[eligible[order]]
+        if budget_pairs is not None:
+            order = order[:budget_pairs]
+
+        pairs = [
+            (self.fingerprints[int(iu[k])], self.fingerprints[int(ju[k])])
+            for k in order
+        ]
+        return CampaignPlan(
+            pairs=pairs,
+            scores=score[order],
+            candidates=int(iu.shape[0]),
+            budget=budget_pairs,
+            breakdown={
+                "unmeasured": int(unmeasured.sum()),
+                "failed": int(failed.sum()),
+                "with_history": int((~np.isnan(staleness)).sum()),
+                "with_predictions": disagreement_n,
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignPlanner(relays={len(self.fingerprints)}, "
+            f"dataset={'yes' if self.dataset else 'no'}, "
+            f"predictions={'yes' if self._predicted is not None else 'no'})"
+        )

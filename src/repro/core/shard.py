@@ -13,7 +13,9 @@ Version 2 of the engine splits the campaign into two phases:
 
 1. **Leg phase** (parent process, before any fork). One
    :class:`~repro.core.parallel.ParallelCampaign` with ``pairs=[]`` and
-   ``legs=<all fingerprints>`` measures every relay's R_Cx exactly once,
+   ``legs=<pair-touched fingerprints>`` measures every needed relay's
+   R_Cx exactly once (all relays for an all-pairs campaign; only the
+   relays the pair list references for a planner-budgeted one),
    under the same task isolation as everything else. The resulting
    estimate cache (and any leg failures) ships to every worker read-only
    — via fork copy-on-write, never re-pickled — and leg provenance is
@@ -392,10 +394,11 @@ class ShardResult:
 
     The observability payloads are snapshots, not live objects — a
     metrics dict (:meth:`MetricsRegistry.snapshot`), a trace dict
-    (:meth:`TraceLog.snapshot`), span record dicts, pair-provenance
-    dicts, leg-provenance dicts, and an event-bus dict
-    (:meth:`EventBus.snapshot`). ``None`` means the shard ran without
-    observability.
+    (:meth:`TraceLog.snapshot`), span record dicts, a columnar
+    provenance snapshot (:meth:`ProvenanceLog.snapshot` — flat numpy
+    buffers carrying both pair and leg records, not per-record dicts),
+    and an event-bus dict (:meth:`EventBus.snapshot`). ``None`` means
+    the shard ran without observability.
     """
 
     shard_index: int
@@ -414,8 +417,7 @@ class ShardResult:
     metrics: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     spans: list[dict[str, Any]] | None = None
-    provenance: list[dict[str, Any]] | None = None
-    legs: list[dict[str, Any]] | None = None
+    provenance: dict[str, Any] | None = None
     events: dict[str, Any] | None = None
 
 
@@ -634,8 +636,7 @@ def _run_worker(
         metrics=host.metrics.snapshot() if job.observe else None,
         trace=host.trace.snapshot() if job.observe else None,
         spans=host.spans.records() if job.observe else None,
-        provenance=host.provenance.to_list() if job.observe else None,
-        legs=host.provenance.legs_to_list() if job.observe else None,
+        provenance=host.provenance.snapshot() if job.observe else None,
         events=host.events.snapshot() if job.observe else None,
     )
 
@@ -771,6 +772,15 @@ class ShardedCampaign:
                 if a == b or a not in known or b not in known:
                     raise MeasurementError(f"invalid campaign pair ({a}, {b})")
             self.pairs = list(pairs)
+        #: Relays that appear in at least one campaign pair, in
+        #: fingerprint order. The leg phase only measures these — under
+        #: a planner-budgeted pair list there is no reason to pre-warm
+        #: legs no pair will subtract. For an all-pairs campaign this is
+        #: every fingerprint, so the historical behaviour is unchanged.
+        touched = {fp for pair in self.pairs for fp in pair}
+        self.touched_fingerprints = [
+            fp for fp in self.fingerprints if fp in touched
+        ]
 
     def pair_chunks(self) -> list[tuple[int, list[tuple[str, str]]]]:
         """The pair list cut into ``steal_chunk_pairs``-sized chunks.
@@ -857,7 +867,8 @@ class ShardedCampaign:
         leg_failures: dict[str, str],
     ) -> _WorkerJob:
         prewarmed = self.leg_phase and all(
-            fp in leg_estimates or fp in leg_failures for fp in self.fingerprints
+            fp in leg_estimates or fp in leg_failures
+            for fp in self.touched_fingerprints
         )
         return _WorkerJob(
             testbed=testbed,
@@ -876,7 +887,8 @@ class ShardedCampaign:
         """Measure every relay's leg circuit once, in the parent.
 
         Runs a pairs-free :class:`~repro.core.parallel.ParallelCampaign`
-        over all fingerprints under task isolation — so each leg task's
+        over the pair-touched fingerprints under task isolation — so
+        each leg task's
         samples are bit-identical to what any worker (or an unsharded
         campaign) would have measured for the same root seed. Telemetry
         and observability artifacts are attributed to shard
@@ -910,7 +922,7 @@ class ShardedCampaign:
             descriptors,
             policy=self.policy,
             pairs=[],
-            legs=self.fingerprints,
+            legs=self.touched_fingerprints,
             isolation=testbed.task_isolation(),
         )
         try:
@@ -937,8 +949,7 @@ class ShardedCampaign:
             metrics=host.metrics.snapshot() if self.observe else None,
             trace=host.trace.snapshot() if self.observe else None,
             spans=host.spans.records() if self.observe else None,
-            provenance=host.provenance.to_list() if self.observe else None,
-            legs=host.provenance.legs_to_list() if self.observe else None,
+            provenance=host.provenance.snapshot() if self.observe else None,
             events=host.events.snapshot() if self.observe else None,
         )
         return result, campaign.leg_estimates, campaign.leg_failures
@@ -1164,11 +1175,15 @@ class ShardedCampaign:
         if result.spans is not None and report.spans is not None:
             report.spans.merge(result.spans, shard=result.shard_index)
         if result.provenance is not None and report.provenance is not None:
-            report.provenance.merge(result.provenance, shard=result.shard_index)
-        if result.legs is not None and report.provenance is not None:
-            report.provenance.merge_legs(
-                result.legs,
-                shard=None
+            # Array concatenation, not per-record adoption: pair rows
+            # are retagged with the producing shard; leg rows from the
+            # leg phase keep ``shard=None`` (the phase belongs to the
+            # campaign), while legs a worker measured itself get the
+            # worker index.
+            report.provenance.merge_snapshot(
+                result.provenance,
+                shard=result.shard_index,
+                leg_shard=None
                 if result.shard_index == LEG_PHASE
                 else result.shard_index,
             )

@@ -117,6 +117,38 @@ class TestCheckCrossWorkload:
             assert "missing" in problems[0]
 
 
+class TestCheckPairCost:
+    """The absolute per-pair cost ceiling on the full-network workload."""
+
+    def test_absent_workload_passes(self):
+        assert bench.check_pair_cost(_fake_report(a=1.0)) == []
+
+    def test_under_ceiling_passes(self):
+        report = _fake_report(campaign_fullnet=1.0)
+        report["campaign_fullnet"]["pair_cost_ms"] = 12.0
+        assert bench.check_pair_cost(report) == []
+
+    def test_over_ceiling_flagged(self):
+        report = _fake_report(campaign_fullnet=1.0)
+        report["campaign_fullnet"]["pair_cost_ms"] = (
+            bench.PAIR_COST_CEILING_MS * 2
+        )
+        problems = bench.check_pair_cost(report)
+        assert len(problems) == 1
+        assert "per-pair cost" in problems[0]
+
+    def test_missing_metric_flagged(self):
+        report = _fake_report(campaign_fullnet=1.0)
+        problems = bench.check_pair_cost(report)
+        assert len(problems) == 1
+        assert "pair_cost_ms" in problems[0]
+
+    def test_custom_ceiling(self):
+        report = _fake_report(campaign_fullnet=1.0)
+        report["campaign_fullnet"]["pair_cost_ms"] = 12.0
+        assert bench.check_pair_cost(report, ceiling_ms=10.0) != []
+
+
 class TestBenchCommand:
     @pytest.fixture
     def tiny_report(self, monkeypatch):
@@ -139,7 +171,10 @@ class TestBenchCommand:
         for name, entry in written.items():
             if name.startswith("_"):
                 continue
-            assert tuple(sorted(entry)) == tuple(sorted(bench.WORKLOAD_KEYS))
+            assert set(bench.WORKLOAD_KEYS) <= set(entry)
+            assert set(entry) <= set(bench.WORKLOAD_KEYS) | set(
+                bench.OPTIONAL_WORKLOAD_KEYS
+            )
 
     def test_check_passes_against_own_baseline(self, tiny_report, tmp_path):
         baseline = tmp_path / "BENCH_ting.json"
@@ -188,6 +223,7 @@ class TestBenchCommand:
         workloads = [k for k in report if not k.startswith("_")]
         assert sorted(workloads) == [
             "campaign_adaptive",
+            "campaign_fullnet",
             "campaign_parallel",
             "campaign_sharded",
             "cell_crypto",
@@ -195,10 +231,17 @@ class TestBenchCommand:
             "ting_single_pair",
         ]
         for name in workloads:
-            assert tuple(sorted(report[name])) == tuple(
-                sorted(bench.WORKLOAD_KEYS)
+            assert set(bench.WORKLOAD_KEYS) <= set(report[name])
+            assert set(report[name]) <= set(bench.WORKLOAD_KEYS) | set(
+                bench.OPTIONAL_WORKLOAD_KEYS
             )
             assert report[name]["wall_s"] > 0
+        # The scale-proof workload must carry (and satisfy) the pinned
+        # per-pair cost.
+        fullnet = report["campaign_fullnet"]
+        assert fullnet["pairs_measured"] > 0
+        assert 0 < fullnet["pair_cost_ms"] <= bench.PAIR_COST_CEILING_MS
+        assert bench.check_pair_cost(report) == []
 
     def test_committed_baseline_sharding_beats_parallel(self):
         # The acceptance bar for shard engine v2: the committed baseline

@@ -365,3 +365,89 @@ class TestDatasetRoundTrip:
         assert code == 0
         assert "probe cost" in out
         assert "saved" in out
+
+
+class TestPlanCommand:
+    def test_cold_start_plan_prints_summary(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--relays", "6",
+                "--network-size", "20",
+                "--budget", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan: 5 of 15 candidate pairs" in out
+        assert "unmeasured=15" in out
+
+    def test_run_then_refresh_roundtrip(self, tmp_path, capsys):
+        from repro.core.dataset import CampaignDataset
+
+        dataset_path = tmp_path / "plan_ds.npz"
+        code = main(
+            [
+                "plan",
+                "--relays", "6",
+                "--network-size", "20",
+                "--budget", "8",
+                "--samples", "3",
+                "--run",
+                "--output", str(dataset_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        # Binary by suffix; the planner campaign measured the budget.
+        assert dataset_path.read_bytes()[:4] == b"PK\x03\x04"
+        dataset = CampaignDataset.load(dataset_path)
+        assert dataset.matrix.num_measured == 8
+        assert len(dataset.provenance) == 8
+
+        # Second pass refreshes the stale dataset incrementally.
+        code = main(
+            [
+                "plan",
+                "--relays", "6",
+                "--network-size", "20",
+                "--budget", "4",
+                "--samples", "3",
+                "--input", str(dataset_path),
+                "--run",
+                "--output", str(dataset_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refreshed 4 pair entries" in out
+        refreshed = CampaignDataset.load(dataset_path)
+        assert refreshed.matrix.num_measured > 8
+        assert len(refreshed.provenance) == 12
+
+    def test_plan_json_artifact(self, tmp_path, capsys):
+        import json as json_mod
+
+        out_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "plan",
+                "--relays", "5",
+                "--network-size", "20",
+                "--budget", "3",
+                "--json", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json_mod.loads(out_path.read_text())
+        assert payload["summary"]["planned"] == 3
+        assert len(payload["pairs"]) == 3
+
+    def test_predict_requires_input(self, capsys):
+        code = main(
+            ["plan", "--relays", "5", "--network-size", "20", "--predict"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--predict needs --input" in err
