@@ -122,8 +122,11 @@ assert absorbed > 0, "cold-start campaign absorbed nothing"
 
 # Round 2: the dataset is now stale history — the planner must find a
 # non-empty refresh (unmeasured pairs still dominate at this budget)
-# and absorbing the rerun must touch entries again.
-replan = CampaignPlanner(fps, dataset=dataset, seed=12).plan(budget_pairs=200)
+# and absorbing the rerun must touch entries again. Quality scores feed
+# the replan as a refresh axis (exercising the obs.health integration).
+replan = CampaignPlanner(
+    fps, dataset=dataset, seed=12, quality=dataset.quality()
+).plan(budget_pairs=200)
 assert len(replan.pairs) > 0, "refresh plan is empty"
 rerun = ShardedCampaign(
     factory, fps, policy=policy, workers=4,
@@ -132,11 +135,22 @@ rerun = ShardedCampaign(
 refreshed = dataset.absorb(rerun.matrix, provenance=rerun.provenance)
 assert refreshed > 0, "refresh absorbed nothing"
 
+# Persist the refreshed dataset for the health gate below.
+dataset.save("/tmp/ting_planner_smoke.npz")
+
 elapsed = time.monotonic() - started
 assert elapsed < WALL_CEILING_S, f"planner smoke took {elapsed:.0f}s"
 print(f"planner smoke: {absorbed} cold + {refreshed} refreshed entries "
       f"over {len(fps)} relays in {elapsed:.1f}s")
 PY
+
+echo "== dataset health gate =="
+# The data-quality scorecard over the planner-smoke dataset must grade
+# clean: no physically impossible estimates, no asymmetry, no stale
+# pairs beyond a full sweep. `--check` exits nonzero on any FAIL check,
+# which is exactly the gate a continuous-refresh deployment would run
+# after every absorb.
+python -m repro.cli -q health --input /tmp/ting_planner_smoke.npz --check
 
 echo "== bench regression check =="
 # Compares fresh timings against the committed baseline AND enforces

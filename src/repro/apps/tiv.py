@@ -46,9 +46,11 @@ class TivFinding:
         return self.savings_ms / self.direct_rtt_ms
 
 
-def _matrix_and_nodes(matrix: RttMatrix | np.ndarray) -> tuple[np.ndarray, list[str]]:
+def _matrix_and_nodes(
+    matrix: RttMatrix | np.ndarray, require_complete: bool = True
+) -> tuple[np.ndarray, list[str]]:
     if isinstance(matrix, RttMatrix):
-        if not matrix.is_complete:
+        if require_complete and not matrix.is_complete:
             raise MeasurementError("TIV analysis needs a complete matrix")
         # Zero-copy: the analysis only reads, so the read-only view is
         # enough — no O(n^2) copy per call at full-network scale.
@@ -58,6 +60,60 @@ def _matrix_and_nodes(matrix: RttMatrix | np.ndarray) -> tuple[np.ndarray, list[
     if arr.ndim != 2 or arr.shape != (n, n):
         raise ConfigurationError("need a square RTT matrix")
     return arr, [str(i) for i in range(n)]
+
+
+def tiv_rate(
+    matrix: RttMatrix | np.ndarray,
+    max_pairs: int = 2000,
+    seed: int = 0,
+) -> dict[str, float | bool]:
+    """The TIV pair rate, tolerating missing entries and large matrices.
+
+    The health scorecard's view of `tiv_summary`: unmeasured entries are
+    simply excluded (a detour through an unmeasured relay never counts,
+    and a pair with no direct estimate is not checked), and above
+    ``max_pairs`` measured pairs a seeded uniform sample is checked
+    instead of all of them — the ``sampled`` flag in the result says
+    which happened, so a capped check is never mistaken for an
+    exhaustive one. Exact (and identical to `tiv_summary`'s fraction)
+    below the cap.
+    """
+    rtt, _ = _matrix_and_nodes(matrix, require_complete=False)
+    n = rtt.shape[0]
+    # Missing entries become +inf: an unmeasured detour leg can never
+    # undercut a measured direct path, which is exactly "excluded".
+    work = np.where(np.isnan(rtt), np.inf, rtt)
+    np.fill_diagonal(work, np.inf)
+    iu, ju = np.triu_indices(n, k=1)
+    measured = np.isfinite(work[iu, ju])
+    iu, ju = iu[measured], ju[measured]
+    total = int(iu.size)
+    if total == 0:
+        return {
+            "pairs_checked": 0.0,
+            "violations": 0.0,
+            "rate": 0.0,
+            "sampled": False,
+        }
+    sampled = total > max_pairs
+    if sampled:
+        picks = np.random.default_rng(seed).choice(total, size=max_pairs, replace=False)
+        picks.sort()
+        iu, ju = iu[picks], ju[picks]
+    violations = 0
+    # Chunked so the (chunk × n) detour matrix stays small at any scale.
+    chunk = max(1, 1_000_000 // max(1, n))
+    for start in range(0, iu.size, chunk):
+        ic, jc = iu[start : start + chunk], ju[start : start + chunk]
+        best = np.min(work[ic, :] + work[:, jc].T, axis=1)
+        violations += int(np.sum(best < work[ic, jc]))
+    checked = int(iu.size)
+    return {
+        "pairs_checked": float(checked),
+        "violations": float(violations),
+        "rate": violations / checked,
+        "sampled": sampled,
+    }
 
 
 def find_tivs(matrix: RttMatrix | np.ndarray) -> list[TivFinding]:

@@ -25,12 +25,20 @@ Commands mirror how the paper's tool was used operationally:
   exporting report JSON, a Perfetto-loadable span trace, and the
   matrix+provenance dataset.
 * ``tail`` — render an ``--events`` JSONL stream as console lines,
-  with severity/category filters and an optional ``--follow`` mode.
+  with severity/category/``--since`` filters and an optional
+  ``--follow`` mode; pointed at a saved campaign dataset (JSON or
+  ``.npz``, sniffed) it replays the provenance history as events.
 * ``plan`` — score every pair of a relay set against an existing
   campaign dataset (coverage, staleness, predicted-vs-measured
-  disagreement) and emit a prioritized, budgeted pair list; with
-  ``--run``, measure the planned pairs as a sharded campaign and fold
-  the results back into the dataset (incremental refresh).
+  disagreement, ``--quality`` data-quality deficit) and emit a
+  prioritized, budgeted pair list; with ``--run``, measure the planned
+  pairs as a sharded campaign and fold the results back into the
+  dataset (incremental refresh).
+* ``health`` — grade a saved campaign dataset's data quality: the
+  ``repro.obs.health`` scorecard (coverage, symmetry, physical
+  plausibility, TIV rate, staleness, per-pair quality percentiles),
+  a drift diff against a ``--baseline`` version, and ``--check``
+  exit-code gating for CI.
 
 Output conventions: machine-readable results (reports, metric
 listings, ``tail`` lines) go to **stdout**; human-facing progress
@@ -150,6 +158,27 @@ def _render_heartbeat_progress(stream=None) -> Callable[[ProgressTracker], None]
         print(f"\r  {tracker.render()}", end="", file=out, flush=True)
 
     return render
+
+
+def _geo_meta(testbed, relays) -> dict[str, list[float]]:
+    """``meta["geo"]``: fingerprint → [lat, lon] from the testbed's
+    geolocation database, for the health layer's light-time check.
+
+    The coordinates persist with the dataset (meta survives both JSON
+    and npz), so ``repro health`` can run the physical-plausibility
+    check on a reloaded dataset with no testbed around.
+    """
+    db = getattr(testbed, "geolocation", None)
+    if db is None:
+        return {}
+    geo: dict[str, list[float]] = {}
+    for descriptor in relays:
+        try:
+            point = db.lookup(descriptor.address)
+        except KeyError:
+            continue
+        geo[descriptor.fingerprint] = [point.lat, point.lon]
+    return geo
 
 
 def resolve_policy(name: str, samples: int) -> SamplePolicy:
@@ -323,20 +352,50 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--output", type=Path, default=None,
                       help="write the refreshed dataset here "
                            "(.npz suffix = binary format)")
+    plan.add_argument("--quality", action="store_true",
+                      help="score per-pair data quality from the dataset's "
+                           "provenance (repro.obs.health) and refresh "
+                           "low-quality estimates first")
     _add_policy_flag(plan)
 
     tail = sub.add_parser(
         "tail", help="render an --events JSONL stream as console lines"
     )
-    tail.add_argument("events", type=Path, help="events JSONL file to read")
+    tail.add_argument("events", type=Path,
+                      help="events JSONL file — or a saved campaign dataset "
+                           "(JSON or .npz, sniffed), whose provenance "
+                           "history is replayed as events")
     tail.add_argument("--min-severity", choices=SEVERITY_CHOICES,
                       default="debug", help="hide events below this severity")
     tail.add_argument("--category", default=None,
                       help="only events in this category (e.g. campaign)")
     tail.add_argument("--kind", default=None,
                       help="only events of this kind (e.g. pair_measured)")
+    tail.add_argument("--since", type=float, default=None,
+                      help="only events at or after this sim-ms timestamp "
+                           "(for dataset replays: the provenance row index)")
     tail.add_argument("--follow", "-f", action="store_true",
-                      help="keep reading as the file grows (Ctrl-C to stop)")
+                      help="keep reading as the file grows (Ctrl-C to stop; "
+                           "ignored for dataset inputs)")
+
+    health = sub.add_parser(
+        "health", help="data-quality scorecard + drift diff for a dataset"
+    )
+    health.add_argument("--input", type=Path, required=True,
+                        help="campaign dataset to grade (JSON or .npz; "
+                             "format auto-detected)")
+    health.add_argument("--baseline", type=Path, default=None,
+                        help="older dataset version: also emit the drift "
+                             "diff (node churn, per-pair deltas, quality "
+                             "regressions)")
+    health.add_argument("--stale-after", type=int, default=None,
+                        help="pair age in provenance rows past which it "
+                             "counts as stale (default: one full sweep)")
+    health.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the scorecard (and drift diff) as JSON")
+    health.add_argument("--check", action="store_true",
+                        help="exit nonzero if any check grades FAIL "
+                             "(the CI gate)")
 
     return parser
 
@@ -592,8 +651,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"  {'probe loss rate':<24} {lost / sent:.2%}")
     rtt = registry.histogram("echo.rtt_ms")
     if rtt is not None and rtt.count:
+        cuts = rtt.quantiles()
         print(f"  {'probe RTT mean':<24} {rtt.mean:.1f} ms "
-              f"(p50<={rtt.quantile(0.5):g} ms, p90<={rtt.quantile(0.9):g} ms)")
+              f"(p50~{cuts['p50']:.1f} ms, p95~{cuts['p95']:.1f} ms)")
+    if snapshot["histograms"]:
+        print("\nlatency quantiles (bucket-interpolated):")
+        for name in sorted(snapshot["histograms"]):
+            histogram = registry.histogram(name)
+            if histogram is None or not histogram.count:
+                continue
+            cuts = histogram.quantiles()
+            print(f"  {name:<24} p50={cuts['p50']:.2f}  p95={cuts['p95']:.2f}  "
+                  f"p99={cuts['p99']:.2f} ms  (n={histogram.count})")
     gauges = snapshot["gauges"]
     for name in ("campaign.peak_concurrency", "sim.heap_peak",
                  "sim.events_processed"):
@@ -622,6 +691,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     status = _status(args)
     if args.input is not None:
+        from repro.obs.health import health_report
+
         dataset = CampaignDataset.load(args.input)
         report = build_report(
             dataset.matrix,
@@ -629,6 +700,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             pairs_attempted=dataset.meta.get("pairs_attempted"),
             makespan_ms=dataset.meta.get("makespan_ms"),
             top_n=args.top,
+            health=health_report(dataset, seed=args.seed),
         )
         print(report.render_text())
         if args.json_out is not None:
@@ -717,6 +789,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                 "samples": args.samples,
                 "workers": args.workers,
                 "pairs_attempted": sharded.pairs_attempted,
+                "geo": _geo_meta(testbed, relays),
             },
         ).save(args.output)
         status(f"campaign dataset written to {args.output}")
@@ -769,8 +842,19 @@ def cmd_plan(args: argparse.Namespace) -> int:
         status(f"Vivaldi model trained on {len(samples)} pairs "
                f"(mean error {system.mean_error():.3f})")
 
+    quality = None
+    if args.quality:
+        if dataset is None:
+            print("--quality needs --input with provenance history",
+                  file=sys.stderr)
+            return 2
+        quality = dataset.quality()
+        status(f"quality scored {quality.summary()['scored_pairs']} pairs "
+               f"from provenance")
+
     planner = CampaignPlanner(
-        fingerprints, dataset=dataset, predicted=predicted, seed=args.seed
+        fingerprints, dataset=dataset, predicted=predicted, seed=args.seed,
+        quality=quality,
     )
     plan = planner.plan(budget_pairs=args.budget)
     summary = plan.summary()
@@ -778,7 +862,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
           f"pairs (budget {summary['budget'] or 'none'})")
     print(f"  unmeasured={summary['unmeasured']} failed={summary['failed']} "
           f"with_history={summary['with_history']} "
-          f"with_predictions={summary['with_predictions']}")
+          f"with_predictions={summary['with_predictions']} "
+          f"with_quality={summary['with_quality']}")
     for (a, b), score in list(zip(plan.pairs, plan.scores))[: args.top]:
         print(f"  {score:8.4f}  {a[:16]} - {b[:16]}")
     if args.json_out is not None:
@@ -827,6 +912,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "planned_pairs": len(plan.pairs),
             "pairs_attempted": sharded.pairs_attempted,
+            # Merge, not replace: a grown dataset may hold coordinates
+            # for relays outside this refresh's target set.
+            "geo": {**dataset.meta.get("geo", {}), **_geo_meta(testbed, relays)},
         },
     )
     print(f"refreshed {updated} pair entries "
@@ -839,18 +927,88 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sniff_dataset(path: Path) -> bool:
+    """Is this file a saved :class:`CampaignDataset` rather than JSONL?
+
+    The npz container starts with the zip magic; the JSON document
+    starts with a ``ting-campaign`` format tag in its first bytes.
+    Event JSONL lines are JSON objects too, but never carry that tag.
+    """
+    with path.open("rb") as fh:
+        head = fh.read(256)
+    if head[:4] == b"PK\x03\x04":
+        return True
+    return head.lstrip()[:1] == b"{" and b'"format": "ting-campaign' in head
+
+
+def _dataset_events(dataset: CampaignDataset) -> "list[dict]":
+    """A dataset's provenance history as synthetic event records.
+
+    Insertion order is the only clock the log has, so each record is
+    stamped ``sim_ms = provenance row index`` — ``--since N`` then means
+    "rows N onward", which is exactly how an operator asks "what did the
+    last refresh do?".
+    """
+    from repro.obs import INFO, WARNING
+
+    records = []
+    for row, record in enumerate(dataset.provenance.records()):
+        measured = record.status == "measured"
+        event: dict = {
+            "wall_s": 0.0,
+            "sim_ms": float(row),
+            "severity": INFO if measured else WARNING,
+            "category": "campaign",
+            "kind": "pair_measured" if measured else "pair_failed",
+            "shard": record.shard if record.shard is not None else 0,
+            "seq": row,
+            "x": record.x[:16],
+            "y": record.y[:16],
+        }
+        if record.rtt_ms is not None:
+            event["rtt_ms"] = round(record.rtt_ms, 3)
+        if not measured and record.failure_category is not None:
+            event["cause"] = record.failure_category
+        if record.retries:
+            event["retries"] = record.retries
+        records.append(event)
+    return records
+
+
 def cmd_tail(args: argparse.Namespace) -> int:
     """``tail``: render an events JSONL stream as console lines.
 
     The after-the-fact (or, with ``--follow``, live) view of a
     ``--events`` file, formatted identically to the console sink so an
-    operator sees the same lines either way. Output goes to stdout —
+    operator sees the same lines either way. Pointed at a saved
+    campaign dataset instead (JSON or ``.npz``, sniffed), it replays
+    the provenance history as synthetic events. Output goes to stdout —
     it *is* the machine/pipeline output of this command.
     """
     if not args.events.exists():
         print(f"events file {args.events} not found", file=sys.stderr)
         return 2
     min_severity = severity_level(args.min_severity)
+
+    def wanted(record: dict) -> bool:
+        if int(record.get("severity", 0)) < min_severity:
+            return False
+        if args.category is not None and record.get("category") != args.category:
+            return False
+        if args.kind is not None and record.get("kind") != args.kind:
+            return False
+        if args.since is not None and float(record.get("sim_ms", 0.0)) < args.since:
+            return False
+        return True
+
+    if _sniff_dataset(args.events):
+        if args.follow:
+            print("--follow is ignored for dataset inputs", file=sys.stderr)
+        dataset = CampaignDataset.load(args.events)
+        for record in _dataset_events(dataset):
+            if wanted(record):
+                print(format_event(record))
+        return 0
 
     def emit(line: str) -> None:
         line = line.strip()
@@ -861,13 +1019,8 @@ def cmd_tail(args: argparse.Namespace) -> int:
         except json.JSONDecodeError:
             print(f"skipping malformed line: {line[:60]}", file=sys.stderr)
             return
-        if int(record.get("severity", 0)) < min_severity:
-            return
-        if args.category is not None and record.get("category") != args.category:
-            return
-        if args.kind is not None and record.get("kind") != args.kind:
-            return
-        print(format_event(record))
+        if wanted(record):
+            print(format_event(record))
 
     try:
         with args.events.open(encoding="utf-8") as fh:
@@ -893,6 +1046,58 @@ def cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """``health``: grade a saved dataset's data quality, gate CI on it.
+
+    Loads the dataset (JSON or ``.npz``), computes per-pair quality
+    scores from provenance, and prints the graded scorecard; with
+    ``--baseline`` it also diffs the two dataset versions (node churn,
+    per-pair deltas with provenance attribution, quality regressions).
+    ``--check`` turns the grade into an exit code: any FAIL check —
+    a physically impossible estimate, an asymmetric entry, stale pairs
+    beyond the threshold — exits 1, which is the CI gate.
+    """
+    from repro.obs.health import HealthThresholds, diff_datasets, health_report
+
+    status = _status(args)
+    if not args.input.exists():
+        print(f"dataset {args.input} not found", file=sys.stderr)
+        return 2
+    dataset = CampaignDataset.load(args.input)
+    status(f"loaded dataset: {len(dataset.matrix.nodes)} relays, "
+           f"{dataset.matrix.num_measured} measured pairs, "
+           f"{len(dataset.provenance)} provenance records")
+    thresholds = None
+    if args.stale_after is not None:
+        thresholds = HealthThresholds(stale_after_rows=args.stale_after)
+    report = health_report(dataset, thresholds=thresholds, seed=args.seed)
+    print(report.render_text())
+    payload = {"health": report.to_dict()}
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"baseline dataset {args.baseline} not found",
+                  file=sys.stderr)
+            return 2
+        baseline = CampaignDataset.load(args.baseline)
+        drift = diff_datasets(baseline, dataset)
+        print()
+        print(drift.render_text())
+        payload["drift"] = drift.to_dict()
+
+    if args.json_out is not None:
+        _write_json_artifact(
+            args.json_out, json.dumps(payload, indent=2),
+            "\nhealth JSON", status,
+        )
+    if args.check and not report.ok:
+        failing = [c["name"] for c in report.data["checks"]
+                   if c["status"] == "fail"]
+        print(f"health check FAILED: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "validate": cmd_validate,
     "measure": cmd_measure,
@@ -904,6 +1109,7 @@ _COMMANDS = {
     "report": cmd_report,
     "plan": cmd_plan,
     "tail": cmd_tail,
+    "health": cmd_health,
 }
 
 

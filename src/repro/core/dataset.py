@@ -885,6 +885,17 @@ class ProvenanceLog:
         vectorized consumers (planner scoring)."""
         return self._pairs.column("status"), dict(self._cat_ids)
 
+    def pair_columns(self, *names: str) -> tuple[np.ndarray, ...]:
+        """Trimmed read views of raw pair columns, in request order.
+
+        The vectorized consumer's door into the columnar store (quality
+        scoring reads six columns at once instead of materializing
+        records). Category-typed columns (``status``, ``stop_reason``,
+        ``failure_category``) hold intern codes — decode them with
+        :meth:`status_codes`'s mapping. Do not mutate the views.
+        """
+        return tuple(self._pairs.column(name) for name in names)
+
     def __len__(self) -> int:
         return len(self._pairs)
 
@@ -955,6 +966,7 @@ class CampaignDataset:
     matrix: RttMatrix
     provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
     meta: dict[str, Any] = field(default_factory=dict)
+    _quality_cache: Any = field(default=None, repr=False, compare=False)
 
     def to_json(self, indent: int | None = None) -> str:
         """One JSON document: format tag, metadata, matrix, provenance."""
@@ -1113,7 +1125,25 @@ class CampaignDataset:
             self.provenance.merge(provenance)
         if meta:
             self.meta.update(meta)
+        # Absorbed results change both values and provenance history, so
+        # any previously computed quality scores are no longer valid.
+        self._quality_cache = None
         return updated
+
+    # -- data quality ---------------------------------------------------
+
+    def quality(self, refresh: bool = False) -> Any:
+        """Per-pair quality scores for this dataset (cached).
+
+        Computed lazily by :func:`repro.obs.health.pair_quality` and
+        cached until :meth:`absorb` invalidates it. ``refresh=True``
+        forces recomputation (e.g. after out-of-band mutation).
+        """
+        if refresh or self._quality_cache is None:
+            from repro.obs.health import pair_quality
+
+            self._quality_cache = pair_quality(self)
+        return self._quality_cache
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,7 @@ from a **prioritized, budgeted pair list**.
 
 :class:`CampaignPlanner` scores every unordered pair of the target
 relay set against an existing :class:`~repro.core.dataset.CampaignDataset`
-(or nothing, for a cold start) along three axes:
+(or nothing, for a cold start) along four axes:
 
 * **coverage** — the pair has no measured entry at all (or its last
   attempt failed); missing data beats everything else.
@@ -22,6 +22,9 @@ relay set against an existing :class:`~repro.core.dataset.CampaignDataset`
   coordinate-model estimate (``apps/coordinates``' Vivaldi predictions),
   so measurement effort is steered to where the model is most wrong —
   the active-learning loop the roadmap sketches.
+* **quality** — the data-quality deficit of the standing estimate
+  (``repro.obs.health``'s per-pair scores), so noisy, retry-scarred,
+  or heavily debiased estimates get refreshed ahead of clean ones.
 
 The weighted sum plus a tiny seeded jitter (deterministic tie-breaking
 that still spreads equal-score pairs instead of always favouring low
@@ -54,6 +57,8 @@ class PlannerWeights:
     staleness: float = 0.3
     #: Predicted-vs-measured relative disagreement, clipped to [0, 1].
     disagreement: float = 0.8
+    #: Data-quality deficit (1 − quality score) of the last estimate.
+    quality: float = 0.4
 
 
 @dataclass
@@ -91,9 +96,15 @@ class CampaignPlanner:
     ``predicted`` supplies model estimates for disagreement scoring —
     an :class:`RttMatrix` or an ``n×n`` array aligned with
     ``fingerprints`` (e.g. ``VivaldiSystem.predict_matrix()``).
+    ``quality`` supplies per-pair quality scores as a refresh axis —
+    anything with ``.nodes`` + an ``n×n`` ``.matrix`` (e.g.
+    ``repro.obs.health``'s ``QualityScores``, or the dataset's own
+    ``dataset.quality()``), or a raw aligned array; low-quality
+    estimates are refreshed first.
 
     Planning is fully deterministic: the same fingerprints, dataset,
-    predictions, weights, and seed produce the identical pair order.
+    predictions, quality scores, weights, and seed produce the
+    identical pair order.
     """
 
     def __init__(
@@ -104,6 +115,7 @@ class CampaignPlanner:
         weights: PlannerWeights | None = None,
         seed: int = 0,
         jitter: float = 1e-6,
+        quality: Any | None = None,
     ) -> None:
         if len(fingerprints) != len(set(fingerprints)):
             raise MeasurementError("planner fingerprints must be unique")
@@ -113,6 +125,7 @@ class CampaignPlanner:
         self.seed = seed
         self.jitter = jitter
         self._predicted = self._align_predictions(predicted)
+        self._quality = self._align_quality(quality)
 
     # ------------------------------------------------------------------
 
@@ -142,6 +155,39 @@ class CampaignPlanner:
                 f"{n} fingerprints"
             )
         return predicted
+
+    def _align_quality(self, quality: Any | None) -> np.ndarray | None:
+        """Align a quality-score source to our fingerprint order.
+
+        Duck-typed: anything with ``.nodes`` and an ``n×n`` ``.matrix``
+        is aligned by name (relays it has not scored stay NaN); a bare
+        array must already be aligned.
+        """
+        if quality is None:
+            return None
+        n = len(self.fingerprints)
+        nodes = getattr(quality, "nodes", None)
+        if nodes is not None:
+            source = np.asarray(quality.matrix, dtype=float)
+            index = {node: i for i, node in enumerate(nodes)}
+            aligned = np.full((n, n), np.nan)
+            known = [
+                (i, index[fp])
+                for i, fp in enumerate(self.fingerprints)
+                if fp in index
+            ]
+            if known:
+                ours = np.array([i for i, _ in known])
+                theirs = np.array([j for _, j in known])
+                aligned[np.ix_(ours, ours)] = source[np.ix_(theirs, theirs)]
+            return aligned
+        quality = np.asarray(quality, dtype=float)
+        if quality.shape != (n, n):
+            raise MeasurementError(
+                f"quality matrix shape {quality.shape} does not match "
+                f"{n} fingerprints"
+            )
+        return quality
 
     def _measured_values(
         self, iu: np.ndarray, ju: np.ndarray
@@ -253,6 +299,17 @@ class CampaignPlanner:
             score += w.disagreement * rel
             disagreement_n = int(comparable.sum())
 
+        quality_n = 0
+        if self._quality is not None:
+            qual = self._quality[iu, ju]
+            scored = ~unmeasured & ~np.isnan(qual)
+            deficit = np.zeros(iu.shape)
+            # A pristine pair (quality 1.0) adds nothing; a rotten one
+            # (quality 0.0) adds the full weight — refresh it first.
+            deficit[scored] = np.clip(1.0 - qual[scored], 0.0, 1.0)
+            score += w.quality * deficit
+            quality_n = int(scored.sum())
+
         eligible = score > min_score
         # Deterministic tie-breaking that still spreads equal-score
         # pairs: a tiny seeded jitter, far below any weight step.
@@ -277,6 +334,7 @@ class CampaignPlanner:
                 "failed": int(failed.sum()),
                 "with_history": int((~np.isnan(staleness)).sum()),
                 "with_predictions": disagreement_n,
+                "with_quality": quality_n,
             },
         )
 

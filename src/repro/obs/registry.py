@@ -64,7 +64,17 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket edges (upper-edge estimate)."""
+        """Approximate quantile, linearly interpolated within its bucket.
+
+        The rank is located in a bucket by cumulative count and the
+        value interpolated between the bucket's bounds — the Prometheus
+        ``histogram_quantile`` estimate — rather than snapping to the
+        upper edge (which over-reports by up to a full bucket width at
+        these exponential edges). The containing bucket's bounds are
+        tightened by the observed ``min``/``max``, so a single-valued
+        histogram reports that value exactly and q=1.0 is always the
+        true maximum.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -72,12 +82,29 @@ class Histogram:
         rank = q * self.count
         seen = 0
         for index, bucket in enumerate(self.bucket_counts):
+            if not bucket:
+                continue
+            if seen + bucket >= rank:
+                lower = self.edges[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.edges[index]
+                    if index < len(self.edges)
+                    else (self.max if self.max is not None else lower)
+                )
+                if self.min is not None:
+                    lower = max(lower, min(self.min, upper))
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                fraction = (rank - seen) / bucket
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
             seen += bucket
-            if seen >= rank and bucket:
-                if index < len(self.edges):
-                    return self.edges[index]
-                return self.max if self.max is not None else 0.0
         return self.max if self.max is not None else 0.0
+
+    def quantiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        """Interpolated quantiles keyed ``p50``-style, for reports."""
+        return {f"p{q * 100:g}": self.quantile(q) for q in qs}
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-ready view of the histogram state."""

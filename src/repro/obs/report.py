@@ -129,6 +129,28 @@ class RunReport:
             for name, value in sorted(metrics.items()):
                 lines.append(f"  {name:<28} {value}")
 
+        health = self.data.get("health")
+        if health is not None:
+            lines.append("== health ==")
+            lines.append(f"  grade                  {health['grade'].upper()}")
+            for check in health["checks"]:
+                if check["status"] in ("warn", "fail"):
+                    lines.append(
+                        f"  {check['name']:<16} {check['status']:<5} "
+                        f"{check['detail']}"
+                    )
+            for category, count in sorted(
+                health.get("anomalies", {}).get("counts", {}).items()
+            ):
+                lines.append(f"  {category:<22} {count}")
+            cuts = health.get("quality", {}).get("percentiles", {})
+            if cuts:
+                lines.append(
+                    "  quality p5/p50/p95     "
+                    f"{cuts.get('p5', 0):.2f}/{cuts.get('p50', 0):.2f}/"
+                    f"{cuts.get('p95', 0):.2f}"
+                )
+
         trace = self.data.get("trace")
         if trace is not None:
             lines.append("== trace ==")
@@ -259,6 +281,7 @@ def build_report(
     pairs_attempted: int | None = None,
     makespan_ms: float | None = None,
     top_n: int = 5,
+    health: Any | None = None,
 ) -> RunReport:
     """Fuse a campaign's artifacts into one :class:`RunReport`.
 
@@ -268,7 +291,9 @@ def build_report(
     campaign. ``metrics`` accepts a live registry or a snapshot dict;
     ``spans`` a tracer or raw record list; ``shards`` any iterable of
     shard results with ``shard_index``/``pairs_attempted``/
-    ``makespan_ms``/``wall_s``/``events_processed`` attributes.
+    ``makespan_ms``/``wall_s``/``events_processed`` attributes;
+    ``health`` a ``repro.obs.health`` ``HealthReport`` (or its dict
+    form) to embed as a data-quality section.
     """
     snapshot = (
         metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
@@ -365,4 +390,6 @@ def build_report(
         }
     if trace is not None:
         data["trace"] = {"events": len(trace), "dropped": trace.dropped}
+    if health is not None:
+        data["health"] = health.to_dict() if hasattr(health, "to_dict") else health
     return RunReport(data=data)

@@ -1,0 +1,181 @@
+"""``CampaignDataset.absorb`` edge cases.
+
+The incremental-refresh path has three awkward corners the happy-path
+tests never hit: refresh campaigns whose node set overlaps-but-differs
+from the standing dataset, refresh runs that measured nothing at all,
+and the interaction with the cached per-pair quality scores (an absorb
+must invalidate them — stale scores would silently mis-prioritize the
+next planner pass).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    CampaignDataset,
+    PairProvenance,
+    ProvenanceLog,
+    RttMatrix,
+)
+
+
+def _dataset(nodes, entries=(), records=()):
+    matrix = RttMatrix(list(nodes))
+    for a, b, rtt in entries:
+        matrix.set(a, b, rtt)
+    log = ProvenanceLog()
+    for record in records:
+        log.add(record)
+    return CampaignDataset(matrix=matrix, provenance=log)
+
+
+def _measured(x, y, rtt=50.0):
+    return PairProvenance(x=x, y=y, status="measured", rtt_ms=rtt)
+
+
+class TestOverlappingNodeSets:
+    def test_overlap_preserves_old_and_adopts_new(self):
+        dataset = _dataset(
+            ["a", "b", "c"],
+            entries=[("a", "b", 10.0), ("b", "c", 20.0)],
+        )
+        fresh = RttMatrix(["b", "c", "d"])  # shares b, c; brings d
+        fresh.set("b", "c", 25.0)  # refreshes a standing entry
+        fresh.set("c", "d", 35.0)  # new node, new pair
+        updated = dataset.absorb(fresh)
+        assert updated == 2
+        assert dataset.matrix.nodes == ["a", "b", "c", "d"]
+        assert dataset.matrix.get("a", "b") == pytest.approx(10.0)  # kept
+        assert dataset.matrix.get("b", "c") == pytest.approx(25.0)  # refreshed
+        assert dataset.matrix.get("c", "d") == pytest.approx(35.0)  # adopted
+        assert not dataset.matrix.has("a", "d")  # never measured
+
+    def test_overlap_counts_stay_consistent(self):
+        dataset = _dataset(["a", "b", "c"], entries=[("a", "b", 10.0)])
+        fresh = RttMatrix(["c", "d", "e"])
+        fresh.set("c", "d", 30.0)
+        fresh.set("d", "e", 40.0)
+        dataset.absorb(fresh)
+        assert len(dataset.matrix.nodes) == 5
+        assert dataset.matrix.num_measured == 3
+        assert dataset.matrix.missing_count == 10 - 3
+
+    def test_disjoint_refresh_is_pure_growth(self):
+        dataset = _dataset(["a", "b"], entries=[("a", "b", 10.0)])
+        fresh = RttMatrix(["x", "y"])
+        fresh.set("x", "y", 99.0)
+        updated = dataset.absorb(fresh)
+        assert updated == 1
+        assert dataset.matrix.get("a", "b") == pytest.approx(10.0)
+        assert dataset.matrix.get("x", "y") == pytest.approx(99.0)
+
+    def test_overlap_provenance_appends_in_order(self):
+        dataset = _dataset(
+            ["a", "b"],
+            entries=[("a", "b", 10.0)],
+            records=[_measured("a", "b", 10.0)],
+        )
+        log = ProvenanceLog()
+        log.add(_measured("b", "c", 30.0))
+        fresh = RttMatrix(["b", "c"])
+        fresh.set("b", "c", 30.0)
+        dataset.absorb(fresh, provenance=log)
+        records = dataset.provenance.records()
+        assert len(records) == 2
+        # Refresh history lands *after* the standing history — insertion
+        # order is the staleness clock.
+        assert (records[1].x, records[1].y) == ("b", "c")
+
+
+class TestEmptyRefresh:
+    def test_empty_matrix_absorbs_nothing(self):
+        dataset = _dataset(["a", "b", "c"], entries=[("a", "b", 10.0)])
+        before = dataset.matrix.copy_matrix()
+        updated = dataset.absorb(RttMatrix(["a", "b", "c"]))
+        assert updated == 0
+        assert np.array_equal(
+            dataset.matrix.matrix, before, equal_nan=True
+        )
+
+    def test_empty_refresh_still_merges_meta_and_provenance(self):
+        dataset = _dataset(["a", "b"], entries=[("a", "b", 10.0)])
+        log = ProvenanceLog()
+        log.add(
+            PairProvenance(
+                x="a", y="b", status="failed", failure_category="timeout"
+            )
+        )
+        updated = dataset.absorb(
+            RttMatrix(["a", "b"]), provenance=log, meta={"attempt": 2}
+        )
+        # The run measured nothing, but its history and metadata count.
+        assert updated == 0
+        assert len(dataset.provenance) == 1
+        assert dataset.meta["attempt"] == 2
+
+    def test_empty_refresh_with_new_nodes_grows_matrix(self):
+        dataset = _dataset(["a", "b"], entries=[("a", "b", 10.0)])
+        updated = dataset.absorb(RttMatrix(["b", "c"]))
+        assert updated == 0
+        assert dataset.matrix.nodes == ["a", "b", "c"]
+        assert dataset.matrix.num_measured == 1
+
+
+class TestQualityInvalidation:
+    def test_absorb_invalidates_quality_cache(self):
+        dataset = _dataset(
+            ["a", "b", "c"],
+            entries=[("a", "b", 10.0)],
+            records=[_measured("a", "b", 10.0)],
+        )
+        stale_scores = dataset.quality()
+        assert dataset.quality() is stale_scores  # cached between reads
+
+        log = ProvenanceLog()
+        log.add(_measured("a", "c", 60.0))
+        fresh = RttMatrix(["a", "b", "c"])
+        fresh.set("a", "c", 60.0)
+        dataset.absorb(fresh, provenance=log)
+
+        rescored = dataset.quality()
+        assert rescored is not stale_scores
+        # The newly measured pair is scored now; it was NaN before.
+        assert stale_scores.score_for("a", "c") is None
+        assert rescored.score_for("a", "c") is not None
+
+    def test_even_empty_absorb_invalidates(self):
+        dataset = _dataset(
+            ["a", "b"],
+            entries=[("a", "b", 10.0)],
+            records=[_measured("a", "b", 10.0)],
+        )
+        first = dataset.quality()
+        dataset.absorb(RttMatrix(["a", "b"]))
+        # Conservative contract: any absorb drops the cache, even one
+        # that wrote nothing (its provenance may still shift ages).
+        assert dataset.quality() is not first
+
+    def test_refresh_forces_recompute(self):
+        dataset = _dataset(
+            ["a", "b"],
+            entries=[("a", "b", 10.0)],
+            records=[_measured("a", "b", 10.0)],
+        )
+        first = dataset.quality()
+        assert dataset.quality(refresh=True) is not first
+
+    def test_quality_scores_follow_grown_node_set(self):
+        dataset = _dataset(
+            ["a", "b"],
+            entries=[("a", "b", 10.0)],
+            records=[_measured("a", "b", 10.0)],
+        )
+        assert dataset.quality().nodes == ["a", "b"]
+        log = ProvenanceLog()
+        log.add(_measured("b", "c", 30.0))
+        fresh = RttMatrix(["b", "c"])
+        fresh.set("b", "c", 30.0)
+        dataset.absorb(fresh, provenance=log)
+        rescored = dataset.quality()
+        assert rescored.nodes == ["a", "b", "c"]
+        assert rescored.score_for("b", "c") is not None

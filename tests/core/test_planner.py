@@ -192,6 +192,62 @@ class TestPredictions:
         assert plan.breakdown["with_predictions"] == 1
 
 
+class TestQualityAxis:
+    def _measured_dataset(self):
+        entries = [
+            (a, b, 50.0) for i, a in enumerate(FPS) for b in FPS[i + 1 :]
+        ]
+        return _dataset(
+            entries=entries, records=[_measured(*e[:2], e[2]) for e in entries]
+        )
+
+    def test_low_quality_pair_moves_up(self):
+        dataset = self._measured_dataset()
+        n = len(FPS)
+        quality = np.ones((n, n))
+        # N4:N5 is the *newest* record (least stale) — without the
+        # quality axis it ranks last; a rotten score must pull it up.
+        quality[4, 5] = quality[5, 4] = 0.0
+        without = CampaignPlanner(FPS, dataset=dataset, seed=1).plan()
+        with_q = CampaignPlanner(
+            FPS, dataset=dataset, seed=1, quality=quality
+        ).plan()
+        target = ("N4", "N5")
+        # Without the axis the freshest pair scores 0 and is dropped
+        # outright; the quality deficit alone makes it the top refresh.
+        assert target not in without.pairs
+        assert with_q.pairs.index(target) == 0
+
+    def test_duck_typed_scores_aligned_by_name(self):
+        dataset = self._measured_dataset()
+        plan = CampaignPlanner(
+            FPS, dataset=dataset, seed=1, quality=dataset.quality()
+        ).plan()
+        assert plan.summary()["with_quality"] == 15
+
+    def test_partial_node_overlap_scores_partially(self):
+        class Scores:
+            nodes = ["N0", "N1", "UNKNOWN"]
+            matrix = np.zeros((3, 3))
+
+        dataset = self._measured_dataset()
+        plan = CampaignPlanner(
+            FPS, dataset=dataset, seed=1, quality=Scores()
+        ).plan()
+        # Only N0:N1 overlaps both the target set and the score source.
+        assert plan.summary()["with_quality"] == 1
+
+    def test_quality_shape_checked(self):
+        with pytest.raises(MeasurementError):
+            CampaignPlanner(FPS, quality=np.ones((2, 2)))
+
+    def test_quality_ignored_for_unmeasured_pairs(self):
+        # Cold start: no measured entries, so the deficit never fires.
+        n = len(FPS)
+        plan = CampaignPlanner(FPS, quality=np.zeros((n, n))).plan()
+        assert plan.summary()["with_quality"] == 0
+
+
 class TestPlanSummary:
     def test_summary_is_json_ready(self):
         plan = CampaignPlanner(FPS).plan(budget_pairs=3)

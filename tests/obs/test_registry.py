@@ -38,13 +38,32 @@ class TestHistogram:
         histogram.observe(1e6)   # +Inf
         assert histogram.bucket_counts == [2, 1, 0, 1]
 
-    def test_quantile_upper_edge_estimate(self):
+    def test_quantile_interpolates_within_bucket(self):
         histogram = Histogram(edges=(1.0, 10.0, 100.0))
         for _ in range(9):
             histogram.observe(5.0)
         histogram.observe(50.0)
-        assert histogram.quantile(0.5) == 10.0
-        assert histogram.quantile(1.0) == 100.0
+        # Rank 5 of 10 lands in the (1, 10] bucket, whose lower bound is
+        # tightened to the observed min (5.0): 5 + (10-5) * 5/9.
+        assert histogram.quantile(0.5) == pytest.approx(5.0 + 5.0 * 5.0 / 9.0)
+        # q=1.0 is the true maximum, not the bucket's upper edge.
+        assert histogram.quantile(1.0) == 50.0
+
+    def test_quantile_of_single_value_is_exact(self):
+        histogram = Histogram()
+        for _ in range(3):
+            histogram.observe(7.0)
+        assert histogram.quantile(0.5) == 7.0
+        assert histogram.quantile(0.99) == 7.0
+
+    def test_quantiles_convenience_keys(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        cuts = histogram.quantiles()
+        assert set(cuts) == {"p50", "p95", "p99"}
+        assert cuts["p50"] <= cuts["p95"] <= cuts["p99"]
+        assert cuts["p99"] <= 100.0
 
     def test_quantile_of_empty_is_zero(self):
         assert Histogram().quantile(0.5) == 0.0

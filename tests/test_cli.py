@@ -154,6 +154,10 @@ class TestCommands:
         assert "ting.leg_cache_hits" in out
         assert "sim.heap_compactions" in out
         assert "probe loss rate" in out
+        # Bucket-interpolated quantiles for every recorded histogram.
+        assert "latency quantiles (bucket-interpolated):" in out
+        assert "p50~" in out and "p95~" in out
+        assert "p99=" in out
 
     def test_stats_writes_json_snapshot(self, tmp_path, capsys):
         import json
@@ -451,3 +455,237 @@ class TestPlanCommand:
         err = capsys.readouterr().err
         assert code == 2
         assert "--predict needs --input" in err
+
+    def test_quality_requires_input(self, capsys):
+        code = main(
+            ["plan", "--relays", "5", "--network-size", "20", "--quality"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--quality needs --input" in err
+
+    def test_quality_axis_feeds_replan(self, tmp_path, capsys):
+        dataset_path = tmp_path / "plan_ds.npz"
+        code = main(
+            [
+                "plan",
+                "--relays", "6",
+                "--network-size", "20",
+                "--budget", "8",
+                "--samples", "3",
+                "--run",
+                "--output", str(dataset_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        code = main(
+            [
+                "plan",
+                "--relays", "6",
+                "--network-size", "20",
+                "--budget", "4",
+                "--input", str(dataset_path),
+                "--quality",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # Every measured pair got a quality deficit in the breakdown.
+        assert "with_quality=8" in out
+
+
+def _synthetic_dataset(n=8, negative_pair=None):
+    """A saved-dataset builder for health/tail command tests."""
+    import numpy as np_mod
+
+    from repro.core.dataset import (
+        CampaignDataset,
+        PairProvenance,
+        ProvenanceLog,
+        RttMatrix,
+    )
+
+    nodes = [f"N{i:02d}" for i in range(n)]
+    matrix = RttMatrix(nodes)
+    log = ProvenanceLog()
+    rng = np_mod.random.default_rng(3)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = float(rng.uniform(20, 200))
+            matrix.set(nodes[i], nodes[j], rtt)
+            log.add(
+                PairProvenance(
+                    x=nodes[i], y=nodes[j], status="measured", rtt_ms=rtt,
+                    samples_requested=6, samples_kept=6, shard=(i + j) % 2,
+                )
+            )
+    log.add(
+        PairProvenance(
+            x=nodes[0], y=nodes[1], status="failed",
+            failure_category="timeout", retries=1,
+        )
+    )
+    if negative_pair is not None:
+        # Bypass RttMatrix.set's validation to plant the anomaly.
+        values = matrix.copy_matrix()
+        i, j = negative_pair
+        values[i, j] = values[j, i] = -5.0
+        matrix = RttMatrix.from_array(nodes, values)
+    return CampaignDataset(matrix=matrix, provenance=log)
+
+
+class TestHealthCommand:
+    def test_scorecard_on_clean_dataset(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset().save(path)
+        code = main(["health", "--input", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== matrix health ==" in out
+        assert "== checks ==" in out
+        assert "== pair quality ==" in out
+
+    def test_check_passes_on_clean_dataset(self, tmp_path, capsys):
+        path = tmp_path / "ds.json"
+        _synthetic_dataset().save(path)
+        code = main(["health", "--input", str(path), "--check"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_check_fails_on_negative_rtt(self, tmp_path, capsys):
+        path = tmp_path / "broken.npz"
+        _synthetic_dataset(negative_pair=(2, 5)).save(path)
+        code = main(["health", "--input", str(path), "--check"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "negative_rtt" in captured.out
+        assert "health check FAILED" in captured.err
+        assert "plausibility" in captured.err
+
+    def test_without_check_anomalies_do_not_gate(self, tmp_path, capsys):
+        path = tmp_path / "broken.npz"
+        _synthetic_dataset(negative_pair=(2, 5)).save(path)
+        code = main(["health", "--input", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0  # report-only mode
+        assert "FAIL" in out
+
+    def test_stale_after_gates_old_pairs(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset().save(path)
+        code = main(
+            ["health", "--input", str(path), "--stale-after", "5", "--check"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "stale_pair" in captured.out
+        assert "staleness" in captured.err
+
+    def test_baseline_emits_drift_section(self, tmp_path, capsys):
+        from repro.core.dataset import (
+            PairProvenance,
+            ProvenanceLog,
+            RttMatrix,
+        )
+
+        base_path = tmp_path / "base.npz"
+        cur_path = tmp_path / "cur.npz"
+        baseline = _synthetic_dataset()
+        baseline.save(base_path)
+        current = _synthetic_dataset()
+        fresh = RttMatrix(current.matrix.nodes)
+        fresh.set("N00", "N03", 400.0)
+        log = ProvenanceLog()
+        log.add(
+            PairProvenance(x="N00", y="N03", status="measured", rtt_ms=400.0)
+        )
+        current.absorb(fresh, provenance=log)
+        current.save(cur_path)
+        code = main(
+            [
+                "health",
+                "--input", str(cur_path),
+                "--baseline", str(base_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== dataset drift ==" in out
+        assert "1 changed" in out
+        assert "remeasured" in out
+
+    def test_json_artifact_holds_health_and_drift(self, tmp_path, capsys):
+        import json as json_mod
+
+        base_path = tmp_path / "base.npz"
+        out_path = tmp_path / "health.json"
+        _synthetic_dataset().save(base_path)
+        code = main(
+            [
+                "health",
+                "--input", str(base_path),
+                "--baseline", str(base_path),
+                "--json", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json_mod.loads(out_path.read_text())
+        assert payload["health"]["format"] == "ting-health/1"
+        assert payload["drift"]["format"] == "ting-drift/1"
+        assert payload["drift"]["pairs"]["changed"] == 0
+
+    def test_missing_input_fails(self, tmp_path, capsys):
+        code = main(["health", "--input", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestTailDatasetReplay:
+    def test_dataset_provenance_replays_as_events(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset(n=5).save(path)
+        code = main(["tail", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign.pair_measured" in out
+        assert "campaign.pair_failed" in out
+        # 10 measured + 1 failed provenance rows, one line each.
+        assert out.count("\n") == 11
+
+    def test_json_dataset_sniffed_too(self, tmp_path, capsys):
+        path = tmp_path / "ds.json"
+        _synthetic_dataset(n=5).save(path)
+        code = main(["tail", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign.pair_measured" in out
+
+    def test_since_filters_provenance_rows(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset(n=5).save(path)
+        code = main(["tail", str(path), "--since", "9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Rows 9 and 10 of the 11-row history remain.
+        assert out.count("\n") == 2
+
+    def test_severity_filter_applies_to_replay(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset(n=5).save(path)
+        code = main(["tail", str(path), "--min-severity", "warning"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n") == 1
+        assert "campaign.pair_failed" in out
+        assert "cause=timeout" in out
+
+    def test_follow_is_ignored_with_notice(self, tmp_path, capsys):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset(n=5).save(path)
+        code = main(["tail", str(path), "--follow"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "--follow is ignored" in captured.err
+        assert "campaign.pair_measured" in captured.out
