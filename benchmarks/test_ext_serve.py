@@ -1,0 +1,120 @@
+"""Serve-layer performance guards (``pytest benchmarks -m benchguard``).
+
+Three budgets pinned here, all on the 1,000-relay fullnet dataset the
+acceptance criteria are phrased in terms of:
+
+* **Index build < 1 s** — :meth:`MatrixIndex.build` is a handful of
+  O(n²) vectorized passes (argsort, take_along_axis, isfinite sums).
+  A regression to per-row Python loops is a ~10x miss, not marginal.
+* **Point queries ≥ 100k/s** — the hot path is two dict lookups and
+  one array read. A per-query allocation storm or an O(n) scan
+  sneaking in drops this by orders of magnitude.
+* **k-NN queries ≥ 10k/s** — O(k) slices of the precomputed neighbor
+  ranking. Falling back to sorting the row per query is the regression
+  this floor catches.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _config import scaled
+from repro.core.dataset import RttMatrix
+from repro.serve import MatrixIndex
+
+#: Hard ceiling for one index build at 1,000 relays.
+BUILD_CEILING_S = 1.0
+#: Query-rate floors (queries per second) at 1,000 relays — the same
+#: floors ``repro bench --check`` enforces via ``check_serve_qps``.
+POINT_QPS_FLOOR = 100_000.0
+KNN_QPS_FLOOR = 10_000.0
+
+
+def _best_of(rounds: int, run) -> float:
+    """Best-of-N wall time: the minimum is the least noisy estimator."""
+    return min(run() for _ in range(rounds))
+
+
+def _fullnet_matrix(n_relays: int, hole_fraction: float = 0.1):
+    """A 1,000-relay-scale matrix with budgeted-campaign-like holes."""
+    nodes = [f"R{i:04d}" for i in range(n_relays)]
+    rng = np.random.default_rng(47)
+    iu, ju = np.triu_indices(n_relays, k=1)
+    rtts = rng.uniform(2.0, 400.0, size=iu.size)
+    rtts[rng.random(iu.size) < hole_fraction] = np.nan
+    values = np.zeros((n_relays, n_relays))
+    values[iu, ju] = rtts
+    values[ju, iu] = rtts
+    return RttMatrix.from_array(nodes, values, copy=False), nodes, rng
+
+
+@pytest.mark.benchguard
+def test_index_build_guard(report):
+    """One MatrixIndex build at 1,000 relays must beat 1 s."""
+    n_relays = scaled(1000, minimum=400)
+    matrix, _, _ = _fullnet_matrix(n_relays)
+
+    def time_build() -> float:
+        start = time.perf_counter()
+        index = MatrixIndex.build(matrix)
+        assert len(index) == n_relays
+        return time.perf_counter() - start
+
+    wall_s = _best_of(3, time_build)
+    report(
+        f"index build, {n_relays} relays / {matrix.num_measured} measured "
+        f"pairs: {wall_s * 1000:.0f} ms (ceiling {BUILD_CEILING_S * 1000:.0f} ms)"
+    )
+    assert wall_s < BUILD_CEILING_S
+
+
+@pytest.mark.benchguard
+def test_point_query_rate_guard(report):
+    """Point lookups must clear 100k queries/sec at 1,000 relays."""
+    n_relays = scaled(1000, minimum=400)
+    queries = scaled(60_000, minimum=10_000)
+    matrix, nodes, rng = _fullnet_matrix(n_relays)
+    index = MatrixIndex.build(matrix)
+    pair_ids = rng.integers(0, n_relays, size=(queries, 2))
+    pairs = [(nodes[int(i)], nodes[int(j)]) for i, j in pair_ids]
+
+    def time_points() -> float:
+        point = index.point
+        start = time.perf_counter()
+        for a, b in pairs:
+            point(a, b)
+        return time.perf_counter() - start
+
+    wall_s = _best_of(3, time_points)
+    qps = queries / wall_s
+    report(
+        f"point queries, {n_relays} relays: {qps:,.0f}/s "
+        f"(floor {POINT_QPS_FLOOR:,.0f}/s)"
+    )
+    assert qps >= POINT_QPS_FLOOR
+
+
+@pytest.mark.benchguard
+def test_knn_query_rate_guard(report):
+    """k-NN (k=10) must clear 10k queries/sec at 1,000 relays."""
+    n_relays = scaled(1000, minimum=400)
+    queries = scaled(12_000, minimum=2_000)
+    matrix, nodes, rng = _fullnet_matrix(n_relays)
+    index = MatrixIndex.build(matrix)
+    targets = [nodes[int(i)] for i in rng.integers(0, n_relays, size=queries)]
+
+    def time_knn() -> float:
+        k_nearest = index.k_nearest
+        start = time.perf_counter()
+        for a in targets:
+            k_nearest(a, 10)
+        return time.perf_counter() - start
+
+    wall_s = _best_of(3, time_knn)
+    qps = queries / wall_s
+    report(
+        f"k-NN queries (k=10), {n_relays} relays: {qps:,.0f}/s "
+        f"(floor {KNN_QPS_FLOOR:,.0f}/s)"
+    )
+    assert qps >= KNN_QPS_FLOOR

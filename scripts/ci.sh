@@ -152,6 +152,14 @@ echo "== dataset health gate =="
 # after every absorb.
 python -m repro.cli -q health --input /tmp/ting_planner_smoke.npz --check
 
+echo "== serve smoke gate =="
+# The read side of the same dataset: build the serve index from the
+# planner-smoke dataset and run the selftest — sampled queries
+# re-answered by brute-force numpy references, mmap-backed answers
+# bit-identical to in-memory answers, forked batches identical to
+# inline ones. Exits nonzero on any mismatch.
+python -m repro.cli -q serve --input /tmp/ting_planner_smoke.npz --selftest
+
 echo "== bench regression check =="
 # Compares fresh timings against the committed baseline AND enforces
 # the cross-workload invariant (campaign_sharded must hold at least

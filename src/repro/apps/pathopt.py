@@ -15,6 +15,12 @@ their end-to-end latency and anonymity cost can be compared:
 Anonymity cost is quantified by the entropy of the realized relay-
 selection distribution (Gini-style concentration): a selector that
 always picks the same fast relays is easier to attack.
+
+The selector accepts either an :class:`~repro.core.dataset.RttMatrix`
+or a pre-built :class:`~repro.serve.index.MatrixIndex` and snapshots
+the relay-subset RTTs into a contiguous integer-indexed submatrix at
+construction, so every per-circuit lookup is plain array indexing —
+no name hashing on the sampling hot path.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import numpy as np
 
 from repro.core.dataset import RttMatrix
 from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.serve.index import MatrixIndex
 from repro.util.errors import ConfigurationError, MeasurementError
 
 STRATEGIES = ("default", "geographic", "ting")
@@ -66,12 +73,18 @@ class SelectionOutcome:
 
 
 class CircuitSelector:
-    """Samples 3-hop circuits under the three strategies."""
+    """Samples 3-hop circuits under the three strategies.
+
+    ``matrix`` may be a bare :class:`RttMatrix` or a serve-layer
+    :class:`MatrixIndex`; either way the relay subset must be fully
+    measured (every off-diagonal pair finite) — latency-aware selection
+    over holes would silently degrade to the baseline.
+    """
 
     def __init__(
         self,
         relays: list[RelayInfo],
-        matrix: RttMatrix,
+        matrix: RttMatrix | MatrixIndex,
         rng: np.random.Generator,
         candidate_pool: int = 50,
     ) -> None:
@@ -83,8 +96,6 @@ class CircuitSelector:
         for name in names:
             if name not in matrix:
                 raise ConfigurationError(f"matrix lacks relay {name!r}")
-        if not matrix.is_complete:
-            raise MeasurementError("need a complete all-pairs matrix")
         if candidate_pool < 1:
             raise ConfigurationError("candidate_pool must be >= 1")
         self.relays = list(relays)
@@ -93,34 +104,76 @@ class CircuitSelector:
         self.candidate_pool = candidate_pool
         self._index = {r.name: i for i, r in enumerate(self.relays)}
         self._bandwidths = np.array([r.bandwidth_kbps for r in relays], dtype=float)
+        # Bandwidth-weighted probabilities, normalized once — not per draw.
+        self._p = self._bandwidths / self._bandwidths.sum()
+        # Snapshot the relay-subset RTTs into a contiguous submatrix so
+        # circuit scoring is integer indexing, not name lookups.
+        if isinstance(matrix, MatrixIndex):
+            ids = [matrix.index_of(name) for name in names]
+            rows = np.stack([np.asarray(matrix.row(name)) for name in names])
+            self._rtt = np.ascontiguousarray(rows[:, ids], dtype=np.float64)
+        else:
+            lookup = {node: i for i, node in enumerate(matrix.nodes)}
+            ids = [lookup[name] for name in names]
+            full = np.asarray(matrix.matrix, dtype=np.float64)
+            self._rtt = np.ascontiguousarray(full[np.ix_(ids, ids)])
+        off_diagonal = self._rtt[~np.eye(len(names), dtype=bool)]
+        if np.any(np.isnan(off_diagonal)):
+            raise MeasurementError("need a complete all-pairs matrix")
+        self._dist: np.ndarray | None = None  # lazy geographic submatrix
 
     # ------------------------------------------------------------------
 
     def circuit_rtt_ms(self, circuit: tuple[int, int, int]) -> float:
         """Inter-relay RTT of a (guard, middle, exit) index triple."""
         a, b, c = circuit
-        return self.matrix.get(
-            self.relays[a].name, self.relays[b].name
-        ) + self.matrix.get(self.relays[b].name, self.relays[c].name)
+        rtt = self._rtt
+        return float(rtt[a, b] + rtt[b, c])
+
+    def _distances_km(self) -> np.ndarray:
+        """The pairwise great-circle submatrix, built on first use."""
+        if self._dist is None:
+            n = len(self.relays)
+            dist = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    km = great_circle_km(
+                        self.relays[i].location, self.relays[j].location
+                    )
+                    dist[i, j] = dist[j, i] = km
+            self._dist = dist
+        return self._dist
 
     def _circuit_distance_km(self, circuit: tuple[int, int, int]) -> float:
         a, b, c = circuit
-        return great_circle_km(
-            self.relays[a].location, self.relays[b].location
-        ) + great_circle_km(self.relays[b].location, self.relays[c].location)
+        dist = self._distances_km()
+        return float(dist[a, b] + dist[b, c])
+
+    def _random_circuits(self, count: int, weighted: bool) -> np.ndarray:
+        """``count`` circuits as a (count, 3) int array, one vectorized
+        ``rng.choice`` per rejection round (rows with repeated relays
+        are redrawn jointly)."""
+        n = len(self.relays)
+        p = self._p if weighted else None
+        out = np.empty((count, 3), dtype=np.int64)
+        filled = 0
+        while filled < count:
+            batch = max(count - filled, 16)
+            draw = self._rng.choice(n, size=(batch, 3), p=p)
+            distinct = (
+                (draw[:, 0] != draw[:, 1])
+                & (draw[:, 0] != draw[:, 2])
+                & (draw[:, 1] != draw[:, 2])
+            )
+            good = draw[distinct]
+            take = min(count - filled, good.shape[0])
+            out[filled : filled + take] = good[:take]
+            filled += take
+        return out
 
     def _random_circuit(self, weighted: bool) -> tuple[int, int, int]:
-        n = len(self.relays)
-        if weighted:
-            p = self._bandwidths / self._bandwidths.sum()
-            picks: list[int] = []
-            while len(picks) < 3:
-                candidate = int(self._rng.choice(n, p=p))
-                if candidate not in picks:
-                    picks.append(candidate)
-            return tuple(picks)  # type: ignore[return-value]
-        picks_arr = self._rng.choice(n, size=3, replace=False)
-        return (int(picks_arr[0]), int(picks_arr[1]), int(picks_arr[2]))
+        a, b, c = self._random_circuits(1, weighted)[0]
+        return (int(a), int(b), int(c))
 
     def select(self, strategy: str) -> tuple[int, int, int]:
         """Sample one circuit under ``strategy``."""
@@ -134,17 +187,17 @@ class CircuitSelector:
         # circuits, then pick the best by the strategy's metric — this is
         # the "sample then optimize" pattern LASTor-style selectors use
         # to keep some randomness.
-        candidates = [
-            self._random_circuit(weighted=True) for _ in range(self.candidate_pool)
-        ]
-        if strategy == "geographic":
-            scores = [self._circuit_distance_km(c) for c in candidates]
-        else:
-            scores = [self.circuit_rtt_ms(c) for c in candidates]
+        candidates = self._random_circuits(self.candidate_pool, weighted=True)
+        metric = self._distances_km() if strategy == "geographic" else self._rtt
+        scores = (
+            metric[candidates[:, 0], candidates[:, 1]]
+            + metric[candidates[:, 1], candidates[:, 2]]
+        )
         # Pick uniformly among the best quartile to preserve entropy.
-        order = np.argsort(scores)
-        top = order[: max(1, len(order) // 4)]
-        return candidates[int(self._rng.choice(top))]
+        order = np.argsort(scores, kind="stable")
+        top = order[: max(1, order.size // 4)]
+        a, b, c = candidates[int(self._rng.choice(top))]
+        return (int(a), int(b), int(c))
 
     # ------------------------------------------------------------------
 
@@ -152,13 +205,21 @@ class CircuitSelector:
         """Sample ``n_circuits`` circuits and summarize latency/entropy."""
         if n_circuits < 1:
             raise ConfigurationError("n_circuits must be >= 1")
-        rtts = np.empty(n_circuits)
+        if strategy == "default":
+            # The baseline needs no scoring pass: one batched draw.
+            circuits = self._random_circuits(n_circuits, weighted=True)
+        else:
+            circuits = np.array(
+                [self.select(strategy) for _ in range(n_circuits)],
+                dtype=np.int64,
+            )
+        rtt = self._rtt
+        rtts = (
+            rtt[circuits[:, 0], circuits[:, 1]]
+            + rtt[circuits[:, 1], circuits[:, 2]]
+        )
         counts = np.zeros(len(self.relays))
-        for i in range(n_circuits):
-            circuit = self.select(strategy)
-            rtts[i] = self.circuit_rtt_ms(circuit)
-            for hop in circuit:
-                counts[hop] += 1
+        np.add.at(counts, circuits.ravel(), 1)
         return SelectionOutcome(
             strategy=strategy, circuit_rtts_ms=rtts, selection_counts=counts
         )

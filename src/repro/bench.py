@@ -67,7 +67,13 @@ WORKLOAD_KEYS = ("wall_s", "events_processed", "cells_processed", "throughput")
 
 #: Extra keys campaign-scale workloads may carry on top of
 #: :data:`WORKLOAD_KEYS` (``--check`` and the schema tests allow them).
-OPTIONAL_WORKLOAD_KEYS = ("pairs_measured", "pair_cost_ms")
+OPTIONAL_WORKLOAD_KEYS = (
+    "pairs_measured",
+    "pair_cost_ms",
+    "point_qps",
+    "knn_qps",
+    "index_build_s",
+)
 
 #: ``--check`` fails when ``campaign_fullnet``'s per-pair wall cost
 #: exceeds this. Calibration: one isolated pair task (samples=4) costs
@@ -76,6 +82,18 @@ OPTIONAL_WORKLOAD_KEYS = ("pairs_measured", "pair_cost_ms")
 #: jitter while still catching any return of per-pair Python-object or
 #: per-worker duplicated work (which showed up as 2-5x per-pair cost).
 PAIR_COST_CEILING_MS = 40.0
+
+#: ``--check`` floors for the serve-layer query workload: point lookups
+#: and k-NN queries per second against the 1,000-relay index. The
+#: ROADMAP's "millions of users" story needs the query side to be
+#: decisively cheaper than the measurement side; these are the rates
+#: below which a per-query allocation or name-hashing tax has crept
+#: into the hot path. Calibration: the index answers ~850k point and
+#: ~100k k-NN queries/sec on this machine class, so the floors sit at
+#: ~8-10x headroom — loose enough for loaded-CI jitter, tight enough
+#: that an accidental O(n) scan per query can never pass.
+SERVE_POINT_QPS_FLOOR = 100_000.0
+SERVE_KNN_QPS_FLOOR = 10_000.0
 
 #: Fixed cell-body size for the crypto workload (the Tor relay-cell
 #: payload the acceptance criteria are phrased in terms of).
@@ -300,6 +318,70 @@ def bench_campaign_fullnet(
     return entry
 
 
+def bench_serve_qps(
+    seed: int = 47,
+    relays: int = 1000,
+    hole_fraction: float = 0.1,
+    point_queries: int = 100_000,
+    knn_queries: int = 20_000,
+    knn_k: int = 10,
+) -> dict[str, float]:
+    """Query throughput of the serve-layer index at fullnet scale.
+
+    Builds a :class:`~repro.serve.index.MatrixIndex` over a synthetic
+    1,000-relay matrix (10% unmeasured holes, matching a budgeted
+    campaign's coverage) and times the two consumer hot paths: point
+    lookups and k-NN queries, each over pre-drawn random node pairs so
+    the timed loop measures the index, not the RNG. The entry's
+    ``throughput`` is the point-query rate; ``point_qps``, ``knn_qps``
+    and ``index_build_s`` ride along for :func:`check_serve_qps`.
+    """
+    import numpy as np
+
+    from repro.core.dataset import RttMatrix
+    from repro.serve.index import MatrixIndex
+
+    rng = np.random.default_rng(seed)
+    nodes = [f"relay{i:04d}" for i in range(relays)]
+    iu, ju = np.triu_indices(relays, k=1)
+    rtts = rng.uniform(2.0, 400.0, size=iu.size)
+    rtts[rng.random(iu.size) < hole_fraction] = np.nan
+    values = np.zeros((relays, relays))
+    values[iu, ju] = rtts
+    values[ju, iu] = rtts
+    matrix = RttMatrix.from_array(nodes, values, copy=False)
+
+    start = time.perf_counter()
+    index = MatrixIndex.build(matrix)
+    build_s = time.perf_counter() - start
+
+    pair_ids = rng.integers(0, relays, size=(point_queries, 2))
+    pairs = [(nodes[int(i)], nodes[int(j)]) for i, j in pair_ids]
+    point = index.point
+    start = time.perf_counter()
+    for a, b in pairs:
+        point(a, b)
+    point_wall = time.perf_counter() - start
+
+    knn_nodes = [nodes[int(i)] for i in rng.integers(0, relays, size=knn_queries)]
+    k_nearest = index.k_nearest
+    start = time.perf_counter()
+    for a in knn_nodes:
+        k_nearest(a, knn_k)
+    knn_wall = time.perf_counter() - start
+
+    entry = _entry(
+        build_s + point_wall + knn_wall,
+        0,
+        0,
+        point_queries / point_wall,
+    )
+    entry["point_qps"] = round(point_queries / point_wall, 3)
+    entry["knn_qps"] = round(knn_queries / knn_wall, 3)
+    entry["index_build_s"] = round(build_s, 6)
+    return entry
+
+
 # --- harness -----------------------------------------------------------
 
 
@@ -349,6 +431,7 @@ def run_bench(
             "campaign_fullnet",
             lambda: bench_campaign_fullnet(seed=seed, workers=workers),
         ),
+        ("serve_qps", lambda: bench_serve_qps(seed=seed)),
     ]
     for name, workload in workloads:
         say(f"  {name} ...")
@@ -454,6 +537,37 @@ def check_pair_cost(
             f"{ceiling_ms:g} ms — the budgeted campaign is paying "
             "per-pair overhead again"
         )
+    return problems
+
+
+def check_serve_qps(
+    report: dict[str, dict[str, float]],
+    point_floor: float = SERVE_POINT_QPS_FLOOR,
+    knn_floor: float = SERVE_KNN_QPS_FLOOR,
+) -> list[str]:
+    """Absolute query-rate floors for the serve-layer workload.
+
+    Floors, not regression factors, because query rates are the
+    product's contract with its consumers: the serve layer exists to
+    answer at client rates, and "half as fast as last time but still
+    fast" should pass while "under 100k point queries/sec at 1,000
+    relays" should not, whatever the baseline says. A report without
+    the workload passes (:func:`check_regressions` flags workload-set
+    drift); a ``serve_qps`` entry missing either rate fails.
+    """
+    problems: list[str] = []
+    entry = report.get("serve_qps")
+    if entry is None:
+        return problems
+    for key, floor in (("point_qps", point_floor), ("knn_qps", knn_floor)):
+        rate = entry.get(key)
+        if rate is None:
+            problems.append(f"serve_qps: entry lacks {key}")
+        elif rate < floor:
+            problems.append(
+                f"serve_qps: {key} {rate:,.0f}/s < floor {floor:,.0f}/s — "
+                "a per-query tax has crept into the index hot path"
+            )
     return problems
 
 

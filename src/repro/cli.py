@@ -39,6 +39,14 @@ Commands mirror how the paper's tool was used operationally:
   plausibility, TIV rate, staleness, per-pair quality percentiles),
   a drift diff against a ``--baseline`` version, and ``--check``
   exit-code gating for CI.
+* ``serve`` — answer latency queries against a saved campaign dataset
+  through the read-optimized ``repro.serve`` index: one-shot queries
+  (``point A B``, ``knn A [K]``, ``percentile A Q``, ``path A B C``,
+  ``via A B [K]``, ``freshness``), a ``--batch`` JSONL mode fanned out
+  across ``--workers`` forked processes, ``--mmap`` to share one page-
+  cache copy of the npz matrix between them, and ``--selftest`` — the
+  CI gate that re-answers sampled queries with brute-force references
+  and checks mmap/fork invariance.
 
 Output conventions: machine-readable results (reports, metric
 listings, ``tail`` lines) go to **stdout**; human-facing progress
@@ -397,6 +405,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit nonzero if any check grades FAIL "
                              "(the CI gate)")
 
+    serve = sub.add_parser(
+        "serve", help="answer latency queries against a saved dataset"
+    )
+    serve.add_argument("--input", type=Path, required=True,
+                       help="campaign dataset to serve (JSON or .npz; "
+                            "format auto-detected)")
+    serve.add_argument("query", nargs="*", default=[],
+                       help="one-shot query: point A B | knn A [K] | "
+                            "percentile A Q | path A B C... | via A B [K] "
+                            "| freshness")
+    serve.add_argument("--batch", type=Path, default=None,
+                       help="answer a JSONL file of query dicts "
+                            "('-' = stdin); one JSON answer per line")
+    serve.add_argument("--selftest", action="store_true",
+                       help="verify the serve stack against brute-force "
+                            "references plus mmap/fork invariance; exit "
+                            "nonzero on any mismatch (the CI gate)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="forked query workers for --batch/--selftest")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the npz matrix so workers share "
+                            "one page-cache copy (no effect on JSON)")
+
     return parser
 
 
@@ -545,6 +576,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         problems = bench_mod.check_regressions(report, baseline)
         problems += bench_mod.check_cross_workload(report)
         problems += bench_mod.check_pair_cost(report)
+        problems += bench_mod.check_serve_qps(report)
         if problems:
             print("\nperformance regressions detected:", file=sys.stderr)
             for problem in problems:
@@ -1098,6 +1130,128 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_serve_query(tokens: list[str]) -> dict:
+    """One-shot ``repro serve`` tokens → a query dict.
+
+    The grammar mirrors the JSONL wire format one-to-one, so anything
+    expressible on the command line can be replayed through ``--batch``
+    verbatim.
+    """
+    if not tokens:
+        raise ValueError("empty query")
+    op, rest = tokens[0], tokens[1:]
+    if op == "point" and len(rest) == 2:
+        return {"op": "point", "x": rest[0], "y": rest[1]}
+    if op == "knn" and len(rest) in (1, 2):
+        query = {"op": "knn", "x": rest[0]}
+        if len(rest) == 2:
+            query["k"] = int(rest[1])
+        return query
+    if op == "percentile" and len(rest) == 2:
+        return {"op": "percentile", "x": rest[0], "q": float(rest[1])}
+    if op == "path" and len(rest) >= 2:
+        return {"op": "path", "hops": rest}
+    if op == "via" and len(rest) in (2, 3):
+        query = {"op": "via", "x": rest[0], "y": rest[1]}
+        if len(rest) == 3:
+            query["k"] = int(rest[2])
+        return query
+    raise ValueError(
+        f"bad query {' '.join(tokens)!r}; expected point A B | knn A [K] | "
+        "percentile A Q | path A B C... | via A B [K] | freshness"
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the read side — query a saved dataset at client rates.
+
+    Loads the dataset (``--mmap`` memory-maps the npz matrix so forked
+    workers share one page-cache copy), freezes it into a
+    :class:`~repro.serve.index.MatrixIndex`, and answers: a one-shot
+    positional query, a ``--batch`` JSONL stream (fanned out across
+    ``--workers`` forked processes, answers in input order), or
+    ``--selftest`` (exit 1 on any mismatch — the CI gate). Answers are
+    JSON on stdout, one object per query.
+    """
+    from repro.serve import MatrixIndex, QueryServer, selftest
+
+    status = _status(args)
+    if not args.input.exists():
+        print(f"dataset {args.input} not found", file=sys.stderr)
+        return 2
+    modes = sum((bool(args.query), args.batch is not None, args.selftest))
+    if modes != 1:
+        print("serve needs exactly one of: a query, --batch, --selftest",
+              file=sys.stderr)
+        return 2
+
+    if args.selftest:
+        report = selftest(
+            path=args.input, workers=max(2, args.workers), progress=status
+        )
+        print(json.dumps(report, indent=2))
+        if not report["ok"]:
+            print("serve selftest FAILED:", file=sys.stderr)
+            for problem in report["problems"]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        status(f"selftest ok: {report['checks']} checks, "
+               f"version {report['version']}")
+        return 0
+
+    dataset = CampaignDataset.load(args.input, mmap=args.mmap)
+    start = time.perf_counter()
+    index = MatrixIndex.build(dataset)
+    status(f"index ready: {len(index)} nodes, {index.measured_pairs} "
+           f"measured pairs, version {index.version} "
+           f"({(time.perf_counter() - start) * 1000:.0f} ms)")
+    server = QueryServer(index, workers=max(1, args.workers))
+
+    if args.batch is not None:
+        if str(args.batch) == "-":
+            lines = sys.stdin.read().splitlines()
+        elif not args.batch.exists():
+            print(f"batch file {args.batch} not found", file=sys.stderr)
+            return 2
+        else:
+            lines = args.batch.read_text(encoding="utf-8").splitlines()
+        queries = []
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                queries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                queries.append({"op": f"<line {number}>", "_parse": str(exc)})
+        answers = server.batch(
+            [q for q in queries if "_parse" not in q]
+        )
+        results = iter(answers)
+        for query in queries:
+            if "_parse" in query:
+                print(json.dumps(
+                    {"op": None, "error": f"bad JSONL {query['op']}: "
+                                          f"{query['_parse']}"}
+                ))
+            else:
+                print(json.dumps(next(results)))
+        status(f"{len(queries)} queries answered")
+        return 0
+
+    if args.query == ["freshness"]:
+        print(json.dumps(index.freshness(), indent=2))
+        return 0
+    try:
+        query = _parse_serve_query(args.query)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    answer = server.query(query)
+    print(json.dumps(answer, indent=2))
+    return 0 if "error" not in answer else 1
+
+
 _COMMANDS = {
     "validate": cmd_validate,
     "measure": cmd_measure,
@@ -1110,6 +1264,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "tail": cmd_tail,
     "health": cmd_health,
+    "serve": cmd_serve,
 }
 
 

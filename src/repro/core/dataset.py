@@ -57,23 +57,66 @@ class RttMatrix:
         self._matrix = np.full((n, n), np.nan)
         np.fill_diagonal(self._matrix, 0.0)
         self._num_measured = 0
+        self._readonly = False
         self._view = self._matrix.view()
         self._view.flags.writeable = False
 
     @classmethod
-    def from_array(cls, nodes: list[str], values: np.ndarray) -> "RttMatrix":
-        """Adopt an ``n×n`` float array (NaN where unmeasured)."""
-        matrix = cls(nodes)
-        n = len(matrix.nodes)
-        values = np.asarray(values, dtype=float)
+    def from_array(
+        cls, nodes: list[str], values: np.ndarray, copy: bool = True
+    ) -> "RttMatrix":
+        """Adopt an ``n×n`` float array (NaN where unmeasured).
+
+        ``copy=False`` adopts ``values`` as the backing store without
+        writing to it — the zero-copy path for memory-mapped datasets,
+        where the array is a read-only ``np.memmap`` shared by every
+        forked reader through the page cache. A read-only backing flips
+        the matrix into copy-on-write mode: the first mutation
+        (:meth:`set`, or an :meth:`~CampaignDataset.absorb` into it)
+        silently materializes a private writable copy first.
+        """
+        n = len(nodes)
+        if not (isinstance(values, np.ndarray) and values.dtype == np.float64):
+            values = np.asarray(values, dtype=float)
         if values.shape != (n, n):
             raise MeasurementError(
                 f"matrix shape {values.shape} does not match {n} nodes"
             )
-        matrix._matrix[:, :] = values
-        np.fill_diagonal(matrix._matrix, 0.0)
+        if copy:
+            matrix = cls(nodes)
+            matrix._matrix[:, :] = values
+            np.fill_diagonal(matrix._matrix, 0.0)
+            matrix._recount()
+            return matrix
+        if np.any(np.diagonal(values) != 0.0):
+            raise MeasurementError("adopted matrix must have a zero diagonal")
+        matrix = cls.__new__(cls)
+        matrix.nodes = list(nodes)
+        if len(matrix.nodes) != len(set(matrix.nodes)):
+            raise MeasurementError("node identifiers must be unique")
+        matrix._index = {node: i for i, node in enumerate(matrix.nodes)}
+        matrix._matrix = values
+        matrix._readonly = not values.flags.writeable
+        matrix._view = values.view()
+        matrix._view.flags.writeable = False
         matrix._recount()
         return matrix
+
+    def _materialize(self) -> None:
+        """Copy-on-write: replace a read-only backing (a mmapped npz
+        entry) with a private writable copy. No-op on owned matrices."""
+        if not self._readonly:
+            return
+        self._matrix = np.array(self._matrix)
+        self._readonly = False
+        self._view = self._matrix.view()
+        self._view.flags.writeable = False
+
+    @property
+    def is_readonly(self) -> bool:
+        """Whether the backing store is read-only (mmapped). The first
+        mutation transparently copies it out (copy-on-write)."""
+        return self._readonly
 
     def _recount(self) -> None:
         n = len(self.nodes)
@@ -102,6 +145,8 @@ class RttMatrix:
         i, j = self.index_of(a), self.index_of(b)
         if i == j:
             raise MeasurementError("diagonal entries are fixed at zero")
+        if self._readonly:
+            self._materialize()
         if math.isnan(self._matrix[i, j]):
             self._num_measured += 1
         self._matrix[i, j] = rtt_ms
@@ -930,6 +975,64 @@ def _str_array(values: list[str]) -> np.ndarray:
     return np.array(values, dtype=np.str_)
 
 
+def _npz_entry_memmap(path: Path, name: str) -> np.ndarray | None:
+    """Memory-map one array entry of a :func:`_write_npz` container.
+
+    ``np.load(mmap_mode=...)`` cannot map arrays inside a zip archive,
+    but this repo's npz files are deliberately ``ZIP_STORED``: the npy
+    payload sits uncompressed at a knowable byte offset. This locates
+    the entry's local header, parses the npy header for dtype/shape,
+    and hands back a read-only ``np.memmap`` over the raw data bytes —
+    zero copies, and every forked process that inherits (or re-opens)
+    the mapping shares one page-cache copy of the matrix.
+
+    Returns ``None`` when the entry is absent, compressed, or not a
+    plain little-endian npy v1/v2 array — callers fall back to the
+    eager load path.
+    """
+    try:
+        with zipfile.ZipFile(path) as archive:
+            try:
+                info = archive.getinfo(name + ".npy")
+            except KeyError:
+                return None
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            header_offset = info.header_offset
+    except zipfile.BadZipFile:
+        return None
+    with open(path, "rb") as handle:
+        handle.seek(header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != _NPZ_MAGIC:
+            return None
+        # Local file header: name and extra lengths live at bytes 26/28.
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        data_offset = handle.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
 def _write_npz(path: Path, arrays: dict[str, np.ndarray]) -> None:
     """A deterministic ``np.savez``: identical input arrays produce
     byte-identical files. ``np.savez`` itself stamps each zip entry with
@@ -1019,14 +1122,20 @@ class CampaignDataset:
         return arrays
 
     @classmethod
-    def _from_arrays(cls, data: Any) -> "CampaignDataset":
+    def _from_arrays(
+        cls, data: Any, matrix_values: np.ndarray | None = None
+    ) -> "CampaignDataset":
         header = json.loads(bytes(np.asarray(data["header"]).tobytes()).decode("utf-8"))
         if header.get("format") != DATASET_NPZ_FORMAT:
             raise MeasurementError(
                 f"unknown dataset format {header.get('format')!r}"
             )
         nodes = [str(n) for n in data["nodes"]]
-        matrix = RttMatrix.from_array(nodes, data["matrix"])
+        if matrix_values is not None:
+            # Zero-copy adoption of a memory-mapped matrix entry.
+            matrix = RttMatrix.from_array(nodes, matrix_values, copy=False)
+        else:
+            matrix = RttMatrix.from_array(nodes, data["matrix"])
         snap = {
             "names": [str(n) for n in data["prov_names"]],
             "cats": [str(c) for c in data["prov_cats"]],
@@ -1063,15 +1172,31 @@ class CampaignDataset:
             raise MeasurementError(f"unknown dataset save format {format!r}")
 
     @classmethod
-    def load(cls, path: str | Path) -> "CampaignDataset":
+    def load(cls, path: str | Path, mmap: bool = False) -> "CampaignDataset":
         """Read a dataset previously written by :meth:`save`, sniffing
-        the on-disk format (JSON document vs npz container)."""
+        the on-disk format (JSON document vs npz container).
+
+        ``mmap=True`` memory-maps the O(n²) matrix entry of an npz
+        container instead of copying it into anonymous memory: the
+        returned matrix is backed by a **read-only** ``np.memmap``, so N
+        forked query workers share one page-cache copy of the file —
+        the zero-copy multiprocess serving model ``repro.serve`` is
+        built on. The memmap object itself keeps the file mapping alive
+        for as long as the matrix is referenced; there is no separate
+        handle to manage. Mutations are copy-on-write: :meth:`absorb`
+        (and ``RttMatrix.set``) materialize a private writable copy
+        before the first write, detaching the dataset from the file.
+        Provenance columns and metadata are always loaded eagerly (they
+        are small), and JSON documents — which have no binary layout to
+        map — ignore the flag.
+        """
         path = Path(path)
         with open(path, "rb") as handle:
             magic = handle.read(4)
         if magic == _NPZ_MAGIC:
+            matrix_values = _npz_entry_memmap(path, "matrix") if mmap else None
             with np.load(path, allow_pickle=False) as data:
-                return cls._from_arrays(data)
+                return cls._from_arrays(data, matrix_values=matrix_values)
         return cls.from_json(path.read_text())
 
     # -- incremental refresh -------------------------------------------
@@ -1090,7 +1215,15 @@ class CampaignDataset:
         the dataset's full measurement history in insertion order —
         which is exactly what planner staleness scoring reads. Returns
         the number of pair entries written.
+
+        On a memory-mapped dataset (``load(..., mmap=True)``) the
+        matrix backing is read-only, so absorb copies it out of the
+        mapping first (copy-on-write) and then writes into the private
+        copy — the on-disk file is never mutated, and the dataset is
+        detached from the page-cache sharing from that point on.
         """
+        # Copy-on-write before any write path below touches the array.
+        self.matrix._materialize()
         new_nodes = [n for n in matrix.nodes if n not in self.matrix._index]
         if new_nodes:
             grown = RttMatrix(self.matrix.nodes + new_nodes)

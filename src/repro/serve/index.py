@@ -1,0 +1,454 @@
+"""The read side of the matrix: a frozen, query-optimized index.
+
+A measured all-pairs RTT matrix is only worth its campaign cost if
+consumers can ask it questions at *client* rates, not measurement
+rates — ShorTor-style via-relay routing and latency-aware circuit
+selection both assume a "fastest path / best detour for this pair"
+primitive served to millions of users. :class:`MatrixIndex` is that
+primitive's data structure: built once from a
+:class:`~repro.core.dataset.CampaignDataset`, then immutable.
+
+Build-time precomputation (all O(n²), vectorized):
+
+* a contiguous float64 matrix reference (zero-copy view of the dataset
+  matrix — which may itself be a read-only ``np.memmap`` over the npz
+  file, so forked query workers share one page-cache copy);
+* per-row neighbor rankings: ``argsort`` of each row with the diagonal
+  and unmeasured entries pushed past the end, plus a per-row measured
+  degree — k-nearest-neighbor queries become an O(k) slice;
+* per-row sorted RTT tables — percentile and rank queries become one
+  ``np.percentile``/``searchsorted`` over a prefix slice;
+* the global sorted value vector, for matrix-wide percentiles;
+* an optional quality/freshness join from the dataset's provenance
+  (:meth:`~repro.core.dataset.CampaignDataset.quality`): per-pair
+  quality scores and age-in-provenance-rows ride along on every
+  answer, so a consumer can see *how much* to trust an estimate.
+
+Query surface: :meth:`point`, :meth:`row`, :meth:`k_nearest`,
+:meth:`percentile` / :meth:`rank` / :meth:`global_percentile`,
+:meth:`path_rtt` (+ vectorized :meth:`batch_path_rtt`), and the
+ShorTor-style :meth:`best_via` detour search — one vectorized
+``min(row_a + col_b)`` pass over all candidate via relays.
+
+Unmeasured pairs are first-class: point answers carry
+``measured=False`` with ``rtt_ms=None``, k-NN rankings only cover the
+measured degree, and a path through an unmeasured hop reports ``None``
+rather than NaN-poisoning downstream sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset, RttMatrix
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+@dataclass(slots=True)
+class PointAnswer:
+    """One pair's RTT plus the trust metadata a consumer needs."""
+
+    x: str
+    y: str
+    rtt_ms: float | None
+    measured: bool
+    quality: float | None = None
+    age_rows: int | None = None
+    stale: bool | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "x": self.x,
+            "y": self.y,
+            "rtt_ms": self.rtt_ms,
+            "measured": self.measured,
+        }
+        if self.quality is not None:
+            record["quality"] = round(self.quality, 4)
+        if self.age_rows is not None:
+            record["age_rows"] = self.age_rows
+        if self.stale is not None:
+            record["stale"] = self.stale
+        return record
+
+
+@dataclass(slots=True)
+class ViaAnswer:
+    """The best ShorTor-style detour for one pair.
+
+    ``improved`` says whether the detour actually beats the direct
+    estimate — when the direct pair is unmeasured, any finite detour
+    counts as an improvement over nothing.
+    """
+
+    x: str
+    y: str
+    via: str | None
+    via_rtt_ms: float | None
+    direct_rtt_ms: float | None
+    improved: bool
+
+    @property
+    def savings_ms(self) -> float | None:
+        if self.via_rtt_ms is None or self.direct_rtt_ms is None:
+            return None
+        return self.direct_rtt_ms - self.via_rtt_ms
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "x": self.x,
+            "y": self.y,
+            "via": self.via,
+            "via_rtt_ms": self.via_rtt_ms,
+            "direct_rtt_ms": self.direct_rtt_ms,
+            "improved": self.improved,
+        }
+        if self.savings_ms is not None:
+            record["savings_ms"] = round(self.savings_ms, 6)
+        return record
+
+
+class MatrixIndex:
+    """A frozen, read-optimized view of one dataset version.
+
+    Construct with :meth:`build`; every query method is then pure
+    (no mutation, no caching beyond what build precomputed), which is
+    what makes the index trivially shareable across forked workers.
+    """
+
+    __slots__ = (
+        "nodes",
+        "_id",
+        "_rtt",
+        "_order",
+        "_row_sorted",
+        "_degree",
+        "_all_sorted",
+        "_quality",
+        "_age",
+        "_stale_after",
+        "version",
+        "measured_pairs",
+        "provenance_rows",
+    )
+
+    def __init__(
+        self,
+        nodes: list[str],
+        rtt: np.ndarray,
+        order: np.ndarray,
+        row_sorted: np.ndarray,
+        degree: np.ndarray,
+        all_sorted: np.ndarray,
+        quality: np.ndarray | None,
+        age: np.ndarray | None,
+        stale_after: int | None,
+        version: str,
+        measured_pairs: int,
+        provenance_rows: int,
+    ) -> None:
+        self.nodes = nodes
+        self._id = {node: i for i, node in enumerate(nodes)}
+        self._rtt = rtt
+        self._order = order
+        self._row_sorted = row_sorted
+        self._degree = degree
+        self._all_sorted = all_sorted
+        self._quality = quality
+        self._age = age
+        self._stale_after = stale_after
+        #: Short content-hash prefix identifying the dataset version
+        #: every answer was served from.
+        self.version = version
+        self.measured_pairs = measured_pairs
+        self.provenance_rows = provenance_rows
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def build(
+        cls,
+        dataset: CampaignDataset | RttMatrix,
+        quality: bool = True,
+    ) -> "MatrixIndex":
+        """Build the index from a dataset (or a bare matrix).
+
+        ``quality=True`` joins per-pair quality scores and freshness
+        ages from the dataset's provenance when it has any; a bare
+        :class:`RttMatrix` (or an empty log) serves answers without the
+        trust metadata.
+        """
+        if isinstance(dataset, RttMatrix):
+            matrix = dataset
+            dataset = None  # type: ignore[assignment]
+        else:
+            matrix = dataset.matrix
+        nodes = list(matrix.nodes)
+        n = len(nodes)
+        if n < 2:
+            raise ConfigurationError("need at least two nodes to index")
+        rtt = matrix.matrix  # read-only view; possibly memmap-backed
+
+        # Neighbor ranking scratch: diagonal and unmeasured entries to
+        # +inf so they sort past every finite RTT.
+        work = np.array(rtt, dtype=np.float64, copy=True)
+        np.fill_diagonal(work, np.inf)
+        work[np.isnan(work)] = np.inf
+        order = np.argsort(work, axis=1, kind="stable")[:, : n - 1].astype(
+            np.int32
+        )
+        row_sorted = np.take_along_axis(work, order.astype(np.int64), axis=1)
+        degree = (np.isfinite(row_sorted)).sum(axis=1).astype(np.int64)
+        iu, ju = np.triu_indices(n, k=1)
+        upper = work[iu, ju]
+        all_sorted = np.sort(upper[np.isfinite(upper)])
+
+        quality_matrix = None
+        age = None
+        stale_after = None
+        if quality and dataset is not None and len(dataset.provenance):
+            scores = dataset.quality()
+            if list(scores.nodes) == nodes:
+                quality_matrix = np.asarray(scores.scores, dtype=np.float64)
+                age = np.asarray(scores.age_rows, dtype=np.float64)
+                stale_after = int(scores.stale_after_rows)
+
+        version = matrix.content_hash()[:12]
+        return cls(
+            nodes=nodes,
+            rtt=rtt,
+            order=order,
+            row_sorted=row_sorted,
+            degree=degree,
+            all_sorted=all_sorted,
+            quality=quality_matrix,
+            age=age,
+            stale_after=stale_after,
+            version=version,
+            measured_pairs=matrix.num_measured,
+            provenance_rows=0 if dataset is None else len(dataset.provenance),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._id
+
+    def index_of(self, node: str) -> int:
+        """Row index of a node; raises on unknown identifiers."""
+        try:
+            return self._id[node]
+        except KeyError:
+            raise MeasurementError(f"unknown node {node!r}") from None
+
+    def degree(self, node: str) -> int:
+        """How many neighbors of ``node`` have measured RTTs."""
+        return int(self._degree[self.index_of(node)])
+
+    def freshness(self) -> dict[str, Any]:
+        """Dataset-level freshness/identity metadata for responses."""
+        info: dict[str, Any] = {
+            "version": self.version,
+            "nodes": len(self.nodes),
+            "measured_pairs": self.measured_pairs,
+            "provenance_rows": self.provenance_rows,
+        }
+        if self._stale_after is not None:
+            info["stale_after_rows"] = self._stale_after
+        return info
+
+    def _meta_at(self, i: int, j: int) -> tuple[float | None, int | None, bool | None]:
+        """(quality, age_rows, stale) for one pair, or Nones."""
+        if self._quality is None:
+            return None, None, None
+        q = self._quality[i, j]
+        if np.isnan(q):
+            return None, None, None
+        age = self._age[i, j]
+        age_rows = None if np.isnan(age) else int(age)
+        stale = (
+            None
+            if age_rows is None or self._stale_after is None
+            else age_rows > self._stale_after
+        )
+        return float(q), age_rows, stale
+
+    # ------------------------------------------------------------------
+    # Point / row queries
+
+    def point(self, a: str, b: str) -> PointAnswer:
+        """R(a, b) with quality/freshness metadata. The hot path."""
+        _id = self._id
+        try:
+            i = _id[a]
+            j = _id[b]
+        except KeyError as exc:
+            raise MeasurementError(f"unknown node {exc.args[0]!r}") from None
+        value = self._rtt[i, j]
+        quality, age_rows, stale = self._meta_at(i, j)
+        if value != value:  # NaN: unmeasured
+            return PointAnswer(
+                x=a, y=b, rtt_ms=None, measured=False,
+                quality=quality, age_rows=age_rows, stale=stale,
+            )
+        return PointAnswer(
+            x=a, y=b, rtt_ms=float(value), measured=True,
+            quality=quality, age_rows=age_rows, stale=stale,
+        )
+
+    def row(self, a: str) -> np.ndarray:
+        """The read-only RTT row for one node (NaN where unmeasured)."""
+        return self._rtt[self.index_of(a)]
+
+    # ------------------------------------------------------------------
+    # k-nearest / percentile queries
+
+    def k_nearest(self, a: str, k: int = 10) -> list[PointAnswer]:
+        """The ``k`` measured neighbors with the smallest RTTs, ascending.
+
+        O(k): the ranking was argsorted at build time. Fewer than ``k``
+        measured neighbors returns what exists.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        i = self.index_of(a)
+        count = min(k, int(self._degree[i]))
+        neighbors = self._order[i, :count]
+        rtts = self._row_sorted[i, :count]
+        nodes = self.nodes
+        out = []
+        for idx, rtt in zip(neighbors.tolist(), rtts.tolist()):
+            quality, age_rows, stale = self._meta_at(i, idx)
+            out.append(
+                PointAnswer(
+                    x=a, y=nodes[idx], rtt_ms=rtt, measured=True,
+                    quality=quality, age_rows=age_rows, stale=stale,
+                )
+            )
+        return out
+
+    def percentile(self, a: str, q: float) -> float:
+        """The ``q``-th percentile RTT among ``a``'s measured neighbors."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        i = self.index_of(a)
+        count = int(self._degree[i])
+        if count == 0:
+            raise MeasurementError(f"node {a!r} has no measured neighbors")
+        return float(np.percentile(self._row_sorted[i, :count], q))
+
+    def rank(self, a: str, rtt_ms: float) -> float:
+        """The fraction of ``a``'s measured neighbors at or below
+        ``rtt_ms`` — where a candidate RTT sits in the row distribution."""
+        i = self.index_of(a)
+        count = int(self._degree[i])
+        if count == 0:
+            raise MeasurementError(f"node {a!r} has no measured neighbors")
+        pos = int(np.searchsorted(self._row_sorted[i, :count], rtt_ms, side="right"))
+        return pos / count
+
+    def global_percentile(self, q: float) -> float:
+        """The ``q``-th percentile over every measured pair RTT."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError("percentile must be in [0, 100]")
+        if self._all_sorted.size == 0:
+            raise MeasurementError("matrix has no measurements")
+        return float(np.percentile(self._all_sorted, q))
+
+    # ------------------------------------------------------------------
+    # Path estimates
+
+    def path_rtt(self, hops: Sequence[str]) -> float | None:
+        """Total inter-relay RTT along ``hops`` (sum over adjacent
+        pairs); ``None`` when any hop pair is unmeasured."""
+        if len(hops) < 2:
+            raise ConfigurationError("a path needs at least two hops")
+        ids = [self.index_of(h) for h in hops]
+        total = 0.0
+        rtt = self._rtt
+        for i, j in zip(ids, ids[1:]):
+            value = rtt[i, j]
+            if value != value:
+                return None
+            total += value
+        return float(total)
+
+    def batch_path_rtt(self, paths: Sequence[Sequence[str]]) -> np.ndarray:
+        """Vectorized :meth:`path_rtt` for same-length paths.
+
+        Returns one float per path, NaN where a hop pair is unmeasured.
+        All paths must have the same hop count (the batch is one fancy-
+        indexing pass); mixed lengths belong in separate batches.
+        """
+        if not paths:
+            return np.empty(0, dtype=np.float64)
+        width = len(paths[0])
+        if width < 2:
+            raise ConfigurationError("a path needs at least two hops")
+        if any(len(p) != width for p in paths):
+            raise ConfigurationError("batch paths must share one hop count")
+        ids = np.array(
+            [[self.index_of(h) for h in path] for path in paths],
+            dtype=np.int64,
+        )
+        legs = self._rtt[ids[:, :-1], ids[:, 1:]]
+        return legs.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # ShorTor-style via-relay detours
+
+    def best_via(self, a: str, b: str, k: int = 1) -> list[ViaAnswer]:
+        """The best ``k`` via-relay detours for (a, b), ascending.
+
+        One vectorized pass: ``row_a + col_b`` over every candidate
+        relay, endpoints and unmeasured legs masked out. A detour
+        "improves" when it beats the direct estimate (always, when the
+        direct pair is unmeasured) — the triangle-inequality-violation
+        exploitation Section 5.2.1 measures and ShorTor deploys.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        i = self.index_of(a)
+        j = self.index_of(b)
+        if i == j:
+            raise ConfigurationError("via query needs two distinct nodes")
+        direct_value = self._rtt[i, j]
+        direct = None if direct_value != direct_value else float(direct_value)
+        detour = self._rtt[i, :] + self._rtt[:, j]
+        detour[i] = np.nan
+        detour[j] = np.nan
+        finite = np.flatnonzero(~np.isnan(detour))
+        if finite.size == 0:
+            return [
+                ViaAnswer(
+                    x=a, y=b, via=None, via_rtt_ms=None,
+                    direct_rtt_ms=direct, improved=False,
+                )
+            ]
+        count = min(k, finite.size)
+        if count < finite.size:
+            picked = finite[
+                np.argpartition(detour[finite], count - 1)[:count]
+            ]
+        else:
+            picked = finite
+        picked = picked[np.argsort(detour[picked], kind="stable")]
+        return [
+            ViaAnswer(
+                x=a,
+                y=b,
+                via=self.nodes[int(r)],
+                via_rtt_ms=float(detour[r]),
+                direct_rtt_ms=direct,
+                improved=direct is None or float(detour[r]) < direct,
+            )
+            for r in picked
+        ]

@@ -1,0 +1,132 @@
+"""Memory-mapped dataset loads and their copy-on-write semantics."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    CampaignDataset,
+    PairProvenance,
+    ProvenanceLog,
+    RttMatrix,
+)
+
+
+def build_dataset(n=10, seed=2, holes=True):
+    rng = np.random.default_rng(seed)
+    nodes = [f"N{i:02d}" for i in range(n)]
+    matrix = RttMatrix(nodes)
+    log = ProvenanceLog()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if holes and rng.random() < 0.2:
+                continue
+            rtt = float(rng.uniform(10, 250))
+            matrix.set(nodes[i], nodes[j], rtt)
+            log.add(PairProvenance(
+                x=nodes[i], y=nodes[j], status="measured", rtt_ms=rtt,
+                samples_requested=4, samples_kept=4,
+            ))
+    return CampaignDataset(matrix=matrix, provenance=log)
+
+
+def file_digest(path):
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestMmapLoad:
+    def test_matrix_is_memmap_backed(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset().save(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        assert isinstance(mapped.matrix._matrix, np.memmap)
+        assert mapped.matrix.is_readonly
+        assert not mapped.matrix._matrix.flags.writeable
+
+    def test_values_bit_identical_to_eager_load(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset().save(path)
+        eager = CampaignDataset.load(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        assert eager.matrix.nodes == mapped.matrix.nodes
+        np.testing.assert_array_equal(
+            np.asarray(eager.matrix.matrix), np.asarray(mapped.matrix.matrix)
+        )
+        assert eager.matrix.content_hash() == mapped.matrix.content_hash()
+        assert eager.matrix.num_measured == mapped.matrix.num_measured
+
+    def test_json_load_ignores_mmap_flag(self, tmp_path):
+        path = tmp_path / "ds.json"
+        dataset = build_dataset()
+        dataset.save(path)
+        loaded = CampaignDataset.load(path, mmap=True)
+        assert not loaded.matrix.is_readonly
+        assert loaded.matrix.content_hash() == dataset.matrix.content_hash()
+
+    def test_eager_load_stays_plain_ndarray(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset().save(path)
+        eager = CampaignDataset.load(path)
+        assert not isinstance(eager.matrix._matrix, np.memmap)
+        assert not eager.matrix.is_readonly
+
+
+class TestCopyOnWrite:
+    def test_set_materializes_private_copy(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset(holes=False).save(path)
+        before = file_digest(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        nodes = mapped.matrix.nodes
+        mapped.matrix.set(nodes[0], nodes[1], 1.25)
+        assert not mapped.matrix.is_readonly
+        assert not isinstance(mapped.matrix._matrix, np.memmap)
+        assert mapped.matrix.get(nodes[0], nodes[1]) == 1.25
+        assert file_digest(path) == before  # on-disk npz untouched
+
+    def test_absorb_materializes_then_merges(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset(holes=False).save(path)
+        before = file_digest(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        nodes = mapped.matrix.nodes
+
+        refresh = RttMatrix(nodes)
+        refresh.set(nodes[2], nodes[3], 99.5)
+        log = ProvenanceLog()
+        log.add(PairProvenance(
+            x=nodes[2], y=nodes[3], status="measured", rtt_ms=99.5,
+            samples_requested=4, samples_kept=4,
+        ))
+        updated = mapped.absorb(refresh, provenance=log)
+        assert updated == 1
+        assert not mapped.matrix.is_readonly
+        assert mapped.matrix.get(nodes[2], nodes[3]) == 99.5
+        assert file_digest(path) == before  # copy-on-write, not write-through
+
+        # A fresh mmap of the same file still sees the original value.
+        fresh = CampaignDataset.load(path, mmap=True)
+        assert fresh.matrix.get(nodes[2], nodes[3]) != 99.5
+
+    def test_readonly_rejects_direct_view_mutation(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        build_dataset().save(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        with pytest.raises(ValueError):
+            mapped.matrix.matrix[0, 1] = 7.0
+
+
+class TestFromArrayAdoption:
+    def test_copy_false_adopts_without_copying(self):
+        values = np.zeros((3, 3))
+        values[0, 1] = values[1, 0] = 5.0
+        matrix = RttMatrix.from_array(["a", "b", "c"], values, copy=False)
+        assert matrix._matrix is values
+
+    def test_nonzero_diagonal_rejected(self):
+        from repro.util.errors import MeasurementError
+
+        values = np.eye(3)
+        with pytest.raises(MeasurementError):
+            RttMatrix.from_array(["a", "b", "c"], values, copy=False)

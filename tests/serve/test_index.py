@@ -1,0 +1,256 @@
+"""MatrixIndex answers vs brute-force numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    CampaignDataset,
+    PairProvenance,
+    ProvenanceLog,
+    RttMatrix,
+)
+from repro.serve import MatrixIndex
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+def random_matrix(n=20, density=1.0, seed=0):
+    """A symmetric random RttMatrix with optional NaN holes."""
+    rng = np.random.default_rng(seed)
+    values = np.full((n, n), np.nan)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < density
+    rtts = rng.uniform(5.0, 300.0, size=iu.size)
+    values[iu[keep], ju[keep]] = rtts[keep]
+    values[ju[keep], iu[keep]] = rtts[keep]
+    np.fill_diagonal(values, 0.0)
+    nodes = [f"N{i:03d}" for i in range(n)]
+    return RttMatrix.from_array(nodes, values), values
+
+
+@pytest.fixture(scope="module", params=[1.0, 0.55])
+def indexed(request):
+    matrix, values = random_matrix(n=24, density=request.param, seed=7)
+    return MatrixIndex.build(matrix), values, list(matrix.nodes)
+
+
+class TestPoint:
+    def test_measured_pairs_match_matrix(self, indexed):
+        index, values, nodes = indexed
+        for i, j in [(0, 1), (3, 17), (22, 5)]:
+            answer = index.point(nodes[i], nodes[j])
+            if np.isnan(values[i, j]):
+                assert answer.rtt_ms is None
+                assert not answer.measured
+            else:
+                assert answer.measured
+                assert answer.rtt_ms == float(values[i, j])
+
+    def test_unknown_node_rejected(self, indexed):
+        index, _, _ = indexed
+        with pytest.raises(MeasurementError):
+            index.point("nope", index.nodes[0])
+
+    def test_row_is_readonly_view(self, indexed):
+        index, values, nodes = indexed
+        row = index.row(nodes[4])
+        assert not row.flags.writeable
+        np.testing.assert_array_equal(
+            np.nan_to_num(row, nan=-1), np.nan_to_num(values[4], nan=-1)
+        )
+
+
+class TestKNearest:
+    def test_matches_row_sort(self, indexed):
+        index, values, nodes = indexed
+        for i in range(len(nodes)):
+            row = values[i].copy()
+            row[i] = np.nan
+            finite = np.flatnonzero(~np.isnan(row))
+            expect = finite[np.argsort(row[finite], kind="stable")][:6]
+            got = index.k_nearest(nodes[i], 6)
+            assert [p.y for p in got] == [nodes[e] for e in expect]
+            assert [p.rtt_ms for p in got] == [float(row[e]) for e in expect]
+
+    def test_k_clamped_to_measured_degree(self, indexed):
+        index, values, nodes = indexed
+        i = 2
+        degree = int(np.sum(~np.isnan(np.delete(values[i], i))))
+        got = index.k_nearest(nodes[i], k=10_000)
+        assert len(got) == degree == index.degree(nodes[i])
+        assert all(p.measured for p in got)
+
+    def test_k_must_be_positive(self, indexed):
+        index, _, nodes = indexed
+        with pytest.raises(ConfigurationError):
+            index.k_nearest(nodes[0], 0)
+
+
+class TestPercentiles:
+    def test_row_percentile_matches_numpy(self, indexed):
+        index, values, nodes = indexed
+        for i in (0, 9, 21):
+            row = np.delete(values[i], i)
+            finite = row[~np.isnan(row)]
+            for q in (0.0, 12.5, 50.0, 86.0, 100.0):
+                assert index.percentile(nodes[i], q) == pytest.approx(
+                    float(np.percentile(finite, q)), abs=1e-9
+                )
+
+    def test_global_percentile_matches_numpy(self, indexed):
+        index, values, nodes = indexed
+        iu, ju = np.triu_indices(len(nodes), k=1)
+        upper = values[iu, ju]
+        finite = upper[~np.isnan(upper)]
+        for q in (5.0, 50.0, 99.0):
+            assert index.global_percentile(q) == pytest.approx(
+                float(np.percentile(finite, q)), abs=1e-9
+            )
+
+    def test_rank_is_inverse_of_percentile(self, indexed):
+        index, values, nodes = indexed
+        median = index.percentile(nodes[3], 50.0)
+        rank = index.rank(nodes[3], median)
+        assert 0.4 <= rank <= 0.6
+
+    def test_out_of_range_percentile_rejected(self, indexed):
+        index, _, nodes = indexed
+        with pytest.raises(ConfigurationError):
+            index.percentile(nodes[0], 101.0)
+
+
+class TestPaths:
+    def test_path_is_sum_of_hops(self, indexed):
+        index, values, nodes = indexed
+        hops = [nodes[1], nodes[5], nodes[9], nodes[2]]
+        legs = [values[1, 5], values[5, 9], values[9, 2]]
+        expect = None if any(np.isnan(v) for v in legs) else float(sum(legs))
+        assert index.path_rtt(hops) == expect
+
+    def test_batch_matches_scalar(self, indexed):
+        index, values, nodes = indexed
+        rng = np.random.default_rng(4)
+        paths = [
+            [nodes[int(a)], nodes[int(b)], nodes[int(c)]]
+            for a, b, c in rng.integers(0, len(nodes), size=(20, 3))
+        ]
+        batch = index.batch_path_rtt(paths)
+        for path, total in zip(paths, batch):
+            scalar = index.path_rtt(path)
+            if scalar is None:
+                assert np.isnan(total)
+            else:
+                assert float(total) == pytest.approx(scalar)
+
+    def test_mixed_length_batch_rejected(self, indexed):
+        index, _, nodes = indexed
+        with pytest.raises(ConfigurationError):
+            index.batch_path_rtt([nodes[:3], nodes[:4]])
+
+    def test_short_path_rejected(self, indexed):
+        index, _, nodes = indexed
+        with pytest.raises(ConfigurationError):
+            index.path_rtt([nodes[0]])
+
+
+class TestBestVia:
+    def test_matches_brute_force_min(self, indexed):
+        index, values, nodes = indexed
+        for i, j in [(0, 1), (7, 19), (13, 4)]:
+            detour = values[i, :] + values[:, j]
+            detour[i] = detour[j] = np.nan
+            finite = np.flatnonzero(~np.isnan(detour))
+            answer = index.best_via(nodes[i], nodes[j])[0]
+            if finite.size == 0:
+                assert answer.via is None
+            else:
+                assert answer.via_rtt_ms == pytest.approx(
+                    float(detour[finite].min())
+                )
+
+    def test_top_k_is_sorted_ascending(self, indexed):
+        index, _, nodes = indexed
+        answers = index.best_via(nodes[0], nodes[1], k=5)
+        rtts = [a.via_rtt_ms for a in answers]
+        assert rtts == sorted(rtts)
+        assert len(set(a.via for a in answers)) == len(answers)
+
+    def test_improved_flag_vs_direct(self, indexed):
+        index, values, nodes = indexed
+        answer = index.best_via(nodes[2], nodes[3])[0]
+        direct = values[2, 3]
+        if answer.via is not None and not np.isnan(direct):
+            assert answer.improved == (answer.via_rtt_ms < float(direct))
+            assert answer.savings_ms == pytest.approx(
+                float(direct) - answer.via_rtt_ms
+            )
+
+    def test_same_endpoints_rejected(self, indexed):
+        index, _, nodes = indexed
+        with pytest.raises(ConfigurationError):
+            index.best_via(nodes[0], nodes[0])
+
+
+class TestQualityJoin:
+    def _dataset(self):
+        nodes = [f"N{i:02d}" for i in range(6)]
+        matrix = RttMatrix(nodes)
+        log = ProvenanceLog()
+        rng = np.random.default_rng(11)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                rtt = float(rng.uniform(20, 150))
+                matrix.set(nodes[i], nodes[j], rtt)
+                log.add(PairProvenance(
+                    x=nodes[i], y=nodes[j], status="measured", rtt_ms=rtt,
+                    samples_requested=6, samples_kept=6,
+                ))
+        return CampaignDataset(matrix=matrix, provenance=log)
+
+    def test_point_carries_quality_metadata(self):
+        dataset = self._dataset()
+        index = MatrixIndex.build(dataset)
+        scores = dataset.quality()
+        i, j = 0, 1
+        answer = index.point(index.nodes[i], index.nodes[j])
+        assert answer.quality == pytest.approx(float(scores.scores[i, j]))
+        assert answer.age_rows == int(scores.age_rows[i, j])
+        assert answer.stale == (
+            answer.age_rows > int(scores.stale_after_rows)
+        )
+        record = answer.to_dict()
+        assert {"quality", "age_rows", "stale"} <= set(record)
+
+    def test_quality_join_optional(self):
+        dataset = self._dataset()
+        index = MatrixIndex.build(dataset, quality=False)
+        answer = index.point(index.nodes[0], index.nodes[1])
+        assert answer.quality is None
+        assert "quality" not in answer.to_dict()
+
+    def test_bare_matrix_serves_without_metadata(self):
+        matrix, _ = random_matrix(n=8, seed=3)
+        index = MatrixIndex.build(matrix)
+        answer = index.point(index.nodes[0], index.nodes[1])
+        assert answer.quality is None
+        assert index.provenance_rows == 0
+
+    def test_freshness_reports_identity(self):
+        dataset = self._dataset()
+        index = MatrixIndex.build(dataset)
+        info = index.freshness()
+        assert info["version"] == dataset.matrix.content_hash()[:12]
+        assert info["nodes"] == 6
+        assert info["measured_pairs"] == 15
+        assert info["provenance_rows"] == 15
+
+
+class TestBuildValidation:
+    def test_single_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatrixIndex.build(RttMatrix(["only"]))
+
+    def test_len_and_contains(self, indexed):
+        index, _, nodes = indexed
+        assert len(index) == len(nodes)
+        assert nodes[0] in index
+        assert "ghost" not in index

@@ -1,0 +1,170 @@
+"""QueryServer dispatch, fork invariance, and mmap bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import CampaignDataset, RttMatrix
+from repro.serve import QUERY_OPS, MatrixIndex, QueryServer, selftest
+from repro.util.errors import ConfigurationError
+
+
+def random_matrix(n=20, density=1.0, seed=0):
+    """A symmetric random RttMatrix with optional NaN holes."""
+    rng = np.random.default_rng(seed)
+    values = np.full((n, n), np.nan)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < density
+    rtts = rng.uniform(5.0, 300.0, size=iu.size)
+    values[iu[keep], ju[keep]] = rtts[keep]
+    values[ju[keep], iu[keep]] = rtts[keep]
+    np.fill_diagonal(values, 0.0)
+    nodes = [f"N{i:03d}" for i in range(n)]
+    return RttMatrix.from_array(nodes, values), values
+
+
+@pytest.fixture(scope="module")
+def server():
+    matrix, _ = random_matrix(n=16, density=0.8, seed=21)
+    return QueryServer(MatrixIndex.build(matrix))
+
+
+def mixed_queries(nodes, count=40, seed=5):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        i, j = (int(v) for v in rng.integers(0, len(nodes), size=2))
+        if i == j:
+            j = (j + 1) % len(nodes)
+        kind = int(rng.integers(0, 5))
+        if kind == 0:
+            queries.append({"op": "point", "x": nodes[i], "y": nodes[j]})
+        elif kind == 1:
+            queries.append({"op": "knn", "x": nodes[i], "k": 4})
+        elif kind == 2:
+            queries.append({"op": "percentile", "x": nodes[i], "q": 75.0})
+        elif kind == 3:
+            k = (max(i, j) + 1) % len(nodes)
+            queries.append({"op": "path", "hops": [nodes[i], nodes[j], nodes[k]]})
+        else:
+            queries.append({"op": "via", "x": nodes[i], "y": nodes[j], "k": 2})
+    return queries
+
+
+class TestDispatch:
+    def test_every_op_answers(self, server):
+        nodes = server.index.nodes
+        for op in QUERY_OPS:
+            query = {
+                "point": {"op": "point", "x": nodes[0], "y": nodes[1]},
+                "knn": {"op": "knn", "x": nodes[0], "k": 3},
+                "percentile": {"op": "percentile", "x": nodes[0], "q": 50.0},
+                "rank": {"op": "rank", "x": nodes[0], "rtt_ms": 100.0},
+                "path": {"op": "path", "hops": [nodes[0], nodes[1], nodes[2]]},
+                "via": {"op": "via", "x": nodes[0], "y": nodes[1]},
+            }[op]
+            answer = server.query(query)
+            assert answer["op"] == op
+            assert "error" not in answer
+            assert answer["version"] == server.index.version
+
+    def test_global_percentile_without_node(self, server):
+        answer = server.query({"op": "percentile", "q": 50.0})
+        assert answer["rtt_ms"] == pytest.approx(
+            server.index.global_percentile(50.0)
+        )
+
+    def test_bad_queries_return_error_dicts(self, server):
+        nodes = server.index.nodes
+        for query in (
+            {"op": "teleport"},
+            {"op": "point", "x": "ghost", "y": nodes[0]},
+            {"op": "knn", "x": nodes[0], "k": 0},
+            {"op": "point"},
+        ):
+            answer = server.query(query)
+            assert "error" in answer
+
+    def test_bad_query_does_not_poison_batch(self, server):
+        nodes = server.index.nodes
+        answers = server.batch([
+            {"op": "point", "x": nodes[0], "y": nodes[1]},
+            {"op": "nonsense"},
+            {"op": "knn", "x": nodes[2], "k": 2},
+        ])
+        assert "error" not in answers[0]
+        assert "error" in answers[1]
+        assert "error" not in answers[2]
+
+    def test_worker_count_validated(self, server):
+        with pytest.raises(ConfigurationError):
+            QueryServer(server.index, workers=0)
+        with pytest.raises(ConfigurationError):
+            server.batch([], workers=0)
+
+
+class TestForkInvariance:
+    def test_results_identical_across_worker_counts(self, server):
+        queries = mixed_queries(server.index.nodes, count=60)
+        inline = server.batch(queries, workers=1)
+        assert len(inline) == len(queries)
+        for workers in (2, 4):
+            forked = server.batch(queries, workers=workers)
+            assert forked == inline
+
+    def test_more_workers_than_queries(self, server):
+        nodes = server.index.nodes
+        queries = [{"op": "point", "x": nodes[0], "y": nodes[1]}]
+        assert server.batch(queries, workers=8) == server.batch(queries)
+
+    def test_empty_batch(self, server):
+        assert server.batch([], workers=4) == []
+
+
+class TestMmapBitIdentity:
+    def test_mmap_and_eager_answers_identical(self, tmp_path):
+        matrix, _ = random_matrix(n=14, density=0.7, seed=33)
+        path = tmp_path / "ds.npz"
+        CampaignDataset(matrix=matrix).save(path)
+
+        eager = CampaignDataset.load(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        assert isinstance(mapped.matrix.matrix.base, np.memmap) or isinstance(
+            mapped.matrix.matrix, np.memmap
+        )
+        queries = mixed_queries(list(matrix.nodes), count=50)
+        eager_answers = QueryServer(MatrixIndex.build(eager)).batch(queries)
+        mapped_answers = QueryServer(MatrixIndex.build(mapped)).batch(queries)
+        assert eager_answers == mapped_answers
+
+    def test_mmap_index_forked_batch(self, tmp_path):
+        matrix, _ = random_matrix(n=10, density=0.9, seed=8)
+        path = tmp_path / "ds.npz"
+        CampaignDataset(matrix=matrix).save(path)
+        mapped = CampaignDataset.load(path, mmap=True)
+        server = QueryServer(MatrixIndex.build(mapped))
+        queries = mixed_queries(list(matrix.nodes), count=30)
+        assert server.batch(queries, workers=3) == server.batch(queries)
+
+
+class TestSelftest:
+    def test_passes_on_saved_dataset(self, tmp_path):
+        matrix, _ = random_matrix(n=12, density=0.8, seed=13)
+        path = tmp_path / "ds.npz"
+        CampaignDataset(matrix=matrix).save(path)
+        report = selftest(path=path, workers=2, samples=24)
+        assert report["ok"], report["problems"]
+        assert report["mmap_checked"]
+        assert report["fork_workers"] == 2
+        assert report["checks"] > 50
+
+    def test_passes_on_inline_dataset(self):
+        matrix, _ = random_matrix(n=12, density=1.0, seed=14)
+        report = selftest(
+            dataset=CampaignDataset(matrix=matrix), workers=1, samples=16
+        )
+        assert report["ok"], report["problems"]
+        assert not report["mmap_checked"]
+
+    def test_needs_input(self):
+        with pytest.raises(ConfigurationError):
+            selftest()

@@ -149,6 +149,62 @@ class TestCheckPairCost:
         assert bench.check_pair_cost(report, ceiling_ms=10.0) != []
 
 
+class TestCheckServeQps:
+    """The absolute query-rate floors on the serve-layer workload."""
+
+    def _serve_report(self, point_qps, knn_qps):
+        report = _fake_report(serve_qps=1.0)
+        report["serve_qps"]["point_qps"] = point_qps
+        report["serve_qps"]["knn_qps"] = knn_qps
+        return report
+
+    def test_absent_workload_passes(self):
+        assert bench.check_serve_qps(_fake_report(a=1.0)) == []
+
+    def test_above_floors_passes(self):
+        report = self._serve_report(
+            bench.SERVE_POINT_QPS_FLOOR * 2, bench.SERVE_KNN_QPS_FLOOR * 2
+        )
+        assert bench.check_serve_qps(report) == []
+
+    def test_slow_point_queries_flagged(self):
+        report = self._serve_report(
+            bench.SERVE_POINT_QPS_FLOOR / 2, bench.SERVE_KNN_QPS_FLOOR * 2
+        )
+        problems = bench.check_serve_qps(report)
+        assert len(problems) == 1
+        assert "point_qps" in problems[0]
+
+    def test_slow_knn_queries_flagged(self):
+        report = self._serve_report(
+            bench.SERVE_POINT_QPS_FLOOR * 2, bench.SERVE_KNN_QPS_FLOOR / 2
+        )
+        problems = bench.check_serve_qps(report)
+        assert len(problems) == 1
+        assert "knn_qps" in problems[0]
+
+    def test_missing_metrics_flagged(self):
+        problems = bench.check_serve_qps(_fake_report(serve_qps=1.0))
+        assert len(problems) == 2
+
+    def test_custom_floors(self):
+        report = self._serve_report(500.0, 50.0)
+        assert bench.check_serve_qps(report, point_floor=100.0, knn_floor=10.0) == []
+        assert len(bench.check_serve_qps(report, point_floor=1000.0, knn_floor=10.0)) == 1
+
+    def test_workload_runs_and_satisfies_floors(self):
+        # A scaled-down live run: the floors are calibrated for 1,000
+        # relays, so a 150-relay index clearing them comfortably means
+        # the hot path is O(1)/O(k), not O(n).
+        entry = bench.bench_serve_qps(
+            relays=150, point_queries=20_000, knn_queries=4_000
+        )
+        assert entry["point_qps"] >= bench.SERVE_POINT_QPS_FLOOR
+        assert entry["knn_qps"] >= bench.SERVE_KNN_QPS_FLOOR
+        assert entry["index_build_s"] < 1.0
+        assert entry["throughput"] == entry["point_qps"]
+
+
 class TestBenchCommand:
     @pytest.fixture
     def tiny_report(self, monkeypatch):
@@ -228,6 +284,7 @@ class TestBenchCommand:
             "campaign_sharded",
             "cell_crypto",
             "engine_events",
+            "serve_qps",
             "ting_single_pair",
         ]
         for name in workloads:
@@ -242,6 +299,13 @@ class TestBenchCommand:
         assert fullnet["pairs_measured"] > 0
         assert 0 < fullnet["pair_cost_ms"] <= bench.PAIR_COST_CEILING_MS
         assert bench.check_pair_cost(report) == []
+        # The serve-layer workload must carry (and satisfy) the query
+        # rate floors the acceptance criteria pin.
+        serve = report["serve_qps"]
+        assert serve["point_qps"] >= bench.SERVE_POINT_QPS_FLOOR
+        assert serve["knn_qps"] >= bench.SERVE_KNN_QPS_FLOOR
+        assert 0 < serve["index_build_s"] < 1.0
+        assert bench.check_serve_qps(report) == []
 
     def test_committed_baseline_sharding_beats_parallel(self):
         # The acceptance bar for shard engine v2: the committed baseline

@@ -689,3 +689,129 @@ class TestTailDatasetReplay:
         assert code == 0
         assert "--follow is ignored" in captured.err
         assert "campaign.pair_measured" in captured.out
+
+
+class TestServeCommand:
+    def _dataset_path(self, tmp_path, suffix=".npz"):
+        path = tmp_path / f"ds{suffix}"
+        _synthetic_dataset().save(path)
+        return path
+
+    def test_point_query(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "point", "N00", "N01"])
+        answer = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert answer["op"] == "point"
+        assert answer["measured"] is True
+        assert answer["rtt_ms"] > 0
+        assert "quality" in answer and "version" in answer
+
+    def test_knn_query_with_k(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "knn", "N02", "3"])
+        answer = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(answer["neighbors"]) == 3
+        rtts = [p["rtt_ms"] for p in answer["neighbors"]]
+        assert rtts == sorted(rtts)
+
+    def test_via_and_path_queries(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "via", "N00", "N05"])
+        answer = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert answer["detours"][0]["via"] is not None
+        code = main(
+            ["-q", "serve", "--input", str(path), "path", "N00", "N03", "N06"]
+        )
+        answer = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert answer["rtt_ms"] > 0
+
+    def test_freshness_query(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "freshness"])
+        info = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert info["nodes"] == 8
+        assert info["measured_pairs"] == 28
+
+    def test_unknown_node_exits_nonzero(self, tmp_path, capsys):
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "point", "ghost", "N01"])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_bad_grammar_exits_2(self, tmp_path, capsys):
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "point", "N00"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "bad query" in captured.err
+
+    def test_batch_jsonl_mode(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text(
+            '{"op": "point", "x": "N00", "y": "N01"}\n'
+            '{"op": "knn", "x": "N02", "k": 2}\n'
+            "garbage line\n"
+            '{"op": "via", "x": "N03", "y": "N04"}\n'
+        )
+        code = main(
+            ["-q", "serve", "--input", str(path), "--batch", str(batch),
+             "--workers", "2", "--mmap"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        answers = [json_mod.loads(line) for line in out.splitlines()]
+        assert len(answers) == 4
+        assert answers[0]["op"] == "point" and "error" not in answers[0]
+        assert answers[1]["op"] == "knn"
+        assert "error" in answers[2]  # the garbage line, in input order
+        assert answers[3]["op"] == "via"
+
+    def test_selftest_gate_passes(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path), "--selftest"])
+        report = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["ok"] is True
+        assert report["mmap_checked"] is True
+
+    def test_selftest_on_json_dataset_skips_mmap_check(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._dataset_path(tmp_path, suffix=".json")
+        code = main(["-q", "serve", "--input", str(path), "--selftest"])
+        report = json_mod.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["mmap_checked"] is False
+
+    def test_exactly_one_mode_required(self, tmp_path, capsys):
+        path = self._dataset_path(tmp_path)
+        code = main(["-q", "serve", "--input", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "exactly one" in captured.err
+
+    def test_missing_dataset_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["-q", "serve", "--input", str(tmp_path / "no.npz"), "freshness"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not found" in captured.err
