@@ -160,6 +160,57 @@ echo "== serve smoke gate =="
 # inline ones. Exits nonzero on any mismatch.
 python -m repro.cli -q serve --input /tmp/ting_planner_smoke.npz --selftest
 
+echo "== serve telemetry smoke gate =="
+# The observability of the same read side: answer a mixed JSONL batch
+# with telemetry enabled (--stats) across forked workers, write the
+# JSONL telemetry artifact, and assert every op in the batch shows up
+# with a non-zero count and sane latency quantiles in the merged
+# summary — the end-to-end proof that worker-side registries ship
+# across the fork boundary and merge.
+timeout 120 python - <<'PY'
+import json, subprocess, sys, tempfile
+from pathlib import Path
+
+from repro.core.dataset import CampaignDataset
+
+nodes = CampaignDataset.load("/tmp/ting_planner_smoke.npz").matrix.nodes
+work = Path(tempfile.mkdtemp())
+batch = work / "batch.jsonl"
+ops = []
+with batch.open("w") as fh:
+    for i in range(240):
+        a, b = nodes[i % len(nodes)], nodes[(i * 7 + 1) % len(nodes)]
+        kind = i % 4
+        if kind == 0:
+            query = {"op": "point", "x": a, "y": b}
+        elif kind == 1:
+            query = {"op": "knn", "x": a, "k": 5}
+        elif kind == 2:
+            query = {"op": "percentile", "x": a, "q": 50.0}
+        else:
+            query = {"op": "via", "x": a, "y": b} if a != b else {"op": "point", "x": a, "y": b}
+        ops.append(query["op"])
+        fh.write(json.dumps(query) + "\n")
+telemetry = work / "telemetry.jsonl"
+subprocess.run(
+    [sys.executable, "-m", "repro.cli", "-q", "serve",
+     "--input", "/tmp/ting_planner_smoke.npz",
+     "--batch", str(batch), "--workers", "4",
+     "--stats", "--telemetry", str(telemetry)],
+    check=True, stdout=subprocess.DEVNULL,
+)
+summary = json.loads(telemetry.read_text().splitlines()[0])
+assert summary["record"] == "summary", summary
+assert summary["queries"] == len(ops), summary
+per_op = summary["per_op"]
+for op in set(ops):
+    row = per_op.get(op)
+    assert row and row["count"] > 0, f"op {op!r} missing from merged telemetry: {per_op}"
+    assert 0 < row["p50_ms"] <= row["max_ms"], (op, row)
+print(f"serve telemetry smoke: {summary['queries']} queries, "
+      f"per-op counts { {op: per_op[op]['count'] for op in sorted(per_op)} }")
+PY
+
 echo "== bench regression check =="
 # Compares fresh timings against the committed baseline AND enforces
 # the cross-workload invariant (campaign_sharded must hold at least

@@ -73,6 +73,10 @@ OPTIONAL_WORKLOAD_KEYS = (
     "point_qps",
     "knn_qps",
     "index_build_s",
+    "point_p50_ms",
+    "point_p99_ms",
+    "knn_p50_ms",
+    "knn_p99_ms",
 )
 
 #: ``--check`` fails when ``campaign_fullnet``'s per-pair wall cost
@@ -94,6 +98,20 @@ PAIR_COST_CEILING_MS = 40.0
 #: that an accidental O(n) scan per query can never pass.
 SERVE_POINT_QPS_FLOOR = 100_000.0
 SERVE_KNN_QPS_FLOOR = 10_000.0
+
+#: ``--check`` ceilings for the ``serve_latency`` workload: per-op
+#: latency quantiles through the full instrumented query path (dict
+#: dispatch + telemetry recording), measured by the telemetry's own
+#: µs-bucketed histograms. These are the SLOs a deployment would page
+#: on, enforced offline. Calibration: on this machine class the
+#: instrumented path answers point queries at p50 ~2 µs / p99 ~7 µs and
+#: k-NN (k=10) at p50 ~10 µs / p99 ~43 µs; ceilings sit at ~15-30x so
+#: loaded-CI jitter passes while an accidental per-query allocation
+#: storm (a 100x miss) cannot.
+SERVE_POINT_P50_CEILING_MS = 0.05
+SERVE_POINT_P99_CEILING_MS = 0.25
+SERVE_KNN_P50_CEILING_MS = 0.15
+SERVE_KNN_P99_CEILING_MS = 0.60
 
 #: Fixed cell-body size for the crypto workload (the Tor relay-cell
 #: payload the acceptance criteria are phrased in terms of).
@@ -382,6 +400,66 @@ def bench_serve_qps(
     return entry
 
 
+def bench_serve_latency(
+    seed: int = 47,
+    relays: int = 1000,
+    hole_fraction: float = 0.1,
+    point_queries: int = 50_000,
+    knn_queries: int = 10_000,
+    knn_k: int = 10,
+) -> dict[str, float]:
+    """Per-query latency quantiles through the instrumented serve path.
+
+    Where :func:`bench_serve_qps` times raw index method calls, this
+    workload goes through :meth:`QueryServer.query` with *live*
+    telemetry — dict dispatch, answer building, and per-op histogram
+    recording included — and reads the p50/p99 off the telemetry's own
+    µs-bucketed histograms, exactly the numbers a production scrape
+    would alert on. :func:`check_serve_latency` pins them under the
+    ``SERVE_*_CEILING_MS`` SLOs.
+    """
+    import numpy as np
+
+    from repro.core.dataset import RttMatrix
+    from repro.serve.index import MatrixIndex
+    from repro.serve.server import QueryServer
+    from repro.serve.telemetry import ServeTelemetry
+
+    rng = np.random.default_rng(seed)
+    nodes = [f"relay{i:04d}" for i in range(relays)]
+    iu, ju = np.triu_indices(relays, k=1)
+    rtts = rng.uniform(2.0, 400.0, size=iu.size)
+    rtts[rng.random(iu.size) < hole_fraction] = np.nan
+    values = np.zeros((relays, relays))
+    values[iu, ju] = rtts
+    values[ju, iu] = rtts
+    index = MatrixIndex.build(RttMatrix.from_array(nodes, values, copy=False))
+
+    telemetry = ServeTelemetry(slow_ms=1.0, sample_every=0)
+    server = QueryServer(index, telemetry=telemetry)
+    pair_ids = rng.integers(0, relays, size=(point_queries, 2))
+    queries = [
+        {"op": "point", "x": nodes[int(i)], "y": nodes[int(j)]}
+        for i, j in pair_ids
+    ]
+    queries += [
+        {"op": "knn", "x": nodes[int(i)], "k": knn_k}
+        for i in rng.integers(0, relays, size=knn_queries)
+    ]
+    query = server.query
+    start = time.perf_counter()
+    for q in queries:
+        query(q)
+    wall = time.perf_counter() - start
+
+    entry = _entry(wall, 0, 0, len(queries) / wall)
+    for op, prefix in (("point", "point"), ("knn", "knn")):
+        hist = telemetry.registry.histogram(f"serve.latency_ms.{op}")
+        entry[f"{prefix}_p50_ms"] = round(hist.quantile(0.5), 6)
+        entry[f"{prefix}_p99_ms"] = round(hist.quantile(0.99), 6)
+    return entry
+
+
 # --- harness -----------------------------------------------------------
 
 
@@ -432,6 +510,7 @@ def run_bench(
             lambda: bench_campaign_fullnet(seed=seed, workers=workers),
         ),
         ("serve_qps", lambda: bench_serve_qps(seed=seed)),
+        ("serve_latency", lambda: bench_serve_latency(seed=seed)),
     ]
     for name, workload in workloads:
         say(f"  {name} ...")
@@ -567,6 +646,42 @@ def check_serve_qps(
             problems.append(
                 f"serve_qps: {key} {rate:,.0f}/s < floor {floor:,.0f}/s — "
                 "a per-query tax has crept into the index hot path"
+            )
+    return problems
+
+
+def check_serve_latency(
+    report: dict[str, dict[str, float]],
+    ceilings: dict[str, float] | None = None,
+) -> list[str]:
+    """Per-op latency SLOs for the instrumented serve workload.
+
+    Absolute ceilings like :func:`check_serve_qps`'s floors — latency
+    quantiles are the contract a deployment alerts on, so the check is
+    baseline-independent. A report without the workload passes
+    (:func:`check_regressions` flags workload-set drift); an entry
+    missing any quantile, or over its ceiling, fails.
+    """
+    if ceilings is None:
+        ceilings = {
+            "point_p50_ms": SERVE_POINT_P50_CEILING_MS,
+            "point_p99_ms": SERVE_POINT_P99_CEILING_MS,
+            "knn_p50_ms": SERVE_KNN_P50_CEILING_MS,
+            "knn_p99_ms": SERVE_KNN_P99_CEILING_MS,
+        }
+    problems: list[str] = []
+    entry = report.get("serve_latency")
+    if entry is None:
+        return problems
+    for key, ceiling in ceilings.items():
+        value = entry.get(key)
+        if value is None:
+            problems.append(f"serve_latency: entry lacks {key}")
+        elif value > ceiling:
+            problems.append(
+                f"serve_latency: {key} {value * 1000:.1f} us > SLO "
+                f"{ceiling * 1000:g} us — the instrumented query path "
+                "is missing its latency contract"
             )
     return problems
 

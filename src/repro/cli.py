@@ -296,6 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = unsharded concurrent campaign)")
     stats.add_argument("--output", type=Path, default=None,
                        help="write the full metrics snapshot as JSON")
+    stats.add_argument("--format", choices=("table", "prom"), default="table",
+                       help="stdout format: human-readable table, or "
+                            "Prometheus text exposition for scraping")
 
     report = sub.add_parser(
         "report", help="fused run report: accuracy, failures, spans, shards"
@@ -427,6 +430,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mmap", action="store_true",
                        help="memory-map the npz matrix so workers share "
                             "one page-cache copy (no effect on JSON)")
+    serve.add_argument("--stats", action="store_true",
+                       help="record query telemetry and print a summary "
+                            "(per-op latency quantiles, error taxonomy, "
+                            "slow-query count) to stderr after answering")
+    serve.add_argument("--slow-ms", type=float, default=1.0,
+                       help="access-log threshold in ms: queries at or "
+                            "above it ring as serve.slow_query events "
+                            "(default 1.0)")
+    serve.add_argument("--telemetry", type=Path, default=None,
+                       help="write recorded telemetry here: a .prom suffix "
+                            "gets Prometheus text exposition, anything "
+                            "else JSONL (summary line, access-log events, "
+                            "sampled spans)")
+    serve.add_argument("--sample-every", type=int, default=100,
+                       help="keep one latency span per N queries "
+                            "(0 disables span sampling; default 100)")
 
     return parser
 
@@ -577,6 +596,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         problems += bench_mod.check_cross_workload(report)
         problems += bench_mod.check_pair_cost(report)
         problems += bench_mod.check_serve_qps(report)
+        problems += bench_mod.check_serve_latency(report)
         if problems:
             print("\nperformance regressions detected:", file=sys.stderr)
             for problem in problems:
@@ -660,6 +680,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
                    f"{budget.degraded_tasks} task(s) degraded")
 
     snapshot = registry.snapshot()
+    if args.format == "prom":
+        from repro.obs.registry import prometheus_exposition
+
+        print(prometheus_exposition(snapshot), end="")
+        if args.output is not None:
+            _write_json_artifact(
+                args.output, json.dumps(snapshot, indent=2),
+                "  metrics snapshot", status,
+            )
+        return 0
     counters = snapshot["counters"]
     print("\ncampaign metrics:")
     for name in (
@@ -1162,6 +1192,45 @@ def _parse_serve_query(tokens: list[str]) -> dict:
     )
 
 
+def _emit_serve_telemetry(args: argparse.Namespace, telemetry,
+                          status: Callable[..., None]) -> None:
+    """Surface recorded serve telemetry: stderr summary and/or a file.
+
+    ``--stats`` prints the human summary on the status channel (stderr,
+    so answer pipelines stay clean); ``--telemetry PATH`` writes the
+    machine view — Prometheus text for ``.prom`` paths, else JSONL with
+    one ``summary`` record followed by the access-log events and the
+    sampled spans.
+    """
+    if not telemetry.enabled:
+        return
+    summary = telemetry.summary()
+    if args.stats:
+        status("\nserve telemetry:")
+        status(f"  queries {summary['queries']}, errors {summary['errors']}, "
+               f"slow {summary['slow_queries']} "
+               f"(>= {summary['slow_ms']:g} ms), "
+               f"spans {summary['sampled_spans']}")
+        for category, count in summary["errors_by_category"].items():
+            status(f"    errors.{category:<14} {count}")
+        for op, row in summary["per_op"].items():
+            status(f"  {op:<11} n={row['count']:<7} "
+                   f"p50={row['p50_ms'] * 1000:.1f}us "
+                   f"p99={row['p99_ms'] * 1000:.1f}us "
+                   f"max={row['max_ms'] * 1000:.1f}us")
+    if args.telemetry is not None:
+        if args.telemetry.suffix == ".prom":
+            args.telemetry.write_text(telemetry.to_prometheus())
+        else:
+            lines = [json.dumps({"record": "summary", **summary})]
+            for event in telemetry.access_log():
+                lines.append(json.dumps({"record": "event", **event}))
+            for span in telemetry.spans.records():
+                lines.append(json.dumps({"record": "span", **span}))
+            args.telemetry.write_text("\n".join(lines) + "\n")
+        status(f"telemetry written to {args.telemetry}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: the read side — query a saved dataset at client rates.
 
@@ -1171,9 +1240,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     positional query, a ``--batch`` JSONL stream (fanned out across
     ``--workers`` forked processes, answers in input order), or
     ``--selftest`` (exit 1 on any mismatch — the CI gate). Answers are
-    JSON on stdout, one object per query.
+    JSON on stdout, one object per query. ``--stats`` / ``--telemetry``
+    opt into query telemetry (merged across batch workers).
     """
-    from repro.serve import MatrixIndex, QueryServer, selftest
+    from repro.serve import (
+        NULL_SERVE_TELEMETRY,
+        MatrixIndex,
+        QueryServer,
+        ServeTelemetry,
+        selftest,
+    )
 
     status = _status(args)
     if not args.input.exists():
@@ -1205,7 +1281,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     status(f"index ready: {len(index)} nodes, {index.measured_pairs} "
            f"measured pairs, version {index.version} "
            f"({(time.perf_counter() - start) * 1000:.0f} ms)")
-    server = QueryServer(index, workers=max(1, args.workers))
+    telemetry = (
+        ServeTelemetry(slow_ms=args.slow_ms, sample_every=args.sample_every)
+        if (args.stats or args.telemetry is not None)
+        else NULL_SERVE_TELEMETRY
+    )
+    server = QueryServer(
+        index, workers=max(1, args.workers), telemetry=telemetry
+    )
 
     if args.batch is not None:
         if str(args.batch) == "-":
@@ -1237,6 +1320,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             else:
                 print(json.dumps(next(results)))
         status(f"{len(queries)} queries answered")
+        _emit_serve_telemetry(args, telemetry, status)
         return 0
 
     if args.query == ["freshness"]:
@@ -1249,6 +1333,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     answer = server.query(query)
     print(json.dumps(answer, indent=2))
+    _emit_serve_telemetry(args, telemetry, status)
     return 0 if "error" not in answer else 1
 
 

@@ -24,6 +24,11 @@ Event categories mirror the measurement stack:
 * ``ting`` — sequential :class:`~repro.core.ting.TingMeasurer` pairs.
 * ``shard`` — campaign/worker lifecycle (one per process; not
   worker-count invariant by construction).
+* ``serve`` — query-layer access log: ``slow_query`` (latency above the
+  configured threshold) and ``query_error`` records from
+  :class:`~repro.serve.telemetry.ServeTelemetry`. Keyed to the query
+  stream, so merged counts are invariant to the ``batch()`` worker
+  count like ``campaign`` events.
 
 The default everywhere is :data:`NULL_EVENTS`, an allocation-free no-op
 bus mirroring :data:`~repro.obs.spans.NULL_SPANS`: hot paths branch on

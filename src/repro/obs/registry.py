@@ -28,6 +28,18 @@ DEFAULT_BUCKET_EDGES_MS: tuple[float, ...] = (
     1_000.0, 2_000.0, 5_000.0, 10_000.0, 30_000.0, 60_000.0, 600_000.0,
 )
 
+#: Microsecond-resolution bucket edges (still in milliseconds), a 1-2-5
+#: exponential ladder from 1 µs to 100 ms plus a 1 s tail. The serve
+#: layer answers point queries in single-digit microseconds — under the
+#: default ms edges every serve latency lands in the first bucket and
+#: ``quantile()`` interpolation degenerates to guessing inside one
+#: bucket. These edges keep the interpolation error under a factor of
+#: ~2.5 anywhere in the µs-to-ms range.
+MICRO_BUCKET_EDGES_MS: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1_000.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram over millisecond observations.
@@ -107,20 +119,30 @@ class Histogram:
         return {f"p{q * 100:g}": self.quantile(q) for q in qs}
 
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-ready view of the histogram state."""
+        """A JSON-ready view of the histogram state.
+
+        Non-default bucket edges ride along under ``"edges"`` so a
+        snapshot shipped across the fork boundary (or to disk) rebuilds
+        with the same resolution it was recorded at — a µs-bucketed
+        serve histogram must never silently widen to ms buckets on
+        :meth:`from_snapshot`.
+        """
         buckets: dict[str, int] = {}
         for edge, bucket in zip(self.edges, self.bucket_counts):
             if bucket:
                 buckets[f"le_{edge:g}"] = bucket
         if self.bucket_counts[-1]:
             buckets["inf"] = self.bucket_counts[-1]
-        return {
+        state: dict[str, Any] = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "buckets": buckets,
         }
+        if self.edges != DEFAULT_BUCKET_EDGES_MS:
+            state["edges"] = list(self.edges)
+        return state
 
     @classmethod
     def from_snapshot(
@@ -128,7 +150,13 @@ class Histogram:
         data: dict[str, Any],
         edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES_MS,
     ) -> "Histogram":
-        """Rebuild a histogram from :meth:`snapshot` output."""
+        """Rebuild a histogram from :meth:`snapshot` output.
+
+        Edges embedded in the snapshot win over the ``edges`` argument,
+        so custom-bucket histograms round-trip losslessly.
+        """
+        if "edges" in data:
+            edges = tuple(float(e) for e in data["edges"])
         histogram = cls(edges)
         histogram.count = int(data["count"])
         histogram.total = float(data["sum"])
@@ -219,6 +247,22 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram()
         histogram.observe(value_ms)
 
+    def ensure_histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES_MS
+    ) -> Histogram:
+        """The named histogram, created with ``edges`` if absent.
+
+        Returns the *live* object so hot paths can hold it and call
+        ``observe`` directly, skipping the per-observation name lookup —
+        the serve telemetry caches one histogram per query op this way.
+        ``edges`` only applies at creation; an existing histogram keeps
+        its own buckets.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(edges)
+        return histogram
+
     def reset(self) -> None:
         """Drop every metric."""
         self._counters.clear()
@@ -253,6 +297,10 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = None) -> str:
         """Serialize :meth:`snapshot` as JSON text."""
         return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self, namespace: str = "ting") -> str:
+        """Serialize :meth:`snapshot` as Prometheus text exposition."""
+        return prometheus_exposition(self.snapshot(), namespace=namespace)
 
     @classmethod
     def from_snapshot(cls, data: dict[str, Any]) -> "MetricsRegistry":
@@ -350,6 +398,14 @@ class NullMetricsRegistry(MetricsRegistry):
     def observe(self, name: str, value_ms: float) -> None:
         pass
 
+    def ensure_histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES_MS
+    ) -> Histogram:
+        """A fresh unstored histogram: callers may observe into it, but
+        nothing is retained — the null registry stays allocation-free
+        after construction and snapshot-empty forever."""
+        return Histogram(edges)
+
     def reset(self) -> None:
         pass
 
@@ -375,3 +431,58 @@ class NullMetricsRegistry(MetricsRegistry):
 
 #: The process-wide no-op registry; instrumented components default to it.
 NULL_METRICS = NullMetricsRegistry()
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in f"{namespace}_{name}"
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def prometheus_exposition(snapshot: dict[str, Any], namespace: str = "ting") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Works on any registry snapshot — serve telemetry, campaign metrics,
+    a snapshot loaded back from disk — so one scrape path serves them
+    all. Mapping:
+
+    * counters → ``<ns>_<name>_total`` (monotonic counter convention);
+    * gauges → ``<ns>_<name>``;
+    * histograms → the standard cumulative triplet:
+      ``_bucket{le="..."}`` rows per edge plus ``le="+Inf"``, then
+      ``_sum`` and ``_count``. Bucket counts are cumulative per the
+      exposition format (our snapshots store per-bucket counts).
+
+    Dots and other non-identifier characters become underscores; output
+    ordering follows the snapshot's (sorted) ordering, so the text is
+    deterministic for a given snapshot.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(namespace, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(namespace, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {float(value):g}")
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = _prom_name(namespace, name)
+        lines.append(f"# TYPE {metric} histogram")
+        edges = tuple(
+            float(e) for e in data.get("edges", DEFAULT_BUCKET_EDGES_MS)
+        )
+        by_label = dict(data.get("buckets", {}))
+        cumulative = 0
+        for edge in edges:
+            cumulative += int(by_label.get(f"le_{edge:g}", 0))
+            lines.append(f'{metric}_bucket{{le="{edge:g}"}} {cumulative}')
+        cumulative += int(by_label.get("inf", 0))
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {float(data.get('sum', 0.0)):g}")
+        lines.append(f"{metric}_count {int(data.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""

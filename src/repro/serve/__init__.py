@@ -8,8 +8,16 @@ measurement rates, through :class:`QueryServer` or the ``repro serve``
 CLI.
 """
 
-from repro.serve.index import MatrixIndex, PointAnswer, ViaAnswer
+from repro.serve.index import MatrixIndex, PointAnswer, UnknownNodeError, ViaAnswer
 from repro.serve.server import QUERY_OPS, QueryServer, selftest
+from repro.serve.telemetry import (
+    NULL_SERVE_TELEMETRY,
+    SERVE_ERROR_TAXONOMY,
+    NullServeTelemetry,
+    ServeTelemetry,
+    UnknownOpError,
+    classify_error,
+)
 
 __all__ = [
     "MatrixIndex",
@@ -18,4 +26,11 @@ __all__ = [
     "QueryServer",
     "QUERY_OPS",
     "selftest",
+    "ServeTelemetry",
+    "NullServeTelemetry",
+    "NULL_SERVE_TELEMETRY",
+    "SERVE_ERROR_TAXONOMY",
+    "UnknownNodeError",
+    "UnknownOpError",
+    "classify_error",
 ]

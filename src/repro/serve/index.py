@@ -47,6 +47,15 @@ from repro.core.dataset import CampaignDataset, RttMatrix
 from repro.util.errors import ConfigurationError, MeasurementError
 
 
+class UnknownNodeError(MeasurementError):
+    """A query named a node the index has never heard of.
+
+    A distinct subclass so the serve telemetry can count it under its
+    own taxonomy bucket (``unknown_node``) — a client typo or a stale
+    node list, not a data problem like "no measured neighbors".
+    """
+
+
 @dataclass(slots=True)
 class PointAnswer:
     """One pair's RTT plus the trust metadata a consumer needs."""
@@ -247,7 +256,7 @@ class MatrixIndex:
         try:
             return self._id[node]
         except KeyError:
-            raise MeasurementError(f"unknown node {node!r}") from None
+            raise UnknownNodeError(f"unknown node {node!r}") from None
 
     def degree(self, node: str) -> int:
         """How many neighbors of ``node`` have measured RTTs."""
@@ -291,7 +300,7 @@ class MatrixIndex:
             i = _id[a]
             j = _id[b]
         except KeyError as exc:
-            raise MeasurementError(f"unknown node {exc.args[0]!r}") from None
+            raise UnknownNodeError(f"unknown node {exc.args[0]!r}") from None
         value = self._rtt[i, j]
         quality, age_rows, stale = self._meta_at(i, j)
         if value != value:  # NaN: unmeasured

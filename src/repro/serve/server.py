@@ -25,6 +25,7 @@ against the planner-smoke dataset.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -32,10 +33,23 @@ import numpy as np
 
 from repro.core.dataset import CampaignDataset
 from repro.serve.index import MatrixIndex
+from repro.serve.telemetry import (
+    NULL_SERVE_TELEMETRY,
+    QUERY_OPS,
+    ServeTelemetry,
+    UnknownOpError,
+    classify_error,
+)
 from repro.util.errors import ConfigurationError, MeasurementError
 
-#: Query ``op`` values :meth:`QueryServer.query` understands.
-QUERY_OPS = ("point", "knn", "percentile", "rank", "path", "via")
+
+def _error_answer(query: dict[str, Any], exc: Exception) -> dict[str, Any]:
+    """The error wire format: echoed op, message, taxonomy category."""
+    return {
+        "op": query.get("op"),
+        "error": str(exc) or exc.__class__.__name__,
+        "category": classify_error(exc),
+    }
 
 
 class QueryServer:
@@ -45,27 +59,51 @@ class QueryServer:
     inline (no forks). Each answer dict echoes the query's ``op`` and
     carries the dataset ``version`` the answer was served from, so a
     client can detect a refresh between two answers.
+
+    ``telemetry`` defaults to the no-op
+    :data:`~repro.serve.telemetry.NULL_SERVE_TELEMETRY`; pass a live
+    :class:`~repro.serve.telemetry.ServeTelemetry` to get per-op
+    latency histograms, taxonomy-keyed error counters, the slow-query
+    access log, and sampled spans — merged across :meth:`batch` workers
+    invariantly to the fan-out.
     """
 
-    def __init__(self, index: MatrixIndex, workers: int = 1) -> None:
+    def __init__(
+        self,
+        index: MatrixIndex,
+        workers: int = 1,
+        telemetry: ServeTelemetry = NULL_SERVE_TELEMETRY,
+    ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         self.index = index
         self.workers = workers
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
 
     def query(self, query: dict[str, Any]) -> dict[str, Any]:
-        """Answer one query dict; errors come back as ``{"error": ...}``
-        rather than raising, so one bad query cannot poison a batch."""
+        """Answer one query dict; errors come back as ``{"error": ...,
+        "category": <taxonomy>}`` rather than raising, so one bad query
+        cannot poison a batch."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            try:
+                return self._dispatch(query)
+            except Exception as exc:  # noqa: BLE001 — answer, don't poison
+                return _error_answer(query, exc)
+        start_s = telemetry.timer()
         try:
-            return self._dispatch(query)
-        except (MeasurementError, ConfigurationError, KeyError, TypeError,
-                ValueError) as exc:
-            return {
-                "op": query.get("op"),
-                "error": str(exc) or exc.__class__.__name__,
-            }
+            answer = self._dispatch(query)
+        except Exception as exc:  # noqa: BLE001
+            answer = _error_answer(query, exc)
+            telemetry.record(
+                query.get("op"), start_s, telemetry.timer(),
+                category=answer["category"], detail=answer["error"],
+            )
+            return answer
+        telemetry.record(query.get("op"), start_s, telemetry.timer())
+        return answer
 
     def _dispatch(self, query: dict[str, Any]) -> dict[str, Any]:
         op = query.get("op")
@@ -108,7 +146,7 @@ class QueryServer:
                 ],
             }
         else:
-            raise ConfigurationError(
+            raise UnknownOpError(
                 f"unknown op {op!r}; expected one of {QUERY_OPS}"
             )
         answer["op"] = op
@@ -129,6 +167,17 @@ class QueryServer:
         in a forked child, and reassembled by slice position — results
         are identical to an inline run for any worker count. Forking
         costs ~ms, so small batches run inline regardless.
+
+        With live telemetry, each worker records into a fresh
+        same-config recorder (span sampling offset by its slice start)
+        and ships the snapshot home with its answers; the parent folds
+        them in worker order, so merged counters and histogram buckets
+        equal the inline run's exactly.
+
+        A worker that dies before shipping its slice (kill -9, OOM) is
+        detected by polling ``exitcode`` under a bounded queue timeout
+        and raised as a categorized :class:`MeasurementError` — the
+        collection loop can never block forever on a dead child.
         """
         queries = list(queries)
         n_workers = self.workers if workers is None else workers
@@ -136,52 +185,114 @@ class QueryServer:
             raise ConfigurationError("workers must be >= 1")
         n_workers = min(n_workers, len(queries))
         if n_workers <= 1 or len(queries) < 2:
-            return [self.query(q) for q in queries]
+            return self._batch_inline(queries)
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: inline fallback
-            return [self.query(q) for q in queries]
+            return self._batch_inline(queries)
 
+        telemetry = self.telemetry
         bounds = np.linspace(0, len(queries), n_workers + 1).astype(int)
         channel = ctx.Queue()
         procs = []
         for w in range(n_workers):
             lo, hi = int(bounds[w]), int(bounds[w + 1])
+            worker_telemetry = (
+                telemetry.worker_copy(sample_offset=lo, shard=w)
+                if telemetry.enabled else None
+            )
             proc = ctx.Process(
                 target=_batch_worker,
-                args=(channel, self, queries[lo:hi], w),
+                args=(channel, self, queries[lo:hi], w, worker_telemetry),
                 daemon=True,
             )
             procs.append(proc)
             proc.start()
         slices: dict[int, list[dict[str, Any]]] = {}
+        snaps: dict[int, dict[str, Any]] = {}
+
+        def absorb(message: tuple[str, int, Any, Any]) -> None:
+            kind, w, payload, snap = message
+            if kind == "error":
+                raise MeasurementError(f"serve worker {w} failed: {payload}")
+            slices[w] = payload
+            if snap is not None:
+                snaps[w] = snap
+
         try:
             while len(slices) < n_workers:
-                kind, w, payload = channel.get()
-                if kind == "error":
+                try:
+                    absorb(channel.get(timeout=0.25))
+                    continue
+                except queue_module.Empty:
+                    pass
+                dead = [
+                    w for w, proc in enumerate(procs)
+                    if proc.exitcode is not None and w not in slices
+                ]
+                if not dead:
+                    continue
+                # A worker may exit cleanly with its message still in
+                # the feeder-thread pipe: one grace drain before the
+                # death is declared real.
+                try:
+                    while len(slices) < n_workers:
+                        absorb(channel.get(timeout=1.0))
+                except queue_module.Empty:
+                    pass
+                lost = [w for w in dead if w not in slices]
+                if lost:
+                    w = lost[0]
                     raise MeasurementError(
-                        f"serve worker {w} failed: {payload}"
+                        f"serve worker {w} died (exit "
+                        f"{procs[w].exitcode}) before shipping its slice"
                     )
-                slices[w] = payload
         finally:
             for proc in procs:
                 proc.join(timeout=5.0)
                 if proc.is_alive():
                     proc.terminate()
+        if telemetry.enabled:
+            for w in range(n_workers):
+                snap = snaps.get(w)
+                if snap is not None:
+                    telemetry.merge_snapshot(snap, shard=w)
+            telemetry._sync_counters()
         out: list[dict[str, Any]] = []
         for w in range(n_workers):
             out.extend(slices[w])
         return out
 
+    def _batch_inline(self, queries: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Answer in-process; sync tallies so the registry state after
+        an inline batch matches a forked one exactly."""
+        out = [self.query(q) for q in queries]
+        if self.telemetry.enabled:
+            self.telemetry._sync_counters()
+        return out
+
 
 def _batch_worker(
-    channel: Any, server: QueryServer, queries: list[dict[str, Any]], w: int
+    channel: Any,
+    server: QueryServer,
+    queries: list[dict[str, Any]],
+    w: int,
+    telemetry: ServeTelemetry | None = None,
 ) -> None:
-    """Forked child: answer one contiguous slice, ship it home whole."""
+    """Forked child: answer one contiguous slice, ship it home whole.
+
+    With telemetry, the child answers through its own recorder (built
+    pre-fork by the parent, slice-offset sampling wired in) and ships
+    the snapshot alongside the answers.
+    """
     try:
-        channel.put(("ok", w, [server.query(q) for q in queries]))
+        if telemetry is not None:
+            server = QueryServer(server.index, telemetry=telemetry)
+        answers = [server.query(q) for q in queries]
+        snap = telemetry.snapshot() if telemetry is not None else None
+        channel.put(("ok", w, answers, snap))
     except BaseException as exc:  # noqa: BLE001 — report, then die
-        channel.put(("error", w, f"{exc.__class__.__name__}: {exc}"))
+        channel.put(("error", w, f"{exc.__class__.__name__}: {exc}", None))
 
 
 # ----------------------------------------------------------------------

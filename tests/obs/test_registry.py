@@ -11,6 +11,7 @@ from repro.obs import (
     NULL_METRICS,
     NullMetricsRegistry,
 )
+from repro.obs.registry import MICRO_BUCKET_EDGES_MS, prometheus_exposition
 
 
 class TestHistogram:
@@ -88,6 +89,126 @@ class TestHistogram:
         # 600 s probe deadline; the default buckets must cover that span.
         assert DEFAULT_BUCKET_EDGES_MS[0] <= 1.0
         assert DEFAULT_BUCKET_EDGES_MS[-1] >= 600_000.0
+
+
+class TestConfigurableEdges:
+    def test_micro_edges_cover_the_serve_latency_span(self):
+        # Point lookups answer in single-digit µs; the ladder must
+        # resolve them (µs-scale first edge) while still bounding the
+        # slowest batched scan (1 s final edge).
+        assert MICRO_BUCKET_EDGES_MS[0] <= 0.001
+        assert MICRO_BUCKET_EDGES_MS[-1] >= 1_000.0
+        assert list(MICRO_BUCKET_EDGES_MS) == sorted(MICRO_BUCKET_EDGES_MS)
+
+    def test_microsecond_quantiles_resolve_where_defaults_flatten(self):
+        # 1000 samples spread over 1–50 µs: the µs ladder must place
+        # p50 within bucket resolution; the default ms ladder collapses
+        # the entire population into its first bucket.
+        values = [0.001 + 0.049 * i / 999 for i in range(1000)]  # ms
+        micro = Histogram(edges=MICRO_BUCKET_EDGES_MS)
+        default = Histogram()
+        for v in values:
+            micro.observe(v)
+            default.observe(v)
+        true_p50 = values[500]
+        # Within the enclosing bucket (0.02, 0.05] — a 2.5x spread,
+        # versus the default ladder's first bucket spanning 0–1 ms.
+        assert 0.02 <= micro.quantile(0.5) <= 0.05
+        assert abs(micro.quantile(0.5) - true_p50) < 0.03
+        assert default.bucket_counts[0] == 1000  # all flattened
+
+    def test_microsecond_p99_upper_bounded_by_bucket(self):
+        micro = Histogram(edges=MICRO_BUCKET_EDGES_MS)
+        for _ in range(99):
+            micro.observe(0.003)   # 3 µs
+        micro.observe(0.040)       # one 40 µs straggler
+        p99 = micro.quantile(0.99)
+        assert 0.002 < p99 <= 0.05
+        assert micro.quantile(1.0) == 0.040  # true max, not a bucket edge
+
+    def test_custom_edges_survive_snapshot_roundtrip(self):
+        histogram = Histogram(edges=MICRO_BUCKET_EDGES_MS)
+        for v in (0.0004, 0.003, 0.7, 900.0):
+            histogram.observe(v)
+        snap = histogram.snapshot()
+        assert snap["edges"] == list(MICRO_BUCKET_EDGES_MS)
+        restored = Histogram.from_snapshot(snap)
+        assert restored.edges == MICRO_BUCKET_EDGES_MS
+        assert restored.bucket_counts == histogram.bucket_counts
+        assert restored.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_default_edges_stay_implicit_in_snapshots(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        assert "edges" not in histogram.snapshot()
+
+    def test_ensure_histogram_creates_then_returns_live(self):
+        registry = MetricsRegistry()
+        first = registry.ensure_histogram("serve.lat", MICRO_BUCKET_EDGES_MS)
+        first.observe(0.002)
+        again = registry.ensure_histogram("serve.lat", MICRO_BUCKET_EDGES_MS)
+        assert again is first
+        assert registry.histogram("serve.lat").count == 1
+
+    def test_custom_edge_registries_merge_bucket_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, value in ((a, 0.002), (b, 0.004)):
+            registry.ensure_histogram("lat", MICRO_BUCKET_EDGES_MS).observe(value)
+        a.merge(MetricsRegistry.from_snapshot(b.snapshot()))
+        merged = a.histogram("lat")
+        assert merged.count == 2
+        assert merged.edges == MICRO_BUCKET_EDGES_MS
+        assert sum(merged.bucket_counts) == 2
+
+
+class TestPrometheusExposition:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.queries", 7)
+        registry.set_gauge("campaign.peak", 3.5)
+        hist = registry.ensure_histogram("lat.ms", (1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        return registry
+
+    def test_counters_get_total_suffix(self):
+        text = self.build_registry().to_prometheus()
+        assert "ting_serve_queries_total 7" in text
+
+    def test_gauges_plain(self):
+        text = self.build_registry().to_prometheus()
+        assert "ting_campaign_peak 3.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self.build_registry().to_prometheus()
+        assert 'ting_lat_ms_bucket{le="1"} 1' in text
+        assert 'ting_lat_ms_bucket{le="10"} 2' in text
+        assert 'ting_lat_ms_bucket{le="+Inf"} 3' in text
+        assert "ting_lat_ms_count 3" in text
+        assert "ting_lat_ms_sum 55.5" in text
+
+    def test_namespace_and_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.errors.bad-arg")
+        text = registry.to_prometheus(namespace="tor")
+        assert "tor_serve_errors_bad_arg_total 1" in text
+
+    def test_empty_registry_exports_empty_text(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_exposition_from_plain_snapshot(self):
+        snapshot = self.build_registry().snapshot()
+        assert prometheus_exposition(snapshot) \
+            == self.build_registry().to_prometheus()
+
+    def test_output_is_deterministically_ordered(self):
+        registry = MetricsRegistry()
+        registry.inc("b.second")
+        registry.inc("a.first")
+        lines = registry.to_prometheus().splitlines()
+        assert lines.index("ting_a_first_total 1") \
+            < lines.index("ting_b_second_total 1")
 
 
 class TestMetricsRegistry:

@@ -1,11 +1,21 @@
 """QueryServer dispatch, fork invariance, and mmap bit-identity."""
 
+import itertools
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.dataset import CampaignDataset, RttMatrix
-from repro.serve import QUERY_OPS, MatrixIndex, QueryServer, selftest
-from repro.util.errors import ConfigurationError
+from repro.obs import categorize_failure
+from repro.serve import (
+    QUERY_OPS,
+    MatrixIndex,
+    QueryServer,
+    ServeTelemetry,
+    selftest,
+)
+from repro.util.errors import ConfigurationError, MeasurementError
 
 
 def random_matrix(n=20, density=1.0, seed=0):
@@ -100,6 +110,150 @@ class TestDispatch:
             QueryServer(server.index, workers=0)
         with pytest.raises(ConfigurationError):
             server.batch([], workers=0)
+
+
+class TestErrorTaxonomy:
+    """Every dispatch error path answers with its taxonomy category."""
+
+    @pytest.mark.parametrize("query, category", [
+        ({"op": "teleport"}, "unknown_op"),
+        ({}, "unknown_op"),
+        ({"op": "point", "x": "ghost", "y": "N000"}, "unknown_node"),
+        ({"op": "knn", "x": "ghost", "k": 3}, "unknown_node"),
+        ({"op": "knn", "x": "N000", "k": 0}, "bad_arg"),
+        ({"op": "knn", "x": "N000", "k": "lots"}, "bad_arg"),
+        ({"op": "percentile", "x": "N000", "q": 150.0}, "bad_arg"),
+        ({"op": "point", "x": "N000"}, "bad_arg"),          # missing y
+        ({"op": "path"}, "bad_arg"),                        # missing hops
+        ({"op": "path", "hops": 12}, "bad_arg"),            # not iterable
+        ({"op": "path", "hops": ["N000"]}, "bad_arg"),      # one hop
+        ({"op": "rank", "x": "N000"}, "bad_arg"),           # missing rtt_ms
+        ({"op": "via", "x": "N000", "y": "N000"}, "bad_arg"),
+    ])
+    def test_category(self, server, query, category):
+        answer = server.query(query)
+        assert answer["error"]
+        assert answer["category"] == category
+
+    def test_internal_for_data_states_the_client_did_not_cause(self):
+        # An isolated node (all-NaN row) is valid input against bad
+        # data: that is the bucket an operator should page on.
+        matrix, values = random_matrix(n=8, density=1.0, seed=2)
+        values[3, :] = np.nan
+        values[:, 3] = np.nan
+        isolated = RttMatrix.from_array([f"N{i:03d}" for i in range(8)], values)
+        server = QueryServer(MatrixIndex.build(isolated))
+        answer = server.query({"op": "percentile", "x": "N003", "q": 50.0})
+        assert answer["category"] == "internal"
+
+    def test_batch_error_records_stay_in_input_order(self, server):
+        nodes = server.index.nodes
+        queries = []
+        expect = []
+        for i in range(24):
+            if i % 4 == 1:
+                queries.append({"op": "teleport", "i": i})
+                expect.append("unknown_op")
+            elif i % 4 == 3:
+                queries.append({"op": "knn", "x": nodes[i % len(nodes)], "k": 0})
+                expect.append("bad_arg")
+            else:
+                queries.append({
+                    "op": "point",
+                    "x": nodes[i % len(nodes)],
+                    "y": nodes[(i + 1) % len(nodes)],
+                })
+                expect.append(None)
+        for workers in (1, 3):
+            answers = server.batch(queries, workers=workers)
+            assert [a.get("category") for a in answers] == expect
+
+
+class TestDeadWorker:
+    def test_dead_worker_raises_categorized_error_not_hang(
+        self, server, monkeypatch
+    ):
+        from repro.serve import server as server_mod
+
+        real = server_mod._batch_worker
+
+        def dying(channel, srv, queries, w, telemetry=None):
+            if w == 0:
+                os._exit(17)  # dies before putting its slice
+            real(channel, srv, queries, w, telemetry)
+
+        monkeypatch.setattr(server_mod, "_batch_worker", dying)
+        queries = mixed_queries(server.index.nodes, count=12)
+        with pytest.raises(MeasurementError, match=r"died \(exit 17\)"):
+            server.batch(queries, workers=3)
+
+    def test_death_categorizes_as_shard_failure(self, server, monkeypatch):
+        from repro.serve import server as server_mod
+
+        monkeypatch.setattr(
+            server_mod, "_batch_worker",
+            lambda channel, srv, queries, w, telemetry=None: os._exit(9),
+        )
+        queries = mixed_queries(server.index.nodes, count=8)
+        with pytest.raises(MeasurementError) as err:
+            server.batch(queries, workers=2)
+        assert categorize_failure(str(err.value)) == "shard"
+
+    def test_worker_exception_still_reported_as_failure(
+        self, server, monkeypatch
+    ):
+        from repro.serve import server as server_mod
+
+        def broken(channel, srv, queries, w, telemetry=None):
+            channel.put(("error", w, "ValueError: boom", None))
+
+        monkeypatch.setattr(server_mod, "_batch_worker", broken)
+        with pytest.raises(MeasurementError, match="failed"):
+            server.batch(mixed_queries(server.index.nodes, count=6), workers=2)
+
+
+class TestTelemetryMergeInvariance:
+    """The acceptance criterion: merged telemetry is bit-identical for
+    any batch() fan-out."""
+
+    def constant_delta_timer(self):
+        # 0.0, 0.5, 1.0, ... — every query lasts exactly 500 ms, so
+        # histogram sums are exact floats and snapshots compare with ==.
+        counter = itertools.count()
+        return lambda: next(counter) * 0.5
+
+    def run_batch(self, server, queries, workers):
+        telemetry = ServeTelemetry(
+            slow_ms=1e9, sample_every=5, timer=self.constant_delta_timer()
+        )
+        instrumented = QueryServer(server.index, telemetry=telemetry)
+        answers = instrumented.batch(queries, workers=workers)
+        return answers, telemetry
+
+    def test_snapshots_identical_across_worker_counts(self, server):
+        nodes = server.index.nodes
+        queries = mixed_queries(nodes, count=30)
+        queries[7] = {"op": "teleport"}              # one taxonomy error
+        queries[19] = {"op": "knn", "x": nodes[0], "k": 0}
+
+        baseline_answers, baseline = self.run_batch(server, queries, workers=1)
+        for workers in (2, 4):
+            answers, telemetry = self.run_batch(server, queries, workers=workers)
+            assert answers == baseline_answers
+            # Counter-exact and histogram-bucket-exact, not approximate.
+            assert telemetry.registry.snapshot() == baseline.registry.snapshot()
+            assert telemetry.summary() == baseline.summary()
+            assert (
+                sorted(r["args"]["sample_index"] for r in telemetry.spans.records())
+                == sorted(r["args"]["sample_index"] for r in baseline.spans.records())
+            )
+
+    def test_access_log_merge_counts_match_inline(self, server):
+        queries = [{"op": "teleport", "i": i} for i in range(12)]
+        _, inline = self.run_batch(server, queries, workers=1)
+        _, forked = self.run_batch(server, queries, workers=3)
+        assert forked.bus.emitted == inline.bus.emitted == 12
+        assert len(forked.access_log()) == len(inline.access_log())
 
 
 class TestForkInvariance:

@@ -1,0 +1,242 @@
+"""ServeTelemetry: recording, taxonomy, sampling, merge, null default."""
+
+import itertools
+
+import pytest
+
+from repro.obs.registry import MICRO_BUCKET_EDGES_MS
+from repro.serve import (
+    NULL_SERVE_TELEMETRY,
+    QUERY_OPS,
+    SERVE_ERROR_TAXONOMY,
+    NullServeTelemetry,
+    ServeTelemetry,
+    UnknownNodeError,
+    UnknownOpError,
+    classify_error,
+)
+from repro.util.errors import ConfigurationError, MeasurementError
+
+
+def fake_timer(step=0.5):
+    """A deterministic clock: 0.0, step, 2*step, ... per call."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestClassifyError:
+    def test_taxonomy_is_stable(self):
+        assert SERVE_ERROR_TAXONOMY == (
+            "unknown_op", "unknown_node", "bad_arg", "internal"
+        )
+
+    @pytest.mark.parametrize("exc, category", [
+        (UnknownOpError("teleport"), "unknown_op"),
+        (UnknownNodeError("ghost"), "unknown_node"),
+        (ConfigurationError("k must be >= 1"), "bad_arg"),
+        (KeyError("hops"), "bad_arg"),
+        (TypeError("not iterable"), "bad_arg"),
+        (ValueError("bad float"), "bad_arg"),
+        (MeasurementError("no measured neighbors"), "internal"),
+        (RuntimeError("bug"), "internal"),
+    ])
+    def test_mapping(self, exc, category):
+        assert classify_error(exc) == category
+
+    def test_every_category_reachable(self):
+        exceptions = [
+            UnknownOpError("x"), UnknownNodeError("x"),
+            KeyError("x"), RuntimeError("x"),
+        ]
+        assert sorted({classify_error(e) for e in exceptions}) == sorted(
+            SERVE_ERROR_TAXONOMY
+        )
+
+
+class TestRecording:
+    def test_success_lands_in_per_op_histogram(self):
+        telemetry = ServeTelemetry(sample_every=0)
+        telemetry.record("point", 1.0, 1.002)
+        hist = telemetry.registry.histogram("serve.latency_ms.point")
+        assert hist.count == 1
+        assert hist.max == pytest.approx(2.0)
+
+    def test_every_query_op_has_a_preminted_histogram(self):
+        telemetry = ServeTelemetry()
+        for op in QUERY_OPS:
+            assert telemetry.registry.histogram(f"serve.latency_ms.{op}") is not None
+
+    def test_histograms_use_microsecond_edges(self):
+        telemetry = ServeTelemetry()
+        hist = telemetry.registry.histogram("serve.latency_ms.point")
+        assert hist.edges == MICRO_BUCKET_EDGES_MS
+
+    def test_unknown_op_strings_mint_no_metrics(self):
+        telemetry = ServeTelemetry(sample_every=0)
+        telemetry.record("x" * 64, 0.0, 0.001, category="unknown_op")
+        names = set(telemetry.registry.snapshot()["histograms"])
+        assert names == {f"serve.latency_ms.{op}" for op in QUERY_OPS}
+
+    def test_error_counts_taxonomy_and_logs_event(self):
+        telemetry = ServeTelemetry(sample_every=0)
+        telemetry.record("knn", 0.0, 0.001,
+                         category="bad_arg", detail="k must be >= 1")
+        registry = telemetry.registry
+        assert registry.counter("serve.errors") == 1
+        assert registry.counter("serve.errors.bad_arg") == 1
+        (event,) = telemetry.access_log()
+        assert event["kind"] == "query_error"
+        assert event["taxonomy"] == "bad_arg"
+        assert event["error"] == "k must be >= 1"
+
+    def test_slow_query_rings_an_event(self):
+        telemetry = ServeTelemetry(slow_ms=1.0, sample_every=0)
+        telemetry.record("point", 0.0, 0.0005)   # 0.5 ms: under threshold
+        telemetry.record("via", 0.0, 0.003)      # 3 ms: slow
+        assert telemetry.registry.counter("serve.slow_queries") == 1
+        (event,) = telemetry.access_log()
+        assert event["kind"] == "slow_query"
+        assert event["op"] == "via"
+        assert event["dur_ms"] == pytest.approx(3.0)
+        assert event["threshold_ms"] == 1.0
+
+    def test_summary_totals_and_quantiles(self):
+        telemetry = ServeTelemetry(slow_ms=1e9, sample_every=0,
+                                   timer=fake_timer())
+        for _ in range(4):
+            telemetry.record("point", 0.0, 0.002)
+        telemetry.record("nope", 0.0, 0.001, category="unknown_op")
+        summary = telemetry.summary()
+        assert summary["queries"] == 5
+        assert summary["errors"] == 1
+        assert summary["errors_by_category"] == {"unknown_op": 1}
+        assert summary["per_op"]["point"]["count"] == 4
+        assert summary["per_op"]["point"]["p50_ms"] == pytest.approx(2.0)
+        assert "knn" not in summary["per_op"]  # zero-count ops elided
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeTelemetry(slow_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ServeTelemetry(sample_every=-1)
+
+
+class TestSampling:
+    def test_one_in_n_by_batch_position(self):
+        telemetry = ServeTelemetry(sample_every=3, slow_ms=1e9)
+        for _ in range(7):
+            telemetry.record("point", 0.0, 0.001)
+        indices = [r["args"]["sample_index"] for r in telemetry.spans.records()]
+        assert indices == [0, 3, 6]
+
+    def test_offset_shifts_the_lattice(self):
+        # A worker answering queries[5:] samples the same global
+        # positions the inline run would: 6, 9, ...
+        telemetry = ServeTelemetry(sample_every=3, slow_ms=1e9, sample_offset=5)
+        for _ in range(5):
+            telemetry.record("point", 0.0, 0.001)
+        indices = [r["args"]["sample_index"] for r in telemetry.spans.records()]
+        assert indices == [6, 9]
+
+    def test_zero_disables_spans(self):
+        telemetry = ServeTelemetry(sample_every=0, slow_ms=1e9)
+        for _ in range(10):
+            telemetry.record("point", 0.0, 0.001)
+        assert len(telemetry.spans) == 0
+
+
+class TestForkBoundary:
+    def test_worker_copy_inherits_config(self):
+        telemetry = ServeTelemetry(slow_ms=7.0, sample_every=12,
+                                   capacity=64, timer=fake_timer())
+        worker = telemetry.worker_copy(sample_offset=40, shard=3)
+        assert worker is not telemetry
+        assert worker.slow_ms == 7.0
+        assert worker.sample_every == 12
+        assert worker.bus.recorder.capacity == 64
+        assert worker.timer is telemetry.timer
+        assert worker.shard == 3
+        assert worker._sample_offset == 40
+
+    def test_merge_sums_counters_histograms_and_seen(self):
+        parent = ServeTelemetry(slow_ms=1e9, sample_every=0)
+        parent.record("point", 0.0, 0.001)
+        workers = []
+        for shard in (0, 1):
+            worker = parent.worker_copy(shard=shard)
+            worker.record("point", 0.0, 0.001)
+            worker.record("bogus", 0.0, 0.001,
+                          category="unknown_op", detail="bogus")
+            workers.append(worker)
+        for shard, worker in enumerate(workers):
+            parent.merge_snapshot(worker.snapshot(), shard=shard)
+        summary = parent.summary()
+        assert summary["queries"] == 5
+        assert summary["errors"] == 2
+        assert summary["per_op"]["point"]["count"] == 3
+        assert parent.registry.counter("serve.queries") == 5
+
+    def test_merged_events_retagged_with_shard(self):
+        parent = ServeTelemetry(slow_ms=0.0, sample_every=0)
+        worker = parent.worker_copy(shard=2)
+        worker.record("point", 0.0, 0.001)   # slow_ms=0: everything rings
+        parent.merge_snapshot(worker.snapshot(), shard=2)
+        (event,) = parent.access_log()
+        assert event["shard"] == 2
+
+    def test_snapshot_is_picklable_plain_data(self):
+        import pickle
+
+        telemetry = ServeTelemetry(slow_ms=0.0, sample_every=1)
+        telemetry.record("point", 0.0, 0.001)
+        snap = telemetry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_sync_counters_is_idempotent(self):
+        telemetry = ServeTelemetry(slow_ms=1e9, sample_every=0)
+        telemetry.record("point", 0.0, 0.001)
+        first = telemetry.snapshot()["metrics"]
+        again = telemetry.snapshot()["metrics"]
+        assert first == again
+        assert first["counters"]["serve.queries"] == 1
+
+
+class TestPrometheus:
+    def test_exposition_covers_counters_and_histograms(self):
+        telemetry = ServeTelemetry(slow_ms=1e9, sample_every=0)
+        telemetry.record("point", 0.0, 0.001)
+        telemetry.record("nope", 0.0, 0.001, category="unknown_op")
+        text = telemetry.to_prometheus()
+        assert "ting_serve_queries_total 2" in text
+        assert "ting_serve_errors_unknown_op_total 1" in text
+        assert 'ting_serve_latency_ms_point_bucket{le="+Inf"} 1' in text
+        assert "ting_serve_latency_ms_point_count 1" in text
+
+
+class TestNullServeTelemetry:
+    def test_disabled_and_inert(self):
+        assert NULL_SERVE_TELEMETRY.enabled is False
+        NULL_SERVE_TELEMETRY.record("point", 0.0, 1.0)
+        NULL_SERVE_TELEMETRY.record("point", 0.0, 1.0, category="bad_arg")
+        assert NULL_SERVE_TELEMETRY.summary()["queries"] == 0
+        assert NULL_SERVE_TELEMETRY.access_log() == []
+        assert NULL_SERVE_TELEMETRY.spans.records() == []
+
+    def test_worker_copy_returns_self(self):
+        assert NULL_SERVE_TELEMETRY.worker_copy(sample_offset=9, shard=1) \
+            is NULL_SERVE_TELEMETRY
+
+    def test_merge_is_a_noop(self):
+        live = ServeTelemetry(sample_every=0)
+        live.record("point", 0.0, 0.001)
+        NULL_SERVE_TELEMETRY.merge_snapshot(live.snapshot())
+        assert NULL_SERVE_TELEMETRY.summary()["queries"] == 0
+
+    def test_is_the_query_server_default(self):
+        from repro.serve.server import QueryServer
+
+        assert QueryServer.__init__.__defaults__[-1] is NULL_SERVE_TELEMETRY
+
+    def test_fresh_instances_share_nothing_mutable(self):
+        assert isinstance(NullServeTelemetry(), NullServeTelemetry)
+        assert NullServeTelemetry().snapshot() == NULL_SERVE_TELEMETRY.snapshot()

@@ -205,6 +205,68 @@ class TestCheckServeQps:
         assert entry["throughput"] == entry["point_qps"]
 
 
+class TestCheckServeLatency:
+    """The p50/p99 latency SLO ceilings on the serve_latency workload."""
+
+    def _latency_report(self, point_p50, point_p99, knn_p50, knn_p99):
+        report = _fake_report(serve_latency=1.0)
+        report["serve_latency"].update(
+            point_p50_ms=point_p50, point_p99_ms=point_p99,
+            knn_p50_ms=knn_p50, knn_p99_ms=knn_p99,
+        )
+        return report
+
+    def _good(self):
+        return self._latency_report(
+            bench.SERVE_POINT_P50_CEILING_MS / 2,
+            bench.SERVE_POINT_P99_CEILING_MS / 2,
+            bench.SERVE_KNN_P50_CEILING_MS / 2,
+            bench.SERVE_KNN_P99_CEILING_MS / 2,
+        )
+
+    def test_absent_workload_passes(self):
+        assert bench.check_serve_latency(_fake_report(a=1.0)) == []
+
+    def test_under_ceilings_passes(self):
+        assert bench.check_serve_latency(self._good()) == []
+
+    @pytest.mark.parametrize("key, ceiling", [
+        ("point_p50_ms", "SERVE_POINT_P50_CEILING_MS"),
+        ("point_p99_ms", "SERVE_POINT_P99_CEILING_MS"),
+        ("knn_p50_ms", "SERVE_KNN_P50_CEILING_MS"),
+        ("knn_p99_ms", "SERVE_KNN_P99_CEILING_MS"),
+    ])
+    def test_each_blown_slo_flagged(self, key, ceiling):
+        report = self._good()
+        report["serve_latency"][key] = getattr(bench, ceiling) * 2
+        problems = bench.check_serve_latency(report)
+        assert len(problems) == 1
+        assert key in problems[0]
+
+    def test_missing_metrics_flagged(self):
+        problems = bench.check_serve_latency(_fake_report(serve_latency=1.0))
+        assert len(problems) == 4
+
+    def test_custom_ceilings(self):
+        report = self._latency_report(0.5, 0.5, 0.5, 0.5)
+        loose = {k: 1.0 for k in (
+            "point_p50_ms", "point_p99_ms", "knn_p50_ms", "knn_p99_ms")}
+        assert bench.check_serve_latency(report, ceilings=loose) == []
+
+    def test_workload_runs_and_satisfies_slos(self):
+        # A scaled-down live run against the real ceilings: quantiles
+        # come from the µs telemetry histograms, so this also proves the
+        # instrumented query path itself meets the latency contract.
+        entry = bench.bench_serve_latency(
+            relays=150, point_queries=10_000, knn_queries=2_000
+        )
+        assert set(bench.WORKLOAD_KEYS) <= set(entry)
+        assert 0 < entry["point_p50_ms"] <= entry["point_p99_ms"]
+        assert 0 < entry["knn_p50_ms"] <= entry["knn_p99_ms"]
+        report = {"serve_latency": entry}
+        assert bench.check_serve_latency(report) == []
+
+
 class TestBenchCommand:
     @pytest.fixture
     def tiny_report(self, monkeypatch):
@@ -284,6 +346,7 @@ class TestBenchCommand:
             "campaign_sharded",
             "cell_crypto",
             "engine_events",
+            "serve_latency",
             "serve_qps",
             "ting_single_pair",
         ]
@@ -306,6 +369,12 @@ class TestBenchCommand:
         assert serve["knn_qps"] >= bench.SERVE_KNN_QPS_FLOOR
         assert 0 < serve["index_build_s"] < 1.0
         assert bench.check_serve_qps(report) == []
+        # The telemetry-driven latency workload must carry (and satisfy)
+        # the p50/p99 SLO ceilings bench --check enforces.
+        latency = report["serve_latency"]
+        assert 0 < latency["point_p50_ms"] <= latency["point_p99_ms"]
+        assert 0 < latency["knn_p50_ms"] <= latency["knn_p99_ms"]
+        assert bench.check_serve_latency(report) == []
 
     def test_committed_baseline_sharding_beats_parallel(self):
         # The acceptance bar for shard engine v2: the committed baseline

@@ -815,3 +815,132 @@ class TestServeCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert "not found" in captured.err
+
+
+class TestServeTelemetryCli:
+    def _dataset_path(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        _synthetic_dataset().save(path)
+        return path
+
+    def _batch_path(self, tmp_path):
+        import json as json_mod
+
+        batch = tmp_path / "queries.jsonl"
+        queries = [
+            {"op": "point", "x": "N00", "y": "N01"},
+            {"op": "knn", "x": "N02", "k": 2},
+            {"op": "percentile", "x": "N03", "q": 50.0},
+            {"op": "teleport"},
+            {"op": "via", "x": "N04", "y": "N05"},
+            {"op": "point", "x": "N06", "y": "N07"},
+        ]
+        batch.write_text(
+            "\n".join(json_mod.dumps(q) for q in queries) + "\n"
+        )
+        return batch
+
+    def test_stats_prints_summary_on_stderr(self, tmp_path, capsys):
+        code = main([
+            "serve", "--input", str(self._dataset_path(tmp_path)),
+            "--batch", str(self._batch_path(tmp_path)),
+            "--workers", "2", "--stats",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serve telemetry:" in captured.err
+        assert "queries 6, errors 1" in captured.err
+        assert "errors.unknown_op" in captured.err
+        assert "point" in captured.err and "p99=" in captured.err
+        # stdout stays a clean answer stream.
+        assert all(line.startswith("{") for line in captured.out.splitlines())
+
+    def test_telemetry_jsonl_artifact(self, tmp_path, capsys):
+        import json as json_mod
+
+        artifact = tmp_path / "telemetry.jsonl"
+        code = main([
+            "-q", "serve", "--input", str(self._dataset_path(tmp_path)),
+            "--batch", str(self._batch_path(tmp_path)),
+            "--workers", "2", "--telemetry", str(artifact),
+            "--slow-ms", "0", "--sample-every", "1",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        records = [json_mod.loads(line)
+                   for line in artifact.read_text().splitlines()]
+        summary = records[0]
+        assert summary["record"] == "summary"
+        assert summary["queries"] == 6
+        assert summary["errors_by_category"] == {"unknown_op": 1}
+        assert summary["per_op"]["point"]["count"] == 2
+        kinds = {r["record"] for r in records[1:]}
+        assert kinds == {"event", "span"}
+        # slow_ms=0 rings every success; sample_every=1 spans everything.
+        events = [r for r in records if r["record"] == "event"]
+        spans = [r for r in records if r["record"] == "span"]
+        assert len(events) == 6
+        assert len(spans) == 6
+        assert {s["args"]["sample_index"] for s in spans} == set(range(6))
+
+    def test_telemetry_prom_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "serve.prom"
+        code = main([
+            "-q", "serve", "--input", str(self._dataset_path(tmp_path)),
+            "--batch", str(self._batch_path(tmp_path)),
+            "--telemetry", str(artifact),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        text = artifact.read_text()
+        assert "ting_serve_queries_total 6" in text
+        assert "ting_serve_errors_unknown_op_total 1" in text
+        assert 'ting_serve_latency_ms_point_bucket{le="+Inf"} 2' in text
+
+    def test_one_shot_query_with_stats(self, tmp_path, capsys):
+        code = main([
+            "serve", "--input", str(self._dataset_path(tmp_path)),
+            "--stats", "point", "N00", "N01",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "queries 1, errors 0" in captured.err
+
+    def test_no_flags_means_null_telemetry(self, tmp_path, capsys):
+        code = main([
+            "serve", "--input", str(self._dataset_path(tmp_path)),
+            "point", "N00", "N01",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serve telemetry:" not in captured.err
+
+
+class TestStatsPromFormat:
+    def test_prom_exposition_on_stdout(self, capsys):
+        code = main([
+            "-q", "stats",
+            "--relays", "4", "--network-size", "20", "--samples", "10",
+            "--format", "prom",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ting_tor_circuits_built_total" in out
+        assert 'ting_echo_rtt_ms_bucket{le="+Inf"}' in out
+        assert out.endswith("\n")
+        # Pure exposition: no human table mixed into the scrape.
+        assert "campaign metrics:" not in out
+
+    def test_prom_format_still_writes_json_snapshot(self, tmp_path, capsys):
+        import json as json_mod
+
+        output = tmp_path / "metrics.json"
+        code = main([
+            "-q", "stats",
+            "--relays", "3", "--network-size", "20", "--samples", "10",
+            "--format", "prom", "--output", str(output),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        snapshot = json_mod.loads(output.read_text())
+        assert snapshot["counters"]["tor.circuits_built"] > 0
